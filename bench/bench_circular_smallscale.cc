@@ -1,0 +1,107 @@
+// Experiment E11 — the Theorem-1 side: Optimal Policy-aware
+// Bulk-anonymization with Circular cloaks is NP-complete. The exact
+// branch-and-bound's search effort blows up with |D| while the greedy
+// heuristic stays polynomial and close to optimal on small instances.
+
+#include <cstdio>
+
+#include "circular/exact_solver.h"
+#include "circular/greedy_solver.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "tests/test_util.h"
+
+int main() {
+  using namespace pasa;
+  using testing_util::RandomDb;
+
+  std::printf(
+      "Theorem 1: circular-cloak optimal anonymization (exact vs greedy)\n");
+  std::printf(
+      "=================================================================\n\n");
+
+  const MapExtent extent{0, 0, 6};
+  const int k = 3;
+  std::vector<Point> centers;
+  {
+    Rng rng(404);
+    for (int c = 0; c < 3; ++c) {
+      centers.push_back(Point{static_cast<Coord>(rng.NextBounded(64)),
+                              static_cast<Coord>(rng.NextBounded(64))});
+    }
+  }
+
+  TablePrinter table({"|D|", "exact nodes expanded", "exact time (s)",
+                      "greedy time (s)", "greedy/optimal area"});
+  for (const size_t n : {6u, 7u, 8u, 9u, 10u, 11u, 12u}) {
+    Rng rng(1000 + n);
+    const LocationDatabase db = RandomDb(&rng, n, extent);
+
+    WallTimer exact_timer;
+    Result<CircularSolution> exact = SolveExactCircular(db, centers, k, 16);
+    if (!exact.ok()) {
+      std::fprintf(stderr, "|D|=%zu exact failed: %s\n", n,
+                   exact.status().ToString().c_str());
+      continue;
+    }
+    const double exact_seconds = exact_timer.ElapsedSeconds();
+
+    WallTimer greedy_timer;
+    Result<CircularSolution> greedy = SolveGreedyCircular(db, centers, k);
+    if (!greedy.ok()) continue;
+    const double greedy_seconds = greedy_timer.ElapsedSeconds();
+
+    table.AddRow(
+        {TablePrinter::Cell(static_cast<int64_t>(n)),
+         WithThousandsSeparators(static_cast<int64_t>(exact->work)),
+         TablePrinter::Cell(exact_seconds, 4),
+         TablePrinter::Cell(greedy_seconds, 4),
+         TablePrinter::Cell(greedy->total_area / exact->total_area, 3)});
+  }
+  table.Print();
+
+  std::printf("\nGreedy at scale (no exact reference):\n");
+  TablePrinter big({"|D|", "greedy time (s)", "avg cloak area",
+                    "min group size"});
+  for (const size_t n : {100u, 300u, 1000u}) {
+    Rng rng(2000 + n);
+    const LocationDatabase db = RandomDb(&rng, n, extent);
+    WallTimer timer;
+    Result<CircularSolution> greedy = SolveGreedyCircular(db, centers, 10);
+    if (!greedy.ok()) continue;
+    // Group sizes under the policy-aware attacker.
+    size_t min_group = db.size();
+    {
+      std::vector<size_t> counts;
+      std::vector<int32_t> seen;
+      for (const int32_t a : greedy->assignment) {
+        bool found = false;
+        for (size_t i = 0; i < seen.size(); ++i) {
+          if (seen[i] == a) {
+            ++counts[i];
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          seen.push_back(a);
+          counts.push_back(1);
+        }
+      }
+      for (const size_t c : counts) min_group = std::min(min_group, c);
+    }
+    big.AddRow({WithThousandsSeparators(static_cast<int64_t>(n)),
+                TablePrinter::Cell(timer.ElapsedSeconds(), 3),
+                TablePrinter::Cell(greedy->total_area /
+                                       static_cast<double>(db.size()),
+                                   1),
+                TablePrinter::Cell(static_cast<int64_t>(min_group))});
+  }
+  big.Print();
+  std::printf(
+      "\nExpected shape: exact search effort grows exponentially in |D|\n"
+      "(Theorem 1); greedy stays polynomial with bounded area overhead.\n");
+  return 0;
+}

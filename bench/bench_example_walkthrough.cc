@@ -1,0 +1,82 @@
+// Experiment E1 — the Table I / Figure 1 / Examples 1-8 walkthrough as a
+// machine-checked table: the 2-inside policy's breach and the optimal
+// policy-aware policy P2.
+
+#include <cstdio>
+
+#include "attack/auditor.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "pasa/anonymizer.h"
+#include "policies/casper.h"
+#include "policies/k_inside_binary.h"
+#include "policies/k_inside_quad.h"
+
+int main() {
+  using namespace pasa;
+
+  std::printf("Table I walkthrough: 5 users on the 4x4 map, k = 2\n");
+  std::printf("==================================================\n");
+
+  LocationDatabase db;
+  db.Add(1, {0, 0});  // Alice
+  db.Add(2, {0, 1});  // Bob
+  db.Add(3, {0, 3});  // Carol
+  db.Add(4, {2, 0});  // Sam
+  db.Add(5, {3, 3});  // Tom
+  const MapExtent extent{0, 0, 2};
+  const int k = 2;
+  const char* names[] = {"Alice", "Bob", "Carol", "Sam", "Tom"};
+
+  AnonymizerOptions options;
+  options.k = k;
+  Result<Anonymizer> aware = Anonymizer::Build(db, extent, options);
+  Result<CloakingTable> puq = PolicyUnawareQuad(extent).Cloak(db, k);
+  Result<CloakingTable> pub = PolicyUnawareBinary(extent).Cloak(db, k);
+  Result<CloakingTable> casper = CasperPolicy(extent).Cloak(db, k);
+  if (!aware.ok() || !puq.ok() || !pub.ok() || !casper.ok()) {
+    std::fprintf(stderr, "policy construction failed\n");
+    return 1;
+  }
+
+  TablePrinter table({"user", "loc", "PUQ cloak", "Casper cloak",
+                      "PolicyAware-OPT cloak"});
+  for (size_t row = 0; row < db.size(); ++row) {
+    table.AddRow({names[row], db.row(row).location.ToString(),
+                  puq->cloak(row).ToString(), casper->cloak(row).ToString(),
+                  aware->CloakForRow(row).ToString()});
+  }
+  table.Print();
+
+  TablePrinter audit({"policy", "cost", "min senders (unaware)",
+                      "min senders (aware)", "verdict"});
+  struct Entry {
+    const char* name;
+    const CloakingTable* policy;
+  };
+  const CloakingTable aware_table = aware->policy();
+  for (const Entry& e :
+       {Entry{"PUQ (2-inside)", &*puq}, Entry{"PUB (2-inside)", &*pub},
+        Entry{"Casper (2-inside)", &*casper},
+        Entry{"PolicyAware-OPT", &aware_table}}) {
+    const AuditReport a = AuditPolicyAware(*e.policy);
+    const AuditReport u = AuditPolicyUnaware(*e.policy, db);
+    audit.AddRow({e.name, WithThousandsSeparators(e.policy->TotalCost()),
+                  TablePrinter::Cell(static_cast<int64_t>(
+                      u.min_possible_senders)),
+                  TablePrinter::Cell(static_cast<int64_t>(
+                      a.min_possible_senders)),
+                  a.Anonymous(k) ? "sender 2-anonymous"
+                                 : "BREACHED by policy-aware attacker"});
+  }
+  std::printf("\n");
+  audit.Print();
+  std::printf(
+      "\nAs in Example 1/6: the semi-quadrant 2-inside policies (Casper,\n"
+      "PUB) expose Carol to the policy-aware attacker. PUQ escapes on this\n"
+      "instance only because its quadrant cloaks are coarser (cost 56); see\n"
+      "the attack_demo example for a PUQ breach. The optimal policy-aware\n"
+      "policy (Example 8's P2, cost 40) cloaks {Alice,Bob,Carol} at R3 and\n"
+      "{Sam,Tom} at R2 - safe against both attacker classes.\n");
+  return 0;
+}

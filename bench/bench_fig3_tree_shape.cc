@@ -1,0 +1,117 @@
+// Experiment E2 — Figure 3: shape of the lazily materialized binary tree on
+// the Bay-Area workload (k = 50). The paper reports height ~20 for 1M users
+// (never reaching 25 at 1.75M), no leaf above 50 users, and finer quadrants
+// in denser areas.
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "index/binary_tree.h"
+#include "workload/bay_area.h"
+
+int main() {
+  using namespace pasa;
+  using bench_util::PaperScaleOptions;
+  using bench_util::Scaled;
+
+  bench_util::PrintHeader(
+      "Figure 3: binary tree structure on the Bay-Area workload (k = 50)");
+  const BayAreaGenerator generator(PaperScaleOptions());
+  const LocationDatabase master = generator.GenerateMaster();
+  const int k = 50;
+
+  TablePrinter table({"|D|", "live nodes", "leaves", "height",
+                      "mean leaf depth", "max leaf occupancy", "build (s)"});
+  for (const size_t n :
+       {Scaled(100'000), Scaled(500'000), Scaled(1'000'000),
+        Scaled(1'750'000)}) {
+    const LocationDatabase db = BayAreaGenerator::Sample(master, n, 1);
+    WallTimer timer;
+    Result<BinaryTree> tree = BinaryTree::Build(
+        db, generator.extent(), TreeOptions{.split_threshold = k});
+    if (!tree.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   tree.status().ToString().c_str());
+      return 1;
+    }
+    const double seconds = timer.ElapsedSeconds();
+    const BinaryTree::ShapeStats stats = tree->ComputeShapeStats();
+    table.AddRow({WithThousandsSeparators(static_cast<int64_t>(db.size())),
+                  WithThousandsSeparators(static_cast<int64_t>(stats.live_nodes)),
+                  WithThousandsSeparators(static_cast<int64_t>(stats.leaves)),
+                  TablePrinter::Cell(static_cast<int64_t>(stats.height)),
+                  TablePrinter::Cell(stats.mean_leaf_depth, 1),
+                  TablePrinter::Cell(
+                      static_cast<int64_t>(stats.max_leaf_occupancy)),
+                  TablePrinter::Cell(seconds, 3)});
+  }
+  table.Print();
+
+  // Figure 2 analog: ASCII density map of the synthetic workload (the
+  // substitution for the paper's street-intersection data; the algorithms
+  // care only about this skew).
+  {
+    const LocationDatabase db =
+        BayAreaGenerator::Sample(master, Scaled(200'000), 11);
+    constexpr int kGrid = 32;
+    std::vector<size_t> counts(kGrid * kGrid, 0);
+    const Coord cell = generator.extent().side() / kGrid;
+    for (const auto& row : db.rows()) {
+      const int gx = static_cast<int>(row.location.x / cell);
+      const int gy = static_cast<int>(row.location.y / cell);
+      ++counts[gy * kGrid + gx];
+    }
+    size_t max_count = 1;
+    for (const size_t c : counts) max_count = std::max(max_count, c);
+    const char shades[] = " .:-=+*#%@";
+    std::printf("\npopulation density (cf. the paper's Figure 2):\n");
+    for (int gy = kGrid - 1; gy >= 0; --gy) {
+      std::fputs("  ", stdout);
+      for (int gx = 0; gx < kGrid; ++gx) {
+        // Log shading: population density spans orders of magnitude.
+        const double t =
+            std::log1p(static_cast<double>(counts[gy * kGrid + gx])) /
+            std::log1p(static_cast<double>(max_count));
+        const int shade =
+            std::min(9, static_cast<int>(t * 9.0 + (t > 0.0 ? 0.999 : 0.0)));
+        std::putchar(shades[shade]);
+      }
+      std::putchar('\n');
+    }
+  }
+
+  // Density adaptivity (the Figure 3 gray-scale observation): leaf depth in
+  // the densest map quadrant vs the sparsest.
+  {
+    const LocationDatabase db =
+        BayAreaGenerator::Sample(master, Scaled(1'000'000), 1);
+    Result<BinaryTree> tree = BinaryTree::Build(
+        db, generator.extent(), TreeOptions{.split_threshold = k});
+    if (!tree.ok()) return 1;
+    const Rect map = generator.extent().ToRect();
+    std::printf("\nleaf depth by map quadrant (denser => deeper):\n");
+    for (int q = 0; q < 4; ++q) {
+      const Rect quadrant = map.Quadrant(q);
+      RunningStats depth;
+      size_t users = 0;
+      for (size_t id = 0; id < tree->num_nodes(); ++id) {
+        const BinaryTree::Node& n = tree->node(static_cast<int32_t>(id));
+        if (!n.live || !n.IsLeaf() || !quadrant.ContainsRect(n.region)) {
+          continue;
+        }
+        depth.Add(n.depth);
+        users += n.count;
+      }
+      std::printf(
+          "  quadrant %d: %9s users, mean leaf depth %5.1f, max %2.0f\n", q,
+          WithThousandsSeparators(static_cast<int64_t>(users)).c_str(),
+          depth.mean(), depth.max());
+    }
+  }
+  return 0;
+}

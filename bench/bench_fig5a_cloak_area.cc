@@ -1,0 +1,95 @@
+// Experiment E5 — Figure 5(a): average cloak area of the policy-aware
+// optimum vs the policy-unaware baselines (Casper, PUB, PUQ) at k = 50.
+// The paper's shape: Casper cheapest; policy-aware ~= PUQ and at most
+// ~1.7x Casper; all areas shrink as |D| grows.
+
+#include <cstdio>
+#include <memory>
+
+#include "attack/auditor.h"
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "index/quad_tree.h"
+#include "pasa/anonymizer.h"
+#include "pasa/bulk_dp_quad.h"
+#include "policies/casper.h"
+#include "policies/k_inside_binary.h"
+#include "policies/k_inside_quad.h"
+#include "workload/bay_area.h"
+
+int main() {
+  using namespace pasa;
+  using bench_util::PaperScaleOptions;
+  using bench_util::Scaled;
+
+  bench_util::PrintHeader(
+      "Figure 5(a): average cloak area per policy (k = 50)");
+  const BayAreaGenerator generator(PaperScaleOptions());
+  const LocationDatabase master = generator.GenerateMaster();
+  const int k = 50;
+
+  std::vector<std::unique_ptr<BulkPolicyAlgorithm>> algorithms;
+  algorithms.push_back(
+      std::make_unique<PolicyAwareOptimumAlgorithm>(generator.extent()));
+  algorithms.push_back(std::make_unique<CasperPolicy>(generator.extent()));
+  algorithms.push_back(
+      std::make_unique<PolicyUnawareBinary>(generator.extent()));
+  algorithms.push_back(
+      std::make_unique<PolicyUnawareQuad>(generator.extent()));
+
+  TablePrinter table({"|D|", "PolicyAware-OPT", "PAQ (quad OPT)", "Casper",
+                      "PUB", "PUQ", "OPT/Casper", "aware-safe?"});
+  for (const size_t n : {Scaled(100'000), Scaled(250'000), Scaled(500'000),
+                         Scaled(1'000'000)}) {
+    const LocationDatabase db = BayAreaGenerator::Sample(master, n, 4);
+    std::vector<std::string> row = {
+        WithThousandsSeparators(static_cast<int64_t>(db.size()))};
+    double aware_area = 0.0, casper_area = 0.0;
+    bool aware_safe = false;
+    // Policy-aware optimum restricted to quadrant cloaks (extension: the
+    // cost-only fast quad DP), to separate the price of the guarantee from
+    // the gain of the semi-quadrant cloak family.
+    std::string paq_cell = "-";
+    {
+      Result<QuadTree> quad = QuadTree::Build(
+          db, generator.extent(), TreeOptions{.split_threshold = k});
+      if (quad.ok()) {
+        Result<Cost> cost = OptimalQuadCostFast(*quad, k);
+        if (cost.ok()) {
+          paq_cell = TablePrinter::Cell(
+              static_cast<double>(*cost) / static_cast<double>(db.size()),
+              0);
+        }
+      }
+    }
+    for (const auto& algorithm : algorithms) {
+      Result<CloakingTable> policy = algorithm->Cloak(db, k);
+      if (!policy.ok()) {
+        std::fprintf(stderr, "%s failed: %s\n", algorithm->name().c_str(),
+                     policy.status().ToString().c_str());
+        return 1;
+      }
+      const double area = policy->AverageArea();
+      row.push_back(TablePrinter::Cell(area, 0));
+      if (algorithm->name() == "PolicyAware-OPT") {
+        aware_area = area;
+        aware_safe = AuditPolicyAware(*policy).Anonymous(k);
+        row.push_back(paq_cell);  // PAQ column right after the optimum
+      }
+      if (algorithm->name() == "Casper") casper_area = area;
+    }
+    row.push_back(TablePrinter::Cell(aware_area / casper_area, 2));
+    row.push_back(aware_safe ? "yes" : "NO");
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: Casper < PUB < PUQ; PolicyAware-OPT ~= PUQ and at\n"
+      "most ~1.7x Casper (the utility price of the stronger guarantee).\n"
+      "Only PolicyAware-OPT survives the policy-aware audit. PAQ is the\n"
+      "policy-aware optimum restricted to quadrant cloaks: its ratio to PUQ\n"
+      "isolates the guarantee's price within one cloak family (~1.1x),\n"
+      "while OPT vs PAQ isolates the semi-quadrant family's gain.\n");
+  return 0;
+}

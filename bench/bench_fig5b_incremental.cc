@@ -1,0 +1,77 @@
+// Experiment E6 — Figure 5(b): incremental maintenance of the configuration
+// matrix vs bulk recomputation at |D| = 1M, k = 50, varying the fraction of
+// users that move (<= 200 m) between snapshots. The paper's shape:
+// incremental always at or below bulk, converging to bulk around 5% movers.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "pasa/incremental.h"
+#include "workload/bay_area.h"
+#include "workload/movement.h"
+
+int main() {
+  using namespace pasa;
+  using bench_util::PaperScaleOptions;
+  using bench_util::Scaled;
+
+  bench_util::PrintHeader(
+      "Figure 5(b): incremental maintenance vs bulk recomputation "
+      "(|D| = 1M, k = 50)");
+  const BayAreaGenerator generator(PaperScaleOptions());
+  const LocationDatabase master = generator.GenerateMaster();
+  const int k = 50;
+  const LocationDatabase base =
+      BayAreaGenerator::Sample(master, Scaled(1'000'000), 5);
+
+  TablePrinter table({"moving users (%)", "incremental (s)", "bulk (s)",
+                      "rows repaired", "costs equal?"});
+  for (const double percent : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+    LocationDatabase db = base;  // fresh copy per data point
+    Result<IncrementalAnonymizer> engine =
+        IncrementalAnonymizer::Build(db, generator.extent(), k, DpOptions{});
+    if (!engine.ok()) {
+      std::fprintf(stderr, "build failed: %s\n",
+                   engine.status().ToString().c_str());
+      return 1;
+    }
+
+    MovementOptions movement;
+    movement.moving_fraction = percent / 100.0;
+    movement.max_distance = 200.0;
+    movement.seed = 60 + static_cast<uint64_t>(percent * 10);
+    const std::vector<UserMove> moves =
+        DrawMoves(db, generator.extent(), movement);
+
+    WallTimer incremental_timer;
+    Result<size_t> repaired = engine->ApplyMoves(moves);
+    if (!repaired.ok()) return 1;
+    const double incremental_seconds = incremental_timer.ElapsedSeconds();
+    if (!ApplyMovesToDatabase(moves, &db).ok()) return 1;
+
+    WallTimer bulk_timer;
+    Result<IncrementalAnonymizer> rebuilt =
+        IncrementalAnonymizer::Build(db, generator.extent(), k, DpOptions{});
+    if (!rebuilt.ok()) return 1;
+    const double bulk_seconds = bulk_timer.ElapsedSeconds();
+
+    Result<Cost> incremental_cost = engine->OptimalCost();
+    Result<Cost> bulk_cost = rebuilt->OptimalCost();
+    if (!incremental_cost.ok() || !bulk_cost.ok()) return 1;
+
+    table.AddRow({TablePrinter::Cell(percent, 1),
+                  TablePrinter::Cell(incremental_seconds, 3),
+                  TablePrinter::Cell(bulk_seconds, 3),
+                  WithThousandsSeparators(static_cast<int64_t>(*repaired)),
+                  *incremental_cost == *bulk_cost ? "yes" : "NO"});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: incremental <= bulk everywhere; the gap closes as\n"
+      "the moving fraction approaches ~5%% (most leaves go dirty and\n"
+      "incremental degenerates into bulk re-anonymization).\n");
+  return 0;
+}

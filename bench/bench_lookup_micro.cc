@@ -1,0 +1,118 @@
+// Experiment E9 — the Section VII throughput discussion: once the bulk
+// policy is computed, serving a request is a cloak lookup. Google-benchmark
+// microbenchmarks for the lookup and full anonymize paths (the paper
+// measures 0.3-0.5 ms on 2005 hardware; modern hosts are far faster).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "lbs/poi.h"
+#include "pasa/anonymizer.h"
+#include "workload/bay_area.h"
+#include "workload/requests.h"
+
+namespace {
+
+using namespace pasa;
+
+struct SharedState {
+  LocationDatabase db;
+  std::unique_ptr<Anonymizer> anonymizer;
+  std::vector<ServiceRequest> requests;
+};
+
+SharedState* BuildState() {
+  auto* state = new SharedState();
+  BayAreaOptions bay = bench_util::PaperScaleOptions();
+  const BayAreaGenerator generator(bay);
+  const LocationDatabase master = generator.GenerateMaster();
+  state->db =
+      BayAreaGenerator::Sample(master, bench_util::Scaled(1'000'000), 9);
+  AnonymizerOptions options;
+  options.k = 50;
+  Result<Anonymizer> anonymizer =
+      Anonymizer::Build(state->db, generator.extent(), options);
+  if (!anonymizer.ok()) {
+    std::fprintf(stderr, "anonymizer build failed: %s\n",
+                 anonymizer.status().ToString().c_str());
+    std::exit(1);
+  }
+  state->anonymizer = std::make_unique<Anonymizer>(std::move(*anonymizer));
+  RequestGenerator generator_requests(77);
+  state->requests = generator_requests.Draw(state->db, 100'000);
+  return state;
+}
+
+SharedState& Shared() {
+  static SharedState* state = BuildState();
+  return *state;
+}
+
+void BM_CloakLookupByUser(benchmark::State& state) {
+  SharedState& shared = Shared();
+  size_t i = 0;
+  for (auto _ : state) {
+    const ServiceRequest& sr =
+        shared.requests[i++ % shared.requests.size()];
+    Result<Rect> cloak = shared.anonymizer->CloakForUser(sr.sender);
+    benchmark::DoNotOptimize(cloak);
+  }
+}
+BENCHMARK(BM_CloakLookupByUser);
+
+void BM_FullAnonymizeRequest(benchmark::State& state) {
+  SharedState& shared = Shared();
+  size_t i = 0;
+  for (auto _ : state) {
+    const ServiceRequest& sr =
+        shared.requests[i++ % shared.requests.size()];
+    Result<AnonymizedRequest> ar = shared.anonymizer->Anonymize(sr);
+    benchmark::DoNotOptimize(ar);
+  }
+}
+BENCHMARK(BM_FullAnonymizeRequest);
+
+void BM_CloakLookupByRow(benchmark::State& state) {
+  SharedState& shared = Shared();
+  size_t row = 0;
+  const size_t n = shared.db.size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shared.anonymizer->CloakForRow(row));
+    row = (row + 7919) % n;
+  }
+}
+BENCHMARK(BM_CloakLookupByRow);
+
+// The downstream LBS query the paper's throughput discussion cites: Casper
+// reports ~2 ms per nearest-neighbor query over 10K POIs on 2005 hardware.
+void BM_PoiNearestToCloak(benchmark::State& state) {
+  SharedState& shared = Shared();
+  static PoiDatabase* pois = [] {
+    Rng rng(55);
+    std::vector<PointOfInterest> list;
+    const Coord side = Coord{1} << 17;
+    for (int i = 0; i < 10'000; ++i) {
+      list.push_back(PointOfInterest{
+          i,
+          Point{static_cast<Coord>(rng.NextBounded(side)),
+                static_cast<Coord>(rng.NextBounded(side))},
+          i % 2 == 0 ? "rest" : "gas"});
+    }
+    return new PoiDatabase(std::move(list));
+  }();
+  size_t row = 0;
+  const size_t n = shared.db.size();
+  for (auto _ : state) {
+    const Rect& cloak = shared.anonymizer->CloakForRow(row);
+    benchmark::DoNotOptimize(pois->NearestToCloak(cloak, "rest", 5));
+    row = (row + 7919) % n;
+  }
+}
+BENCHMARK(BM_PoiNearestToCloak);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Experiment E12 — the Section VII feasibility comparison: per-snapshot
+// bulk anonymization amortized over a request stream served by the full CSP
+// stack (policy lookup + POI nearest-neighbor + answer cache), against the
+// cryptographic PIR numbers the paper quotes (20-45 s per query, 6-12 s
+// when parallelized over 8 servers, for 65K points of interest).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "csp/server.h"
+#include "workload/bay_area.h"
+#include "workload/requests.h"
+
+int main() {
+  using namespace pasa;
+  using bench_util::PaperScaleOptions;
+  using bench_util::Scaled;
+
+  bench_util::PrintHeader(
+      "Section VII: end-to-end request throughput (CSP + LBS, k = 50)");
+  const BayAreaGenerator generator(PaperScaleOptions());
+  const LocationDatabase master = generator.GenerateMaster();
+  const LocationDatabase db =
+      BayAreaGenerator::Sample(master, Scaled(1'000'000), 12);
+
+  // 65K points of interest, matching the PIR experiment scale in [15].
+  std::vector<PointOfInterest> pois;
+  {
+    Rng rng(65);
+    const std::vector<std::string> categories = {"rest", "groc", "cinema",
+                                                 "gas", "hospital"};
+    for (int i = 0; i < 65'000; ++i) {
+      pois.push_back(PointOfInterest{
+          i,
+          Point{static_cast<Coord>(rng.NextBounded(generator.extent().side())),
+                static_cast<Coord>(
+                    rng.NextBounded(generator.extent().side()))},
+          categories[rng.NextBounded(categories.size())]});
+    }
+  }
+
+  CspOptions options;
+  options.k = 50;
+  options.answers_per_request = 10;
+  WallTimer init_timer;
+  Result<CspServer> csp = CspServer::Start(db, generator.extent(),
+                                           PoiDatabase(std::move(pois)),
+                                           options);
+  if (!csp.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", csp.status().ToString().c_str());
+    return 1;
+  }
+  const double init_seconds = init_timer.ElapsedSeconds();
+
+  RequestGenerator requests(9);
+  const size_t batch = 100'000;
+  const std::vector<ServiceRequest> stream = requests.Draw(db, batch);
+  WallTimer serve_timer;
+  size_t served = 0;
+  for (const ServiceRequest& sr : stream) {
+    if (csp->HandleRequest(sr).ok()) ++served;
+  }
+  const double serve_seconds = serve_timer.ElapsedSeconds();
+
+  TablePrinter table({"metric", "value"});
+  table.AddRow({"users (|D|)", WithThousandsSeparators(
+                                   static_cast<int64_t>(db.size()))});
+  table.AddRow({"points of interest", "65,000"});
+  table.AddRow({"per-snapshot bulk anonymization (s)",
+                TablePrinter::Cell(init_seconds, 3)});
+  table.AddRow({"requests served", WithThousandsSeparators(
+                                       static_cast<int64_t>(served))});
+  table.AddRow({"end-to-end time per request (us)",
+                TablePrinter::Cell(serve_seconds * 1e6 /
+                                       static_cast<double>(served),
+                                   2)});
+  table.AddRow({"throughput (requests/s)",
+                WithThousandsSeparators(static_cast<int64_t>(
+                    static_cast<double>(served) / serve_seconds))});
+  table.AddRow({"LBS saw (after cache)", WithThousandsSeparators(
+                                             static_cast<int64_t>(
+                                                 csp->lbs_requests_seen()))});
+  table.Print();
+  std::printf(
+      "\nThe paper's comparison point: cryptographic PIR over the same 65K\n"
+      "POIs costs 20-45 s per query (6-12 s on 8 servers). The anonymizer\n"
+      "trades the absolute guarantee for >= 3 orders of magnitude more\n"
+      "throughput, while keeping LBS interfaces and billing unchanged.\n");
+  return 0;
+}

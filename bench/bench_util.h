@@ -1,0 +1,47 @@
+#ifndef PASA_BENCH_BENCH_UTIL_H_
+#define PASA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "workload/bay_area.h"
+
+namespace pasa {
+namespace bench_util {
+
+/// The experiment workload of Section VI: a 131 km map with 1.75M users
+/// placed 10-per-intersection around 175k skew-distributed intersections.
+inline BayAreaOptions PaperScaleOptions() {
+  BayAreaOptions options;
+  options.log2_map_side = 17;
+  options.num_intersections = 175'000;
+  options.users_per_intersection = 10;
+  options.user_sigma = 500.0;
+  options.num_clusters = 64;
+  options.seed = 2010;
+  return options;
+}
+
+/// Global scale factor for the harnesses: PASA_BENCH_SCALE=0.1 shrinks every
+/// |D| tenfold for quick smoke runs; default 1.0 reproduces the paper sizes.
+inline double Scale() {
+  const char* env = std::getenv("PASA_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double scale = std::atof(env);
+  return scale > 0.0 ? scale : 1.0;
+}
+
+inline size_t Scaled(size_t n) {
+  return static_cast<size_t>(static_cast<double>(n) * Scale());
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%s\n", std::string(title.size(), '=').c_str());
+}
+
+}  // namespace bench_util
+}  // namespace pasa
+
+#endif  // PASA_BENCH_BENCH_UTIL_H_

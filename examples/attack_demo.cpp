@@ -1,0 +1,120 @@
+// Attack demo: how a policy-aware attacker breaks the classical k-inside
+// policies (Example 1 / Section VII of the paper) and why the policy-aware
+// optimum survives the same attack.
+//
+//   $ ./examples/attack_demo
+
+#include <cstdio>
+
+#include "attack/auditor.h"
+#include "pasa/anonymizer.h"
+#include "policies/casper.h"
+#include "policies/find_mbc.h"
+#include "policies/k_inside_quad.h"
+#include "policies/k_reciprocity.h"
+#include "policies/k_sharing.h"
+
+namespace {
+
+void PrintAudit(const char* name, const pasa::AuditReport& aware,
+                const pasa::AuditReport& unaware, int k) {
+  std::printf("  %-18s policy-unaware attacker: >= %zu senders (%s)\n", name,
+              unaware.min_possible_senders,
+              unaware.Anonymous(k) ? "safe" : "BREACHED");
+  std::printf("  %-18s policy-AWARE  attacker: >= %zu senders (%s)\n", "",
+              aware.min_possible_senders,
+              aware.Anonymous(k) ? "safe" : "BREACHED");
+}
+
+}  // namespace
+
+int main() {
+  using namespace pasa;
+  const int k = 2;
+
+  // The Table I snapshot: Carol (user 3) is the isolated "outlier".
+  LocationDatabase db;
+  db.Add(1, {0, 0});
+  db.Add(2, {0, 1});
+  db.Add(3, {0, 3});
+  db.Add(4, {2, 0});
+  db.Add(5, {3, 3});
+  const MapExtent extent{0, 0, 2};
+
+  std::printf(
+      "=== Example 1: the semi-quadrant k-inside policy (Casper-style) "
+      "===\n");
+  Result<CloakingTable> casper = CasperPolicy(extent).Cloak(db, k);
+  if (!casper.ok()) return 1;
+  PrintAudit("Casper", AuditPolicyAware(*casper),
+             AuditPolicyUnaware(*casper, db), k);
+  for (const size_t row : AuditPolicyAware(*casper).Breaches(k)) {
+    std::printf("  -> user %lld is identified outright (cloak %s)\n",
+                static_cast<long long>(db.row(row).user),
+                casper->cloak(row).ToString().c_str());
+  }
+
+  std::printf(
+      "\n=== Quadrant k-inside (Gruteser 2003) on an outlier instance ===\n");
+  LocationDatabase outlier_db;
+  outlier_db.Add(1, {0, 0});
+  outlier_db.Add(2, {1, 1});
+  outlier_db.Add(3, {0, 3});  // alone in her quadrant
+  Result<CloakingTable> puq = PolicyUnawareQuad(extent).Cloak(outlier_db, k);
+  if (!puq.ok()) return 1;
+  PrintAudit("PUQ", AuditPolicyAware(*puq),
+             AuditPolicyUnaware(*puq, outlier_db), k);
+
+  std::printf("\n=== Figure 6(a): k-sharing grouping ===\n");
+  const KSharingPolicy sharing(k);
+  LocationDatabase line;
+  line.Add(10, {0, 0});  // A
+  line.Add(11, {2, 0});  // B
+  line.Add(12, {5, 0});  // C
+  Result<CloakingTable> shared = sharing.CloakInOrder(line, {2});  // C first
+  if (!shared.ok()) return 1;
+  Result<std::vector<size_t>> first =
+      sharing.PossibleFirstSenders(line, shared->cloak(2));
+  if (!first.ok()) return 1;
+  std::printf(
+      "  C requests first; the {B,C} cloak appears. Reverse-engineering the\n"
+      "  grouping algorithm leaves %zu possible first sender(s)%s\n",
+      first->size(), first->size() < static_cast<size_t>(k)
+                         ? " -> BREACHED (it must be C)"
+                         : "");
+
+  std::printf("\n=== Figure 6(b): k-reciprocity via station circles ===\n");
+  LocationDatabase pair;
+  pair.Add(20, {2, 0});  // Alice
+  pair.Add(21, {3, 0});  // Bob
+  const NearestStationCircles stations({{0, 0}, {5, 0}});
+  Result<std::vector<Circle>> circles = stations.Cloak(pair, k);
+  if (!circles.ok()) return 1;
+  std::printf("  2-reciprocity holds: %s\n",
+              NearestStationCircles::SatisfiesKReciprocity(pair, *circles, k)
+                  ? "yes"
+                  : "no");
+  PrintAudit("stations", AuditPolicyAware(*circles),
+             AuditPolicyUnaware(*circles, pair), k);
+
+  std::printf("\n=== FindMBC-style circles: k-inside but unique per user ===\n");
+  Result<CircularCloaking> mbc = FindMbcCloaking(db, k);
+  if (!mbc.ok()) return 1;
+  PrintAudit("FindMBC", AuditPolicyAware(mbc->cloaks),
+             AuditPolicyUnaware(mbc->cloaks, db), k);
+
+  std::printf("\n=== The policy-aware optimum on the same snapshot ===\n");
+  AnonymizerOptions options;
+  options.k = k;
+  Result<Anonymizer> ours = Anonymizer::Build(db, extent, options);
+  if (!ours.ok()) return 1;
+  PrintAudit("PolicyAware-OPT", AuditPolicyAware(ours->policy()),
+             AuditPolicyUnaware(ours->policy(), db), k);
+  std::printf(
+      "  Both attacker classes are left with >= %d candidates; the price is\n"
+      "  a larger cloak for the outlier (total cost %lld vs %lld for "
+      "Casper).\n",
+      k, static_cast<long long>(ours->cost()),
+      static_cast<long long>(casper->TotalCost()));
+  return 0;
+}

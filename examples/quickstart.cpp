@@ -1,0 +1,69 @@
+// Quickstart: build an optimal policy-aware sender k-anonymous policy over a
+// small location database and anonymize a request.
+//
+//   $ ./examples/quickstart
+//
+// Walks the paper's Table I running example: five users on a 4x4 map, k = 2.
+
+#include <cstdio>
+
+#include "attack/auditor.h"
+#include "model/location_database.h"
+#include "pasa/anonymizer.h"
+
+int main() {
+  using namespace pasa;
+
+  // 1. A location-database snapshot (schema D = {userid, locx, locy}).
+  //    These are Alice, Bob, Carol, Sam and Tom from the paper's Table I.
+  LocationDatabase db;
+  db.Add(/*user=*/1, {0, 0});  // Alice
+  db.Add(/*user=*/2, {0, 1});  // Bob
+  db.Add(/*user=*/3, {0, 3});  // Carol
+  db.Add(/*user=*/4, {2, 0});  // Sam
+  db.Add(/*user=*/5, {3, 3});  // Tom
+
+  // 2. Build the anonymizer: binary semi-quadrant tree + optimized Bulk_dp
+  //    + policy extraction, all in one call.
+  AnonymizerOptions options;
+  options.k = 2;
+  Result<Anonymizer> anonymizer =
+      Anonymizer::Build(db, MapExtent{0, 0, /*log2_side=*/2}, options);
+  if (!anonymizer.ok()) {
+    std::fprintf(stderr, "build failed: %s\n",
+                 anonymizer.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. Inspect the optimal policy: every user's cloak and the total cost.
+  std::printf("optimal policy-aware %d-anonymous policy (cost %lld):\n",
+              options.k, static_cast<long long>(anonymizer->cost()));
+  const char* names[] = {"Alice", "Bob", "Carol", "Sam", "Tom"};
+  for (size_t row = 0; row < db.size(); ++row) {
+    std::printf("  %-5s at %-7s -> cloak %s\n", names[row],
+                db.row(row).location.ToString().c_str(),
+                anonymizer->CloakForRow(row).ToString().c_str());
+  }
+
+  // 4. Anonymize a service request the way the CSP would.
+  const ServiceRequest request{/*sender=*/3, {0, 3},
+                               {{"poi", "rest"}, {"cat", "ital"}}};
+  Result<AnonymizedRequest> ar = anonymizer->Anonymize(request);
+  if (!ar.ok()) {
+    std::fprintf(stderr, "anonymize failed: %s\n",
+                 ar.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nCarol's request is forwarded as <rid=%lld, cloak=%s>.\n",
+              static_cast<long long>(ar->rid),
+              ar->cloak.ToString().c_str());
+
+  // 5. Audit against both attacker classes of Section III.
+  const AuditReport aware = AuditPolicyAware(anonymizer->policy());
+  const AuditReport unaware = AuditPolicyUnaware(anonymizer->policy(), db);
+  std::printf(
+      "\npolicy-aware attacker is left with >= %zu possible senders,\n"
+      "policy-unaware attacker with >= %zu: sender %d-anonymity holds.\n",
+      aware.min_possible_senders, unaware.min_possible_senders, options.k);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Visualize: renders the synthetic workload's binary tree (Figure 3(a)
+// analog) and a comparison of the policy-aware optimum's cloaks vs Casper's
+// as SVG files in the current directory.
+//
+//   $ ./examples/visualize
+//   wrote tree.svg, cloaks_policy_aware.svg, cloaks_casper.svg
+
+#include <cstdio>
+
+#include "io/svg.h"
+#include "pasa/anonymizer.h"
+#include "policies/casper.h"
+#include "workload/bay_area.h"
+
+int main() {
+  using namespace pasa;
+
+  BayAreaOptions bay;
+  bay.log2_map_side = 12;
+  bay.num_intersections = 600;
+  bay.users_per_intersection = 5;
+  bay.user_sigma = 40.0;
+  bay.num_clusters = 10;
+  bay.seed = 12;
+  const BayAreaGenerator generator(bay);
+  const LocationDatabase db = generator.Generate(3000);
+  const int k = 25;
+
+  AnonymizerOptions options;
+  options.k = k;
+  Result<Anonymizer> aware = Anonymizer::Build(db, generator.extent(), options);
+  Result<CloakingTable> casper = CasperPolicy(generator.extent()).Cloak(db, k);
+  if (!aware.ok() || !casper.ok()) {
+    std::fprintf(stderr, "anonymization failed\n");
+    return 1;
+  }
+
+  const Rect viewport = generator.extent().ToRect();
+  struct Out {
+    const char* path;
+    std::string svg;
+  };
+  const Out outputs[] = {
+      {"tree.svg", RenderTreeSvg(aware->tree())},
+      {"cloaks_policy_aware.svg",
+       RenderCloakingSvg(db, aware->policy(), viewport)},
+      {"cloaks_casper.svg", RenderCloakingSvg(db, *casper, viewport)},
+  };
+  for (const Out& o : outputs) {
+    Status s = SaveSvg(o.svg, o.path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s: %s\n", o.path, s.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf(
+      "wrote tree.svg, cloaks_policy_aware.svg, cloaks_casper.svg\n"
+      "(policy-aware cloaks overlap into >= %d-user groups; Casper's are\n"
+      "tighter but leak identities to policy-aware attackers)\n",
+      k);
+  return 0;
+}

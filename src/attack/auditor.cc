@@ -1,0 +1,83 @@
+#include "attack/auditor.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+namespace pasa {
+namespace {
+
+AuditReport FromCounts(std::vector<size_t> counts) {
+  AuditReport report;
+  report.possible_senders_per_row = std::move(counts);
+  report.min_possible_senders =
+      report.possible_senders_per_row.empty()
+          ? 0
+          : *std::min_element(report.possible_senders_per_row.begin(),
+                              report.possible_senders_per_row.end());
+  return report;
+}
+
+template <typename Cloak>
+AuditReport GroupAudit(const std::vector<Cloak>& cloaks) {
+  std::unordered_map<std::string, size_t> group_size;
+  for (const Cloak& c : cloaks) ++group_size[c.ToString()];
+  std::vector<size_t> counts;
+  counts.reserve(cloaks.size());
+  for (const Cloak& c : cloaks) counts.push_back(group_size[c.ToString()]);
+  return FromCounts(std::move(counts));
+}
+
+template <typename Cloak>
+AuditReport InsideAudit(const std::vector<Cloak>& cloaks,
+                        const LocationDatabase& db) {
+  std::vector<size_t> counts;
+  counts.reserve(cloaks.size());
+  for (const Cloak& c : cloaks) {
+    size_t inside = 0;
+    for (size_t r = 0; r < db.size(); ++r) {
+      if (c.Contains(db.row(r).location)) ++inside;
+    }
+    counts.push_back(inside);
+  }
+  return FromCounts(std::move(counts));
+}
+
+std::vector<Rect> RectsOf(const CloakingTable& table) {
+  std::vector<Rect> rects;
+  rects.reserve(table.size());
+  for (size_t i = 0; i < table.size(); ++i) rects.push_back(table.cloak(i));
+  return rects;
+}
+
+}  // namespace
+
+std::vector<size_t> AuditReport::Breaches(int k) const {
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < possible_senders_per_row.size(); ++i) {
+    if (possible_senders_per_row[i] < static_cast<size_t>(k)) {
+      rows.push_back(i);
+    }
+  }
+  return rows;
+}
+
+AuditReport AuditPolicyAware(const CloakingTable& table) {
+  return GroupAudit(RectsOf(table));
+}
+
+AuditReport AuditPolicyAware(const std::vector<Circle>& cloaks) {
+  return GroupAudit(cloaks);
+}
+
+AuditReport AuditPolicyUnaware(const CloakingTable& table,
+                               const LocationDatabase& db) {
+  return InsideAudit(RectsOf(table), db);
+}
+
+AuditReport AuditPolicyUnaware(const std::vector<Circle>& cloaks,
+                               const LocationDatabase& db) {
+  return InsideAudit(cloaks, db);
+}
+
+}  // namespace pasa

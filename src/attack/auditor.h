@@ -1,0 +1,53 @@
+#ifndef PASA_ATTACK_AUDITOR_H_
+#define PASA_ATTACK_AUDITOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/circle.h"
+#include "model/cloaking.h"
+#include "model/location_database.h"
+
+namespace pasa {
+
+/// Outcome of auditing a bulk cloaking against one attacker class: for each
+/// user's (hypothetical) request, how many possible senders the attacker is
+/// left with after reverse-engineering.
+struct AuditReport {
+  /// Smallest possible-sender set over all requests (0 for an empty policy).
+  size_t min_possible_senders = 0;
+  /// Number of requests whose possible-sender set the attacker reduced
+  /// below k (filled by Breaches()).
+  std::vector<size_t> possible_senders_per_row;
+
+  /// True if the cloaking provides sender k-anonymity against the audited
+  /// attacker class.
+  bool Anonymous(int k) const {
+    return min_possible_senders >= static_cast<size_t>(k);
+  }
+  /// Rows whose sender the attacker pins down to fewer than k candidates.
+  std::vector<size_t> Breaches(int k) const;
+};
+
+/// Policy-aware attacker (knows the exact policy, Section III): the possible
+/// senders of a request are exactly the users the policy maps to the same
+/// cloak, so the audit computes cloaking-group sizes.
+AuditReport AuditPolicyAware(const CloakingTable& table);
+
+/// Circular-cloak variant of the policy-aware audit.
+AuditReport AuditPolicyAware(const std::vector<Circle>& cloaks);
+
+/// Policy-unaware attacker (knows only the cloak family): any user inside
+/// the observed cloak could have produced it under *some* masking policy,
+/// so the audit counts snapshot locations inside each cloak. A cloaking
+/// passes at level k iff it is k-inside (Proposition 2).
+AuditReport AuditPolicyUnaware(const CloakingTable& table,
+                               const LocationDatabase& db);
+
+/// Circular-cloak variant of the policy-unaware audit.
+AuditReport AuditPolicyUnaware(const std::vector<Circle>& cloaks,
+                               const LocationDatabase& db);
+
+}  // namespace pasa
+
+#endif  // PASA_ATTACK_AUDITOR_H_

@@ -1,0 +1,82 @@
+#include "attack/pre.h"
+
+#include <algorithm>
+
+namespace pasa {
+
+CandidateSets SingletonFamilyCandidates(const CloakingTable& policy,
+                                        const std::vector<Rect>& observed) {
+  CandidateSets sets(observed.size());
+  for (size_t a = 0; a < observed.size(); ++a) {
+    for (size_t row = 0; row < policy.size(); ++row) {
+      if (policy.cloak(row) == observed[a]) sets[a].push_back(row);
+    }
+  }
+  return sets;
+}
+
+CandidateSets MaskingFamilyCandidates(const LocationDatabase& db,
+                                      const std::vector<Rect>& observed) {
+  CandidateSets sets(observed.size());
+  for (size_t a = 0; a < observed.size(); ++a) {
+    for (size_t row = 0; row < db.size(); ++row) {
+      if (observed[a].Contains(db.row(row).location)) sets[a].push_back(row);
+    }
+  }
+  return sets;
+}
+
+namespace {
+
+// Backtracking over complete PREs: build the next PRE observation by
+// observation (respecting injectivity when `functional`, and per-observation
+// distinctness from all previously chosen PREs), then recurse for the rest.
+bool Search(const CandidateSets& candidates, int k, bool functional,
+            std::vector<std::vector<size_t>>* chosen, size_t max_row) {
+  if (chosen->size() == static_cast<size_t>(k)) return true;
+  std::vector<size_t> partial;
+  std::vector<bool> used_rows(max_row + 1, false);
+  auto gen = [&](auto&& self, size_t obs) -> bool {
+    if (obs == candidates.size()) {
+      chosen->push_back(partial);
+      if (Search(candidates, k, functional, chosen, max_row)) return true;
+      chosen->pop_back();
+      return false;
+    }
+    for (const size_t row : candidates[obs]) {
+      if (functional && used_rows[row]) continue;
+      bool clashes = false;
+      for (const std::vector<size_t>& pre : *chosen) {
+        if (pre[obs] == row) {
+          clashes = true;
+          break;
+        }
+      }
+      if (clashes) continue;
+      partial.push_back(row);
+      if (functional) used_rows[row] = true;
+      if (self(self, obs + 1)) return true;
+      if (functional) used_rows[row] = false;
+      partial.pop_back();
+    }
+    return false;
+  };
+  return gen(gen, 0);
+}
+
+}  // namespace
+
+bool HasKDistinctPres(const CandidateSets& candidates, int k,
+                      bool functional) {
+  if (k < 1) return true;
+  if (candidates.empty()) return true;
+  size_t max_row = 0;
+  for (const auto& set : candidates) {
+    if (set.empty()) return false;  // some observation has no PRE at all
+    max_row = std::max(max_row, *std::max_element(set.begin(), set.end()));
+  }
+  std::vector<std::vector<size_t>> chosen;
+  return Search(candidates, k, functional, &chosen, max_row);
+}
+
+}  // namespace pasa

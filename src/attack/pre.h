@@ -1,0 +1,40 @@
+#ifndef PASA_ATTACK_PRE_H_
+#define PASA_ATTACK_PRE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "model/cloaking.h"
+#include "model/location_database.h"
+
+namespace pasa {
+
+/// For each observed anonymized request, the snapshot rows that are possible
+/// senders (valid Possible-Reverse-Engineering targets, Definition 5).
+using CandidateSets = std::vector<std::vector<size_t>>;
+
+/// Candidates under the SINGLETON family {P} (the policy-aware attacker):
+/// row r is a candidate for an observation with cloak R iff P maps r to
+/// exactly R. `observed` are the cloaks of the observed requests.
+CandidateSets SingletonFamilyCandidates(const CloakingTable& policy,
+                                        const std::vector<Rect>& observed);
+
+/// Candidates under the family P_C of ALL masking policies over rectangular
+/// cloaks (the policy-unaware attacker): every row located inside the
+/// observed cloak qualifies.
+CandidateSets MaskingFamilyCandidates(const LocationDatabase& db,
+                                      const std::vector<Rect>& observed);
+
+/// Brute-force Definition 6 check: do there exist k PREs pi_1..pi_k of the
+/// observed request set such that for every observation the k reverse-
+/// engineered senders are pairwise distinct? When `functional` is set, each
+/// individual PRE must additionally be injective (a deterministic policy
+/// cannot map one service request to two different anonymized requests).
+/// Exponential search — intended for the tiny instances of the property
+/// tests, where it independently validates the group-size characterization
+/// used by the auditors.
+bool HasKDistinctPres(const CandidateSets& candidates, int k, bool functional);
+
+}  // namespace pasa
+
+#endif  // PASA_ATTACK_PRE_H_

@@ -1,0 +1,43 @@
+#include "circular/candidates.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pasa {
+
+std::vector<CandidateCircle> EnumerateCandidateCircles(
+    const LocationDatabase& db, const std::vector<Point>& centers) {
+  std::vector<CandidateCircle> candidates;
+  candidates.reserve(centers.size() * db.size());
+  for (size_t c = 0; c < centers.size(); ++c) {
+    const Point& center = centers[c];
+    std::vector<std::pair<int64_t, size_t>> by_distance;
+    by_distance.reserve(db.size());
+    for (size_t row = 0; row < db.size(); ++row) {
+      by_distance.emplace_back(SquaredDistance(db.row(row).location, center),
+                               row);
+    }
+    std::sort(by_distance.begin(), by_distance.end());
+    std::vector<size_t> covered;
+    covered.reserve(db.size());
+    for (size_t i = 0; i < by_distance.size(); ++i) {
+      covered.push_back(by_distance[i].second);
+      // Skip duplicate radii: the larger prefix dominates.
+      if (i + 1 < by_distance.size() &&
+          by_distance[i + 1].first == by_distance[i].first) {
+        continue;
+      }
+      CandidateCircle candidate;
+      candidate.circle =
+          Circle{static_cast<double>(center.x), static_cast<double>(center.y),
+                 std::sqrt(static_cast<double>(by_distance[i].first))};
+      candidate.center_index = c;
+      candidate.covered_rows = covered;
+      std::sort(candidate.covered_rows.begin(), candidate.covered_rows.end());
+      candidates.push_back(std::move(candidate));
+    }
+  }
+  return candidates;
+}
+
+}  // namespace pasa

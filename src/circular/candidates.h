@@ -1,0 +1,30 @@
+#ifndef PASA_CIRCULAR_CANDIDATES_H_
+#define PASA_CIRCULAR_CANDIDATES_H_
+
+#include <vector>
+
+#include "geo/circle.h"
+#include "model/location_database.h"
+
+namespace pasa {
+
+/// One candidate cloak for the circular variant of optimal policy-aware
+/// anonymization (Theorem 1): a circle centered at one of the given centers
+/// (public landmarks / cell towers in the paper) whose radius reaches some
+/// user. Any optimal solution only needs such circles — shrinking a cloak to
+/// the farthest user it keeps loses nothing.
+struct CandidateCircle {
+  Circle circle;
+  size_t center_index = 0;
+  /// Snapshot rows inside the circle, ascending.
+  std::vector<size_t> covered_rows;
+};
+
+/// Enumerates all |SC| x |D| candidate circles, per center sorted by radius
+/// (so covered_rows of consecutive candidates are nested prefixes).
+std::vector<CandidateCircle> EnumerateCandidateCircles(
+    const LocationDatabase& db, const std::vector<Point>& centers);
+
+}  // namespace pasa
+
+#endif  // PASA_CIRCULAR_CANDIDATES_H_

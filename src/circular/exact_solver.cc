@@ -1,0 +1,133 @@
+#include "circular/exact_solver.h"
+
+#include <algorithm>
+
+namespace pasa {
+namespace {
+
+// Per-row candidate lists sorted by area (cheapest first) for effective
+// branch-and-bound pruning.
+std::vector<std::vector<int32_t>> CandidatesPerRow(
+    const std::vector<CandidateCircle>& candidates, size_t num_rows) {
+  std::vector<std::vector<int32_t>> per_row(num_rows);
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    for (const size_t row : candidates[c].covered_rows) {
+      per_row[row].push_back(static_cast<int32_t>(c));
+    }
+  }
+  for (auto& list : per_row) {
+    std::sort(list.begin(), list.end(), [&](int32_t a, int32_t b) {
+      return candidates[a].circle.Area() < candidates[b].circle.Area();
+    });
+  }
+  return per_row;
+}
+
+}  // namespace
+
+Result<CircularSolution> SolveExactCircular(const LocationDatabase& db,
+                                            const std::vector<Point>& centers,
+                                            int k, size_t max_users) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (centers.empty()) {
+    return Status::InvalidArgument("need at least one candidate center");
+  }
+  if (db.size() > max_users) {
+    return Status::InvalidArgument(
+        "exact circular solver limited to " + std::to_string(max_users) +
+        " users (the problem is NP-complete, Theorem 1)");
+  }
+  if (db.size() < static_cast<size_t>(k)) {
+    return Status::Infeasible("fewer than k users in the snapshot");
+  }
+
+  const std::vector<CandidateCircle> candidates =
+      EnumerateCandidateCircles(db, centers);
+  const std::vector<std::vector<int32_t>> per_row =
+      CandidatesPerRow(candidates, db.size());
+  // Cheapest per-user area: an admissible lower bound for the remainder.
+  std::vector<double> cheapest(db.size(), 0.0);
+  double remainder_bound = 0.0;
+  for (size_t row = 0; row < db.size(); ++row) {
+    if (per_row[row].empty()) {
+      return Status::Infeasible("a user is covered by no candidate circle");
+    }
+    cheapest[row] = candidates[per_row[row].front()].circle.Area();
+    remainder_bound += cheapest[row];
+  }
+  std::vector<double> suffix_bound(db.size() + 1, 0.0);
+  for (size_t row = db.size(); row-- > 0;) {
+    suffix_bound[row] = suffix_bound[row + 1] + cheapest[row];
+  }
+
+  // remaining_inside[c] at row r: how many not-yet-processed rows (>= r)
+  // the candidate contains — an open group below k members must be able to
+  // fill up from them.
+  auto remaining_inside = [&](int32_t c, size_t row) -> size_t {
+    const std::vector<size_t>& covered = candidates[c].covered_rows;
+    return covered.end() -
+           std::lower_bound(covered.begin(), covered.end(), row);
+  };
+
+  CircularSolution best;
+  double best_area = -1.0;
+  std::vector<int32_t> assignment(db.size(), -1);
+  std::vector<int32_t> group_count(candidates.size(), 0);
+  std::vector<int32_t> open_groups;  // nonempty groups, possibly below k
+  size_t work = 0;
+
+  auto recurse = [&](auto&& self, size_t row, double area_so_far) -> void {
+    ++work;
+    if (best_area >= 0.0 && area_so_far + suffix_bound[row] >= best_area) {
+      return;
+    }
+    if (row == db.size()) {
+      for (const int32_t g : open_groups) {
+        if (group_count[g] < k) return;
+      }
+      best_area = area_so_far;
+      best.assignment = assignment;
+      return;
+    }
+    // Feasibility pruning: rows are assigned in index order, so a group can
+    // only recruit from rows >= row. Every open group must still be able to
+    // reach k, and the summed deficits must fit in the remaining rows.
+    size_t total_deficit = 0;
+    for (const int32_t g : open_groups) {
+      if (group_count[g] >= k) continue;
+      const size_t deficit = static_cast<size_t>(k - group_count[g]);
+      if (deficit > remaining_inside(g, row)) return;
+      total_deficit += deficit;
+    }
+    if (total_deficit > db.size() - row) return;
+
+    for (const int32_t c : per_row[row]) {
+      const bool opens = group_count[c] == 0;
+      // Opening a group that can never reach k is hopeless.
+      if (opens && remaining_inside(c, row) < static_cast<size_t>(k)) {
+        continue;
+      }
+      assignment[row] = c;
+      ++group_count[c];
+      if (opens) open_groups.push_back(c);
+      self(self, row + 1, area_so_far + candidates[c].circle.Area());
+      if (opens) open_groups.pop_back();
+      --group_count[c];
+      assignment[row] = -1;
+    }
+  };
+  recurse(recurse, 0, 0.0);
+
+  if (best_area < 0.0) {
+    return Status::Infeasible("no policy-aware circular cloaking exists");
+  }
+  best.total_area = best_area;
+  best.work = work;
+  best.cloaks.reserve(db.size());
+  for (size_t row = 0; row < db.size(); ++row) {
+    best.cloaks.push_back(candidates[best.assignment[row]].circle);
+  }
+  return best;
+}
+
+}  // namespace pasa

@@ -1,0 +1,34 @@
+#ifndef PASA_CIRCULAR_EXACT_SOLVER_H_
+#define PASA_CIRCULAR_EXACT_SOLVER_H_
+
+#include <vector>
+
+#include "circular/candidates.h"
+#include "common/status.h"
+
+namespace pasa {
+
+/// A solution to Optimal Policy-aware Bulk-anonymization with Circular
+/// cloaks: each user is assigned a candidate circle containing her, every
+/// nonempty circle group has >= k members (policy-aware sender
+/// k-anonymity), and the summed cloak area is reported.
+struct CircularSolution {
+  std::vector<int32_t> assignment;  ///< candidate index per snapshot row
+  std::vector<Circle> cloaks;       ///< resolved circle per snapshot row
+  double total_area = 0.0;
+  /// Search-tree nodes expanded (exact solver) or candidate scans (greedy);
+  /// the measure of work the Theorem-1 benchmark reports.
+  size_t work = 0;
+};
+
+/// Exact branch-and-bound over per-user candidate assignments. The problem
+/// is NP-complete (Theorem 1), so this is exponential and guarded by
+/// `max_users`; it exists as the ground truth for the greedy heuristic and
+/// to exhibit the blow-up experimentally.
+Result<CircularSolution> SolveExactCircular(const LocationDatabase& db,
+                                            const std::vector<Point>& centers,
+                                            int k, size_t max_users = 14);
+
+}  // namespace pasa
+
+#endif  // PASA_CIRCULAR_EXACT_SOLVER_H_

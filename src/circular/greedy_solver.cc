@@ -1,0 +1,141 @@
+#include "circular/greedy_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pasa {
+
+Result<CircularSolution> SolveGreedyCircular(const LocationDatabase& db,
+                                             const std::vector<Point>& centers,
+                                             int k) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (centers.empty()) {
+    return Status::InvalidArgument("need at least one candidate center");
+  }
+  if (db.size() < static_cast<size_t>(k)) {
+    return Status::Infeasible("fewer than k users in the snapshot");
+  }
+
+  const std::vector<CandidateCircle> candidates =
+      EnumerateCandidateCircles(db, centers);
+  std::vector<int32_t> assignment(db.size(), -1);
+  size_t unassigned = db.size();
+  size_t work = 0;
+
+  // Phase 1: commit circles that cover at least k unassigned users,
+  // cheapest area-per-new-user first.
+  while (unassigned >= static_cast<size_t>(k)) {
+    int32_t best = -1;
+    double best_ratio = 0.0;
+    size_t best_new = 0;
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      ++work;
+      size_t covers_new = 0;
+      for (const size_t row : candidates[c].covered_rows) {
+        if (assignment[row] < 0) ++covers_new;
+      }
+      if (covers_new < static_cast<size_t>(k)) continue;
+      const double ratio =
+          candidates[c].circle.Area() / static_cast<double>(covers_new);
+      if (best < 0 || ratio < best_ratio) {
+        best = static_cast<int32_t>(c);
+        best_ratio = ratio;
+        best_new = covers_new;
+      }
+    }
+    if (best < 0) break;  // no circle can open a fresh >= k group
+    for (const size_t row : candidates[best].covered_rows) {
+      if (assignment[row] < 0) assignment[row] = best;
+    }
+    unassigned -= best_new;
+  }
+
+  // Phase 2: strand repair. Fewer than k users remain unassigned (or no
+  // candidate could serve them); fold them into a committed group by growing
+  // that group's circle at the same center. The grown circle contains every
+  // old member, so validity is preserved and the group only gets larger.
+  if (unassigned > 0) {
+    // Collect stranded rows.
+    std::vector<size_t> stranded;
+    for (size_t row = 0; row < db.size(); ++row) {
+      if (assignment[row] < 0) stranded.push_back(row);
+    }
+    // Committed groups.
+    std::vector<int32_t> groups;
+    for (const int32_t a : assignment) {
+      if (a >= 0 && std::find(groups.begin(), groups.end(), a) == groups.end()) {
+        groups.push_back(a);
+      }
+    }
+    if (groups.empty()) {
+      // Nothing committed at all (e.g. k <= |D| < 2k with awkward geometry):
+      // put everybody into the single cheapest circle covering all users.
+      int32_t best = -1;
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        ++work;
+        if (candidates[c].covered_rows.size() != db.size()) continue;
+        if (best < 0 ||
+            candidates[c].circle.Area() < candidates[best].circle.Area()) {
+          best = static_cast<int32_t>(c);
+        }
+      }
+      if (best < 0) {
+        return Status::Infeasible("no circle covers all remaining users");
+      }
+      for (size_t row = 0; row < db.size(); ++row) assignment[row] = best;
+    } else {
+      // Cheapest (group, grown-candidate) replacement covering the strays.
+      int32_t best_group = -1;
+      int32_t best_grown = -1;
+      double best_delta = 0.0;
+      for (const int32_t g : groups) {
+        const size_t center = candidates[g].center_index;
+        // The smallest same-center candidate containing the old radius and
+        // every stranded row.
+        for (size_t c = 0; c < candidates.size(); ++c) {
+          ++work;
+          if (candidates[c].center_index != center) continue;
+          if (candidates[c].circle.radius < candidates[g].circle.radius) {
+            continue;
+          }
+          const bool covers_all = std::all_of(
+              stranded.begin(), stranded.end(), [&](size_t row) {
+                return std::binary_search(candidates[c].covered_rows.begin(),
+                                          candidates[c].covered_rows.end(),
+                                          row);
+              });
+          if (!covers_all) continue;
+          const double delta =
+              candidates[c].circle.Area() - candidates[g].circle.Area();
+          if (best_group < 0 || delta < best_delta) {
+            best_group = g;
+            best_grown = static_cast<int32_t>(c);
+            best_delta = delta;
+          }
+          break;  // same-center candidates are sorted by radius
+        }
+      }
+      if (best_group < 0) {
+        return Status::Infeasible(
+            "no center can absorb the stranded users");
+      }
+      for (size_t row = 0; row < db.size(); ++row) {
+        if (assignment[row] == best_group || assignment[row] < 0) {
+          assignment[row] = best_grown;
+        }
+      }
+    }
+  }
+
+  CircularSolution out;
+  out.assignment = assignment;
+  out.work = work;
+  out.cloaks.reserve(db.size());
+  for (size_t row = 0; row < db.size(); ++row) {
+    out.cloaks.push_back(candidates[assignment[row]].circle);
+    out.total_area += candidates[assignment[row]].circle.Area();
+  }
+  return out;
+}
+
+}  // namespace pasa

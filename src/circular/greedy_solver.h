@@ -1,0 +1,23 @@
+#ifndef PASA_CIRCULAR_GREEDY_SOLVER_H_
+#define PASA_CIRCULAR_GREEDY_SOLVER_H_
+
+#include <vector>
+
+#include "circular/exact_solver.h"
+#include "common/status.h"
+
+namespace pasa {
+
+/// Polynomial heuristic for the NP-complete circular variant (Theorem 1
+/// rules out an exact PTIME algorithm): repeatedly commit the candidate
+/// circle with the best area-per-newly-covered-user ratio among those
+/// covering at least k unassigned users, then repair the tail by growing a
+/// committed circle (same center, larger radius) over any stranded users.
+/// Always returns a valid policy-aware k-anonymous cloaking when the
+/// instance is feasible.
+Result<CircularSolution> SolveGreedyCircular(
+    const LocationDatabase& db, const std::vector<Point>& centers, int k);
+
+}  // namespace pasa
+
+#endif  // PASA_CIRCULAR_GREEDY_SOLVER_H_

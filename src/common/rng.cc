@@ -1,0 +1,91 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace pasa {
+
+uint64_t Rng::Next() {
+  // SplitMix64 (Steele, Lea, Flood 2014): passes BigCrush, tiny state.
+  state_ += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling over the largest multiple of `bound` that fits.
+  const uint64_t threshold = -bound % bound;  // == 2^64 mod bound
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  const uint64_t r = (span == 0) ? Next() : NextBounded(span);
+  return lo + static_cast<int64_t>(r);
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextGaussian() {
+  if (have_spare_gaussian_) {
+    have_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  // Box-Muller transform; guard against log(0).
+  double u1 = NextDouble();
+  while (u1 <= 0.0) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi * u2;
+  spare_gaussian_ = radius * std::sin(angle);
+  have_spare_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+std::vector<uint32_t> Rng::SampleIndices(uint32_t population, uint32_t count) {
+  assert(count <= population);
+  // Floyd's algorithm: O(count) expected inserts, no O(population) shuffle.
+  std::vector<uint32_t> chosen;
+  chosen.reserve(count);
+  // Track membership with a sorted-insert-free approach: for the sizes used
+  // here (count up to ~10% of millions) a hash-free bitmapless variant would
+  // need a set; use the classic partial Fisher-Yates when count is large
+  // relative to population, Floyd otherwise.
+  if (count * 4 >= population) {
+    std::vector<uint32_t> all(population);
+    for (uint32_t i = 0; i < population; ++i) all[i] = i;
+    for (uint32_t i = 0; i < count; ++i) {
+      const uint32_t j =
+          i + static_cast<uint32_t>(NextBounded(population - i));
+      std::swap(all[i], all[j]);
+    }
+    all.resize(count);
+    return all;
+  }
+  std::vector<bool> used(population, false);
+  for (uint32_t i = population - count; i < population; ++i) {
+    const uint32_t t = static_cast<uint32_t>(NextBounded(i + 1));
+    if (!used[t]) {
+      used[t] = true;
+      chosen.push_back(t);
+    } else {
+      used[i] = true;
+      chosen.push_back(i);
+    }
+  }
+  return chosen;
+}
+
+}  // namespace pasa

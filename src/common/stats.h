@@ -1,0 +1,46 @@
+#ifndef PASA_COMMON_STATS_H_
+#define PASA_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pasa {
+
+/// Streaming summary statistics over a sequence of doubles (Welford online
+/// mean/variance plus min/max). Used by benchmarks and experiment harnesses.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Returns the p-th percentile (0 <= p <= 100) of `values` using linear
+/// interpolation between closest ranks. `values` need not be sorted; an
+/// internal copy is sorted. Returns 0 for an empty input.
+double Percentile(std::vector<double> values, double p);
+
+/// Formats `x` with engineering-style thousands separators ("1,234,567"),
+/// for readable experiment tables.
+std::string WithThousandsSeparators(int64_t x);
+
+}  // namespace pasa
+
+#endif  // PASA_COMMON_STATS_H_

@@ -1,0 +1,41 @@
+#ifndef PASA_COMMON_TABLE_H_
+#define PASA_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pasa {
+
+/// Fixed-width text table used by the experiment harnesses to print the rows
+/// and series the paper's figures report.
+///
+///   TablePrinter t({"|D|", "time (s)", "cost"});
+///   t.AddRow({"100,000", "0.12", "1.9e9"});
+///   t.Print();
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds one row; the number of cells must equal the number of headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string Cell(int64_t v);
+  static std::string Cell(double v, int precision = 3);
+
+  /// Renders the table (headers, separator, rows) to a string.
+  std::string ToString() const;
+
+  /// Prints the table to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pasa
+
+#endif  // PASA_COMMON_TABLE_H_

@@ -1,0 +1,4 @@
+#include "common/timer.h"
+
+// WallTimer is header-only; this translation unit exists so the target has a
+// stable archive member and the header stays cheap to include.

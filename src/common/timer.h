@@ -1,0 +1,31 @@
+#ifndef PASA_COMMON_TIMER_H_
+#define PASA_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace pasa {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses.
+class WallTimer {
+ public:
+  /// Starts (or restarts) the stopwatch.
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pasa
+
+#endif  // PASA_COMMON_TIMER_H_

@@ -1,0 +1,104 @@
+#include "csp/server.h"
+
+#include <utility>
+
+namespace pasa {
+
+CspServer::CspServer(CspOptions options, MapExtent extent,
+                     LocationDatabase snapshot, IncrementalAnonymizer engine,
+                     ExtractedPolicy policy, PoiDatabase pois)
+    : options_(options),
+      extent_(extent),
+      snapshot_(std::move(snapshot)),
+      engine_(std::make_unique<IncrementalAnonymizer>(std::move(engine))),
+      policy_(std::move(policy)),
+      frontend_(std::make_unique<CachingLbsFrontend>(
+          LbsProvider(std::move(pois), options.answers_per_request))) {
+  RebuildUserIndex();
+}
+
+Result<CspServer> CspServer::Start(LocationDatabase initial_snapshot,
+                                   const MapExtent& extent, PoiDatabase pois,
+                                   const CspOptions& options) {
+  if (options.k < 1) return Status::InvalidArgument("k must be >= 1");
+  Result<IncrementalAnonymizer> engine = IncrementalAnonymizer::Build(
+      initial_snapshot, extent, options.k, options.dp);
+  if (!engine.ok()) return engine.status();
+  Result<ExtractedPolicy> policy = engine->ExtractPolicy();
+  if (!policy.ok()) return policy.status();
+  return CspServer(options, extent, std::move(initial_snapshot),
+                   std::move(*engine), std::move(*policy), std::move(pois));
+}
+
+void CspServer::RebuildUserIndex() {
+  row_of_user_.clear();
+  row_of_user_.reserve(snapshot_.size());
+  for (size_t i = 0; i < snapshot_.size(); ++i) {
+    row_of_user_[snapshot_.row(i).user] = i;
+  }
+}
+
+Result<std::vector<PointOfInterest>> CspServer::HandleRequest(
+    const ServiceRequest& sr) {
+  const auto it = row_of_user_.find(sr.sender);
+  if (it == row_of_user_.end() ||
+      snapshot_.row(it->second).location != sr.location) {
+    ++stats_.requests_rejected;
+    return Status::InvalidArgument(
+        "service request is not valid w.r.t. the current snapshot");
+  }
+  const AnonymizedRequest ar{next_rid_++, policy_.table.cloak(it->second),
+                             sr.params};
+  ++stats_.requests_served;
+  return frontend_->Serve(ar);
+}
+
+Status CspServer::RefreshPolicy() {
+  Result<ExtractedPolicy> policy = engine_->ExtractPolicy();
+  if (!policy.ok()) return policy.status();
+  policy_ = std::move(*policy);
+  return Status::Ok();
+}
+
+Result<SnapshotReport> CspServer::AdvanceSnapshot(
+    const std::vector<UserMove>& moves) {
+  SnapshotReport report;
+  report.moves_applied = moves.size();
+
+  const double fraction =
+      snapshot_.empty() ? 0.0
+                        : static_cast<double>(moves.size()) /
+                              static_cast<double>(snapshot_.size());
+  // Apply the moves to the CSP's snapshot first; the engine tracks its own
+  // copy of the positions.
+  for (const UserMove& move : moves) {
+    if (move.row >= snapshot_.size() ||
+        snapshot_.row(move.row).location != move.from) {
+      return Status::InvalidArgument("stale or out-of-range move");
+    }
+    Status s = snapshot_.MoveUser(snapshot_.row(move.row).user, move.to);
+    if (!s.ok()) return s;
+  }
+
+  if (fraction > options_.rebuild_fraction) {
+    // Bulk re-anonymization (Section VI-C: incremental degenerates anyway).
+    Result<IncrementalAnonymizer> rebuilt = IncrementalAnonymizer::Build(
+        snapshot_, extent_, options_.k, options_.dp);
+    if (!rebuilt.ok()) return rebuilt.status();
+    *engine_ = std::move(*rebuilt);
+    report.rebuilt = true;
+    ++stats_.rebuilds;
+  } else {
+    Result<size_t> repaired = engine_->ApplyMoves(moves);
+    if (!repaired.ok()) return repaired.status();
+    report.dp_rows_repaired = *repaired;
+    ++stats_.incremental_updates;
+  }
+  Status s = RefreshPolicy();
+  if (!s.ok()) return s;
+  report.policy_cost = policy_.cost;
+  ++stats_.snapshots_advanced;
+  return report;
+}
+
+}  // namespace pasa

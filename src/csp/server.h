@@ -1,0 +1,105 @@
+#ifndef PASA_CSP_SERVER_H_
+#define PASA_CSP_SERVER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "lbs/provider.h"
+#include "model/service_request.h"
+#include "pasa/incremental.h"
+
+namespace pasa {
+
+/// Tuning for the trusted-CSP server.
+struct CspOptions {
+  /// Anonymity degree enforced against policy-aware attackers.
+  int k = 50;
+  DpOptions dp;
+  /// Number of POIs per LBS answer.
+  size_t answers_per_request = 10;
+  /// When more than this fraction of users moves in one snapshot advance,
+  /// rebuild from scratch instead of maintaining incrementally (Section
+  /// VI-C: beyond ~5% movers incremental degenerates into bulk anyway).
+  double rebuild_fraction = 0.05;
+};
+
+/// Bookkeeping returned by CspServer::AdvanceSnapshot.
+struct SnapshotReport {
+  size_t moves_applied = 0;
+  bool rebuilt = false;        ///< full rebuild vs incremental repair
+  size_t dp_rows_repaired = 0; ///< 0 when rebuilt
+  Cost policy_cost = 0;
+};
+
+/// The privacy-conscious LBS model of Section II-B assembled into one
+/// component: the trusted CSP that (a) tracks the location database across
+/// snapshots, (b) maintains the optimal policy-aware sender k-anonymous
+/// policy (incrementally when cheap, from scratch when not), (c) anonymizes
+/// incoming service requests, and (d) forwards them to the untrusted LBS
+/// through the deduplicating answer cache of Section VII.
+///
+///   CspServer csp = *CspServer::Start(db, extent, pois, {.k = 50});
+///   auto answer = csp.HandleRequest(sr);      // POIs near the cloak
+///   csp.AdvanceSnapshot(moves);               // next 30s snapshot
+class CspServer {
+ public:
+  /// Builds the initial policy. Fails with Infeasible when 0 < |D| < k.
+  static Result<CspServer> Start(LocationDatabase initial_snapshot,
+                                 const MapExtent& extent, PoiDatabase pois,
+                                 const CspOptions& options);
+
+  const CspOptions& options() const { return options_; }
+  const LocationDatabase& snapshot() const { return snapshot_; }
+  Cost policy_cost() const { return policy_.cost; }
+  const CloakingTable& policy() const { return policy_.table; }
+
+  /// Full request path: validate the request against the current snapshot,
+  /// cloak the sender, fetch (or reuse) the LBS answer. The sender identity
+  /// never crosses the CSP boundary.
+  Result<std::vector<PointOfInterest>> HandleRequest(const ServiceRequest& sr);
+
+  /// Advances to the next location-database snapshot.
+  Result<SnapshotReport> AdvanceSnapshot(const std::vector<UserMove>& moves);
+
+  /// Flushes the LBS answer cache (e.g. daily) and returns the billable
+  /// request count reported to the provider.
+  size_t FlushAnswerCache() { return frontend_->FlushAndBill(); }
+
+  struct Stats {
+    size_t requests_served = 0;
+    size_t requests_rejected = 0;
+    size_t snapshots_advanced = 0;
+    size_t rebuilds = 0;
+    size_t incremental_updates = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  /// How many requests the (untrusted) LBS actually saw — always at most
+  /// requests_served thanks to the cache.
+  size_t lbs_requests_seen() const {
+    return frontend_->provider().requests_seen();
+  }
+
+ private:
+  CspServer(CspOptions options, MapExtent extent,
+            LocationDatabase snapshot, IncrementalAnonymizer engine,
+            ExtractedPolicy policy, PoiDatabase pois);
+
+  Status RefreshPolicy();
+  void RebuildUserIndex();
+
+  CspOptions options_;
+  MapExtent extent_;
+  LocationDatabase snapshot_;
+  std::unique_ptr<IncrementalAnonymizer> engine_;
+  ExtractedPolicy policy_;
+  std::unique_ptr<CachingLbsFrontend> frontend_;
+  std::unordered_map<UserId, size_t> row_of_user_;
+  RequestId next_rid_ = 1;
+  Stats stats_;
+};
+
+}  // namespace pasa
+
+#endif  // PASA_CSP_SERVER_H_

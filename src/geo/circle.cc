@@ -1,0 +1,27 @@
+#include "geo/circle.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace pasa {
+namespace {
+// Relative tolerance for circle membership; MBCs are computed in doubles so
+// boundary points can land a few ulps outside.
+constexpr double kContainsSlack = 1e-7;
+}  // namespace
+
+double Circle::Area() const { return std::numbers::pi * radius * radius; }
+
+bool Circle::Contains(const Point& p) const {
+  const double dx = static_cast<double>(p.x) - cx;
+  const double dy = static_cast<double>(p.y) - cy;
+  const double limit = radius * (1.0 + kContainsSlack) + kContainsSlack;
+  return dx * dx + dy * dy <= limit * limit;
+}
+
+std::string Circle::ToString() const {
+  return "circle(center=(" + std::to_string(cx) + ", " + std::to_string(cy) +
+         "), r=" + std::to_string(radius) + ")";
+}
+
+}  // namespace pasa

@@ -1,0 +1,33 @@
+#ifndef PASA_GEO_CIRCLE_H_
+#define PASA_GEO_CIRCLE_H_
+
+#include <string>
+
+#include "geo/point.h"
+
+namespace pasa {
+
+/// A circular cloak (used by the NP-complete variant of optimal policy-aware
+/// anonymization, Theorem 1, and by the FindMBC / k-reciprocity baselines).
+/// Center and radius are doubles because minimum bounding circles of integer
+/// points generally have irrational radii.
+struct Circle {
+  double cx = 0.0;
+  double cy = 0.0;
+  double radius = 0.0;
+
+  friend bool operator==(const Circle& a, const Circle& b) = default;
+
+  /// Area in squared coordinate units.
+  double Area() const;
+
+  /// True if `p` lies inside or on the circle, with a small epsilon to
+  /// absorb floating-point error in computed minimum bounding circles.
+  bool Contains(const Point& p) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace pasa
+
+#endif  // PASA_GEO_CIRCLE_H_

@@ -1,0 +1,95 @@
+#include "geo/mbc.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace pasa {
+namespace {
+
+// Circle through one point (radius 0).
+Circle FromOne(const Point& a) {
+  return Circle{static_cast<double>(a.x), static_cast<double>(a.y), 0.0};
+}
+
+// Smallest circle through two points: diameter endpoints.
+Circle FromTwo(const Point& a, const Point& b) {
+  const double cx = (static_cast<double>(a.x) + b.x) / 2.0;
+  const double cy = (static_cast<double>(a.y) + b.y) / 2.0;
+  const double r = std::sqrt(static_cast<double>(SquaredDistance(a, b))) / 2.0;
+  return Circle{cx, cy, r};
+}
+
+// Circumcircle of three points; falls back to the best two-point circle when
+// the points are (nearly) collinear.
+Circle FromThree(const Point& a, const Point& b, const Point& c) {
+  const double ax = a.x, ay = a.y;
+  const double bx = b.x, by = b.y;
+  const double cx = c.x, cy = c.y;
+  const double d = 2.0 * (ax * (by - cy) + bx * (cy - ay) + cx * (ay - by));
+  if (d == 0.0) {
+    // Collinear: the MBC is determined by the farthest pair.
+    Circle best = FromTwo(a, b);
+    for (const Circle& cand : {FromTwo(a, c), FromTwo(b, c)}) {
+      if (cand.radius > best.radius) best = cand;
+    }
+    return best;
+  }
+  const double a2 = ax * ax + ay * ay;
+  const double b2 = bx * bx + by * by;
+  const double c2 = cx * cx + cy * cy;
+  const double ux = (a2 * (by - cy) + b2 * (cy - ay) + c2 * (ay - by)) / d;
+  const double uy = (a2 * (cx - bx) + b2 * (ax - cx) + c2 * (bx - ax)) / d;
+  const double r = std::hypot(ux - ax, uy - ay);
+  return Circle{ux, uy, r};
+}
+
+Circle TrivialCircle(const std::vector<Point>& boundary) {
+  switch (boundary.size()) {
+    case 0:
+      return Circle{};
+    case 1:
+      return FromOne(boundary[0]);
+    case 2:
+      return FromTwo(boundary[0], boundary[1]);
+    default:
+      return FromThree(boundary[0], boundary[1], boundary[2]);
+  }
+}
+
+// Welzl's algorithm, iterative-with-restart formulation ("move-to-front"
+// style): grow the circle over a random permutation, restarting the prefix
+// whenever a point falls outside.
+Circle WelzlMtf(std::vector<Point> pts) {
+  Circle circle = TrivialCircle({});
+  std::vector<Point> boundary;
+  // Recursive helper over (index into pts, boundary support set).
+  // Depth is bounded by |pts| + 3; use an explicit recursion via lambda.
+  auto solve = [&](auto&& self, size_t n, std::vector<Point>& support) -> Circle {
+    if (n == 0 || support.size() == 3) return TrivialCircle(support);
+    Circle c = self(self, n - 1, support);
+    if (c.Contains(pts[n - 1])) return c;
+    support.push_back(pts[n - 1]);
+    c = self(self, n - 1, support);
+    support.pop_back();
+    return c;
+  };
+  circle = solve(solve, pts.size(), boundary);
+  return circle;
+}
+
+}  // namespace
+
+Circle MinimumBoundingCircle(const std::vector<Point>& points) {
+  if (points.empty()) return Circle{};
+  std::vector<Point> shuffled = points;
+  // Fixed-seed Fisher-Yates: expected-linear behaviour, deterministic output.
+  Rng rng(0x5eed0abcULL);
+  for (size_t i = shuffled.size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(rng.NextBounded(i));
+    std::swap(shuffled[i - 1], shuffled[j]);
+  }
+  return WelzlMtf(std::move(shuffled));
+}
+
+}  // namespace pasa

@@ -1,0 +1,21 @@
+#ifndef PASA_GEO_MBC_H_
+#define PASA_GEO_MBC_H_
+
+#include <vector>
+
+#include "geo/circle.h"
+#include "geo/point.h"
+
+namespace pasa {
+
+/// Computes the minimum bounding circle of `points` with Welzl's randomized
+/// incremental algorithm (expected linear time). Returns a zero-radius circle
+/// at the origin for an empty input. Deterministic for a given input order
+/// (the permutation is derived from a fixed seed).
+///
+/// This is the cloak construction used by the FindMBC baseline [27].
+Circle MinimumBoundingCircle(const std::vector<Point>& points);
+
+}  // namespace pasa
+
+#endif  // PASA_GEO_MBC_H_

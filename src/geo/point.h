@@ -1,0 +1,42 @@
+#ifndef PASA_GEO_POINT_H_
+#define PASA_GEO_POINT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pasa {
+
+/// Coordinate type for user locations. The paper models a geographic area as
+/// a 2-dimensional space with integer coordinates; we use 64-bit to keep all
+/// area arithmetic exact (map widths up to 2^20 metres square comfortably).
+using Coord = int64_t;
+
+/// A point in the map plane. Coordinates are metres in the experiments but
+/// the library is unit-agnostic.
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend bool operator==(const Point& a, const Point& b) = default;
+
+  std::string ToString() const {
+    std::string out("(");
+    out += std::to_string(x);
+    out += ", ";
+    out += std::to_string(y);
+    out += ")";
+    return out;
+  }
+};
+
+/// Squared Euclidean distance between two points, exact in int64 for the
+/// coordinate magnitudes used here.
+inline int64_t SquaredDistance(const Point& a, const Point& b) {
+  const int64_t dx = a.x - b.x;
+  const int64_t dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace pasa
+
+#endif  // PASA_GEO_POINT_H_

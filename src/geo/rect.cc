@@ -1,0 +1,52 @@
+#include "geo/rect.h"
+
+#include <algorithm>
+
+namespace pasa {
+
+Rect Rect::WestHalf() const {
+  const Coord mid = x1 + (x2 - x1) / 2;
+  return Rect{x1, y1, mid, y2};
+}
+
+Rect Rect::EastHalf() const {
+  const Coord mid = x1 + (x2 - x1) / 2;
+  return Rect{mid, y1, x2, y2};
+}
+
+Rect Rect::SouthHalf() const {
+  const Coord mid = y1 + (y2 - y1) / 2;
+  return Rect{x1, y1, x2, mid};
+}
+
+Rect Rect::NorthHalf() const {
+  const Coord mid = y1 + (y2 - y1) / 2;
+  return Rect{x1, mid, x2, y2};
+}
+
+Rect Rect::Quadrant(int q) const {
+  const Rect horizontal = (q & 2) ? NorthHalf() : SouthHalf();
+  return (q & 1) ? horizontal.EastHalf() : horizontal.WestHalf();
+}
+
+std::string Rect::ToString() const {
+  std::string out("[");
+  out += std::to_string(x1);
+  out += ",";
+  out += std::to_string(y1);
+  out += " .. ";
+  out += std::to_string(x2);
+  out += ",";
+  out += std::to_string(y2);
+  out += ")";
+  return out;
+}
+
+Rect Union(const Rect& a, const Rect& b) {
+  return Rect{std::min(a.x1, b.x1), std::min(a.y1, b.y1),
+              std::max(a.x2, b.x2), std::max(a.y2, b.y2)};
+}
+
+Rect CellAt(const Point& p) { return Rect{p.x, p.y, p.x + 1, p.y + 1}; }
+
+}  // namespace pasa

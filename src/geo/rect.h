@@ -1,0 +1,72 @@
+#ifndef PASA_GEO_RECT_H_
+#define PASA_GEO_RECT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "geo/point.h"
+
+namespace pasa {
+
+/// An axis-aligned rectangle, the cloak shape used by quad-tree and
+/// semi-quadrant policies (Definition 2's rectangular anonymized requests).
+///
+/// The rectangle is half-open: it contains points with
+/// `x1 <= x < x2` and `y1 <= y < y2`. Half-open semantics make quadrant
+/// subdivision exact (the four children of a quadrant partition it with no
+/// overlap and no gap), which the configuration/cost lemmas rely on.
+struct Rect {
+  Coord x1 = 0;
+  Coord y1 = 0;
+  Coord x2 = 0;  ///< exclusive
+  Coord y2 = 0;  ///< exclusive
+
+  friend bool operator==(const Rect& a, const Rect& b) = default;
+
+  Coord width() const { return x2 - x1; }
+  Coord height() const { return y2 - y1; }
+
+  /// Exact area in squared coordinate units.
+  int64_t Area() const { return width() * height(); }
+
+  /// True if `p` lies inside the half-open rectangle.
+  bool Contains(const Point& p) const {
+    return p.x >= x1 && p.x < x2 && p.y >= y1 && p.y < y2;
+  }
+
+  /// True if `other` is fully inside this rectangle.
+  bool ContainsRect(const Rect& other) const {
+    return other.x1 >= x1 && other.x2 <= x2 && other.y1 >= y1 &&
+           other.y2 <= y2;
+  }
+
+  /// True if the two rectangles share at least one point.
+  bool Intersects(const Rect& other) const {
+    return x1 < other.x2 && other.x1 < x2 && y1 < other.y2 && other.y1 < y2;
+  }
+
+  /// Western half: [x1, mid) x [y1, y2). Splits at the integer midpoint.
+  Rect WestHalf() const;
+  /// Eastern half: [mid, x2) x [y1, y2).
+  Rect EastHalf() const;
+  /// Southern half: [x1, x2) x [y1, mid).
+  Rect SouthHalf() const;
+  /// Northern half: [x1, x2) x [mid, y2).
+  Rect NorthHalf() const;
+
+  /// Quadrant `q` in the order SW=0, SE=1, NW=2, NE=3 (matching Morton
+  /// order with y as the high interleaved bit).
+  Rect Quadrant(int q) const;
+
+  std::string ToString() const;
+};
+
+/// Smallest rectangle (half-open) containing both inputs.
+Rect Union(const Rect& a, const Rect& b);
+
+/// Smallest half-open rectangle containing `p` (a 1x1 cell).
+Rect CellAt(const Point& p);
+
+}  // namespace pasa
+
+#endif  // PASA_GEO_RECT_H_

@@ -1,0 +1,154 @@
+#ifndef PASA_INDEX_BINARY_TREE_H_
+#define PASA_INDEX_BINARY_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/rect.h"
+#include "index/morton.h"
+#include "index/tree_options.h"
+#include "model/location_database.h"
+
+namespace pasa {
+
+/// The binary semi-quadrant tree of Section V: each square quadrant node is
+/// the parent of its two vertical semi-quadrants, and each semi-quadrant is
+/// the parent of two square quadrants. Cloaks are chosen from the nodes, so
+/// the cost granularity between parent and child is 2x instead of the quad
+/// tree's 4x.
+///
+/// The tree partitions the whole map: every node is either a leaf or has two
+/// children that exactly cover it, so every point of the extent lies in
+/// exactly one leaf. Nodes are lazily materialized (see TreeOptions).
+///
+/// The structure is mutable to support incremental maintenance across
+/// location-database snapshots (Section IV "Incremental Maintenance"):
+/// ApplyMove relocates one user, splitting or collapsing nodes as occupancy
+/// crosses the threshold. Collapsed descendants are abandoned in the arena
+/// (IsLive() == false) and reclaimed only by rebuilding.
+class BinaryTree {
+ public:
+  enum class NodeKind : uint8_t {
+    /// Splits into two semi-quadrants; the cut orientation follows
+    /// TreeOptions::orientation (the paper always cuts vertically).
+    kSquare,
+    kVerticalSemi,    ///< west/east half; splits into south/north squares
+    kHorizontalSemi,  ///< south/north half; splits into west/east squares
+  };
+
+  struct Node {
+    Rect region;
+    int32_t parent = -1;
+    int32_t first_child = -1;  ///< children at first_child and first_child+1
+    uint32_t count = 0;        ///< d(m): locations inside this node
+    int16_t depth = 0;         ///< binary depth; root is 0 (Lemma 5's h(m))
+    NodeKind kind = NodeKind::kSquare;
+    bool live = true;  ///< false once abandoned by a collapse
+
+    bool IsLeaf() const { return first_child < 0; }
+  };
+
+  /// Builds the tree over a snapshot. All locations must lie inside
+  /// `extent`; its root is the extent itself.
+  static Result<BinaryTree> Build(const LocationDatabase& db,
+                                  const MapExtent& extent,
+                                  const TreeOptions& options);
+
+  /// Builds a tree rooted at an arbitrary (semi-)quadrant instead of a
+  /// square map — the shape a parallel-anonymization jurisdiction takes when
+  /// the greedy partitioner hands a semi-quadrant node to a server
+  /// (Section V "Parallel Anonymization"). All locations must lie inside
+  /// `root_region`.
+  static Result<BinaryTree> BuildRooted(const LocationDatabase& db,
+                                        const Rect& root_region,
+                                        NodeKind root_kind,
+                                        const TreeOptions& options);
+
+  const MapExtent& extent() const { return extent_; }
+  const TreeOptions& options() const { return options_; }
+
+  /// Total arena slots, including abandoned nodes. Iterate indices in
+  /// reverse for a children-before-parents (bottom-up) order: a child's
+  /// index is always greater than its parent's.
+  size_t num_nodes() const { return nodes_.size(); }
+  /// Number of live nodes.
+  size_t num_live_nodes() const { return live_nodes_; }
+
+  static constexpr int32_t kRootId = 0;
+  const Node& node(int32_t id) const { return nodes_[id]; }
+
+  /// Row indices (into the snapshot) resident in leaf `id`. Empty for
+  /// internal nodes.
+  const std::vector<uint32_t>& LeafRows(int32_t id) const {
+    return leaf_rows_[id];
+  }
+
+  /// The leaf whose region contains `p`.
+  int32_t LeafForPoint(const Point& p) const;
+
+  /// All snapshot rows resident in the subtree of `id`.
+  std::vector<uint32_t> SubtreeRows(int32_t id) const {
+    std::vector<uint32_t> rows;
+    rows.reserve(node(id).count);
+    GatherRows(id, &rows);
+    return rows;
+  }
+
+  /// Relocates snapshot row `row` from `old_location` to `new_location`,
+  /// updating counts on both root-to-leaf paths and re-splitting/collapsing
+  /// where occupancy crosses the threshold. Appends every node whose count
+  /// changed (hence whose DP row is stale) to `dirty`, deepest first is NOT
+  /// guaranteed. Returns InvalidArgument if a location is outside the map.
+  Status ApplyMove(uint32_t row, const Point& old_location,
+                   const Point& new_location, std::vector<int32_t>* dirty);
+
+  /// Maximum depth over live nodes.
+  int Height() const;
+
+  /// Aggregate shape statistics for the Figure 3 experiment.
+  struct ShapeStats {
+    size_t live_nodes = 0;
+    size_t leaves = 0;
+    int height = 0;
+    size_t max_leaf_occupancy = 0;
+    double mean_leaf_depth = 0.0;
+  };
+  ShapeStats ComputeShapeStats() const;
+
+ private:
+  BinaryTree(MapExtent extent, TreeOptions options)
+      : extent_(extent), options_(options) {}
+
+  /// True if `id` may be split further (capacity, depth, and geometry).
+  bool CanSplit(int32_t id) const;
+  /// Materializes the two children of leaf `id` and distributes its rows.
+  void SplitLeaf(int32_t id, const LocationDatabase& db);
+  /// Same, using a location callback instead of a LocationDatabase (the
+  /// incremental path tracks moved rows).
+  void SplitLeafWithLocations(int32_t id);
+  /// Turns internal node `id` back into a leaf, gathering descendant rows.
+  void Collapse(int32_t id);
+  void GatherRows(int32_t id, std::vector<uint32_t>* out) const;
+  /// Geometry of one split: the two child regions and their kind.
+  struct SplitPlan {
+    Rect first;
+    Rect second;
+    NodeKind child_kind = NodeKind::kSquare;
+  };
+  /// Decides the split of node `id` (for squares under kAdaptive this
+  /// inspects the resident points and picks the better-balanced cut;
+  /// deterministic in the point multiset).
+  SplitPlan PlanSplit(int32_t id) const;
+
+  MapExtent extent_;
+  TreeOptions options_;
+  std::vector<Node> nodes_;
+  std::vector<std::vector<uint32_t>> leaf_rows_;
+  std::vector<Point> row_locations_;  ///< current location per snapshot row
+  size_t live_nodes_ = 0;
+};
+
+}  // namespace pasa
+
+#endif  // PASA_INDEX_BINARY_TREE_H_

@@ -1,0 +1,38 @@
+#ifndef PASA_INDEX_TREE_OPTIONS_H_
+#define PASA_INDEX_TREE_OPTIONS_H_
+
+namespace pasa {
+
+/// How a BinaryTree square node chooses its split orientation.
+enum class SplitOrientation {
+  /// The paper's simplification: squares always split into west/east
+  /// vertical semi-quadrants.
+  kVerticalOnly,
+  /// Extension (the run-time choice the paper credits to Casper): each
+  /// square splits along the orientation that best balances its resident
+  /// users, deterministically from the point multiset. The DP is oblivious
+  /// to the orientation, so optimality per tree is preserved while typical
+  /// cloak areas shrink.
+  kAdaptive,
+};
+
+/// Construction parameters for the lazily materialized trees (QuadTree and
+/// BinaryTree).
+struct TreeOptions {
+  /// A node is split while it holds at least this many locations (the paper
+  /// splits "only if it contains sufficient users to maintain anonymity").
+  /// With threshold == k this materializes every node holding >= k users —
+  /// exactly the nodes that can cloak a group — so the lazy tree loses no
+  /// optimality vs the full static partition, and every splittable leaf
+  /// holds fewer than k users (matching Figure 3's observation at k = 50).
+  int split_threshold = 50;
+  /// Hard cap on tree depth (binary levels for BinaryTree, quadrant levels
+  /// for QuadTree). Cells also stop splitting at side 1.
+  int max_depth = 64;
+  /// Square-node split orientation (BinaryTree only).
+  SplitOrientation orientation = SplitOrientation::kVerticalOnly;
+};
+
+}  // namespace pasa
+
+#endif  // PASA_INDEX_TREE_OPTIONS_H_

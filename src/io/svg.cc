@@ -1,0 +1,129 @@
+#include "io/svg.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <unordered_map>
+
+namespace pasa {
+namespace {
+
+// Maps map coordinates to SVG pixel space (y flipped: SVG grows downward).
+class Projection {
+ public:
+  Projection(const Rect& viewport, double width_px)
+      : viewport_(viewport),
+        scale_(width_px / static_cast<double>(viewport.width())) {}
+
+  double X(double x) const {
+    return (x - static_cast<double>(viewport_.x1)) * scale_;
+  }
+  double Y(double y) const {
+    return (static_cast<double>(viewport_.y2) - y) * scale_;
+  }
+  double Length(double v) const { return v * scale_; }
+  double width_px() const { return Length(viewport_.width()); }
+  double height_px() const { return Length(viewport_.height()); }
+
+ private:
+  Rect viewport_;
+  double scale_;
+};
+
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+void AppendRect(const Projection& proj, const Rect& r,
+                const std::string& style, std::string* out) {
+  *out += "<rect x=\"" + Num(proj.X(r.x1)) + "\" y=\"" + Num(proj.Y(r.y2)) +
+          "\" width=\"" + Num(proj.Length(r.width())) + "\" height=\"" +
+          Num(proj.Length(r.height())) + "\" " + style + "/>\n";
+}
+
+std::string Header(const Projection& proj) {
+  return "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+         Num(proj.width_px()) + "\" height=\"" + Num(proj.height_px()) +
+         "\" viewBox=\"0 0 " + Num(proj.width_px()) + " " +
+         Num(proj.height_px()) + "\">\n<rect width=\"100%\" height=\"100%\" "
+         "fill=\"#ffffff\"/>\n";
+}
+
+}  // namespace
+
+std::string RenderCloakingSvg(const LocationDatabase& db,
+                              const CloakingTable& table, const Rect& viewport,
+                              const SvgOptions& options) {
+  const Projection proj(viewport, options.width_px);
+  std::string out = Header(proj);
+
+  // One rectangle per distinct cloak; larger groups get deeper fill.
+  std::unordered_map<std::string, size_t> group_sizes;
+  for (size_t i = 0; i < table.size(); ++i) {
+    ++group_sizes[table.cloak(i).ToString()];
+  }
+  size_t max_group = 1;
+  for (const auto& [key, size] : group_sizes) {
+    max_group = std::max(max_group, size);
+  }
+  std::unordered_map<std::string, bool> drawn;
+  for (size_t i = 0; i < table.size(); ++i) {
+    const Rect& cloak = table.cloak(i);
+    const std::string key = cloak.ToString();
+    if (drawn[key]) continue;
+    drawn[key] = true;
+    const double opacity =
+        0.08 + 0.30 * static_cast<double>(group_sizes[key]) /
+                   static_cast<double>(max_group);
+    AppendRect(proj, cloak,
+               "fill=\"#1f77b4\" fill-opacity=\"" + Num(opacity) +
+                   "\" stroke=\"#1f77b4\" stroke-width=\"0.6\"",
+               &out);
+  }
+
+  if (options.draw_users) {
+    for (const auto& row : db.rows()) {
+      out += "<circle cx=\"" +
+             Num(proj.X(static_cast<double>(row.location.x) + 0.5)) +
+             "\" cy=\"" +
+             Num(proj.Y(static_cast<double>(row.location.y) + 0.5)) +
+             "\" r=\"" + Num(options.user_radius_px) +
+             "\" fill=\"#d62728\"/>\n";
+    }
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+std::string RenderTreeSvg(const BinaryTree& tree, const SvgOptions& options) {
+  const Rect viewport = tree.node(BinaryTree::kRootId).region;
+  const Projection proj(viewport, options.width_px);
+  std::string out = Header(proj);
+  const int height = std::max(1, tree.Height());
+  for (size_t i = 0; i < tree.num_nodes(); ++i) {
+    const BinaryTree::Node& n = tree.node(static_cast<int32_t>(i));
+    if (!n.live || !n.IsLeaf()) continue;
+    // Brighter = deeper, like the paper's Figure 3(a) gray scale.
+    const int shade =
+        64 + static_cast<int>(170.0 * n.depth / static_cast<double>(height));
+    char fill[32];
+    std::snprintf(fill, sizeof(fill), "#%02x%02x%02x", shade, shade, shade);
+    AppendRect(proj, n.region,
+               "fill=\"" + std::string(fill) +
+                   "\" stroke=\"#333333\" stroke-width=\"0.3\"",
+               &out);
+  }
+  out += "</svg>\n";
+  return out;
+}
+
+Status SaveSvg(const std::string& svg, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot write " + path);
+  out << svg;
+  return out.good() ? Status::Ok() : Status::Internal("short write");
+}
+
+}  // namespace pasa

@@ -1,0 +1,40 @@
+#ifndef PASA_IO_SVG_H_
+#define PASA_IO_SVG_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "index/binary_tree.h"
+#include "model/cloaking.h"
+#include "model/location_database.h"
+
+namespace pasa {
+
+/// Rendering knobs for the SVG exports.
+struct SvgOptions {
+  /// Output image width in pixels (height matches the region's aspect).
+  double width_px = 800.0;
+  /// Draw user locations as dots.
+  bool draw_users = true;
+  /// Dot radius in pixels.
+  double user_radius_px = 1.5;
+};
+
+/// Renders a snapshot plus its cloaking as SVG: cloak rectangles (one per
+/// distinct region, fill opacity by group size) over user dots. The visual
+/// counterpart of the paper's Figure 1/3 illustrations; handy for eyeballing
+/// why a region's cloaks are large or small.
+std::string RenderCloakingSvg(const LocationDatabase& db,
+                              const CloakingTable& table, const Rect& viewport,
+                              const SvgOptions& options = {});
+
+/// Renders the lazily materialized binary tree: leaf boundaries shaded by
+/// depth (the Figure 3(a) plot).
+std::string RenderTreeSvg(const BinaryTree& tree, const SvgOptions& options = {});
+
+/// Writes `svg` to `path`.
+Status SaveSvg(const std::string& svg, const std::string& path);
+
+}  // namespace pasa
+
+#endif  // PASA_IO_SVG_H_

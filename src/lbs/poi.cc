@@ -1,0 +1,110 @@
+#include "lbs/poi.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pasa {
+
+PoiDatabase::PoiDatabase(std::vector<PointOfInterest> pois, Coord cell_size)
+    : pois_(std::move(pois)) {
+  if (pois_.empty()) {
+    cell_size_ = 1;
+    return;
+  }
+  Rect box = CellAt(pois_.front().location);
+  for (const PointOfInterest& poi : pois_) {
+    box = Union(box, CellAt(poi.location));
+  }
+  origin_x_ = box.x1;
+  origin_y_ = box.y1;
+  if (cell_size > 0) {
+    cell_size_ = cell_size;
+  } else {
+    const double span =
+        std::max<double>(1.0, std::max(box.width(), box.height()));
+    cell_size_ = std::max<Coord>(
+        1, static_cast<Coord>(span /
+                              std::sqrt(static_cast<double>(pois_.size()))));
+  }
+  for (size_t i = 0; i < pois_.size(); ++i) {
+    const Point& p = pois_[i].location;
+    grid_[KeyOf((p.x - origin_x_) / cell_size_,
+                (p.y - origin_y_) / cell_size_)]
+        .push_back(i);
+  }
+}
+
+int64_t PoiDatabase::SquaredDistanceToRect(const Point& p, const Rect& r) {
+  // Half-open: the farthest interior cells are x2-1 / y2-1.
+  int64_t dx = 0;
+  if (p.x < r.x1) {
+    dx = r.x1 - p.x;
+  } else if (p.x > r.x2 - 1) {
+    dx = p.x - (r.x2 - 1);
+  }
+  int64_t dy = 0;
+  if (p.y < r.y1) {
+    dy = r.y1 - p.y;
+  } else if (p.y > r.y2 - 1) {
+    dy = p.y - (r.y2 - 1);
+  }
+  return dx * dx + dy * dy;
+}
+
+std::vector<PointOfInterest> PoiDatabase::NearestToCloak(
+    const Rect& cloak, const std::string& category, size_t count) const {
+  if (pois_.empty() || count == 0) return {};
+  // Expand rings of grid cells around the cloak until the count-th best
+  // distance is certified by the scanned radius.
+  const int64_t lo_x = (cloak.x1 - origin_x_) / cell_size_;
+  const int64_t hi_x = (cloak.x2 - 1 - origin_x_) / cell_size_;
+  const int64_t lo_y = (cloak.y1 - origin_y_) / cell_size_;
+  const int64_t hi_y = (cloak.y2 - 1 - origin_y_) / cell_size_;
+
+  std::vector<std::pair<int64_t, size_t>> found;  // (dist^2, poi index)
+  size_t scanned_cells = 0;
+  const size_t total_cells = grid_.size();
+  for (int64_t ring = 0;; ++ring) {
+    for (int64_t cx = lo_x - ring; cx <= hi_x + ring; ++cx) {
+      for (int64_t cy = lo_y - ring; cy <= hi_y + ring; ++cy) {
+        const bool on_border = cx == lo_x - ring || cx == hi_x + ring ||
+                               cy == lo_y - ring || cy == hi_y + ring;
+        if (ring > 0 && !on_border) continue;
+        const auto it = grid_.find(KeyOf(cx, cy));
+        if (it == grid_.end()) continue;
+        ++scanned_cells;
+        for (const size_t index : it->second) {
+          if (pois_[index].category != category) continue;
+          found.emplace_back(
+              SquaredDistanceToRect(pois_[index].location, cloak), index);
+        }
+      }
+    }
+    if (found.size() >= count) {
+      std::sort(found.begin(), found.end(),
+                [&](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first < b.first;
+                  return pois_[a.second].id < pois_[b.second].id;
+                });
+      const double safe = static_cast<double>(ring) * cell_size_;
+      if (static_cast<double>(found[count - 1].first) <= safe * safe) break;
+    }
+    if (scanned_cells >= total_cells && ring > 0) {
+      std::sort(found.begin(), found.end(),
+                [&](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first < b.first;
+                  return pois_[a.second].id < pois_[b.second].id;
+                });
+      break;  // everything scanned
+    }
+  }
+
+  std::vector<PointOfInterest> result;
+  result.reserve(std::min(count, found.size()));
+  for (size_t i = 0; i < found.size() && result.size() < count; ++i) {
+    result.push_back(pois_[found[i].second]);
+  }
+  return result;
+}
+
+}  // namespace pasa

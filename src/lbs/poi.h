@@ -1,0 +1,69 @@
+#ifndef PASA_LBS_POI_H_
+#define PASA_LBS_POI_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace pasa {
+
+/// A point of interest the LBS provider indexes (gas station, restaurant,
+/// hospital, ...).
+struct PointOfInterest {
+  int64_t id = 0;
+  Point location;
+  std::string category;  ///< matches the "poi" request parameter
+
+  friend bool operator==(const PointOfInterest& a, const PointOfInterest& b) =
+      default;
+};
+
+/// Grid-indexed POI store answering the query shape anonymized requests
+/// need: "the k points of category c nearest to cloak R" (Section VII's
+/// nearest-neighbor search for a cloak). Distance from a POI to a cloak is
+/// 0 inside the cloak and the Euclidean distance to its boundary outside,
+/// so results are exactly the POIs any sender inside the cloak might be
+/// nearest to, ranked pessimistically.
+class PoiDatabase {
+ public:
+  /// Builds the index over `pois`. `cell_size` tunes the grid granularity;
+  /// <= 0 picks a default from the data extent.
+  explicit PoiDatabase(std::vector<PointOfInterest> pois,
+                       Coord cell_size = 0);
+
+  size_t size() const { return pois_.size(); }
+  const std::vector<PointOfInterest>& pois() const { return pois_; }
+
+  /// The `count` POIs of `category` with smallest distance to `cloak`
+  /// (ties broken by id). Fewer are returned when the category is scarce.
+  std::vector<PointOfInterest> NearestToCloak(const Rect& cloak,
+                                              const std::string& category,
+                                              size_t count) const;
+
+  /// Squared distance from `p` to the half-open rectangle `r` (0 inside).
+  static int64_t SquaredDistanceToRect(const Point& p, const Rect& r);
+
+ private:
+  struct CellKey {
+    int64_t cx = 0;
+    int64_t cy = 0;
+  };
+  uint64_t KeyOf(int64_t cx, int64_t cy) const {
+    return (static_cast<uint64_t>(cx) << 32) ^
+           static_cast<uint64_t>(static_cast<uint32_t>(cy));
+  }
+
+  std::vector<PointOfInterest> pois_;
+  Coord cell_size_ = 1;
+  Coord origin_x_ = 0;
+  Coord origin_y_ = 0;
+  std::unordered_map<uint64_t, std::vector<size_t>> grid_;
+};
+
+}  // namespace pasa
+
+#endif  // PASA_LBS_POI_H_

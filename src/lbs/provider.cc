@@ -1,0 +1,23 @@
+#include "lbs/provider.h"
+
+namespace pasa {
+
+std::vector<PointOfInterest> LbsProvider::Answer(
+    const AnonymizedRequest& ar) const {
+  ++requests_seen_;
+  std::string category;
+  for (const NameValue& nv : ar.params) {
+    if (nv.name == "poi") {
+      category = nv.value;
+      break;
+    }
+  }
+  return pois_.NearestToCloak(ar.cloak, category, answers_per_request_);
+}
+
+const std::vector<PointOfInterest>& CachingLbsFrontend::Serve(
+    const AnonymizedRequest& ar) {
+  return cache_.GetOrFetch(ar, [&] { return provider_.Answer(ar); });
+}
+
+}  // namespace pasa

@@ -1,0 +1,64 @@
+#ifndef PASA_LBS_PROVIDER_H_
+#define PASA_LBS_PROVIDER_H_
+
+#include <string>
+#include <vector>
+
+#include "lbs/answer_cache.h"
+#include "lbs/poi.h"
+#include "model/anonymized_request.h"
+
+namespace pasa {
+
+/// The (untrusted) third-party LBS of the model: answers anonymized
+/// requests by nearest-neighbor search over its POI index. It sees only
+/// cloaks, never identities or precise locations.
+class LbsProvider {
+ public:
+  /// `answers_per_request`: how many POIs each answer carries (the client
+  /// filters locally for the one nearest its true position).
+  LbsProvider(PoiDatabase pois, size_t answers_per_request)
+      : pois_(std::move(pois)), answers_per_request_(answers_per_request) {}
+
+  /// Evaluates the request: the nearest POIs of the requested category
+  /// ("poi" parameter) to the cloak region.
+  std::vector<PointOfInterest> Answer(const AnonymizedRequest& ar) const;
+
+  /// Number of requests this provider actually evaluated — the count an
+  /// attacker at the LBS could log for frequency attacks.
+  size_t requests_seen() const { return requests_seen_; }
+
+ private:
+  PoiDatabase pois_;
+  size_t answers_per_request_;
+  mutable size_t requests_seen_ = 0;
+};
+
+/// The trusted CSP front half of the Section VII architecture: forwards
+/// anonymized requests to the LBS through the answer cache, so duplicates
+/// never leave the CSP.
+class CachingLbsFrontend {
+ public:
+  explicit CachingLbsFrontend(LbsProvider provider)
+      : provider_(std::move(provider)) {}
+
+  /// Serves `ar`, consulting the cache first.
+  const std::vector<PointOfInterest>& Serve(const AnonymizedRequest& ar);
+
+  /// Flushes the cache and reports the billable request count to the LBS.
+  size_t FlushAndBill() { return cache_.Flush(); }
+
+  const LbsProvider& provider() const { return provider_; }
+  const AnswerCache<std::vector<PointOfInterest>>::Stats& cache_stats()
+      const {
+    return cache_.stats();
+  }
+
+ private:
+  LbsProvider provider_;
+  AnswerCache<std::vector<PointOfInterest>> cache_;
+};
+
+}  // namespace pasa
+
+#endif  // PASA_LBS_PROVIDER_H_

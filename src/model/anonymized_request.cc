@@ -1,0 +1,9 @@
+#include "model/anonymized_request.h"
+
+namespace pasa {
+
+bool Masks(const AnonymizedRequest& ar, const ServiceRequest& sr) {
+  return ar.cloak.Contains(sr.location) && ar.params == sr.params;
+}
+
+}  // namespace pasa

@@ -1,0 +1,35 @@
+#ifndef PASA_MODEL_ANONYMIZED_REQUEST_H_
+#define PASA_MODEL_ANONYMIZED_REQUEST_H_
+
+#include <cstdint>
+
+#include "geo/rect.h"
+#include "model/service_request.h"
+
+namespace pasa {
+
+/// Unique identifier the CSP assigns to each anonymized request.
+using RequestId = int64_t;
+
+/// An anonymized request (Definition 2): tuple <rid, rho, V> where rho is a
+/// connected closed region — here the rectangular cloak used by quad-tree and
+/// semi-quadrant policies.
+struct AnonymizedRequest {
+  RequestId rid = 0;
+  Rect cloak;
+  ParamVector params;
+
+  friend bool operator==(const AnonymizedRequest& a,
+                         const AnonymizedRequest& b) = default;
+};
+
+/// `reg(AR)` of the paper: the cloak region.
+inline const Rect& reg(const AnonymizedRequest& ar) { return ar.cloak; }
+
+/// True if `ar` masks `sr` (Definition 3): the service request's location
+/// lies inside the cloak and the parameter vectors agree.
+bool Masks(const AnonymizedRequest& ar, const ServiceRequest& sr);
+
+}  // namespace pasa
+
+#endif  // PASA_MODEL_ANONYMIZED_REQUEST_H_

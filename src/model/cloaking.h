@@ -1,0 +1,89 @@
+#ifndef PASA_MODEL_CLOAKING_H_
+#define PASA_MODEL_CLOAKING_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/rect.h"
+#include "model/anonymized_request.h"
+#include "model/location_database.h"
+
+namespace pasa {
+
+/// A bulk cloaking policy materialized over one location-database snapshot:
+/// for every row index i of the snapshot, `cloak(i)` is the region the policy
+/// assigns to that user's requests. This is the "function from user locations
+/// to cloaks" the paper overloads the term policy with (footnote 1); the full
+/// Definition-4 policy is recovered by `Apply()` below.
+class CloakingTable {
+ public:
+  CloakingTable() = default;
+  /// Creates a table for a snapshot of `size` users with unassigned cloaks.
+  explicit CloakingTable(size_t size) : cloaks_(size) {}
+
+  size_t size() const { return cloaks_.size(); }
+
+  /// Assigns user (row index) `index` the cloak `region`.
+  void Assign(size_t index, const Rect& region) { cloaks_[index] = region; }
+
+  const Rect& cloak(size_t index) const { return cloaks_[index]; }
+
+  /// Cost of the policy on D (Section IV): sum over all users of the area of
+  /// their cloak, i.e. the cost of the request set where every user issues
+  /// one request. Exact int64.
+  int64_t TotalCost() const;
+
+  /// TotalCost / number of users, the "average cloak area" of Figure 5(a).
+  double AverageArea() const;
+
+  /// Sizes of the cloaking groups: for each distinct cloak region, the number
+  /// of users assigned exactly that region. The policy-aware attacker's view:
+  /// the possible senders of an anonymized request with cloak R are exactly
+  /// the members of R's group (see attack/auditor.h).
+  std::unordered_map<std::string, size_t> GroupSizesByRegion() const;
+
+  /// Smallest nonempty cloaking-group size; 0 for an empty table. A bulk
+  /// policy is sender k-anonymous against policy-aware attackers iff this is
+  /// >= k (Lemma 3 via the group-size characterization).
+  size_t MinGroupSize() const;
+
+  /// True if every user's cloak contains their location (the policy is
+  /// masking, Definition 4).
+  bool IsMasking(const LocationDatabase& db) const;
+
+  /// Applies the policy to a service request, producing the anonymized
+  /// request the CSP forwards (Definition 4 direction). Fails with NotFound
+  /// if the sender is not in the snapshot, or InvalidArgument if the request
+  /// is not valid w.r.t. `db`.
+  Result<AnonymizedRequest> Apply(const LocationDatabase& db,
+                                  const ServiceRequest& sr,
+                                  RequestId rid) const;
+
+ private:
+  std::vector<Rect> cloaks_;
+};
+
+/// Abstract bulk anonymization algorithm: consumes a snapshot, produces a
+/// cloaking table. Implemented by the policy-aware optimum (pasa/) and each
+/// policy-unaware baseline (policies/).
+class BulkPolicyAlgorithm {
+ public:
+  virtual ~BulkPolicyAlgorithm() = default;
+
+  /// Human-readable algorithm name for experiment tables ("Casper", "PUQ",
+  /// "policy-aware optimum", ...).
+  virtual std::string name() const = 0;
+
+  /// Computes the cloaking for every user of `db` at anonymity level `k`.
+  /// Returns Infeasible when no k-anonymous policy of this family exists
+  /// (e.g. fewer than k users).
+  virtual Result<CloakingTable> Cloak(const LocationDatabase& db,
+                                      int k) const = 0;
+};
+
+}  // namespace pasa
+
+#endif  // PASA_MODEL_CLOAKING_H_

@@ -1,0 +1,54 @@
+#include "model/location_database.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pasa {
+
+LocationDatabase::LocationDatabase(std::vector<UserLocation> rows)
+    : rows_(std::move(rows)) {
+#ifndef NDEBUG
+  std::vector<UserId> ids;
+  ids.reserve(rows_.size());
+  for (const auto& r : rows_) ids.push_back(r.user);
+  std::sort(ids.begin(), ids.end());
+  assert(std::adjacent_find(ids.begin(), ids.end()) == ids.end() &&
+         "duplicate user ids in location database");
+#endif
+}
+
+void LocationDatabase::Add(UserId user, Point location) {
+  rows_.push_back(UserLocation{user, location});
+}
+
+Result<size_t> LocationDatabase::IndexOf(UserId user) const {
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].user == user) return i;
+  }
+  return Status::NotFound("user " + std::to_string(user) +
+                          " not in location database");
+}
+
+Status LocationDatabase::MoveUser(UserId user, Point new_location) {
+  Result<size_t> index = IndexOf(user);
+  if (!index.ok()) return index.status();
+  rows_[*index].location = new_location;
+  return Status::Ok();
+}
+
+Rect LocationDatabase::BoundingBox() const {
+  if (rows_.empty()) return Rect{};
+  Rect box = CellAt(rows_.front().location);
+  for (const auto& r : rows_) box = Union(box, CellAt(r.location));
+  return box;
+}
+
+size_t LocationDatabase::CountInside(const Rect& region) const {
+  size_t n = 0;
+  for (const auto& r : rows_) {
+    if (region.Contains(r.location)) ++n;
+  }
+  return n;
+}
+
+}  // namespace pasa

@@ -1,0 +1,69 @@
+#ifndef PASA_MODEL_LOCATION_DATABASE_H_
+#define PASA_MODEL_LOCATION_DATABASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace pasa {
+
+/// Identifier for a mobile user (the `userid` attribute of schema D).
+using UserId = int64_t;
+
+/// One row of the location database: relation D = {userid, locx, locy}.
+struct UserLocation {
+  UserId user = 0;
+  Point location;
+
+  friend bool operator==(const UserLocation& a, const UserLocation& b) =
+      default;
+};
+
+/// A snapshot of the location database (Section II-A): the locations of all
+/// devices as provided by the Mobile Positioning Center at one instant.
+/// The CSP's state over time is a sequence of these snapshots.
+///
+/// Rows are stored in insertion order; `index` below refers to a row's
+/// position, which the anonymization modules use as a dense user handle.
+class LocationDatabase {
+ public:
+  LocationDatabase() = default;
+  /// Builds a snapshot from rows. User ids need not be dense but must be
+  /// unique; uniqueness is the caller's contract (checked in debug builds).
+  explicit LocationDatabase(std::vector<UserLocation> rows);
+
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  const UserLocation& row(size_t index) const { return rows_[index]; }
+  const std::vector<UserLocation>& rows() const { return rows_; }
+
+  /// Appends one row.
+  void Add(UserId user, Point location);
+
+  /// Returns the row index of `user`, or NotFound.
+  Result<size_t> IndexOf(UserId user) const;
+
+  /// Moves `user` to `new_location` (the snapshot-to-snapshot update of
+  /// Section II-A). Returns NotFound if the user is absent.
+  Status MoveUser(UserId user, Point new_location);
+
+  /// Smallest half-open rectangle containing all locations; the zero rect
+  /// when empty.
+  Rect BoundingBox() const;
+
+  /// Number of rows whose location lies inside `region` — the quantity d(m)
+  /// of Definition 7 when `region` is a tree quadrant. Linear scan; the tree
+  /// modules maintain these counts incrementally instead.
+  size_t CountInside(const Rect& region) const;
+
+ private:
+  std::vector<UserLocation> rows_;
+};
+
+}  // namespace pasa
+
+#endif  // PASA_MODEL_LOCATION_DATABASE_H_

@@ -1,0 +1,11 @@
+#include "model/service_request.h"
+
+namespace pasa {
+
+bool IsValid(const ServiceRequest& sr, const LocationDatabase& db) {
+  Result<size_t> index = db.IndexOf(sr.sender);
+  if (!index.ok()) return false;
+  return db.row(*index).location == sr.location;
+}
+
+}  // namespace pasa

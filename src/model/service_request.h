@@ -1,0 +1,48 @@
+#ifndef PASA_MODEL_SERVICE_REQUEST_H_
+#define PASA_MODEL_SERVICE_REQUEST_H_
+
+#include <string>
+#include <vector>
+
+#include "geo/point.h"
+#include "model/location_database.h"
+
+namespace pasa {
+
+/// One name-value pair of a request's parameter vector V, e.g.
+/// ("poi", "rest") or ("cat", "ital").
+struct NameValue {
+  std::string name;
+  std::string value;
+
+  friend bool operator==(const NameValue& a, const NameValue& b) = default;
+};
+
+/// The parameter vector V carried unchanged from service request to
+/// anonymized request.
+using ParamVector = std::vector<NameValue>;
+
+/// A service request (Definition 1): tuple <u, (x, y), V> created by the CSP
+/// from a user's request plus the MPC-provided location.
+struct ServiceRequest {
+  UserId sender = 0;
+  Point location;
+  ParamVector params;
+
+  friend bool operator==(const ServiceRequest& a, const ServiceRequest& b) =
+      default;
+};
+
+/// `id(SR)` of the paper: the sender identifier.
+inline UserId id(const ServiceRequest& sr) { return sr.sender; }
+
+/// `loc(SR)` of the paper: the request's coordinates.
+inline Point loc(const ServiceRequest& sr) { return sr.location; }
+
+/// True if the request is valid w.r.t. `db` (Definition 1): the row
+/// <u, x, y> appears in the snapshot.
+bool IsValid(const ServiceRequest& sr, const LocationDatabase& db);
+
+}  // namespace pasa
+
+#endif  // PASA_MODEL_SERVICE_REQUEST_H_

@@ -1,0 +1,15 @@
+#include "parallel/master_policy.h"
+
+namespace pasa {
+
+Result<size_t> MasterPolicy::JurisdictionFor(const Point& p) const {
+  // Jurisdictions partition the map, so at most one contains p. Linear scan:
+  // jurisdiction counts are small (a server pool, not a tree).
+  for (size_t j = 0; j < jurisdictions_.size(); ++j) {
+    if (jurisdictions_[j].region.Contains(p)) return j;
+  }
+  return Status::NotFound("location " + p.ToString() +
+                          " outside every jurisdiction");
+}
+
+}  // namespace pasa

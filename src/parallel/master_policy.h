@@ -1,0 +1,40 @@
+#ifndef PASA_PARALLEL_MASTER_POLICY_H_
+#define PASA_PARALLEL_MASTER_POLICY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "model/cloaking.h"
+#include "parallel/partitioner.h"
+
+namespace pasa {
+
+/// The distributed-setting master policy of Section V: anonymizes a location
+/// by routing it to the policy constructed by the server whose jurisdiction
+/// it falls in. Wraps the recombined per-row table with jurisdiction lookup
+/// for request-time routing.
+class MasterPolicy {
+ public:
+  MasterPolicy(std::vector<Jurisdiction> jurisdictions, CloakingTable table)
+      : jurisdictions_(std::move(jurisdictions)), table_(std::move(table)) {}
+
+  const std::vector<Jurisdiction>& jurisdictions() const {
+    return jurisdictions_;
+  }
+  const CloakingTable& table() const { return table_; }
+
+  /// Index of the jurisdiction owning `p`; NotFound if `p` is outside every
+  /// jurisdiction (i.e. outside the partitioned map).
+  Result<size_t> JurisdictionFor(const Point& p) const;
+
+  /// Cloak of snapshot row `row` under the master policy.
+  const Rect& CloakForRow(size_t row) const { return table_.cloak(row); }
+
+ private:
+  std::vector<Jurisdiction> jurisdictions_;
+  CloakingTable table_;
+};
+
+}  // namespace pasa
+
+#endif  // PASA_PARALLEL_MASTER_POLICY_H_

@@ -1,0 +1,46 @@
+#include "parallel/partitioner.h"
+
+#include <algorithm>
+
+namespace pasa {
+
+std::vector<Jurisdiction> GreedyPartition(const BinaryTree& tree, int k,
+                                          size_t target_jurisdictions) {
+  std::vector<int32_t> list = {BinaryTree::kRootId};
+  const auto splittable = [&](int32_t id) {
+    const BinaryTree::Node& n = tree.node(id);
+    if (n.IsLeaf()) return false;
+    for (int c = 0; c < 2; ++c) {
+      const uint32_t count = tree.node(n.first_child + c).count;
+      if (count != 0 && count < static_cast<uint32_t>(k)) return false;
+    }
+    return true;
+  };
+
+  while (list.size() < target_jurisdictions) {
+    // Pick the splittable node with the most users.
+    int32_t best = -1;
+    size_t best_index = 0;
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (!splittable(list[i])) continue;
+      if (best < 0 || tree.node(list[i]).count > tree.node(best).count) {
+        best = list[i];
+        best_index = i;
+      }
+    }
+    if (best < 0) break;  // nothing can be split further
+    const int32_t first_child = tree.node(best).first_child;
+    list[best_index] = first_child;
+    list.push_back(first_child + 1);
+  }
+
+  std::vector<Jurisdiction> jurisdictions;
+  jurisdictions.reserve(list.size());
+  for (const int32_t id : list) {
+    const BinaryTree::Node& n = tree.node(id);
+    jurisdictions.push_back(Jurisdiction{id, n.region, n.kind, n.count});
+  }
+  return jurisdictions;
+}
+
+}  // namespace pasa

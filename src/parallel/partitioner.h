@@ -1,0 +1,33 @@
+#ifndef PASA_PARALLEL_PARTITIONER_H_
+#define PASA_PARALLEL_PARTITIONER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "index/binary_tree.h"
+
+namespace pasa {
+
+/// One jurisdiction handed to an anonymization server: a binary-tree node
+/// whose region the server owns exclusively.
+struct Jurisdiction {
+  int32_t node = -1;
+  Rect region;
+  BinaryTree::NodeKind kind = BinaryTree::NodeKind::kSquare;
+  size_t users = 0;
+};
+
+/// The greedy load-balancing partitioner of Section V: starting from the
+/// root, repeatedly replace the most-populated splittable node — one all of
+/// whose children hold either 0 or >= k users — with its children, until the
+/// desired number of jurisdictions is reached (or no node can be split
+/// without stranding a group of fewer than k users).
+///
+/// Every returned jurisdiction therefore holds 0 or >= k users, so each
+/// server's local problem stays feasible.
+std::vector<Jurisdiction> GreedyPartition(const BinaryTree& tree, int k,
+                                          size_t target_jurisdictions);
+
+}  // namespace pasa
+
+#endif  // PASA_PARALLEL_PARTITIONER_H_

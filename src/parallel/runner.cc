@@ -1,0 +1,117 @@
+#include "parallel/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "common/timer.h"
+#include "pasa/extraction.h"
+
+namespace pasa {
+namespace {
+
+// Local anonymization of one jurisdiction. `rows` are the snapshot rows the
+// server owns. Fills per-row cloaks into `master`.
+Status AnonymizeJurisdiction(const LocationDatabase& db,
+                             const Jurisdiction& jurisdiction,
+                             const std::vector<uint32_t>& rows, int k,
+                             const DpOptions& dp, JurisdictionResult* result,
+                             CloakingTable* master) {
+  WallTimer timer;
+  LocationDatabase local;
+  for (const uint32_t row : rows) {
+    local.Add(static_cast<UserId>(row), db.row(row).location);
+  }
+  TreeOptions tree_options;
+  tree_options.split_threshold = k;
+  Result<BinaryTree> tree = BinaryTree::BuildRooted(
+      local, jurisdiction.region, jurisdiction.kind, tree_options);
+  if (!tree.ok()) return tree.status();
+  Result<DpMatrix> matrix = ComputeDpMatrix(*tree, k, dp);
+  if (!matrix.ok()) return matrix.status();
+  Result<ExtractedPolicy> policy = ExtractOptimalPolicy(*tree, *matrix, k);
+  if (!policy.ok()) return policy.status();
+
+  result->seconds = timer.ElapsedSeconds();
+  result->cost = policy->cost;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    master->Assign(rows[i], policy->table.cloak(i));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<ParallelRunReport> RunPartitioned(const LocationDatabase& db,
+                                         const MapExtent& extent,
+                                         const ParallelRunOptions& options) {
+  if (options.num_jurisdictions < 1) {
+    return Status::InvalidArgument("need at least one jurisdiction");
+  }
+  TreeOptions tree_options;
+  tree_options.split_threshold = options.k;
+  Result<BinaryTree> tree = BinaryTree::Build(db, extent, tree_options);
+  if (!tree.ok()) return tree.status();
+
+  const std::vector<Jurisdiction> jurisdictions =
+      GreedyPartition(*tree, options.k, options.num_jurisdictions);
+
+  ParallelRunReport report;
+  report.master_table = CloakingTable(db.size());
+  report.jurisdictions.resize(jurisdictions.size());
+  report.total_users = db.size();
+
+  std::vector<std::vector<uint32_t>> rows_of(jurisdictions.size());
+  for (size_t j = 0; j < jurisdictions.size(); ++j) {
+    rows_of[j] = tree->SubtreeRows(jurisdictions[j].node);
+  }
+
+  if (options.use_threads) {
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    const size_t workers =
+        std::min<size_t>(std::thread::hardware_concurrency() > 0
+                             ? std::thread::hardware_concurrency()
+                             : 1,
+                         jurisdictions.size());
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const size_t j = next.fetch_add(1);
+          if (j >= jurisdictions.size() || failed.load()) return;
+          report.jurisdictions[j].jurisdiction = jurisdictions[j];
+          if (jurisdictions[j].users == 0) continue;
+          // Each jurisdiction writes disjoint master rows: no locking.
+          Status s = AnonymizeJurisdiction(
+              db, jurisdictions[j], rows_of[j], options.k, options.dp,
+              &report.jurisdictions[j], &report.master_table);
+          if (!s.ok()) failed.store(true);
+        }
+      });
+    }
+    for (std::thread& t : pool) t.join();
+    if (failed.load()) {
+      return Status::Internal("a jurisdiction failed to anonymize");
+    }
+  } else {
+    for (size_t j = 0; j < jurisdictions.size(); ++j) {
+      report.jurisdictions[j].jurisdiction = jurisdictions[j];
+      if (jurisdictions[j].users == 0) continue;
+      Status s = AnonymizeJurisdiction(
+          db, jurisdictions[j], rows_of[j], options.k, options.dp,
+          &report.jurisdictions[j], &report.master_table);
+      if (!s.ok()) return s;
+    }
+  }
+
+  for (const JurisdictionResult& r : report.jurisdictions) {
+    report.parallel_seconds = std::max(report.parallel_seconds, r.seconds);
+    report.total_cpu_seconds += r.seconds;
+    report.total_cost += r.cost;
+  }
+  return report;
+}
+
+}  // namespace pasa

@@ -1,0 +1,59 @@
+#ifndef PASA_PARALLEL_RUNNER_H_
+#define PASA_PARALLEL_RUNNER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "index/morton.h"
+#include "model/cloaking.h"
+#include "parallel/partitioner.h"
+#include "pasa/bulk_dp_binary.h"
+
+namespace pasa {
+
+/// Timing and cost of one jurisdiction's local anonymization.
+struct JurisdictionResult {
+  Jurisdiction jurisdiction;
+  double seconds = 0.0;
+  Cost cost = 0;
+};
+
+/// Outcome of a partitioned (multi-server) bulk anonymization.
+struct ParallelRunReport {
+  std::vector<JurisdictionResult> jurisdictions;
+  /// Wall-clock estimate when every jurisdiction runs on its own server:
+  /// the slowest server (plus nothing else — partitioning is amortized
+  /// across snapshots per Section V's static-partition design).
+  double parallel_seconds = 0.0;
+  /// Total CPU across servers (equals single-threaded elapsed time).
+  double total_cpu_seconds = 0.0;
+  /// Master-policy cost: sum over jurisdictions (every user is cloaked
+  /// inside its own jurisdiction).
+  Cost total_cost = 0;
+  size_t total_users = 0;
+  /// Global per-row cloaking recombined from the per-server policies,
+  /// indexed like the input snapshot (the master policy of Section V).
+  CloakingTable master_table;
+};
+
+struct ParallelRunOptions {
+  int k = 50;
+  size_t num_jurisdictions = 16;
+  DpOptions dp;
+  /// Run the jurisdictions on real std::threads rather than measuring them
+  /// sequentially and reporting max(). On a single-core host the sequential
+  /// max() model is the honest simulation of a server pool; thread mode is
+  /// provided for multi-core hosts.
+  bool use_threads = false;
+};
+
+/// Partitions the map with GreedyPartition, anonymizes every jurisdiction
+/// independently (each server sees only its own users, per Section V), and
+/// recombines the master policy.
+Result<ParallelRunReport> RunPartitioned(const LocationDatabase& db,
+                                         const MapExtent& extent,
+                                         const ParallelRunOptions& options);
+
+}  // namespace pasa
+
+#endif  // PASA_PARALLEL_RUNNER_H_

@@ -1,0 +1,76 @@
+#include "pasa/anonymizer.h"
+
+namespace pasa {
+
+Result<Anonymizer> Anonymizer::Build(const LocationDatabase& db,
+                                     const MapExtent& extent,
+                                     const AnonymizerOptions& options) {
+  if (options.k < 1) return Status::InvalidArgument("k must be >= 1");
+  TreeOptions tree_options;
+  tree_options.split_threshold =
+      options.split_threshold > 0 ? options.split_threshold : options.k;
+  tree_options.max_depth = options.max_tree_depth;
+  tree_options.orientation = options.orientation;
+
+  Result<BinaryTree> tree = BinaryTree::Build(db, extent, tree_options);
+  if (!tree.ok()) return tree.status();
+  Result<DpMatrix> matrix = ComputeDpMatrix(*tree, options.k, options.dp);
+  if (!matrix.ok()) return matrix.status();
+  Result<ExtractedPolicy> policy =
+      ExtractOptimalPolicy(*tree, *matrix, options.k);
+  if (!policy.ok()) return policy.status();
+
+  std::unordered_map<UserId, size_t> row_of_user;
+  row_of_user.reserve(db.size());
+  for (size_t i = 0; i < db.size(); ++i) row_of_user[db.row(i).user] = i;
+
+  Anonymizer a(options, std::move(*tree), std::move(*policy),
+               std::move(row_of_user));
+  a.location_of_user_.reserve(db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    a.location_of_user_[db.row(i).user] = db.row(i).location;
+  }
+  return a;
+}
+
+Result<Anonymizer> Anonymizer::Build(const LocationDatabase& db,
+                                     const AnonymizerOptions& options) {
+  Result<MapExtent> extent = MapExtent::Covering(db.BoundingBox());
+  if (!extent.ok()) return extent.status();
+  return Build(db, *extent, options);
+}
+
+Result<Rect> Anonymizer::CloakForUser(UserId user) const {
+  const auto it = row_of_user_.find(user);
+  if (it == row_of_user_.end()) {
+    return Status::NotFound("user " + std::to_string(user) +
+                            " not in the anonymized snapshot");
+  }
+  return policy_.table.cloak(it->second);
+}
+
+Result<AnonymizedRequest> Anonymizer::Anonymize(const ServiceRequest& sr) {
+  const auto it = row_of_user_.find(sr.sender);
+  if (it == row_of_user_.end()) {
+    return Status::NotFound("sender not in the anonymized snapshot");
+  }
+  const auto loc_it = location_of_user_.find(sr.sender);
+  if (loc_it == location_of_user_.end() || loc_it->second != sr.location) {
+    return Status::InvalidArgument(
+        "service request is not valid w.r.t. the snapshot");
+  }
+  return AnonymizedRequest{next_rid_++, policy_.table.cloak(it->second),
+                           sr.params};
+}
+
+Result<CloakingTable> PolicyAwareOptimumAlgorithm::Cloak(
+    const LocationDatabase& db, int k) const {
+  AnonymizerOptions options;
+  options.k = k;
+  Result<Anonymizer> a = has_extent_ ? Anonymizer::Build(db, extent_, options)
+                                     : Anonymizer::Build(db, options);
+  if (!a.ok()) return a.status();
+  return a->policy();
+}
+
+}  // namespace pasa

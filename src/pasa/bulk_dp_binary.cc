@@ -1,0 +1,220 @@
+#include "pasa/bulk_dp_binary.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pasa {
+namespace {
+
+// Pass-up candidates of a row: the dense values [0..cap] plus d itself.
+// Appends (j, cost) pairs for one child's F set into `out` offset by `base`
+// (the other child's fixed contribution).
+void AppendShifted(const DpRow& row, uint32_t d, uint32_t base, Cost base_cost,
+                   std::vector<std::pair<uint32_t, Cost>>* out) {
+  if (row.HasDense()) {
+    for (int32_t l = 0; l <= row.cap; ++l) {
+      out->emplace_back(base + static_cast<uint32_t>(l),
+                        base_cost + row.dense[l].cost);
+    }
+  }
+  out->emplace_back(base + d, base_cost);
+}
+
+int32_t ComputeCap(uint32_t d, int k, int depth, bool pruning) {
+  int64_t cap = static_cast<int64_t>(d) - k;
+  if (pruning) {
+    cap = std::min<int64_t>(cap, static_cast<int64_t>(k + 1) * depth);
+  }
+  return cap < 0 ? -1 : static_cast<int32_t>(cap);
+}
+
+DpRow ComputeLeafRow(const BinaryTree::Node& n, int k,
+                     const DpOptions& options) {
+  DpRow row;
+  row.cap = ComputeCap(n.count, k, n.depth, options.lemma5_pruning);
+  if (!row.HasDense()) return row;  // d < k: clause (i), pass everything up.
+  const Cost area = n.region.Area();
+  row.dense.resize(row.cap + 1);
+  for (int32_t u = 0; u <= row.cap; ++u) {
+    // Clause (ii) second disjunct: cloak d - u >= k locations at the leaf.
+    row.dense[u].cost = area * static_cast<Cost>(n.count - u);
+    row.dense[u].children_pass = 0;
+  }
+  return row;
+}
+
+// Direct (un-staged) evaluation: for every u re-scan all child pass-up
+// pairs. This is Algorithm 1 adapted to two children, before the temp-matrix
+// optimization; kept for the ablation benchmark.
+void FillDirect(const BinaryTree::Node& n, const DpRow& r1, const DpRow& r2,
+                uint32_t d1, uint32_t d2, int k, DpRow* row) {
+  const Cost area = n.region.Area();
+  std::vector<std::pair<uint32_t, Cost>> f1, f2;
+  AppendShifted(r1, d1, 0, 0, &f1);
+  AppendShifted(r2, d2, 0, 0, &f2);
+  for (int32_t u = 0; u <= row->cap; ++u) {
+    DpEntry best;
+    for (const auto& [l1, c1] : f1) {
+      for (const auto& [l2, c2] : f2) {
+        const uint32_t j = l1 + l2;
+        const uint32_t uu = static_cast<uint32_t>(u);
+        // k-summation clause (iii)/(iv): cloak nothing or at least k.
+        if (j != uu && (j < uu || j - uu < static_cast<uint32_t>(k))) continue;
+        const Cost x = c1 + c2 + static_cast<Cost>(j - uu) * area;
+        if (x < best.cost) {
+          best.cost = x;
+          best.children_pass = j;
+        }
+      }
+    }
+    row->dense[u] = best;
+  }
+}
+
+// Two-stage evaluation (Section V "From O(|B|(kh)^3) to O(|B|(kh)^2)"):
+// stage 1 materializes g(j) = min cost of the children jointly passing up j
+// (the paper's temp matrix, here a sorted sparse list because the reachable
+// j values are [0..cap1+cap2], d1+[0..cap2], [0..cap1]+d2 and d1+d2);
+// stage 2 derives every M[m][u] from g with a suffix-minimum sweep.
+void FillTwoStage(const BinaryTree::Node& n, const DpRow& r1, const DpRow& r2,
+                  uint32_t d1, uint32_t d2, int k, DpRow* row) {
+  const Cost area = n.region.Area();
+  std::vector<std::pair<uint32_t, Cost>> g;
+
+  // Stage 1a: dense x dense (min,+) convolution.
+  if (r1.HasDense() && r2.HasDense()) {
+    std::vector<Cost> conv(r1.cap + r2.cap + 1, kInfiniteCost);
+    for (int32_t l1 = 0; l1 <= r1.cap; ++l1) {
+      const Cost c1 = r1.dense[l1].cost;
+      for (int32_t l2 = 0; l2 <= r2.cap; ++l2) {
+        const Cost x = c1 + r2.dense[l2].cost;
+        Cost& slot = conv[l1 + l2];
+        if (x < slot) slot = x;
+      }
+    }
+    g.reserve(conv.size() + r1.cap + r2.cap + 3);
+    for (size_t j = 0; j < conv.size(); ++j) {
+      g.emplace_back(static_cast<uint32_t>(j), conv[j]);
+    }
+  }
+  // Stage 1b: one child passes everything (cost 0), the other is dense.
+  AppendShifted(r2, d2, d1, 0, &g);
+  if (r1.HasDense()) {
+    for (int32_t l1 = 0; l1 <= r1.cap; ++l1) {
+      g.emplace_back(d2 + static_cast<uint32_t>(l1), r1.dense[l1].cost);
+    }
+  }
+
+  // Merge duplicate j values keeping the minimum cost.
+  std::sort(g.begin(), g.end());
+  size_t w = 0;
+  for (size_t r = 0; r < g.size(); ++r) {
+    if (w > 0 && g[w - 1].first == g[r].first) {
+      g[w - 1].second = std::min(g[w - 1].second, g[r].second);
+    } else {
+      g[w++] = g[r];
+    }
+  }
+  g.resize(w);
+
+  // Suffix minima of g(j) + j*area, with the achieving j for bookkeeping.
+  std::vector<Cost> suffix_cost(g.size() + 1, kInfiniteCost);
+  std::vector<uint32_t> suffix_j(g.size() + 1, 0);
+  for (size_t i = g.size(); i-- > 0;) {
+    const Cost here = g[i].second + static_cast<Cost>(g[i].first) * area;
+    if (here <= suffix_cost[i + 1]) {
+      suffix_cost[i] = here;
+      suffix_j[i] = g[i].first;
+    } else {
+      suffix_cost[i] = suffix_cost[i + 1];
+      suffix_j[i] = suffix_j[i + 1];
+    }
+  }
+
+  // Stage 2: M[m][u] = min(g(u),  min_{j >= u+k} g(j) + (j-u)*area).
+  size_t exact = 0;  // advancing cursor over g for the j == u lookup
+  for (int32_t u = 0; u <= row->cap; ++u) {
+    const uint32_t uu = static_cast<uint32_t>(u);
+    DpEntry best;
+    while (exact < g.size() && g[exact].first < uu) ++exact;
+    if (exact < g.size() && g[exact].first == uu) {
+      best.cost = g[exact].second;
+      best.children_pass = uu;
+    }
+    // First list index with j >= u + k.
+    const auto it = std::lower_bound(
+        g.begin(), g.end(), std::make_pair(uu + static_cast<uint32_t>(k),
+                                           std::numeric_limits<Cost>::min()));
+    const size_t idx = static_cast<size_t>(it - g.begin());
+    if (suffix_cost[idx] != kInfiniteCost) {
+      const Cost x = suffix_cost[idx] - static_cast<Cost>(uu) * area;
+      if (x < best.cost) {
+        best.cost = x;
+        best.children_pass = suffix_j[idx];
+      }
+    }
+    row->dense[u] = best;
+  }
+}
+
+}  // namespace
+
+DpRow ComputeNodeRow(const BinaryTree& tree, int32_t node,
+                     const DpMatrix& matrix, int k,
+                     const DpOptions& options) {
+  const BinaryTree::Node& n = tree.node(node);
+  assert(n.live);
+  if (n.IsLeaf()) return ComputeLeafRow(n, k, options);
+
+  const int32_t c1 = n.first_child;
+  const int32_t c2 = n.first_child + 1;
+  assert(tree.node(c1).live && tree.node(c2).live);
+  const DpRow& r1 = matrix.rows[c1];
+  const DpRow& r2 = matrix.rows[c2];
+  const uint32_t d1 = tree.node(c1).count;
+  const uint32_t d2 = tree.node(c2).count;
+
+  DpRow row;
+  row.cap = ComputeCap(n.count, k, n.depth, options.lemma5_pruning);
+  if (!row.HasDense()) return row;
+  row.dense.resize(row.cap + 1);
+  if (options.two_stage) {
+    FillTwoStage(n, r1, r2, d1, d2, k, &row);
+  } else {
+    FillDirect(n, r1, r2, d1, d2, k, &row);
+  }
+  return row;
+}
+
+Result<DpMatrix> ComputeDpMatrix(const BinaryTree& tree, int k,
+                                 const DpOptions& options) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  const uint32_t total = tree.node(BinaryTree::kRootId).count;
+  if (total > 0 && total < static_cast<uint32_t>(k)) {
+    return Status::Infeasible(
+        "snapshot has " + std::to_string(total) + " users, fewer than k = " +
+        std::to_string(k) + "; no policy-aware k-anonymous policy exists");
+  }
+  DpMatrix matrix;
+  matrix.rows.resize(tree.num_nodes());
+  // Reverse index order: every child precedes its parent.
+  for (size_t i = tree.num_nodes(); i-- > 0;) {
+    const int32_t id = static_cast<int32_t>(i);
+    if (!tree.node(id).live) continue;
+    matrix.rows[id] = ComputeNodeRow(tree, id, matrix, k, options);
+  }
+  return matrix;
+}
+
+Result<Cost> DpMatrix::OptimalCost(const BinaryTree& tree) const {
+  const BinaryTree::Node& root = tree.node(BinaryTree::kRootId);
+  if (root.count == 0) return Cost{0};
+  const DpRow& row = rows[BinaryTree::kRootId];
+  const Cost cost = row.CostAt(0, root.count);
+  if (cost >= kInfiniteCost) {
+    return Status::Infeasible("no complete k-summation configuration");
+  }
+  return cost;
+}
+
+}  // namespace pasa

@@ -1,0 +1,78 @@
+#ifndef PASA_PASA_BULK_DP_BINARY_H_
+#define PASA_PASA_BULK_DP_BINARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "index/binary_tree.h"
+#include "pasa/configuration.h"
+
+namespace pasa {
+
+/// Optimization toggles for the binary-tree Bulk_dp (Section V). Both default
+/// on; the ablation benchmark turns them off individually.
+struct DpOptions {
+  /// Lemma 5: cap the number of locations a node at height h may pass up at
+  /// (k+1)h (besides the always-available "pass everything" option).
+  bool lemma5_pruning = true;
+  /// Two-stage evaluation of internal nodes: materialize
+  /// temp[j] = min_{l1+l2=j} M[m1][l1] + M[m2][l2] once, then derive all
+  /// M[m][u] from it, instead of re-scanning child pairs per u.
+  bool two_stage = true;
+};
+
+/// One DP cell: minimum configuration cost for the subtree with C(m) = u,
+/// plus the bookkeeping needed to walk back down during extraction.
+struct DpEntry {
+  Cost cost = kInfiniteCost;
+  /// For internal nodes: the total number of locations the two children pass
+  /// up (j = C(m1) + C(m2)) in the minimizing configuration. Unused (0) for
+  /// leaves and for pass-everything entries.
+  uint32_t children_pass = 0;
+};
+
+/// The DP row of one tree node: entries for the "dense" pass-up values
+/// u = 0..cap (cap = min(d-k, Lemma-5 bound); cap == -1 when d < k so the
+/// dense part is empty). The u = d(m) entry ("pass everything up") always
+/// exists implicitly with cost 0 and is not stored.
+struct DpRow {
+  int32_t cap = -1;
+  std::vector<DpEntry> dense;  ///< size cap + 1
+
+  bool HasDense() const { return cap >= 0; }
+  /// Cost of C(m) = u; `u == d` is the implicit zero-cost entry.
+  Cost CostAt(uint32_t u, uint32_t d) const {
+    if (u == d) return 0;
+    if (cap < 0 || u > static_cast<uint32_t>(cap)) return kInfiniteCost;
+    return dense[u].cost;
+  }
+};
+
+/// The full configuration matrix M of algorithm Bulk_dp, one row per tree
+/// node (dead nodes have empty rows).
+struct DpMatrix {
+  std::vector<DpRow> rows;
+
+  /// Minimum cost of a complete (C(root) = 0) configuration, i.e. the cost
+  /// of the optimal policy-aware sender k-anonymous policy.
+  Result<Cost> OptimalCost(const BinaryTree& tree) const;
+};
+
+/// The optimized Bulk_dp of Section V on the binary semi-quadrant tree:
+/// fills the configuration matrix bottom-up in O(|B| (kh)^2) with both
+/// optimizations on. Fails with Infeasible when the snapshot holds fewer
+/// than k users (no complete k-summation configuration exists). An empty
+/// snapshot yields an empty matrix with optimal cost 0.
+Result<DpMatrix> ComputeDpMatrix(const BinaryTree& tree, int k,
+                                 const DpOptions& options);
+
+/// Recomputes the row of a single node from its (already computed) child
+/// rows — the unit of work shared by the bulk computation above and by
+/// incremental maintenance (Section IV "Incremental Maintenance of M").
+DpRow ComputeNodeRow(const BinaryTree& tree, int32_t node,
+                     const DpMatrix& matrix, int k, const DpOptions& options);
+
+}  // namespace pasa
+
+#endif  // PASA_PASA_BULK_DP_BINARY_H_

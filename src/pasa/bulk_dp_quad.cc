@@ -1,0 +1,398 @@
+#include "pasa/bulk_dp_quad.h"
+
+#include <cassert>
+
+namespace pasa {
+namespace {
+
+// F(m) of Algorithm 1 line 13: [0..d-k] and d itself, with the cost of each
+// choice.
+struct PassOption {
+  uint32_t u = 0;
+  Cost cost = 0;
+};
+
+std::vector<PassOption> OptionsOf(const QuadDpRow& row, uint32_t d) {
+  std::vector<PassOption> options;
+  if (row.HasDense()) {
+    options.reserve(row.cap + 2);
+    for (int32_t u = 0; u <= row.cap; ++u) {
+      options.push_back(
+          PassOption{static_cast<uint32_t>(u), row.dense[u].cost});
+    }
+  }
+  options.push_back(PassOption{d, 0});
+  return options;
+}
+
+QuadDpRow ComputeLeafRow(const QuadTree::Node& n, int k) {
+  QuadDpRow row;
+  row.cap = static_cast<int64_t>(n.count) - k < 0
+                ? -1
+                : static_cast<int32_t>(n.count - k);
+  if (!row.HasDense()) return row;  // lines 5-6: d(m) < k
+  const Cost area = n.region.Area();
+  row.dense.resize(row.cap + 1);
+  for (int32_t u = 0; u <= row.cap; ++u) {  // lines 9-10
+    row.dense[u].cost = area * static_cast<Cost>(n.count - u);
+  }
+  return row;
+}
+
+QuadDpRow ComputeInternalRow(const QuadTree& tree, const QuadDpMatrix& matrix,
+                             const QuadTree::Node& n, int k) {
+  QuadDpRow row;
+  row.cap = static_cast<int64_t>(n.count) - k < 0
+                ? -1
+                : static_cast<int32_t>(n.count - k);
+  if (!row.HasDense()) return row;
+  row.dense.resize(row.cap + 1);
+  const Cost area = n.region.Area();
+
+  std::array<std::vector<PassOption>, 4> child_options;
+  for (int q = 0; q < 4; ++q) {
+    const int32_t child = n.first_child + q;
+    child_options[q] =
+        OptionsOf(matrix.rows[child], tree.node(child).count);
+  }
+
+  // Lines 13-20: enumerate all (u1..u4) combinations, streamed (the
+  // cartesian product is too large to materialize). For every total j we
+  // keep the cheapest combination; each row entry is then served from the
+  // per-j minima: M[m][u] = min(g(u), min_{j >= u+k} g(j) + (j-u)*area).
+  struct PerJ {
+    Cost cost = kInfiniteCost;
+    std::array<uint32_t, 4> picks = {0, 0, 0, 0};
+  };
+  std::vector<PerJ> g(n.count + 1);
+  for (const PassOption& o1 : child_options[0]) {
+    for (const PassOption& o2 : child_options[1]) {
+      for (const PassOption& o3 : child_options[2]) {
+        const uint32_t j123 = o1.u + o2.u + o3.u;
+        const Cost c123 = o1.cost + o2.cost + o3.cost;
+        for (const PassOption& o4 : child_options[3]) {
+          PerJ& slot = g[j123 + o4.u];
+          const Cost x = c123 + o4.cost;
+          if (x < slot.cost) {
+            slot.cost = x;
+            slot.picks = {o1.u, o2.u, o3.u, o4.u};
+          }
+        }
+      }
+    }
+  }
+  // Suffix minima of g(j) + j*area with the achieving j.
+  std::vector<Cost> suffix_cost(g.size() + 1, kInfiniteCost);
+  std::vector<uint32_t> suffix_j(g.size() + 1, 0);
+  for (size_t j = g.size(); j-- > 0;) {
+    suffix_cost[j] = suffix_cost[j + 1];
+    suffix_j[j] = suffix_j[j + 1];
+    if (g[j].cost < kInfiniteCost) {
+      const Cost here = g[j].cost + static_cast<Cost>(j) * area;
+      if (here <= suffix_cost[j]) {
+        suffix_cost[j] = here;
+        suffix_j[j] = static_cast<uint32_t>(j);
+      }
+    }
+  }
+
+  for (int32_t u = 0; u <= row.cap; ++u) {
+    const uint32_t uu = static_cast<uint32_t>(u);
+    QuadDpEntry best;
+    if (g[uu].cost < kInfiniteCost) {  // pass everything through (j == u)
+      best.cost = g[uu].cost;
+      best.child_pass = g[uu].picks;
+    }
+    const size_t from = uu + static_cast<uint32_t>(k);
+    if (from < suffix_cost.size() && suffix_cost[from] < kInfiniteCost) {
+      const Cost x = suffix_cost[from] - static_cast<Cost>(uu) * area;
+      if (x < best.cost) {
+        best.cost = x;
+        best.child_pass = g[suffix_j[from]].picks;
+      }
+    }
+    row.dense[u] = best;
+  }
+  return row;
+}
+
+}  // namespace
+
+namespace {
+
+// Cost-only row used by the fast variant: dense costs for u in [0..cap]
+// plus the implicit zero-cost u = d entry.
+struct FastRow {
+  int32_t cap = -1;
+  std::vector<Cost> dense;
+
+  Cost CostAt(uint32_t u, uint32_t d) const {
+    if (u == d) return 0;
+    if (cap < 0 || u > static_cast<uint32_t>(cap)) return kInfiniteCost;
+    return dense[u];
+  }
+};
+
+// The pass-up options (u, cost) of one child: dense values plus {d}.
+std::vector<std::pair<uint32_t, Cost>> PassList(const FastRow& row,
+                                                uint32_t d) {
+  std::vector<std::pair<uint32_t, Cost>> list;
+  if (row.cap >= 0) {
+    list.reserve(row.cap + 2);
+    for (int32_t u = 0; u <= row.cap; ++u) {
+      list.emplace_back(static_cast<uint32_t>(u), row.dense[u]);
+    }
+  }
+  list.emplace_back(d, Cost{0});
+  return list;
+}
+
+// Joint pass-up cost of two option lists, split into a dense array over
+// totals [0..limit] and a scalar "overflow" carrying
+// min(cost + total * area) over totals > limit (all an ancestor row needs
+// from large totals, since only cost + j*area survives the suffix-min).
+struct JointPassUp {
+  std::vector<Cost> dense;  // size limit + 1
+  Cost overflow_with_area = kInfiniteCost;
+};
+
+JointPassUp Combine(const std::vector<std::pair<uint32_t, Cost>>& a,
+                    const std::vector<std::pair<uint32_t, Cost>>& b,
+                    uint32_t limit, Cost area) {
+  JointPassUp out;
+  out.dense.assign(limit + 1, kInfiniteCost);
+  for (const auto& [ja, ca] : a) {
+    for (const auto& [jb, cb] : b) {
+      const uint64_t j = static_cast<uint64_t>(ja) + jb;
+      const Cost c = ca + cb;
+      if (j <= limit) {
+        Cost& slot = out.dense[j];
+        if (c < slot) slot = c;
+      } else {
+        const Cost with_area = c + static_cast<Cost>(j) * area;
+        if (with_area < out.overflow_with_area) {
+          out.overflow_with_area = with_area;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Cost> OptimalQuadCostFast(const QuadTree& tree, int k) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  const uint32_t total = tree.node(QuadTree::kRootId).count;
+  if (total == 0) return Cost{0};
+  if (total < static_cast<uint32_t>(k)) {
+    return Status::Infeasible("snapshot has fewer than k users");
+  }
+
+  std::vector<FastRow> rows(tree.num_nodes());
+  for (size_t i = tree.num_nodes(); i-- > 0;) {
+    const QuadTree::Node& n = tree.node(static_cast<int32_t>(i));
+    FastRow& row = rows[i];
+    // Lemma 5 cap, exactly as in the binary DP.
+    const int64_t cap = std::min<int64_t>(
+        static_cast<int64_t>(n.count) - k,
+        static_cast<int64_t>(k + 1) * n.depth);
+    row.cap = cap < 0 ? -1 : static_cast<int32_t>(cap);
+    if (!(row.cap >= 0)) continue;
+    row.dense.assign(row.cap + 1, kInfiniteCost);
+    const Cost area = n.region.Area();
+
+    if (n.IsLeaf()) {
+      for (int32_t u = 0; u <= row.cap; ++u) {
+        row.dense[u] = area * static_cast<Cost>(n.count - u);
+      }
+      continue;
+    }
+
+    // Joint pass-up of the four children via two staged pairwise merges.
+    // Anything above `limit` only ever feeds the cloak option's suffix-min,
+    // so it collapses into the overflow scalar.
+    const uint32_t limit =
+        static_cast<uint32_t>(row.cap) + static_cast<uint32_t>(k);
+    std::array<std::vector<std::pair<uint32_t, Cost>>, 4> lists;
+    for (int q = 0; q < 4; ++q) {
+      const int32_t child = n.first_child + q;
+      lists[q] = PassList(rows[child], tree.node(child).count);
+    }
+    const JointPassUp g12 = Combine(lists[0], lists[1], limit, area);
+    const JointPassUp g34 = Combine(lists[2], lists[3], limit, area);
+
+    // Final dense convolution over [0..limit] plus overflow bookkeeping.
+    std::vector<Cost> g(limit + 1, kInfiniteCost);
+    Cost far = kInfiniteCost;  // min of cost + j*area over j > limit
+    auto fold_far = [&](Cost v) {
+      if (v < far) far = v;
+    };
+    // overflow x anything: the partner's cheapest cost + j*area.
+    Cost min12_with_area = g12.overflow_with_area;
+    Cost min34_with_area = g34.overflow_with_area;
+    for (uint32_t j = 0; j <= limit; ++j) {
+      if (g12.dense[j] < kInfiniteCost) {
+        min12_with_area = std::min(
+            min12_with_area, g12.dense[j] + static_cast<Cost>(j) * area);
+      }
+      if (g34.dense[j] < kInfiniteCost) {
+        min34_with_area = std::min(
+            min34_with_area, g34.dense[j] + static_cast<Cost>(j) * area);
+      }
+    }
+    if (g12.overflow_with_area < kInfiniteCost &&
+        min34_with_area < kInfiniteCost) {
+      fold_far(g12.overflow_with_area + min34_with_area);
+    }
+    if (g34.overflow_with_area < kInfiniteCost &&
+        min12_with_area < kInfiniteCost) {
+      fold_far(g34.overflow_with_area + min12_with_area);
+    }
+    for (uint32_t j12 = 0; j12 <= limit; ++j12) {
+      if (g12.dense[j12] >= kInfiniteCost) continue;
+      for (uint32_t j34 = 0; j34 <= limit; ++j34) {
+        if (g34.dense[j34] >= kInfiniteCost) continue;
+        const uint64_t j = static_cast<uint64_t>(j12) + j34;
+        const Cost c = g12.dense[j12] + g34.dense[j34];
+        if (j <= limit) {
+          Cost& slot = g[j];
+          if (c < slot) slot = c;
+        } else {
+          fold_far(c + static_cast<Cost>(j) * area);
+        }
+      }
+    }
+
+    // Suffix minima of g(j) + j*area over the dense range.
+    std::vector<Cost> suffix(limit + 2, kInfiniteCost);
+    suffix[limit + 1] = far;
+    for (uint32_t j = limit + 1; j-- > 0;) {
+      suffix[j] = suffix[j + 1];
+      if (g[j] < kInfiniteCost) {
+        suffix[j] = std::min(suffix[j], g[j] + static_cast<Cost>(j) * area);
+      }
+    }
+    for (int32_t u = 0; u <= row.cap; ++u) {
+      const uint32_t uu = static_cast<uint32_t>(u);
+      Cost best = g[uu];  // pass everything through (j == u)
+      const Cost cloak = suffix[uu + static_cast<uint32_t>(k)];
+      if (cloak < kInfiniteCost) {
+        best = std::min(best, cloak - static_cast<Cost>(uu) * area);
+      }
+      row.dense[u] = best;
+    }
+  }
+
+  const Cost answer = rows[QuadTree::kRootId].CostAt(0, total);
+  if (answer >= kInfiniteCost) {
+    return Status::Infeasible("no complete k-summation configuration");
+  }
+  return answer;
+}
+
+Result<QuadDpMatrix> ComputeQuadDpMatrix(const QuadTree& tree, int k) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  const uint32_t total = tree.node(QuadTree::kRootId).count;
+  if (total > 0 && total < static_cast<uint32_t>(k)) {
+    return Status::Infeasible("snapshot has fewer than k users");
+  }
+  QuadDpMatrix matrix;
+  matrix.rows.resize(tree.num_nodes());
+  for (size_t i = tree.num_nodes(); i-- > 0;) {
+    const QuadTree::Node& n = tree.node(static_cast<int32_t>(i));
+    matrix.rows[i] = n.IsLeaf()
+                         ? ComputeLeafRow(n, k)
+                         : ComputeInternalRow(tree, matrix, n, k);
+  }
+  return matrix;
+}
+
+Result<Cost> QuadDpMatrix::OptimalCost(const QuadTree& tree) const {
+  const QuadTree::Node& root = tree.node(QuadTree::kRootId);
+  if (root.count == 0) return Cost{0};
+  const Cost cost = rows[QuadTree::kRootId].CostAt(0, root.count);
+  if (cost >= kInfiniteCost) {
+    return Status::Infeasible("no complete k-summation configuration");
+  }
+  return cost;
+}
+
+Result<ExtractedQuadPolicy> ExtractOptimalQuadPolicy(
+    const QuadTree& tree, const QuadDpMatrix& matrix, int k) {
+  const QuadTree::Node& root = tree.node(QuadTree::kRootId);
+  ExtractedQuadPolicy out;
+  out.config.passed_up.assign(tree.num_nodes(), 0);
+  if (root.count == 0) {
+    out.table = CloakingTable(0);
+    return out;
+  }
+  if (root.count < static_cast<uint32_t>(k)) {
+    return Status::Infeasible("fewer than k users in the snapshot");
+  }
+  {
+    Result<Cost> optimal = matrix.OptimalCost(tree);
+    if (!optimal.ok()) return optimal.status();
+    out.cost = *optimal;
+  }
+
+  std::vector<uint32_t>& u_of = out.config.passed_up;
+  std::vector<int32_t> stack = {QuadTree::kRootId};
+  u_of[QuadTree::kRootId] = 0;
+  while (!stack.empty()) {
+    const int32_t id = stack.back();
+    stack.pop_back();
+    const QuadTree::Node& n = tree.node(id);
+    if (n.IsLeaf()) continue;
+    const uint32_t u = u_of[id];
+    if (u == n.count) {
+      for (int q = 0; q < 4; ++q) {
+        u_of[n.first_child + q] = tree.node(n.first_child + q).count;
+      }
+    } else {
+      const QuadDpRow& row = matrix.rows[id];
+      assert(row.HasDense() && u <= static_cast<uint32_t>(row.cap));
+      for (int q = 0; q < 4; ++q) {
+        u_of[n.first_child + q] = row.dense[u].child_pass[q];
+      }
+    }
+    for (int q = 0; q < 4; ++q) stack.push_back(n.first_child + q);
+  }
+
+  const size_t num_rows = root.count;
+  out.assignment.assign(num_rows, -1);
+  auto assign_pool = [&](auto&& self, int32_t id) -> std::vector<uint32_t> {
+    const QuadTree::Node& n = tree.node(id);
+    std::vector<uint32_t> pool;
+    if (n.IsLeaf()) {
+      pool = tree.LeafRows(id);
+    } else {
+      for (int q = 0; q < 4; ++q) {
+        std::vector<uint32_t> part = self(self, n.first_child + q);
+        pool.insert(pool.end(), part.begin(), part.end());
+      }
+    }
+    const uint32_t u = u_of[id];
+    assert(pool.size() >= u);
+    const size_t cloaked = pool.size() - u;
+    for (size_t i = 0; i < cloaked; ++i) out.assignment[pool[i]] = id;
+    pool.erase(pool.begin(), pool.begin() + static_cast<ptrdiff_t>(cloaked));
+    return pool;
+  };
+  std::vector<uint32_t> leftover =
+      assign_pool(assign_pool, QuadTree::kRootId);
+  if (!leftover.empty()) {
+    return Status::Internal("complete configuration left rows uncloaked");
+  }
+
+  out.table = CloakingTable(num_rows);
+  for (size_t row = 0; row < num_rows; ++row) {
+    if (out.assignment[row] < 0) {
+      return Status::Internal("row unassigned");
+    }
+    out.table.Assign(row, tree.node(out.assignment[row]).region);
+  }
+  return out;
+}
+
+}  // namespace pasa

@@ -1,0 +1,74 @@
+#ifndef PASA_PASA_BULK_DP_QUAD_H_
+#define PASA_PASA_BULK_DP_QUAD_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "index/quad_tree.h"
+#include "model/cloaking.h"
+#include "pasa/configuration.h"
+
+namespace pasa {
+
+/// One cell of the first-cut algorithm's matrix: M[m][u] =
+/// <x, u1, u2, u3, u4> exactly as in Algorithm 1 (Bulk_dp).
+struct QuadDpEntry {
+  Cost cost = kInfiniteCost;
+  std::array<uint32_t, 4> child_pass = {0, 0, 0, 0};
+};
+
+/// Row of one quad-tree node: dense u in [0..d-k] plus the implicit
+/// zero-cost u = d(m) entry ("pass everything up").
+struct QuadDpRow {
+  int32_t cap = -1;
+  std::vector<QuadDpEntry> dense;
+
+  bool HasDense() const { return cap >= 0; }
+  Cost CostAt(uint32_t u, uint32_t d) const {
+    if (u == d) return 0;
+    if (cap < 0 || u > static_cast<uint32_t>(cap)) return kInfiniteCost;
+    return dense[u].cost;
+  }
+};
+
+/// The configuration matrix of the first-cut Bulk_dp (Section IV-B),
+/// computed on the quad tree with no optimizations: O(|T| |D|^5). Intended
+/// for small instances (correctness baseline and the ablation benchmark);
+/// the production path is ComputeDpMatrix on the binary tree.
+struct QuadDpMatrix {
+  std::vector<QuadDpRow> rows;
+
+  Result<Cost> OptimalCost(const QuadTree& tree) const;
+};
+
+/// Runs the first-cut Bulk_dp. Fails with Infeasible when 0 < |D| < k.
+Result<QuadDpMatrix> ComputeQuadDpMatrix(const QuadTree& tree, int k);
+
+/// A concrete optimal policy read back from the quad matrix (same shape as
+/// the binary-tree ExtractedPolicy).
+struct ExtractedQuadPolicy {
+  CloakingTable table;
+  Configuration config;
+  std::vector<int32_t> assignment;
+  Cost cost = 0;
+};
+
+/// Top-down retrieval of a minimum-cost complete configuration followed by
+/// the bottom-up materialization of one represented policy.
+Result<ExtractedQuadPolicy> ExtractOptimalQuadPolicy(
+    const QuadTree& tree, const QuadDpMatrix& matrix, int k);
+
+/// Cost-only optimized quad-tree DP: Lemma-5 pruning plus staged pairwise
+/// (min,+) convolutions of the four children, O(|T|(kh)^2)-family — the
+/// quad-tree counterpart of the optimized binary algorithm. Lets the
+/// experiment harnesses compare the policy-aware optimum per cloak family
+/// (quadrants vs semi-quadrants) at realistic sizes, where the first-cut
+/// enumeration is hopeless. Policy extraction is not supported here; use
+/// ComputeQuadDpMatrix (small inputs) or the binary tree for that.
+Result<Cost> OptimalQuadCostFast(const QuadTree& tree, int k);
+
+}  // namespace pasa
+
+#endif  // PASA_PASA_BULK_DP_QUAD_H_

@@ -1,0 +1,137 @@
+#include "pasa/configuration.h"
+
+#include <cassert>
+
+namespace pasa {
+namespace {
+
+// Shared k-summation clause check for one node given d(m) (or Delta) and
+// C(m): the node must pass everything up, or cloak at least k.
+bool NodeSatisfiesKSummation(uint64_t available, uint64_t passed, int k) {
+  if (passed > available) return false;
+  const uint64_t cloaked = available - passed;
+  return cloaked == 0 || cloaked >= static_cast<uint64_t>(k);
+}
+
+}  // namespace
+
+bool SatisfiesKSummation(const BinaryTree& tree, const Configuration& config,
+                         int k) {
+  assert(config.passed_up.size() == tree.num_nodes());
+  for (size_t i = 0; i < tree.num_nodes(); ++i) {
+    const BinaryTree::Node& n = tree.node(static_cast<int32_t>(i));
+    if (!n.live) continue;
+    uint64_t available;
+    if (n.IsLeaf()) {
+      available = n.count;  // clause (i)/(ii): d(m)
+    } else {
+      available = static_cast<uint64_t>(config.C(n.first_child)) +
+                  config.C(n.first_child + 1);  // clause (iii)/(iv): Delta
+    }
+    if (!NodeSatisfiesKSummation(available, config.C(static_cast<int32_t>(i)),
+                                 k)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SatisfiesKSummation(const QuadTree& tree, const Configuration& config,
+                         int k) {
+  assert(config.passed_up.size() == tree.num_nodes());
+  for (size_t i = 0; i < tree.num_nodes(); ++i) {
+    const QuadTree::Node& n = tree.node(static_cast<int32_t>(i));
+    uint64_t available = 0;
+    if (n.IsLeaf()) {
+      available = n.count;
+    } else {
+      for (int q = 0; q < 4; ++q) available += config.C(n.first_child + q);
+    }
+    if (!NodeSatisfiesKSummation(available, config.C(static_cast<int32_t>(i)),
+                                 k)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Cost ConfigurationCost(const BinaryTree& tree, const Configuration& config) {
+  assert(config.passed_up.size() == tree.num_nodes());
+  Cost total = 0;
+  for (size_t i = 0; i < tree.num_nodes(); ++i) {
+    const BinaryTree::Node& n = tree.node(static_cast<int32_t>(i));
+    if (!n.live) continue;
+    uint64_t available;
+    if (n.IsLeaf()) {
+      available = n.count;
+    } else {
+      available = static_cast<uint64_t>(config.C(n.first_child)) +
+                  config.C(n.first_child + 1);
+    }
+    const uint64_t cloaked = available - config.C(static_cast<int32_t>(i));
+    total += static_cast<Cost>(cloaked) * n.region.Area();
+  }
+  return total;
+}
+
+Cost ConfigurationCost(const QuadTree& tree, const Configuration& config) {
+  assert(config.passed_up.size() == tree.num_nodes());
+  Cost total = 0;
+  for (size_t i = 0; i < tree.num_nodes(); ++i) {
+    const QuadTree::Node& n = tree.node(static_cast<int32_t>(i));
+    uint64_t available = 0;
+    if (n.IsLeaf()) {
+      available = n.count;
+    } else {
+      for (int q = 0; q < 4; ++q) available += config.C(n.first_child + q);
+    }
+    const uint64_t cloaked = available - config.C(static_cast<int32_t>(i));
+    total += static_cast<Cost>(cloaked) * n.region.Area();
+  }
+  return total;
+}
+
+namespace {
+
+// Shared assignment->configuration logic: count cloaked-at-node, sum over
+// subtrees bottom-up (children have larger ids), then C(m) = d(m) - cloaked
+// in m's subtree.
+template <typename Tree>
+Configuration FromAssignmentImpl(const Tree& tree,
+                                 const std::vector<int32_t>& assignment,
+                                 int children_per_node) {
+  std::vector<uint64_t> cloaked_in_subtree(tree.num_nodes(), 0);
+  for (const int32_t node : assignment) {
+    assert(node >= 0 && static_cast<size_t>(node) < tree.num_nodes());
+    ++cloaked_in_subtree[node];
+  }
+  Configuration config;
+  config.passed_up.assign(tree.num_nodes(), 0);
+  // Reverse index order visits children before parents.
+  for (size_t i = tree.num_nodes(); i-- > 0;) {
+    const auto& n = tree.node(static_cast<int32_t>(i));
+    if (!n.IsLeaf()) {
+      for (int c = 0; c < children_per_node; ++c) {
+        cloaked_in_subtree[i] += cloaked_in_subtree[n.first_child + c];
+      }
+    }
+    assert(cloaked_in_subtree[i] <= n.count);
+    config.passed_up[i] =
+        static_cast<uint32_t>(n.count - cloaked_in_subtree[i]);
+  }
+  return config;
+}
+
+}  // namespace
+
+Configuration ConfigurationFromAssignment(
+    const BinaryTree& tree, const std::vector<int32_t>& assignment) {
+  return FromAssignmentImpl(tree, assignment, 2);
+}
+
+Configuration ConfigurationFromAssignment(
+    const QuadTree& tree, const std::vector<int32_t>& assignment) {
+  return FromAssignmentImpl(tree, assignment, 4);
+}
+
+}  // namespace pasa

@@ -1,0 +1,62 @@
+#ifndef PASA_PASA_CONFIGURATION_H_
+#define PASA_PASA_CONFIGURATION_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "index/binary_tree.h"
+#include "index/quad_tree.h"
+
+namespace pasa {
+
+/// Exact policy cost in squared coordinate units (Section IV "Cost of a
+/// policy"). int64 keeps all arithmetic exact for the experiment scales.
+using Cost = int64_t;
+
+/// Sentinel for unreachable DP states; large but safe to add areas to.
+inline constexpr Cost kInfiniteCost = std::numeric_limits<Cost>::max() / 4;
+
+/// A configuration of a tree (Definition 7): for every node m, the number
+/// C(m) of locations inside m that are NOT cloaked by m or its descendants
+/// (their cloaking responsibility is "passed up"). Indexed by node id; slots
+/// of dead (collapsed) nodes are ignored.
+struct Configuration {
+  std::vector<uint32_t> passed_up;
+
+  uint32_t C(int32_t node) const { return passed_up[node]; }
+};
+
+/// True if `config` satisfies the k-summation property (Definition 9) on the
+/// binary tree: every node passes everything up, or cloaks at least k.
+/// By Lemma 3 this holds iff the represented policies are policy-aware
+/// sender k-anonymous.
+bool SatisfiesKSummation(const BinaryTree& tree, const Configuration& config,
+                         int k);
+
+/// Quad-tree variant of the k-summation check.
+bool SatisfiesKSummation(const QuadTree& tree, const Configuration& config,
+                         int k);
+
+/// Cost of a configuration (Definition 8): sum over nodes of
+/// (#locations cloaked at the node) x area(node). Equals the cost of every
+/// policy in the equivalence class the configuration represents (Lemma 2).
+Cost ConfigurationCost(const BinaryTree& tree, const Configuration& config);
+
+/// Quad-tree variant of the configuration cost.
+Cost ConfigurationCost(const QuadTree& tree, const Configuration& config);
+
+/// Derives the configuration of an explicit policy: `assignment[row]` is the
+/// node id cloaking snapshot row `row` (which must be an ancestor-or-self of
+/// the row's leaf). Inverse direction of the extraction step; used to check
+/// Lemma 1/3 statements in tests.
+Configuration ConfigurationFromAssignment(
+    const BinaryTree& tree, const std::vector<int32_t>& assignment);
+
+/// Quad-tree variant.
+Configuration ConfigurationFromAssignment(
+    const QuadTree& tree, const std::vector<int32_t>& assignment);
+
+}  // namespace pasa
+
+#endif  // PASA_PASA_CONFIGURATION_H_

@@ -1,0 +1,35 @@
+#ifndef PASA_PASA_EXTRACTION_H_
+#define PASA_PASA_EXTRACTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "index/binary_tree.h"
+#include "model/cloaking.h"
+#include "pasa/bulk_dp_binary.h"
+#include "pasa/configuration.h"
+
+namespace pasa {
+
+/// A concrete optimal policy materialized from a configuration matrix: the
+/// per-user cloaks, the configuration it realizes, and the cloaking node of
+/// every snapshot row ("exhibit in linear time one of the policies C
+/// represents", Section IV-B).
+struct ExtractedPolicy {
+  CloakingTable table;
+  Configuration config;
+  std::vector<int32_t> assignment;  ///< cloaking tree node per snapshot row
+  Cost cost = 0;
+};
+
+/// Walks the matrix top-down picking minimum-cost entries (the paper's
+/// retrieval step), then assigns concrete users to cloaking nodes bottom-up.
+/// The choice of *which* C(m) locations a node cloaks is arbitrary by Lemma
+/// 1; we pick deterministically in resident-row order.
+Result<ExtractedPolicy> ExtractOptimalPolicy(const BinaryTree& tree,
+                                             const DpMatrix& matrix, int k);
+
+}  // namespace pasa
+
+#endif  // PASA_PASA_EXTRACTION_H_

@@ -1,0 +1,54 @@
+#include "pasa/incremental.h"
+
+#include <algorithm>
+
+namespace pasa {
+
+Result<IncrementalAnonymizer> IncrementalAnonymizer::Build(
+    const LocationDatabase& db, const MapExtent& extent, int k,
+    const DpOptions& dp_options) {
+  TreeOptions tree_options;
+  tree_options.split_threshold = k;
+  Result<BinaryTree> tree = BinaryTree::Build(db, extent, tree_options);
+  if (!tree.ok()) return tree.status();
+  Result<DpMatrix> matrix = ComputeDpMatrix(*tree, k, dp_options);
+  if (!matrix.ok()) return matrix.status();
+  return IncrementalAnonymizer(k, dp_options, std::move(*tree),
+                               std::move(*matrix));
+}
+
+Result<size_t> IncrementalAnonymizer::ApplyMoves(
+    const std::vector<UserMove>& moves) {
+  std::vector<int32_t> dirty;
+  dirty.reserve(moves.size() * 48);
+  for (const UserMove& move : moves) {
+    Status s = tree_.ApplyMove(move.row, move.from, move.to, &dirty);
+    if (!s.ok()) return s;
+  }
+
+  // Deduplicate, drop abandoned nodes, grow the matrix for new arena slots.
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  if (matrix_.rows.size() < tree_.num_nodes()) {
+    matrix_.rows.resize(tree_.num_nodes());
+  }
+
+  // Children before parents: a child's binary depth is strictly greater
+  // than its parent's, so recompute in depth-descending order.
+  std::sort(dirty.begin(), dirty.end(), [&](int32_t a, int32_t b) {
+    return tree_.node(a).depth > tree_.node(b).depth;
+  });
+
+  size_t recomputed = 0;
+  for (const int32_t id : dirty) {
+    if (!tree_.node(id).live) {
+      matrix_.rows[id] = DpRow{};  // reclaim abandoned rows
+      continue;
+    }
+    matrix_.rows[id] = ComputeNodeRow(tree_, id, matrix_, k_, dp_options_);
+    ++recomputed;
+  }
+  return recomputed;
+}
+
+}  // namespace pasa

@@ -1,0 +1,69 @@
+#ifndef PASA_PASA_INCREMENTAL_H_
+#define PASA_PASA_INCREMENTAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "index/binary_tree.h"
+#include "pasa/bulk_dp_binary.h"
+#include "pasa/extraction.h"
+
+namespace pasa {
+
+/// One user relocation between consecutive location-database snapshots.
+struct UserMove {
+  uint32_t row = 0;  ///< snapshot row index of the moving user
+  Point from;
+  Point to;
+};
+
+/// Incremental maintenance of the optimum configuration matrix (Section IV,
+/// "Incremental Maintenance of M"; evaluated in Section VI-C / Fig. 5(b)).
+///
+/// Holds the binary tree and the DP matrix across snapshots. ApplyMoves
+/// relocates users, re-splits/collapses tree nodes where occupancy crosses
+/// the lazy threshold, and re-runs the bottom-up DP step only for nodes
+/// whose subtree changed — the "added twist" of starting from the leaves
+/// whose d(m) changed. The result is always identical to a from-scratch
+/// rebuild on the new snapshot (the tests assert equal optimal costs).
+class IncrementalAnonymizer {
+ public:
+  /// Builds the initial tree and matrix for the first snapshot.
+  static Result<IncrementalAnonymizer> Build(const LocationDatabase& db,
+                                             const MapExtent& extent, int k,
+                                             const DpOptions& dp_options);
+
+  const BinaryTree& tree() const { return tree_; }
+  const DpMatrix& matrix() const { return matrix_; }
+  int k() const { return k_; }
+
+  /// Applies a batch of moves and repairs the matrix. Returns the number of
+  /// DP rows recomputed (the measure of incremental work).
+  Result<size_t> ApplyMoves(const std::vector<UserMove>& moves);
+
+  /// Minimum cost of a complete configuration on the current snapshot.
+  Result<Cost> OptimalCost() const { return matrix_.OptimalCost(tree_); }
+
+  /// Materializes one optimal policy for the current snapshot.
+  Result<ExtractedPolicy> ExtractPolicy() const {
+    return ExtractOptimalPolicy(tree_, matrix_, k_);
+  }
+
+ private:
+  IncrementalAnonymizer(int k, DpOptions dp_options, BinaryTree tree,
+                        DpMatrix matrix)
+      : k_(k),
+        dp_options_(dp_options),
+        tree_(std::move(tree)),
+        matrix_(std::move(matrix)) {}
+
+  int k_;
+  DpOptions dp_options_;
+  BinaryTree tree_;
+  DpMatrix matrix_;
+};
+
+}  // namespace pasa
+
+#endif  // PASA_PASA_INCREMENTAL_H_

@@ -1,0 +1,56 @@
+#include "policies/casper.h"
+
+namespace pasa {
+
+Result<CloakingTable> CasperPolicy::Cloak(const LocationDatabase& db,
+                                          int k) const {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  Result<MortonIndex> index = MortonIndex::Build(db, extent_);
+  if (!index.ok()) return index.status();
+  if (db.size() < static_cast<size_t>(k)) {
+    return Status::Infeasible("fewer than k users in the snapshot");
+  }
+  const size_t want = static_cast<size_t>(k);
+
+  CloakingTable table(db.size());
+  for (size_t row = 0; row < db.size(); ++row) {
+    const Point& p = db.row(row).location;
+    // Deepest qualifying quadrant (binary search over the ancestor chain).
+    int lo = 0;
+    int hi = index->max_depth();
+    while (lo < hi) {
+      const int mid = (lo + hi + 1) / 2;
+      if (index->CountQuadrant(index->PathForPoint(p, mid)) >= want) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    const QuadPath quadrant = index->PathForPoint(p, lo);
+    const Rect region = index->RegionOf(quadrant);
+
+    // Try the two semi-quadrants of the qualifying quadrant that contain
+    // the user; both have half its area, so either qualifying one improves
+    // utility. Prefer the less crowded qualifying half (Casper picks the
+    // better of the vertical/horizontal combinations).
+    if (lo < index->max_depth()) {
+      const bool west = p.x < region.x1 + region.width() / 2;
+      const bool south = p.y < region.y1 + region.height() / 2;
+      const size_t vertical = index->CountVerticalHalf(quadrant, west);
+      const size_t horizontal = index->CountHorizontalHalf(quadrant, south);
+      if (vertical >= want &&
+          (vertical <= horizontal || horizontal < want)) {
+        table.Assign(row, index->VerticalHalfRegion(quadrant, west));
+        continue;
+      }
+      if (horizontal >= want) {
+        table.Assign(row, index->HorizontalHalfRegion(quadrant, south));
+        continue;
+      }
+    }
+    table.Assign(row, region);
+  }
+  return table;
+}
+
+}  // namespace pasa

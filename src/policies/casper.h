@@ -1,0 +1,33 @@
+#ifndef PASA_POLICIES_CASPER_H_
+#define PASA_POLICIES_CASPER_H_
+
+#include <string>
+
+#include "index/morton.h"
+#include "model/cloaking.h"
+
+namespace pasa {
+
+/// Prototype of Casper's basic cloaking algorithm [23] (the paper's own
+/// reimplementation choice, Section VI-B): find the smallest quadrant of the
+/// user's ancestor chain holding >= k users, then try to shrink it to one of
+/// its two semi-quadrants (vertical or horizontal half) containing the user.
+/// Unlike the fixed vertical-first binary tree, Casper may pick either
+/// orientation, which is why it attains the smallest k-inside cloaks in
+/// Figure 5(a). The adaptive variant of [23] changes only running time, not
+/// cloak areas, and is deliberately not reproduced.
+class CasperPolicy : public BulkPolicyAlgorithm {
+ public:
+  explicit CasperPolicy(MapExtent extent) : extent_(extent) {}
+
+  std::string name() const override { return "Casper"; }
+  Result<CloakingTable> Cloak(const LocationDatabase& db,
+                              int k) const override;
+
+ private:
+  MapExtent extent_;
+};
+
+}  // namespace pasa
+
+#endif  // PASA_POLICIES_CASPER_H_

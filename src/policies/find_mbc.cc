@@ -1,0 +1,147 @@
+#include "policies/find_mbc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "geo/mbc.h"
+
+namespace pasa {
+namespace {
+
+// Uniform bucket grid for k-nearest-neighbour queries: points are hashed
+// into square cells, queries expand rings of cells until the k-th candidate
+// distance is certified.
+class KnnGrid {
+ public:
+  explicit KnnGrid(const LocationDatabase& db) : db_(db) {
+    if (db.empty()) {
+      cell_ = 1;
+      return;
+    }
+    const Rect box = db.BoundingBox();
+    origin_x_ = box.x1;
+    origin_y_ = box.y1;
+    // Aim for a handful of points per cell on average.
+    const double span =
+        std::max<double>(1.0, std::max(box.width(), box.height()));
+    const double target_cells = std::sqrt(static_cast<double>(db.size()));
+    cell_ = std::max<Coord>(1, static_cast<Coord>(span / target_cells));
+    for (size_t i = 0; i < db.size(); ++i) {
+      buckets_[KeyFor(db.row(i).location)].push_back(i);
+    }
+  }
+
+  std::vector<size_t> KNearest(const Point& query, size_t k) const {
+    std::vector<std::pair<int64_t, size_t>> found;  // (dist^2, row)
+    const int64_t qcx = CellX(query.x);
+    const int64_t qcy = CellY(query.y);
+    for (int64_t ring = 0;; ++ring) {
+      // Visit the cells on the ring boundary.
+      for (int64_t dx = -ring; dx <= ring; ++dx) {
+        for (int64_t dy = -ring; dy <= ring; ++dy) {
+          if (std::max(std::llabs(dx), std::llabs(dy)) != ring) continue;
+          const auto it = buckets_.find(Key(qcx + dx, qcy + dy));
+          if (it == buckets_.end()) continue;
+          for (const size_t row : it->second) {
+            found.emplace_back(SquaredDistance(db_.row(row).location, query),
+                               row);
+          }
+        }
+      }
+      if (found.size() >= k) {
+        std::sort(found.begin(), found.end());
+        // Certified once the k-th distance fits inside the scanned rings:
+        // anything outside is at least ring*cell away.
+        const double safe = static_cast<double>(ring) * cell_;
+        if (static_cast<double>(found[k - 1].first) <= safe * safe ||
+            found.size() == db_.size()) {
+          break;
+        }
+      }
+      if (found.size() == db_.size()) {
+        std::sort(found.begin(), found.end());
+        break;
+      }
+    }
+    std::vector<size_t> rows;
+    rows.reserve(k);
+    for (size_t i = 0; i < std::min(k, found.size()); ++i) {
+      rows.push_back(found[i].second);
+    }
+    return rows;
+  }
+
+ private:
+  int64_t CellX(Coord x) const { return (x - origin_x_) / cell_; }
+  int64_t CellY(Coord y) const { return (y - origin_y_) / cell_; }
+  static uint64_t Key(int64_t cx, int64_t cy) {
+    return (static_cast<uint64_t>(cx) << 32) ^
+           static_cast<uint64_t>(static_cast<uint32_t>(cy));
+  }
+  uint64_t KeyFor(const Point& p) const { return Key(CellX(p.x), CellY(p.y)); }
+
+  const LocationDatabase& db_;
+  Coord origin_x_ = 0;
+  Coord origin_y_ = 0;
+  Coord cell_ = 1;
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets_;
+};
+
+}  // namespace
+
+double CircularCloaking::TotalArea() const {
+  double total = 0.0;
+  for (const Circle& c : cloaks) total += c.Area();
+  return total;
+}
+
+double CircularCloaking::AverageArea() const {
+  if (cloaks.empty()) return 0.0;
+  return TotalArea() / static_cast<double>(cloaks.size());
+}
+
+bool CircularCloaking::IsMasking(const LocationDatabase& db) const {
+  if (db.size() != cloaks.size()) return false;
+  for (size_t i = 0; i < cloaks.size(); ++i) {
+    if (!cloaks[i].Contains(db.row(i).location)) return false;
+  }
+  return true;
+}
+
+size_t CircularCloaking::MinGroupSize() const {
+  std::unordered_map<std::string, size_t> groups;
+  for (const Circle& c : cloaks) ++groups[c.ToString()];
+  size_t best = 0;
+  for (const auto& [key, count] : groups) {
+    if (best == 0 || count < best) best = count;
+  }
+  return best;
+}
+
+std::vector<size_t> KNearestRows(const LocationDatabase& db,
+                                 const Point& query, size_t k) {
+  return KnnGrid(db).KNearest(query, k);
+}
+
+Result<CircularCloaking> FindMbcCloaking(const LocationDatabase& db, int k) {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (db.size() < static_cast<size_t>(k)) {
+    return Status::Infeasible("fewer than k users in the snapshot");
+  }
+  const KnnGrid grid(db);
+  CircularCloaking out;
+  out.cloaks.reserve(db.size());
+  for (size_t row = 0; row < db.size(); ++row) {
+    const std::vector<size_t> rows =
+        grid.KNearest(db.row(row).location, static_cast<size_t>(k));
+    std::vector<Point> points;
+    points.reserve(rows.size() + 1);
+    points.push_back(db.row(row).location);  // ensure masking even on ties
+    for (const size_t r : rows) points.push_back(db.row(r).location);
+    out.cloaks.push_back(MinimumBoundingCircle(points));
+  }
+  return out;
+}
+
+}  // namespace pasa

@@ -1,0 +1,43 @@
+#ifndef PASA_POLICIES_FIND_MBC_H_
+#define PASA_POLICIES_FIND_MBC_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "geo/circle.h"
+#include "model/location_database.h"
+
+namespace pasa {
+
+/// A circular cloaking materialized over one snapshot: `cloaks[row]` is the
+/// circle assigned to that user's requests. Counterpart of CloakingTable for
+/// the circular-cloak baselines and the Theorem-1 problem variant.
+struct CircularCloaking {
+  std::vector<Circle> cloaks;
+
+  double TotalArea() const;
+  double AverageArea() const;
+  /// Every user's circle contains their location.
+  bool IsMasking(const LocationDatabase& db) const;
+  /// Smallest nonempty group of users sharing an identical circle — the
+  /// policy-aware attacker's possible-sender count.
+  size_t MinGroupSize() const;
+};
+
+/// FindMBC-style baseline [27]: each user is cloaked by the minimum bounding
+/// circle of herself and her k-1 nearest neighbours. A circular k-inside
+/// policy: >= k users inside every cloak (policy-unaware k-anonymous), but
+/// in general each user's circle is unique, so a policy-aware attacker
+/// identifies senders outright — the motivation for Theorem 1's optimal
+/// policy-aware circular variant.
+Result<CircularCloaking> FindMbcCloaking(const LocationDatabase& db, int k);
+
+/// The k nearest snapshot rows to `query` (including the query row itself if
+/// it is a row's location), by Euclidean distance, ties broken by row index.
+/// Grid-accelerated; exposed for reuse and tests.
+std::vector<size_t> KNearestRows(const LocationDatabase& db,
+                                 const Point& query, size_t k);
+
+}  // namespace pasa
+
+#endif  // PASA_POLICIES_FIND_MBC_H_

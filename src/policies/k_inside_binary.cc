@@ -1,0 +1,37 @@
+#include "policies/k_inside_binary.h"
+
+namespace pasa {
+
+Result<CloakingTable> PolicyUnawareBinary::Cloak(const LocationDatabase& db,
+                                                 int k) const {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  Result<MortonIndex> index = MortonIndex::Build(db, extent_);
+  if (!index.ok()) return index.status();
+  if (db.size() < static_cast<size_t>(k)) {
+    return Status::Infeasible("fewer than k users in the snapshot");
+  }
+  const size_t want = static_cast<size_t>(k);
+
+  CloakingTable table(db.size());
+  for (size_t row = 0; row < db.size(); ++row) {
+    const Point& p = db.row(row).location;
+    // Descend the alternating square / vertical-semi-quadrant chain while
+    // the child containing p still holds >= k users.
+    Rect best = index->extent().ToRect();
+    for (int depth = 0; depth <= index->max_depth(); ++depth) {
+      const QuadPath square = index->PathForPoint(p, depth);
+      if (depth > 0 && index->CountQuadrant(square) < want) break;
+      if (depth > 0) best = index->RegionOf(square);
+      if (depth == index->max_depth()) break;
+      // The vertical semi-quadrant of this square containing p.
+      const Rect region = index->RegionOf(square);
+      const bool west = p.x < region.x1 + region.width() / 2;
+      if (index->CountVerticalHalf(square, west) < want) break;
+      best = index->VerticalHalfRegion(square, west);
+    }
+    table.Assign(row, best);
+  }
+  return table;
+}
+
+}  // namespace pasa

@@ -1,0 +1,31 @@
+#ifndef PASA_POLICIES_K_INSIDE_BINARY_H_
+#define PASA_POLICIES_K_INSIDE_BINARY_H_
+
+#include <string>
+
+#include "index/morton.h"
+#include "model/cloaking.h"
+
+namespace pasa {
+
+/// PUB — the optimum policy-unaware binary-tree baseline (Section VI-B):
+/// the k-inside approach of [16] applied to the semi-quadrant binary tree,
+/// i.e. each user gets the deepest node of her square/vertical-semi-quadrant
+/// ancestor chain containing at least k users. Uses the same cloak family as
+/// the policy-aware optimum, so comparing the two isolates the price of the
+/// stronger guarantee.
+class PolicyUnawareBinary : public BulkPolicyAlgorithm {
+ public:
+  explicit PolicyUnawareBinary(MapExtent extent) : extent_(extent) {}
+
+  std::string name() const override { return "PUB"; }
+  Result<CloakingTable> Cloak(const LocationDatabase& db,
+                              int k) const override;
+
+ private:
+  MapExtent extent_;
+};
+
+}  // namespace pasa
+
+#endif  // PASA_POLICIES_K_INSIDE_BINARY_H_

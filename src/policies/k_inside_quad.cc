@@ -1,0 +1,35 @@
+#include "policies/k_inside_quad.h"
+
+namespace pasa {
+
+Result<CloakingTable> PolicyUnawareQuad::Cloak(const LocationDatabase& db,
+                                               int k) const {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  Result<MortonIndex> index = MortonIndex::Build(db, extent_);
+  if (!index.ok()) return index.status();
+  if (db.size() < static_cast<size_t>(k)) {
+    return Status::Infeasible("fewer than k users in the snapshot");
+  }
+
+  CloakingTable table(db.size());
+  for (size_t row = 0; row < db.size(); ++row) {
+    const Point& p = db.row(row).location;
+    // Quadrant occupancy is monotone along the ancestor chain, so binary
+    // search for the deepest quadrant containing >= k users.
+    int lo = 0;                    // known >= k (the whole map)
+    int hi = index->max_depth();   // candidates
+    while (lo < hi) {
+      const int mid = (lo + hi + 1) / 2;
+      if (index->CountQuadrant(index->PathForPoint(p, mid)) >=
+          static_cast<size_t>(k)) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    table.Assign(row, index->RegionOf(index->PathForPoint(p, lo)));
+  }
+  return table;
+}
+
+}  // namespace pasa

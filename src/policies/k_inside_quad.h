@@ -1,0 +1,30 @@
+#ifndef PASA_POLICIES_K_INSIDE_QUAD_H_
+#define PASA_POLICIES_K_INSIDE_QUAD_H_
+
+#include <string>
+
+#include "index/morton.h"
+#include "model/cloaking.h"
+
+namespace pasa {
+
+/// PUQ — the policy-unaware quad-tree baseline of [16] (Gruteser-Grunwald):
+/// each user is cloaked by the smallest quadrant of the static quad-tree
+/// partition that contains her and at least k-1 other users. A k-inside
+/// policy: sender k-anonymous against policy-unaware attackers (Prop. 2) but
+/// not against policy-aware ones (Prop. 3).
+class PolicyUnawareQuad : public BulkPolicyAlgorithm {
+ public:
+  explicit PolicyUnawareQuad(MapExtent extent) : extent_(extent) {}
+
+  std::string name() const override { return "PUQ"; }
+  Result<CloakingTable> Cloak(const LocationDatabase& db,
+                              int k) const override;
+
+ private:
+  MapExtent extent_;
+};
+
+}  // namespace pasa
+
+#endif  // PASA_POLICIES_K_INSIDE_QUAD_H_

@@ -1,0 +1,67 @@
+#include "policies/k_reciprocity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pasa {
+
+Result<std::vector<Circle>> NearestStationCircles::Cloak(
+    const LocationDatabase& db, int k) const {
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  if (stations_.empty()) {
+    return Status::InvalidArgument("no base stations configured");
+  }
+  if (db.size() < static_cast<size_t>(k)) {
+    return Status::Infeasible("fewer than k users in the snapshot");
+  }
+
+  std::vector<Circle> cloaks;
+  cloaks.reserve(db.size());
+  for (size_t row = 0; row < db.size(); ++row) {
+    const Point& p = db.row(row).location;
+    // Nearest station (ties broken by station index).
+    size_t best_station = 0;
+    int64_t best_d2 = SquaredDistance(p, stations_[0]);
+    for (size_t s = 1; s < stations_.size(); ++s) {
+      const int64_t d2 = SquaredDistance(p, stations_[s]);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best_station = s;
+      }
+    }
+    const Point center = stations_[best_station];
+    // Smallest radius enclosing >= k users: the k-th smallest distance from
+    // the station to any user. Always >= the requester's own distance, so
+    // the cloak masks her.
+    std::vector<int64_t> d2s;
+    d2s.reserve(db.size());
+    for (size_t r = 0; r < db.size(); ++r) {
+      d2s.push_back(SquaredDistance(db.row(r).location, center));
+    }
+    std::nth_element(d2s.begin(), d2s.begin() + (k - 1), d2s.end());
+    const double radius = std::max(
+        std::sqrt(static_cast<double>(d2s[k - 1])),
+        std::sqrt(static_cast<double>(SquaredDistance(p, center))));
+    cloaks.push_back(Circle{static_cast<double>(center.x),
+                            static_cast<double>(center.y), radius});
+  }
+  return cloaks;
+}
+
+bool NearestStationCircles::SatisfiesKReciprocity(
+    const LocationDatabase& db, const std::vector<Circle>& cloaks, int k) {
+  for (size_t x = 0; x < db.size(); ++x) {
+    size_t reciprocal = 0;
+    for (size_t y = 0; y < db.size(); ++y) {
+      if (y == x) continue;
+      if (cloaks[x].Contains(db.row(y).location) &&
+          cloaks[y].Contains(db.row(x).location)) {
+        ++reciprocal;
+      }
+    }
+    if (reciprocal + 1 < static_cast<size_t>(k)) return false;
+  }
+  return true;
+}
+
+}  // namespace pasa

@@ -1,0 +1,39 @@
+#ifndef PASA_POLICIES_K_RECIPROCITY_H_
+#define PASA_POLICIES_K_RECIPROCITY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "geo/circle.h"
+#include "model/location_database.h"
+
+namespace pasa {
+
+/// Nearest-base-station circular cloaking, reproduced to demonstrate the
+/// Section VII / Figure 6(b) breach: each user's cloak is a circle centered
+/// at her nearest base station, with the smallest radius enclosing at least
+/// k users. Such cloakings can satisfy k-reciprocity and are k-inside, yet a
+/// policy-aware attacker who knows the station map can identify senders
+/// (each station's circle is issued only by users nearest to that station).
+class NearestStationCircles {
+ public:
+  explicit NearestStationCircles(std::vector<Point> stations)
+      : stations_(std::move(stations)) {}
+
+  const std::vector<Point>& stations() const { return stations_; }
+
+  /// Cloaks every user; Infeasible when |D| < k or no stations were given.
+  Result<std::vector<Circle>> Cloak(const LocationDatabase& db, int k) const;
+
+  /// k-reciprocity check [17]: for every user x, at least k-1 of the other
+  /// users inside x's cloak have x inside *their* cloak.
+  static bool SatisfiesKReciprocity(const LocationDatabase& db,
+                                    const std::vector<Circle>& cloaks, int k);
+
+ private:
+  std::vector<Point> stations_;
+};
+
+}  // namespace pasa
+
+#endif  // PASA_POLICIES_K_RECIPROCITY_H_

@@ -1,0 +1,71 @@
+#include "policies/k_sharing.h"
+
+#include <algorithm>
+
+#include "policies/find_mbc.h"
+
+namespace pasa {
+namespace {
+
+// Bounding box (as a half-open rect of whole cells) of a set of rows.
+Rect GroupBox(const LocationDatabase& db, const std::vector<size_t>& rows) {
+  Rect box = CellAt(db.row(rows.front()).location);
+  for (const size_t r : rows) box = Union(box, CellAt(db.row(r).location));
+  return box;
+}
+
+}  // namespace
+
+Result<CloakingTable> KSharingPolicy::CloakInOrder(
+    const LocationDatabase& db,
+    const std::vector<size_t>& arrival_order) const {
+  if (k_ < 1) return Status::InvalidArgument("k must be >= 1");
+  if (db.size() < static_cast<size_t>(k_)) {
+    return Status::Infeasible("fewer than k users in the snapshot");
+  }
+  for (const size_t r : arrival_order) {
+    if (r >= db.size()) return Status::InvalidArgument("row out of range");
+  }
+
+  CloakingTable table(db.size());
+  // Non-requesters default to their own cell; overwritten if recruited.
+  for (size_t r = 0; r < db.size(); ++r) {
+    table.Assign(r, CellAt(db.row(r).location));
+  }
+  std::vector<bool> grouped(db.size(), false);
+  for (const size_t requester : arrival_order) {
+    if (grouped[requester]) continue;
+    // Group the requester with its k-1 nearest not-yet-grouped users.
+    std::vector<std::pair<int64_t, size_t>> ungrouped;
+    for (size_t r = 0; r < db.size(); ++r) {
+      if (grouped[r] || r == requester) continue;
+      ungrouped.emplace_back(
+          SquaredDistance(db.row(r).location, db.row(requester).location), r);
+    }
+    std::sort(ungrouped.begin(), ungrouped.end());
+    std::vector<size_t> group = {requester};
+    for (size_t i = 0; i + 1 < static_cast<size_t>(k_) && i < ungrouped.size();
+         ++i) {
+      group.push_back(ungrouped[i].second);
+    }
+    const Rect box = GroupBox(db, group);
+    for (const size_t member : group) {
+      table.Assign(member, box);
+      grouped[member] = true;
+    }
+  }
+  return table;
+}
+
+Result<std::vector<size_t>> KSharingPolicy::PossibleFirstSenders(
+    const LocationDatabase& db, const Rect& observed_cloak) const {
+  std::vector<size_t> possible;
+  for (size_t first = 0; first < db.size(); ++first) {
+    Result<CloakingTable> table = CloakInOrder(db, {first});
+    if (!table.ok()) return table.status();
+    if (table->cloak(first) == observed_cloak) possible.push_back(first);
+  }
+  return possible;
+}
+
+}  // namespace pasa

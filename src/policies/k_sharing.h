@@ -1,0 +1,44 @@
+#ifndef PASA_POLICIES_K_SHARING_H_
+#define PASA_POLICIES_K_SHARING_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "model/cloaking.h"
+
+namespace pasa {
+
+/// Arrival-order-sensitive k-sharing grouping in the style of [11]
+/// (Chow-Mokbel), reproduced to demonstrate the Section VII / Figure 6(a)
+/// breach: processing requests in arrival order, each not-yet-grouped
+/// requester is grouped with its k-1 nearest not-yet-grouped users, and all
+/// group members share the group's bounding-box cloak. The k-sharing
+/// property holds (k-1 others have the same cloak), yet a policy-aware
+/// attacker who knows the algorithm can identify the first sender.
+class KSharingPolicy {
+ public:
+  explicit KSharingPolicy(int k) : k_(k) {}
+
+  /// Cloaks the requesters in `arrival_order` (and the users recruited into
+  /// their groups), mirroring [11]'s on-demand grouping: users who never
+  /// request are NOT part of any k-sharing group and keep a degenerate
+  /// own-cell cloak in the returned table (they sent nothing, so they are
+  /// not observations).
+  Result<CloakingTable> CloakInOrder(
+      const LocationDatabase& db,
+      const std::vector<size_t>& arrival_order) const;
+
+  /// The Figure 6(a) attack: the rows that, had they issued the FIRST
+  /// request, would have produced `observed_cloak` for it. When this set is
+  /// smaller than k the policy-aware attacker has breached k-anonymity even
+  /// though every cloak satisfies k-sharing.
+  Result<std::vector<size_t>> PossibleFirstSenders(
+      const LocationDatabase& db, const Rect& observed_cloak) const;
+
+ private:
+  int k_;
+};
+
+}  // namespace pasa
+
+#endif  // PASA_POLICIES_K_SHARING_H_

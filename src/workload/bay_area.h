@@ -1,0 +1,60 @@
+#ifndef PASA_WORKLOAD_BAY_AREA_H_
+#define PASA_WORKLOAD_BAY_AREA_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "index/morton.h"
+#include "model/location_database.h"
+
+namespace pasa {
+
+/// Parameters of the synthetic San-Francisco-Bay-style workload
+/// (Section VI "Location Data"). The paper seeds 10 users around each of
+/// 175k street intersections with a 500 m Gaussian, yielding the 1.75M-user
+/// Master set; the intersection file itself is not redistributable, so the
+/// intersections here come from a seeded Gaussian-cluster mixture that
+/// reproduces the density skew (dense urban cores, sparse periphery) the
+/// algorithms are sensitive to. See DESIGN.md, substitution 1.
+struct BayAreaOptions {
+  /// Map is a square of side 2^17 m = 131 km, roughly the Bay Area span.
+  int log2_map_side = 17;
+  uint32_t num_intersections = 175'000;
+  uint32_t users_per_intersection = 10;
+  /// Std-dev of user placement around an intersection, in metres.
+  double user_sigma = 500.0;
+  /// Number of population clusters ("cities") in the mixture.
+  uint32_t num_clusters = 64;
+  uint64_t seed = 2010;
+};
+
+/// Generates location databases with realistic, strongly skewed population
+/// density. Deterministic per options (including the seed).
+class BayAreaGenerator {
+ public:
+  explicit BayAreaGenerator(const BayAreaOptions& options)
+      : options_(options) {}
+
+  const BayAreaOptions& options() const { return options_; }
+  MapExtent extent() const { return MapExtent{0, 0, options_.log2_map_side}; }
+
+  /// Generates the full Master set: num_intersections x
+  /// users_per_intersection users (1.75M by default).
+  LocationDatabase GenerateMaster() const;
+
+  /// Generates a smaller set directly (n users, same density model). Used
+  /// by tests and quick experiments to avoid materializing the Master set.
+  LocationDatabase Generate(size_t n) const;
+
+  /// Uniform random sample of `n` rows from `master`, re-numbered to dense
+  /// user ids. The paper's "random samples of increasing sizes".
+  static LocationDatabase Sample(const LocationDatabase& master, size_t n,
+                                 uint64_t seed);
+
+ private:
+  BayAreaOptions options_;
+};
+
+}  // namespace pasa
+
+#endif  // PASA_WORKLOAD_BAY_AREA_H_

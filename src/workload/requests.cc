@@ -1,0 +1,28 @@
+#include "workload/requests.h"
+
+namespace pasa {
+namespace {
+
+constexpr const char* kPois[] = {"rest", "groc", "cinema", "gas", "hospital"};
+constexpr const char* kCats[] = {"ital", "asian", "drama", "thai", "any"};
+
+}  // namespace
+
+std::vector<ServiceRequest> RequestGenerator::Draw(const LocationDatabase& db,
+                                                   size_t count) {
+  std::vector<ServiceRequest> requests;
+  if (db.empty()) return requests;
+  requests.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const size_t row = static_cast<size_t>(rng_.NextBounded(db.size()));
+    const UserLocation& user = db.row(row);
+    requests.push_back(ServiceRequest{
+        user.user,
+        user.location,
+        {{"poi", kPois[rng_.NextBounded(std::size(kPois))]},
+         {"cat", kCats[rng_.NextBounded(std::size(kCats))]}}});
+  }
+  return requests;
+}
+
+}  // namespace pasa

@@ -1,0 +1,29 @@
+#ifndef PASA_WORKLOAD_REQUESTS_H_
+#define PASA_WORKLOAD_REQUESTS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "model/service_request.h"
+
+namespace pasa {
+
+/// Generates a stream of valid service requests against a snapshot: random
+/// senders asking for nearby points of interest (the workload the throughput
+/// discussion of Section VII anonymizes per snapshot).
+class RequestGenerator {
+ public:
+  explicit RequestGenerator(uint64_t seed) : rng_(seed) {}
+
+  /// Draws `count` requests with senders uniform over the snapshot (a
+  /// sender may appear more than once across snapshots; within one batch
+  /// senders are drawn independently).
+  std::vector<ServiceRequest> Draw(const LocationDatabase& db, size_t count);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace pasa
+
+#endif  // PASA_WORKLOAD_REQUESTS_H_

@@ -1,0 +1,119 @@
+// Reproductions of the Section VII / Figure 6 breach scenarios: k-sharing
+// and k-reciprocity both fail against a policy-aware attacker, while the
+// policy-aware optimum on the same inputs does not.
+
+#include <gtest/gtest.h>
+
+#include "attack/auditor.h"
+#include "pasa/anonymizer.h"
+#include "policies/k_reciprocity.h"
+#include "policies/k_sharing.h"
+#include "tests/test_util.h"
+
+namespace pasa {
+namespace {
+
+using testing_util::MakeDb;
+
+// Figure 6(a): three users on a line, B closer to A than to C.
+//   A(0,0)   B(2,0)      C(5,0)
+LocationDatabase Fig6aDb() { return MakeDb({{0, 0}, {2, 0}, {5, 0}}); }
+constexpr size_t kA = 0, kB = 1, kC = 2;
+
+TEST(KSharingBreach, GroupsDependOnArrivalOrder) {
+  const LocationDatabase db = Fig6aDb();
+  const KSharingPolicy policy(2);
+
+  // C first: C is grouped with its nearest ungrouped user B.
+  Result<CloakingTable> c_first = policy.CloakInOrder(db, {kC});
+  ASSERT_TRUE(c_first.ok());
+  EXPECT_EQ(c_first->cloak(kC), c_first->cloak(kB));
+
+  // B first: B is grouped with A instead.
+  Result<CloakingTable> b_first = policy.CloakInOrder(db, {kB});
+  ASSERT_TRUE(b_first.ok());
+  EXPECT_EQ(b_first->cloak(kB), b_first->cloak(kA));
+  EXPECT_NE(b_first->cloak(kB), c_first->cloak(kC));
+}
+
+TEST(KSharingBreach, KSharingHoldsYetPolicyAwareAttackerIdentifiesC) {
+  const LocationDatabase db = Fig6aDb();
+  const KSharingPolicy policy(2);
+  Result<CloakingTable> table = policy.CloakInOrder(db, {kC});
+  ASSERT_TRUE(table.ok());
+
+  // The k-sharing property holds for the request that was actually made:
+  // C's cloak is shared by 2 users ({B, C}).
+  EXPECT_GE(AuditPolicyAware(*table).possible_senders_per_row[kC], 2u);
+
+  // The breach is about the FIRST request: the attacker knows the grouping
+  // algorithm, observes the first cloak, and reverse-engineers which users
+  // could have triggered it. Only C produces the {B,C} box.
+  Result<std::vector<size_t>> possible =
+      policy.PossibleFirstSenders(db, table->cloak(kC));
+  ASSERT_TRUE(possible.ok());
+  EXPECT_EQ(*possible, std::vector<size_t>{kC})
+      << "policy-aware attacker pins the first sender down to C";
+}
+
+TEST(KSharingBreach, PolicyAwareOptimumIsSafeOnTheSameInput) {
+  const LocationDatabase db = Fig6aDb();
+  AnonymizerOptions options;
+  options.k = 2;
+  Result<Anonymizer> a = Anonymizer::Build(db, MapExtent{0, 0, 3}, options);
+  ASSERT_TRUE(a.ok());
+  // Our policy is a pure function of the snapshot — no arrival-order channel
+  // — and every group has >= 2 members.
+  EXPECT_TRUE(AuditPolicyAware(a->policy()).Anonymous(2));
+}
+
+// Figure 6(b): two base stations; Alice nearest S1, Bob nearest S2, both
+// users inside both circles.
+//   S1(0,0)  Alice(2,0)  Bob(3,0)  S2(5,0)
+TEST(KReciprocityBreach, ReciprocalCirclesStillLeakSenders) {
+  const LocationDatabase db = MakeDb({{2, 0}, {3, 0}});  // Alice, Bob
+  const NearestStationCircles policy({{0, 0}, {5, 0}});
+  Result<std::vector<Circle>> cloaks = policy.Cloak(db, 2);
+  ASSERT_TRUE(cloaks.ok());
+
+  // Alice's circle is centered at S1 and reaches Bob; Bob's at S2 reaches
+  // Alice. Both users lie inside both circles.
+  EXPECT_EQ((*cloaks)[0].cx, 0.0);
+  EXPECT_EQ((*cloaks)[1].cx, 5.0);
+  for (const Circle& c : *cloaks) {
+    EXPECT_TRUE(c.Contains({2, 0}));
+    EXPECT_TRUE(c.Contains({3, 0}));
+  }
+
+  // 2-reciprocity and the 2-inside property hold...
+  EXPECT_TRUE(NearestStationCircles::SatisfiesKReciprocity(db, *cloaks, 2));
+  EXPECT_TRUE(AuditPolicyUnaware(*cloaks, db).Anonymous(2));
+  // ...yet each circle is issued by exactly one user: the policy-aware
+  // attacker observing the S1-centered cloak knows the sender is Alice.
+  const AuditReport aware = AuditPolicyAware(*cloaks);
+  EXPECT_EQ(aware.min_possible_senders, 1u);
+  EXPECT_FALSE(aware.Anonymous(2));
+}
+
+TEST(KReciprocityBreach, CloaksAreMaskingAndDeterministic) {
+  const LocationDatabase db = MakeDb({{2, 0}, {3, 0}, {9, 9}, {8, 8}});
+  const NearestStationCircles policy({{0, 0}, {10, 10}});
+  Result<std::vector<Circle>> a = policy.Cloak(db, 2);
+  Result<std::vector<Circle>> b = policy.Cloak(db, 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+  for (size_t row = 0; row < db.size(); ++row) {
+    EXPECT_TRUE((*a)[row].Contains(db.row(row).location));
+  }
+}
+
+TEST(KReciprocityBreach, ErrorsOnBadConfig) {
+  const LocationDatabase db = MakeDb({{0, 0}, {1, 1}});
+  EXPECT_EQ(NearestStationCircles({}).Cloak(db, 2).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(NearestStationCircles({{0, 0}}).Cloak(db, 3).status().code(),
+            StatusCode::kInfeasible);
+}
+
+}  // namespace
+}  // namespace pasa

@@ -1,0 +1,142 @@
+// Tests for the circular-cloak variant (Theorem 1): candidate enumeration,
+// the exact branch-and-bound solver, and the greedy heuristic.
+
+#include <gtest/gtest.h>
+
+#include "attack/auditor.h"
+#include "circular/candidates.h"
+#include "circular/exact_solver.h"
+#include "circular/greedy_solver.h"
+#include "tests/test_util.h"
+
+namespace pasa {
+namespace {
+
+using testing_util::MakeDb;
+using testing_util::RandomDb;
+
+TEST(CandidatesTest, EnumeratesNestedPrefixesPerCenter) {
+  const LocationDatabase db = MakeDb({{1, 0}, {3, 0}, {0, 2}});
+  const std::vector<Point> centers = {{0, 0}};
+  const auto candidates = EnumerateCandidateCircles(db, centers);
+  ASSERT_EQ(candidates.size(), 3u);  // three distinct radii
+  EXPECT_EQ(candidates[0].covered_rows.size(), 1u);
+  EXPECT_EQ(candidates[1].covered_rows.size(), 2u);
+  EXPECT_EQ(candidates[2].covered_rows.size(), 3u);
+  // Radii ascend and every covered point is inside.
+  for (size_t i = 0; i + 1 < candidates.size(); ++i) {
+    EXPECT_LT(candidates[i].circle.radius, candidates[i + 1].circle.radius);
+  }
+  for (const auto& c : candidates) {
+    for (const size_t row : c.covered_rows) {
+      EXPECT_TRUE(c.circle.Contains(db.row(row).location));
+    }
+  }
+}
+
+TEST(CandidatesTest, DuplicateRadiiCollapse) {
+  // Two users equidistant from the center: one candidate covering both.
+  const LocationDatabase db = MakeDb({{2, 0}, {0, 2}});
+  const auto candidates = EnumerateCandidateCircles(db, {{0, 0}});
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].covered_rows.size(), 2u);
+}
+
+TEST(ExactCircularTest, TwoClustersTwoCenters) {
+  // Two tight clusters around two centers; k=2 should pick two small
+  // circles rather than one big one.
+  const LocationDatabase db =
+      MakeDb({{1, 0}, {2, 0}, {101, 0}, {102, 0}});
+  const std::vector<Point> centers = {{0, 0}, {100, 0}};
+  Result<CircularSolution> solution = SolveExactCircular(db, centers, 2);
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_EQ(AuditPolicyAware(solution->cloaks).min_possible_senders, 2u);
+  // Optimal: radius-2 circles at both centers: 2*(pi*4) each summed over
+  // users -> total area = 4 users * pi*4.
+  EXPECT_NEAR(solution->total_area, 4 * 3.14159265 * 4.0, 1e-3);
+}
+
+TEST(ExactCircularTest, RefusesLargeInstances) {
+  Rng rng(1);
+  const MapExtent extent{0, 0, 6};
+  const LocationDatabase db = RandomDb(&rng, 30, extent);
+  EXPECT_EQ(SolveExactCircular(db, {{0, 0}}, 2, /*max_users=*/14)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ExactCircularTest, InfeasibleBelowK) {
+  const LocationDatabase db = MakeDb({{1, 1}});
+  EXPECT_EQ(SolveExactCircular(db, {{0, 0}}, 2).status().code(),
+            StatusCode::kInfeasible);
+}
+
+struct CircularParam {
+  uint64_t seed;
+  int n;
+  int k;
+  int num_centers;
+};
+
+class CircularSweep : public ::testing::TestWithParam<CircularParam> {};
+
+TEST_P(CircularSweep, GreedyIsValidAndNeverBeatsExact) {
+  const CircularParam p = GetParam();
+  Rng rng(p.seed);
+  const MapExtent extent{0, 0, 5};
+  const LocationDatabase db = RandomDb(&rng, p.n, extent);
+  std::vector<Point> centers;
+  for (int c = 0; c < p.num_centers; ++c) {
+    centers.push_back(Point{static_cast<Coord>(rng.NextBounded(32)),
+                            static_cast<Coord>(rng.NextBounded(32))});
+  }
+
+  Result<CircularSolution> exact = SolveExactCircular(db, centers, p.k);
+  Result<CircularSolution> greedy = SolveGreedyCircular(db, centers, p.k);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  ASSERT_TRUE(greedy.ok()) << greedy.status().ToString();
+
+  for (const CircularSolution* s : {&*exact, &*greedy}) {
+    // Valid: masking and policy-aware k-anonymous.
+    for (size_t row = 0; row < db.size(); ++row) {
+      EXPECT_TRUE(s->cloaks[row].Contains(db.row(row).location));
+    }
+    EXPECT_GE(AuditPolicyAware(s->cloaks).min_possible_senders,
+              static_cast<size_t>(p.k));
+  }
+  // Exact is optimal: greedy can only tie or lose.
+  EXPECT_GE(greedy->total_area, exact->total_area - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallInstances, CircularSweep,
+    ::testing::Values(CircularParam{1, 6, 2, 2}, CircularParam{2, 8, 2, 3},
+                      CircularParam{3, 9, 3, 2}, CircularParam{4, 10, 2, 2},
+                      CircularParam{5, 7, 3, 3}, CircularParam{6, 11, 2, 4}),
+    [](const ::testing::TestParamInfo<CircularParam>& info) {
+      const CircularParam& p = info.param;
+      return "seed" + std::to_string(p.seed) + "_n" + std::to_string(p.n) +
+             "_k" + std::to_string(p.k) + "_c" +
+             std::to_string(p.num_centers);
+    });
+
+TEST(GreedyCircularTest, ScalesToModerateInstances) {
+  Rng rng(77);
+  const MapExtent extent{0, 0, 8};
+  const LocationDatabase db = RandomDb(&rng, 300, extent);
+  std::vector<Point> centers;
+  for (int c = 0; c < 6; ++c) {
+    centers.push_back(Point{static_cast<Coord>(rng.NextBounded(256)),
+                            static_cast<Coord>(rng.NextBounded(256))});
+  }
+  Result<CircularSolution> greedy = SolveGreedyCircular(db, centers, 10);
+  ASSERT_TRUE(greedy.ok()) << greedy.status().ToString();
+  EXPECT_GE(AuditPolicyAware(greedy->cloaks).min_possible_senders, 10u);
+  for (size_t row = 0; row < db.size(); ++row) {
+    EXPECT_TRUE(greedy->cloaks[row].Contains(db.row(row).location));
+  }
+}
+
+}  // namespace
+}  // namespace pasa

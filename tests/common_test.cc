@@ -1,0 +1,186 @@
+// Unit tests for the common utilities: Status/Result, deterministic RNG,
+// summary statistics and the table printer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/table.h"
+#include "common/timer.h"
+
+namespace pasa {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::Infeasible("too few users");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInfeasible);
+  EXPECT_EQ(s.message(), "too few users");
+  EXPECT_EQ(s.ToString(), "INFEASIBLE: too few users");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kInfeasible, StatusCode::kInvalidArgument,
+        StatusCode::kInternal, StatusCode::kNotFound}) {
+    EXPECT_STRNE(StatusCodeName(code), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  const std::string moved = std::move(r).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(7), 7u);
+  }
+}
+
+TEST(RngTest, NextInRangeIsInclusive) {
+  Rng rng(2);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(4);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(rng.NextGaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndComplete) {
+  Rng rng(5);
+  const auto sample = rng.SampleIndices(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const uint32_t v : sample) EXPECT_LT(v, 100u);
+
+  // Dense sampling path (count * 4 >= population).
+  const auto dense = rng.SampleIndices(40, 35);
+  std::set<uint32_t> unique_dense(dense.begin(), dense.end());
+  EXPECT_EQ(unique_dense.size(), 35u);
+}
+
+TEST(RngTest, SampleAllIndices) {
+  Rng rng(6);
+  const auto all = rng.SampleIndices(10, 10);
+  std::set<uint32_t> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(StatsTest, RunningStatsBasics) {
+  RunningStats s;
+  for (const double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+  EXPECT_NEAR(s.variance(), 5.0 / 3.0, 1e-12);
+}
+
+TEST(StatsTest, VarianceOfSingletonIsZero) {
+  RunningStats s;
+  s.Add(7.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 50), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile({4, 1, 3, 2}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({4, 1, 3, 2}, 100), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(StatsTest, ThousandsSeparators) {
+  EXPECT_EQ(WithThousandsSeparators(0), "0");
+  EXPECT_EQ(WithThousandsSeparators(999), "999");
+  EXPECT_EQ(WithThousandsSeparators(1000), "1,000");
+  EXPECT_EQ(WithThousandsSeparators(1750000), "1,750,000");
+  EXPECT_EQ(WithThousandsSeparators(-1234567), "-1,234,567");
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "20000"});
+  const std::string rendered = t.ToString();
+  EXPECT_NE(rendered.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(rendered.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(rendered.find("| b     | 20000 |"), std::string::npos);
+}
+
+TEST(TableTest, CellFormatters) {
+  EXPECT_EQ(TablePrinter::Cell(int64_t{42}), "42");
+  EXPECT_EQ(TablePrinter::Cell(3.14159, 2), "3.14");
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  EXPECT_GE(timer.ElapsedMillis(), timer.ElapsedSeconds());
+}
+
+}  // namespace
+}  // namespace pasa

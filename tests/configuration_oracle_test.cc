@@ -1,0 +1,122 @@
+// A second, independent ground truth: exhaustively enumerate every
+// k-summation configuration (Definition 9) of a small tree and take the
+// cheapest complete one. Lemma 3 says this must coincide with the cheapest
+// policy whose cloaking groups all have >= k members — and both must match
+// the DP. The policy-level oracle lives in tests/test_util.h; agreement of
+// all three pins down the Lemma 2/3 equivalences.
+
+#include <gtest/gtest.h>
+
+#include "pasa/bulk_dp_binary.h"
+#include "pasa/configuration.h"
+#include "tests/test_util.h"
+
+namespace pasa {
+namespace {
+
+using testing_util::BruteForceOptimalCost;
+using testing_util::RandomDb;
+
+// Exhaustive minimum over complete k-summation configurations of the
+// binary tree. Enumerates C(m) bottom-up (children before parents, i.e.
+// descending node index), pruning nothing — tiny trees only.
+Cost ConfigurationOracle(const BinaryTree& tree, int k) {
+  const size_t n = tree.num_nodes();
+  std::vector<uint32_t> c(n, 0);
+  Cost best = kInfiniteCost;
+
+  // Valid C(m) choices given the node's "available" count (d for leaves,
+  // Delta for internal nodes): pass everything, or keep at least k.
+  auto choices = [&](uint32_t available) {
+    std::vector<uint32_t> out;
+    if (available < static_cast<uint32_t>(k)) {
+      out.push_back(available);
+      return out;
+    }
+    for (uint32_t u = 0; u + static_cast<uint32_t>(k) <= available; ++u) {
+      out.push_back(u);
+    }
+    out.push_back(available);
+    return out;
+  };
+
+  auto recurse = [&](auto&& self, size_t index, Cost cost) -> void {
+    if (cost >= best) return;
+    if (index == static_cast<size_t>(-1)) {  // all nodes assigned
+      if (c[BinaryTree::kRootId] == 0) best = std::min(best, cost);
+      return;
+    }
+    const int32_t id = static_cast<int32_t>(index);
+    const BinaryTree::Node& node = tree.node(id);
+    if (!node.live) {
+      self(self, index - 1, cost);
+      return;
+    }
+    const uint32_t available =
+        node.IsLeaf()
+            ? node.count
+            : c[node.first_child] + c[node.first_child + 1];
+    for (const uint32_t u : choices(available)) {
+      c[id] = u;
+      self(self, index - 1,
+           cost + static_cast<Cost>(available - u) * node.region.Area());
+    }
+  };
+  recurse(recurse, n - 1, 0);
+  return best;
+}
+
+struct OracleParam {
+  uint64_t seed;
+  int n;
+  int k;
+};
+
+class ConfigurationOracleSweep
+    : public ::testing::TestWithParam<OracleParam> {};
+
+TEST_P(ConfigurationOracleSweep, ThreeWayAgreement) {
+  const OracleParam p = GetParam();
+  Rng rng(p.seed);
+  const MapExtent extent{0, 0, 2};
+  const LocationDatabase db = RandomDb(&rng, p.n, extent);
+  Result<BinaryTree> tree = BinaryTree::Build(
+      db, extent, TreeOptions{.split_threshold = p.k});
+  ASSERT_TRUE(tree.ok());
+
+  const Cost via_configurations = ConfigurationOracle(*tree, p.k);
+  const Cost via_policies = BruteForceOptimalCost(*tree, db.size(), p.k);
+  EXPECT_EQ(via_configurations, via_policies);  // Lemma 3
+
+  Result<DpMatrix> matrix = ComputeDpMatrix(*tree, p.k, DpOptions{});
+  if (via_policies >= kInfiniteCost) {
+    if (matrix.ok()) EXPECT_FALSE(matrix->OptimalCost(*tree).ok());
+    return;
+  }
+  ASSERT_TRUE(matrix.ok());
+  Result<Cost> dp = matrix->OptimalCost(*tree);
+  ASSERT_TRUE(dp.ok());
+  EXPECT_EQ(*dp, via_policies);
+}
+
+std::vector<OracleParam> OracleSweep() {
+  std::vector<OracleParam> params;
+  uint64_t seed = 1000;
+  for (const int n : {2, 4, 5, 6, 7}) {
+    for (const int k : {1, 2, 3}) {
+      params.push_back(OracleParam{seed++, n, k});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(TinyTrees, ConfigurationOracleSweep,
+                         ::testing::ValuesIn(OracleSweep()),
+                         [](const ::testing::TestParamInfo<OracleParam>& i) {
+                           return "seed" + std::to_string(i.param.seed) +
+                                  "_n" + std::to_string(i.param.n) + "_k" +
+                                  std::to_string(i.param.k);
+                         });
+
+}  // namespace
+}  // namespace pasa

@@ -1,0 +1,169 @@
+// End-to-end tests for the trusted-CSP server: request handling, snapshot
+// advancement (incremental vs rebuild), cache shielding, and privacy audits.
+
+#include <gtest/gtest.h>
+
+#include "attack/auditor.h"
+#include "csp/server.h"
+#include "workload/bay_area.h"
+#include "workload/movement.h"
+#include "workload/requests.h"
+
+namespace pasa {
+namespace {
+
+BayAreaOptions SmallBay() {
+  BayAreaOptions options;
+  options.log2_map_side = 13;
+  options.num_intersections = 300;
+  options.users_per_intersection = 5;
+  options.user_sigma = 40.0;
+  options.num_clusters = 8;
+  options.seed = 17;
+  return options;
+}
+
+PoiDatabase SomePois(const MapExtent& extent, size_t n) {
+  Rng rng(5);
+  const std::vector<std::string> categories = {"rest", "groc", "cinema",
+                                               "gas", "hospital"};
+  std::vector<PointOfInterest> pois;
+  for (size_t i = 0; i < n; ++i) {
+    pois.push_back(PointOfInterest{
+        static_cast<int64_t>(i),
+        Point{static_cast<Coord>(rng.NextBounded(extent.side())),
+              static_cast<Coord>(rng.NextBounded(extent.side()))},
+        categories[rng.NextBounded(categories.size())]});
+  }
+  return PoiDatabase(std::move(pois));
+}
+
+TEST(CspServerTest, ServesValidRequestsRejectsStaleOnes) {
+  const BayAreaGenerator gen(SmallBay());
+  LocationDatabase db = gen.Generate(800);
+  CspOptions options;
+  options.k = 10;
+  Result<CspServer> csp = CspServer::Start(db, gen.extent(),
+                                           SomePois(gen.extent(), 500),
+                                           options);
+  ASSERT_TRUE(csp.ok()) << csp.status().ToString();
+
+  RequestGenerator requests(3);
+  for (const ServiceRequest& sr : requests.Draw(db, 100)) {
+    Result<std::vector<PointOfInterest>> answer = csp->HandleRequest(sr);
+    ASSERT_TRUE(answer.ok());
+    EXPECT_LE(answer->size(), options.answers_per_request);
+  }
+  EXPECT_EQ(csp->stats().requests_served, 100u);
+
+  // Unknown user and stale location are rejected.
+  EXPECT_FALSE(csp->HandleRequest(ServiceRequest{999999, {0, 0}, {}}).ok());
+  const Point actual = db.row(0).location;
+  EXPECT_FALSE(csp->HandleRequest(
+                      ServiceRequest{db.row(0).user,
+                                     {actual.x + 1, actual.y}, {}})
+                   .ok());
+  EXPECT_EQ(csp->stats().requests_rejected, 2u);
+}
+
+TEST(CspServerTest, CacheShieldsTheLbsFromDuplicates) {
+  const BayAreaGenerator gen(SmallBay());
+  LocationDatabase db = gen.Generate(500);
+  CspOptions options;
+  options.k = 10;
+  Result<CspServer> csp = CspServer::Start(db, gen.extent(),
+                                           SomePois(gen.extent(), 300),
+                                           options);
+  ASSERT_TRUE(csp.ok());
+
+  // The same user asks the same thing 20 times: the LBS sees one request.
+  const ServiceRequest sr{db.row(0).user, db.row(0).location,
+                          {{"poi", "rest"}}};
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(csp->HandleRequest(sr).ok());
+  }
+  EXPECT_EQ(csp->stats().requests_served, 20u);
+  EXPECT_EQ(csp->lbs_requests_seen(), 1u);
+  // Billing still accounts for all 20.
+  EXPECT_EQ(csp->FlushAnswerCache(), 20u);
+}
+
+TEST(CspServerTest, SnapshotAdvanceChoosesIncrementalOrRebuild) {
+  const BayAreaGenerator gen(SmallBay());
+  LocationDatabase db = gen.Generate(1000);
+  CspOptions options;
+  options.k = 10;
+  options.rebuild_fraction = 0.05;
+  Result<CspServer> csp = CspServer::Start(db, gen.extent(),
+                                           SomePois(gen.extent(), 100),
+                                           options);
+  ASSERT_TRUE(csp.ok());
+
+  // 1% movers: incremental path.
+  MovementOptions small_move;
+  small_move.moving_fraction = 0.01;
+  small_move.max_distance = 50.0;
+  small_move.seed = 1;
+  const std::vector<UserMove> few = DrawMoves(csp->snapshot(), gen.extent(),
+                                              small_move);
+  Result<SnapshotReport> r1 = csp->AdvanceSnapshot(few);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_FALSE(r1->rebuilt);
+  EXPECT_GT(r1->dp_rows_repaired, 0u);
+
+  // 20% movers: rebuild path.
+  MovementOptions big_move;
+  big_move.moving_fraction = 0.20;
+  big_move.max_distance = 50.0;
+  big_move.seed = 2;
+  const std::vector<UserMove> many = DrawMoves(csp->snapshot(), gen.extent(),
+                                               big_move);
+  Result<SnapshotReport> r2 = csp->AdvanceSnapshot(many);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->rebuilt);
+  EXPECT_EQ(csp->stats().rebuilds, 1u);
+  EXPECT_EQ(csp->stats().incremental_updates, 1u);
+
+  // After both advances the policy stays valid, optimal and k-anonymous.
+  EXPECT_TRUE(csp->policy().IsMasking(csp->snapshot()));
+  EXPECT_TRUE(AuditPolicyAware(csp->policy()).Anonymous(options.k));
+  Result<IncrementalAnonymizer> fresh = IncrementalAnonymizer::Build(
+      csp->snapshot(), gen.extent(), options.k, options.dp);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(csp->policy_cost(), *fresh->OptimalCost());
+
+  // Requests against the advanced snapshot are served from the new policy.
+  const UserLocation& someone = csp->snapshot().row(42);
+  EXPECT_TRUE(csp->HandleRequest(
+                     ServiceRequest{someone.user, someone.location, {}})
+                  .ok());
+}
+
+TEST(CspServerTest, RejectsStaleMoves) {
+  const BayAreaGenerator gen(SmallBay());
+  LocationDatabase db = gen.Generate(300);
+  CspOptions options;
+  options.k = 5;
+  Result<CspServer> csp = CspServer::Start(db, gen.extent(),
+                                           SomePois(gen.extent(), 10),
+                                           options);
+  ASSERT_TRUE(csp.ok());
+  const Point actual = db.row(0).location;
+  const UserMove stale{0, {actual.x + 1, actual.y}, actual};
+  EXPECT_FALSE(csp->AdvanceSnapshot({stale}).ok());
+}
+
+TEST(CspServerTest, StartFailsBelowK) {
+  const BayAreaGenerator gen(SmallBay());
+  LocationDatabase db = gen.Generate(3);
+  CspOptions options;
+  options.k = 10;
+  EXPECT_EQ(CspServer::Start(db, gen.extent(), SomePois(gen.extent(), 10),
+                             options)
+                .status()
+                .code(),
+            StatusCode::kInfeasible);
+}
+
+}  // namespace
+}  // namespace pasa

@@ -1,0 +1,156 @@
+// Unit and property tests for the geometry substrate: rectangles, circles,
+// and the Welzl minimum bounding circle.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geo/circle.h"
+#include "geo/mbc.h"
+#include "geo/point.h"
+#include "geo/rect.h"
+
+namespace pasa {
+namespace {
+
+TEST(PointTest, SquaredDistance) {
+  EXPECT_EQ(SquaredDistance({0, 0}, {3, 4}), 25);
+  EXPECT_EQ(SquaredDistance({-1, -1}, {-1, -1}), 0);
+}
+
+TEST(RectTest, AreaAndContains) {
+  const Rect r{0, 0, 4, 2};
+  EXPECT_EQ(r.Area(), 8);
+  EXPECT_TRUE(r.Contains({0, 0}));
+  EXPECT_TRUE(r.Contains({3, 1}));
+  EXPECT_FALSE(r.Contains({4, 1}));  // half-open: x2 excluded
+  EXPECT_FALSE(r.Contains({0, 2}));  // half-open: y2 excluded
+  EXPECT_FALSE(r.Contains({-1, 0}));
+}
+
+TEST(RectTest, HalvesPartitionExactly) {
+  const Rect r{0, 0, 8, 8};
+  EXPECT_EQ(r.WestHalf(), (Rect{0, 0, 4, 8}));
+  EXPECT_EQ(r.EastHalf(), (Rect{4, 0, 8, 8}));
+  EXPECT_EQ(r.SouthHalf(), (Rect{0, 0, 8, 4}));
+  EXPECT_EQ(r.NorthHalf(), (Rect{0, 4, 8, 8}));
+  EXPECT_EQ(r.WestHalf().Area() + r.EastHalf().Area(), r.Area());
+}
+
+TEST(RectTest, QuadrantsPartitionEveryPoint) {
+  const Rect r{0, 0, 8, 8};
+  for (Coord x = 0; x < 8; ++x) {
+    for (Coord y = 0; y < 8; ++y) {
+      int containing = 0;
+      for (int q = 0; q < 4; ++q) {
+        if (r.Quadrant(q).Contains({x, y})) ++containing;
+      }
+      EXPECT_EQ(containing, 1) << "point (" << x << "," << y << ")";
+    }
+  }
+}
+
+TEST(RectTest, QuadrantOrderMatchesMorton) {
+  const Rect r{0, 0, 4, 4};
+  EXPECT_EQ(r.Quadrant(0), (Rect{0, 0, 2, 2}));  // SW
+  EXPECT_EQ(r.Quadrant(1), (Rect{2, 0, 4, 2}));  // SE
+  EXPECT_EQ(r.Quadrant(2), (Rect{0, 2, 2, 4}));  // NW
+  EXPECT_EQ(r.Quadrant(3), (Rect{2, 2, 4, 4}));  // NE
+}
+
+TEST(RectTest, UnionAndIntersects) {
+  const Rect a{0, 0, 2, 2};
+  const Rect b{3, 3, 5, 5};
+  EXPECT_FALSE(a.Intersects(b));
+  EXPECT_EQ(Union(a, b), (Rect{0, 0, 5, 5}));
+  EXPECT_TRUE(a.Intersects(Rect{1, 1, 3, 3}));
+  EXPECT_TRUE((Rect{0, 0, 5, 5}).ContainsRect(a));
+  EXPECT_FALSE(a.ContainsRect(Rect{0, 0, 5, 5}));
+}
+
+TEST(RectTest, CellAtIsUnitSquareContainingPoint) {
+  const Rect cell = CellAt({7, -3});
+  EXPECT_EQ(cell.Area(), 1);
+  EXPECT_TRUE(cell.Contains({7, -3}));
+}
+
+TEST(CircleTest, AreaAndContains) {
+  const Circle c{0.0, 0.0, 5.0};
+  EXPECT_NEAR(c.Area(), 78.5398, 1e-3);
+  EXPECT_TRUE(c.Contains({3, 4}));   // on the boundary
+  EXPECT_TRUE(c.Contains({0, 0}));
+  EXPECT_FALSE(c.Contains({4, 4}));
+}
+
+TEST(MbcTest, DegenerateInputs) {
+  EXPECT_EQ(MinimumBoundingCircle({}).radius, 0.0);
+  const Circle one = MinimumBoundingCircle({{5, 5}});
+  EXPECT_EQ(one.radius, 0.0);
+  EXPECT_EQ(one.cx, 5.0);
+  const Circle two = MinimumBoundingCircle({{0, 0}, {4, 0}});
+  EXPECT_DOUBLE_EQ(two.radius, 2.0);
+  EXPECT_DOUBLE_EQ(two.cx, 2.0);
+}
+
+TEST(MbcTest, CollinearPoints) {
+  const Circle c = MinimumBoundingCircle({{0, 0}, {2, 0}, {6, 0}});
+  EXPECT_DOUBLE_EQ(c.radius, 3.0);
+  EXPECT_DOUBLE_EQ(c.cx, 3.0);
+}
+
+TEST(MbcTest, EquilateralishTriangle) {
+  // Circumcircle of (0,0), (4,0), (2,3): center (2, 5/6), r = sqrt(4+25/36).
+  const Circle c = MinimumBoundingCircle({{0, 0}, {4, 0}, {2, 3}});
+  EXPECT_NEAR(c.cx, 2.0, 1e-9);
+  EXPECT_NEAR(c.cy, 5.0 / 6.0, 1e-9);
+}
+
+TEST(MbcTest, ContainsAllPointsOnRandomInputs) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Point> points;
+    const size_t n = 3 + rng.NextBounded(40);
+    for (size_t i = 0; i < n; ++i) {
+      points.push_back(Point{static_cast<Coord>(rng.NextBounded(1000)),
+                             static_cast<Coord>(rng.NextBounded(1000))});
+    }
+    const Circle c = MinimumBoundingCircle(points);
+    for (const Point& p : points) {
+      EXPECT_TRUE(c.Contains(p)) << c.ToString() << " vs " << p.ToString();
+    }
+  }
+}
+
+TEST(MbcTest, NotLargerThanFarthestPairHeuristicBound) {
+  // MBC radius is at most the diameter of the point set, and at least half
+  // the largest pairwise distance.
+  Rng rng(7);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<Point> points;
+    for (int i = 0; i < 12; ++i) {
+      points.push_back(Point{static_cast<Coord>(rng.NextBounded(500)),
+                             static_cast<Coord>(rng.NextBounded(500))});
+    }
+    int64_t max_d2 = 0;
+    for (const Point& a : points) {
+      for (const Point& b : points) {
+        max_d2 = std::max(max_d2, SquaredDistance(a, b));
+      }
+    }
+    const double diameter = std::sqrt(static_cast<double>(max_d2));
+    const Circle c = MinimumBoundingCircle(points);
+    EXPECT_GE(c.radius, diameter / 2.0 - 1e-6);
+    EXPECT_LE(c.radius, diameter / std::sqrt(3.0) + 1e-6);  // Jung's theorem
+  }
+}
+
+TEST(MbcTest, DeterministicAcrossCalls) {
+  const std::vector<Point> points = {{0, 0}, {10, 2}, {3, 9}, {7, 7}, {1, 5}};
+  const Circle a = MinimumBoundingCircle(points);
+  const Circle b = MinimumBoundingCircle(points);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace pasa

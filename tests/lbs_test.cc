@@ -1,0 +1,145 @@
+// Tests for the LBS provider substrate: POI nearest-to-cloak queries and
+// the Section VII answer cache (frequency-attack mitigation + billing).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "lbs/answer_cache.h"
+#include "lbs/poi.h"
+#include "lbs/provider.h"
+
+namespace pasa {
+namespace {
+
+std::vector<PointOfInterest> RandomPois(Rng* rng, size_t n, Coord side) {
+  const std::vector<std::string> categories = {"rest", "gas", "hospital"};
+  std::vector<PointOfInterest> pois;
+  pois.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pois.push_back(PointOfInterest{
+        static_cast<int64_t>(i),
+        Point{static_cast<Coord>(rng->NextBounded(side)),
+              static_cast<Coord>(rng->NextBounded(side))},
+        categories[rng->NextBounded(categories.size())]});
+  }
+  return pois;
+}
+
+TEST(PoiDatabaseTest, DistanceToRect) {
+  const Rect r{2, 2, 6, 6};  // interior cells x,y in [2,5]
+  EXPECT_EQ(PoiDatabase::SquaredDistanceToRect({3, 4}, r), 0);
+  EXPECT_EQ(PoiDatabase::SquaredDistanceToRect({0, 4}, r), 4);
+  EXPECT_EQ(PoiDatabase::SquaredDistanceToRect({8, 8}, r), 9 + 9);
+  EXPECT_EQ(PoiDatabase::SquaredDistanceToRect({5, 5}, r), 0);  // last cell
+  EXPECT_EQ(PoiDatabase::SquaredDistanceToRect({6, 2}, r), 1);  // x2 is out
+}
+
+TEST(PoiDatabaseTest, NearestToCloakMatchesBruteForce) {
+  Rng rng(1);
+  const std::vector<PointOfInterest> pois = RandomPois(&rng, 500, 1000);
+  const PoiDatabase db(pois);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Coord x = static_cast<Coord>(rng.NextBounded(900));
+    const Coord y = static_cast<Coord>(rng.NextBounded(900));
+    const Rect cloak{x, y, x + 1 + static_cast<Coord>(rng.NextBounded(80)),
+                     y + 1 + static_cast<Coord>(rng.NextBounded(80))};
+    const std::string category = trial % 2 == 0 ? "rest" : "gas";
+    const size_t count = 1 + rng.NextBounded(8);
+
+    const auto got = db.NearestToCloak(cloak, category, count);
+    // Brute-force reference.
+    std::vector<std::pair<int64_t, int64_t>> reference;  // (dist2, id)
+    for (const PointOfInterest& poi : pois) {
+      if (poi.category != category) continue;
+      reference.emplace_back(
+          PoiDatabase::SquaredDistanceToRect(poi.location, cloak), poi.id);
+    }
+    std::sort(reference.begin(), reference.end());
+    ASSERT_EQ(got.size(), std::min(count, reference.size()));
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(PoiDatabase::SquaredDistanceToRect(got[i].location, cloak),
+                reference[i].first)
+          << "rank " << i;
+    }
+  }
+}
+
+TEST(PoiDatabaseTest, ScarceCategoryReturnsAllOfIt) {
+  std::vector<PointOfInterest> pois = {
+      {1, {10, 10}, "rest"}, {2, {20, 20}, "gas"}, {3, {30, 30}, "gas"}};
+  const PoiDatabase db(std::move(pois));
+  EXPECT_EQ(db.NearestToCloak(Rect{0, 0, 5, 5}, "rest", 10).size(), 1u);
+  EXPECT_EQ(db.NearestToCloak(Rect{0, 0, 5, 5}, "spa", 10).size(), 0u);
+  EXPECT_TRUE(db.NearestToCloak(Rect{0, 0, 5, 5}, "gas", 0).empty());
+}
+
+TEST(PoiDatabaseTest, EmptyDatabase) {
+  const PoiDatabase db({});
+  EXPECT_TRUE(db.NearestToCloak(Rect{0, 0, 4, 4}, "rest", 3).empty());
+}
+
+TEST(AnswerCacheTest, DuplicateAnonymizedRequestsNeverReachTheLbs) {
+  AnswerCache<int> cache;
+  const AnonymizedRequest a{1, {0, 0, 4, 4}, {{"poi", "rest"}}};
+  const AnonymizedRequest duplicate{2, {0, 0, 4, 4}, {{"poi", "rest"}}};
+  const AnonymizedRequest different{3, {0, 0, 4, 4}, {{"poi", "gas"}}};
+
+  int fetches = 0;
+  const auto fetch = [&] { return ++fetches; };
+  EXPECT_EQ(cache.GetOrFetch(a, fetch), 1);
+  // Same cloak+params, different rid: must hit.
+  EXPECT_EQ(cache.GetOrFetch(duplicate, fetch), 1);
+  EXPECT_EQ(cache.GetOrFetch(different, fetch), 2);
+  EXPECT_EQ(fetches, 2);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(AnswerCacheTest, FlushReportsBillableCountAndClears) {
+  AnswerCache<int> cache;
+  const AnonymizedRequest ar{1, {0, 0, 4, 4}, {}};
+  int fetches = 0;
+  const auto fetch = [&] { return ++fetches; };
+  cache.GetOrFetch(ar, fetch);
+  cache.GetOrFetch(ar, fetch);
+  cache.GetOrFetch(ar, fetch);
+  EXPECT_EQ(cache.Flush(), 3u);  // billing sees all three requests
+  EXPECT_EQ(cache.size(), 0u);
+  cache.GetOrFetch(ar, fetch);   // re-fetched after flush
+  EXPECT_EQ(fetches, 2);
+  EXPECT_EQ(cache.Flush(), 1u);
+}
+
+TEST(LbsProviderTest, FrontendShieldsFrequencies) {
+  Rng rng(2);
+  PoiDatabase pois(RandomPois(&rng, 200, 500));
+  CachingLbsFrontend frontend(LbsProvider(std::move(pois), 5));
+
+  const AnonymizedRequest ar{10, {100, 100, 160, 160}, {{"poi", "rest"}}};
+  // 50 duplicate requests from the same cloak (the frequency-attack
+  // scenario of Section VII): the LBS must see exactly one.
+  for (int i = 0; i < 50; ++i) {
+    const auto& answer = frontend.Serve(
+        AnonymizedRequest{10 + i, ar.cloak, ar.params});
+    EXPECT_LE(answer.size(), 5u);
+  }
+  EXPECT_EQ(frontend.provider().requests_seen(), 1u);
+  EXPECT_EQ(frontend.cache_stats().hits, 49u);
+  EXPECT_EQ(frontend.FlushAndBill(), 50u);  // billing is still accurate
+}
+
+TEST(LbsProviderTest, AnswersAreNearestOfRequestedCategory) {
+  std::vector<PointOfInterest> pois = {{1, {10, 10}, "rest"},
+                                       {2, {12, 10}, "rest"},
+                                       {3, {200, 200}, "rest"},
+                                       {4, {10, 11}, "gas"}};
+  const LbsProvider provider(PoiDatabase(std::move(pois)), 2);
+  const AnonymizedRequest ar{1, {8, 8, 16, 16}, {{"poi", "rest"}}};
+  const auto answer = provider.Answer(ar);
+  ASSERT_EQ(answer.size(), 2u);
+  EXPECT_EQ(answer[0].id, 1);
+  EXPECT_EQ(answer[1].id, 2);
+}
+
+}  // namespace
+}  // namespace pasa

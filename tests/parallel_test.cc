@@ -1,0 +1,185 @@
+// Tests for parallel anonymization: the greedy partitioner, per-jurisdiction
+// anonymization, and the master policy's cost and privacy properties.
+
+#include <gtest/gtest.h>
+
+#include "attack/auditor.h"
+#include "parallel/master_policy.h"
+#include "parallel/partitioner.h"
+#include "parallel/runner.h"
+#include "pasa/anonymizer.h"
+#include "tests/test_util.h"
+
+namespace pasa {
+namespace {
+
+using testing_util::RandomDb;
+
+TEST(PartitionerTest, JurisdictionsPartitionTheMap) {
+  Rng rng(1);
+  const MapExtent extent{0, 0, 6};
+  const LocationDatabase db = RandomDb(&rng, 500, extent);
+  const int k = 10;
+  Result<BinaryTree> tree =
+      BinaryTree::Build(db, extent, TreeOptions{.split_threshold = k});
+  ASSERT_TRUE(tree.ok());
+
+  for (const size_t target : {1u, 2u, 4u, 8u, 16u}) {
+    const std::vector<Jurisdiction> jurisdictions =
+        GreedyPartition(*tree, k, target);
+    EXPECT_LE(jurisdictions.size(), std::max<size_t>(target, 1));
+    // Disjoint regions covering all users; each holds 0 or >= k users.
+    size_t total_users = 0;
+    int64_t total_area = 0;
+    for (size_t i = 0; i < jurisdictions.size(); ++i) {
+      total_users += jurisdictions[i].users;
+      total_area += jurisdictions[i].region.Area();
+      EXPECT_TRUE(jurisdictions[i].users == 0 ||
+                  jurisdictions[i].users >= static_cast<size_t>(k));
+      for (size_t j = i + 1; j < jurisdictions.size(); ++j) {
+        EXPECT_FALSE(
+            jurisdictions[i].region.Intersects(jurisdictions[j].region));
+      }
+    }
+    EXPECT_EQ(total_users, db.size());
+    EXPECT_EQ(total_area, extent.ToRect().Area());
+  }
+}
+
+TEST(PartitionerTest, StopsWhenNothingSplittable) {
+  // 2k users in one tight cluster: the root's children would strand a
+  // group, so the partitioner must return fewer jurisdictions than asked.
+  LocationDatabase db;
+  for (int i = 0; i < 6; ++i) db.Add(i, {i % 2, i / 2});
+  const MapExtent extent{0, 0, 6};
+  Result<BinaryTree> tree =
+      BinaryTree::Build(db, extent, TreeOptions{.split_threshold = 3});
+  ASSERT_TRUE(tree.ok());
+  const auto jurisdictions = GreedyPartition(*tree, 3, 64);
+  size_t nonempty = 0;
+  for (const auto& j : jurisdictions) {
+    if (j.users > 0) {
+      ++nonempty;
+      EXPECT_GE(j.users, 3u);
+    }
+  }
+  EXPECT_GE(nonempty, 1u);
+}
+
+struct ParallelParam {
+  uint64_t seed;
+  int n;
+  int k;
+  size_t jurisdictions;
+};
+
+class ParallelSweep : public ::testing::TestWithParam<ParallelParam> {};
+
+TEST_P(ParallelSweep, MasterPolicyIsValidAndNearOptimal) {
+  const ParallelParam p = GetParam();
+  Rng rng(p.seed);
+  const MapExtent extent{0, 0, 6};
+  const LocationDatabase db = RandomDb(&rng, p.n, extent);
+
+  ParallelRunOptions options;
+  options.k = p.k;
+  options.num_jurisdictions = p.jurisdictions;
+  Result<ParallelRunReport> report = RunPartitioned(db, extent, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  // The master policy masks everyone and keeps every group >= k.
+  EXPECT_TRUE(report->master_table.IsMasking(db));
+  EXPECT_GE(AuditPolicyAware(report->master_table).min_possible_senders,
+            static_cast<size_t>(p.k));
+  EXPECT_EQ(report->master_table.TotalCost(), report->total_cost);
+
+  // Against the single-server optimum: never better, and within a small
+  // factor (the paper measures < 1% divergence; exact equality is common
+  // because border cloaks rarely span jurisdictions).
+  AnonymizerOptions single;
+  single.k = p.k;
+  Result<Anonymizer> optimum = Anonymizer::Build(db, extent, single);
+  ASSERT_TRUE(optimum.ok());
+  EXPECT_GE(report->total_cost, optimum->cost());
+  EXPECT_LE(static_cast<double>(report->total_cost),
+            1.25 * static_cast<double>(optimum->cost()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Partitioned, ParallelSweep,
+    ::testing::Values(ParallelParam{1, 400, 5, 1},
+                      ParallelParam{2, 400, 5, 4},
+                      ParallelParam{3, 400, 5, 16},
+                      ParallelParam{4, 700, 10, 8},
+                      ParallelParam{5, 700, 3, 32}),
+    [](const ::testing::TestParamInfo<ParallelParam>& info) {
+      const ParallelParam& p = info.param;
+      return "seed" + std::to_string(p.seed) + "_n" + std::to_string(p.n) +
+             "_k" + std::to_string(p.k) + "_j" +
+             std::to_string(p.jurisdictions);
+    });
+
+TEST(ParallelTest, SingleJurisdictionEqualsSingleServerOptimum) {
+  Rng rng(9);
+  const MapExtent extent{0, 0, 6};
+  const LocationDatabase db = RandomDb(&rng, 300, extent);
+  const int k = 7;
+  ParallelRunOptions options;
+  options.k = k;
+  options.num_jurisdictions = 1;
+  Result<ParallelRunReport> report = RunPartitioned(db, extent, options);
+  ASSERT_TRUE(report.ok());
+  AnonymizerOptions single;
+  single.k = k;
+  Result<Anonymizer> optimum = Anonymizer::Build(db, extent, single);
+  ASSERT_TRUE(optimum.ok());
+  EXPECT_EQ(report->total_cost, optimum->cost());
+}
+
+TEST(ParallelTest, ThreadedModeMatchesSequential) {
+  Rng rng(10);
+  const MapExtent extent{0, 0, 6};
+  const LocationDatabase db = RandomDb(&rng, 400, extent);
+  ParallelRunOptions sequential;
+  sequential.k = 5;
+  sequential.num_jurisdictions = 8;
+  ParallelRunOptions threaded = sequential;
+  threaded.use_threads = true;
+  Result<ParallelRunReport> a = RunPartitioned(db, extent, sequential);
+  Result<ParallelRunReport> b = RunPartitioned(db, extent, threaded);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->total_cost, b->total_cost);
+  for (size_t row = 0; row < db.size(); ++row) {
+    EXPECT_EQ(a->master_table.cloak(row), b->master_table.cloak(row));
+  }
+}
+
+TEST(MasterPolicyTest, RoutesLocationsToOwningJurisdiction) {
+  Rng rng(11);
+  const MapExtent extent{0, 0, 5};
+  const LocationDatabase db = RandomDb(&rng, 200, extent);
+  ParallelRunOptions options;
+  options.k = 5;
+  options.num_jurisdictions = 4;
+  Result<ParallelRunReport> report = RunPartitioned(db, extent, options);
+  ASSERT_TRUE(report.ok());
+
+  std::vector<Jurisdiction> jurisdictions;
+  for (const auto& jr : report->jurisdictions) {
+    jurisdictions.push_back(jr.jurisdiction);
+  }
+  const MasterPolicy master(jurisdictions, report->master_table);
+  for (size_t row = 0; row < db.size(); ++row) {
+    Result<size_t> j = master.JurisdictionFor(db.row(row).location);
+    ASSERT_TRUE(j.ok());
+    EXPECT_TRUE(master.jurisdictions()[*j].region.Contains(
+        db.row(row).location));
+    // The user's cloak lies inside the owning jurisdiction.
+    EXPECT_TRUE(master.jurisdictions()[*j].region.ContainsRect(
+        master.CloakForRow(row)));
+  }
+  EXPECT_FALSE(master.JurisdictionFor({-5, -5}).ok());
+}
+
+}  // namespace
+}  // namespace pasa

@@ -1,0 +1,74 @@
+// Tests for the SVG exporter: structural validity and content scaling.
+
+#include <gtest/gtest.h>
+
+#include "io/svg.h"
+#include "tests/test_util.h"
+
+namespace pasa {
+namespace {
+
+using testing_util::MakeDb;
+using testing_util::RandomDb;
+
+size_t CountOccurrences(const std::string& haystack,
+                        const std::string& needle) {
+  size_t count = 0;
+  for (size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(SvgTest, CloakingRenderHasOneRectPerDistinctCloak) {
+  const LocationDatabase db = MakeDb({{0, 0}, {0, 1}, {3, 3}, {3, 2}});
+  CloakingTable table(4);
+  const Rect a{0, 0, 2, 2};
+  const Rect b{2, 2, 4, 4};
+  table.Assign(0, a);
+  table.Assign(1, a);
+  table.Assign(2, b);
+  table.Assign(3, b);
+  const std::string svg =
+      RenderCloakingSvg(db, table, Rect{0, 0, 4, 4});
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // 1 background + 2 distinct cloaks.
+  EXPECT_EQ(CountOccurrences(svg, "<rect"), 3u);
+  // One dot per user.
+  EXPECT_EQ(CountOccurrences(svg, "<circle"), 4u);
+}
+
+TEST(SvgTest, UsersCanBeTurnedOff) {
+  const LocationDatabase db = MakeDb({{0, 0}});
+  CloakingTable table(1);
+  table.Assign(0, Rect{0, 0, 1, 1});
+  SvgOptions options;
+  options.draw_users = false;
+  const std::string svg =
+      RenderCloakingSvg(db, table, Rect{0, 0, 2, 2}, options);
+  EXPECT_EQ(CountOccurrences(svg, "<circle"), 0u);
+}
+
+TEST(SvgTest, TreeRenderHasOneRectPerLiveLeaf) {
+  Rng rng(1);
+  const MapExtent extent{0, 0, 4};
+  const LocationDatabase db = RandomDb(&rng, 60, extent);
+  Result<BinaryTree> tree =
+      BinaryTree::Build(db, extent, TreeOptions{.split_threshold = 5});
+  ASSERT_TRUE(tree.ok());
+  const std::string svg = RenderTreeSvg(*tree);
+  EXPECT_EQ(CountOccurrences(svg, "<rect"),
+            tree->ComputeShapeStats().leaves + 1);  // + background
+}
+
+TEST(SvgTest, SaveToDisk) {
+  const std::string path = ::testing::TempDir() + "/pasa_svg_test.svg";
+  ASSERT_TRUE(SaveSvg("<svg></svg>", path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(SaveSvg("<svg></svg>", "/no/such/dir/x.svg").ok());
+}
+
+}  // namespace
+}  // namespace pasa

@@ -1,0 +1,113 @@
+#ifndef PASA_TESTS_TEST_UTIL_H_
+#define PASA_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/binary_tree.h"
+#include "index/quad_tree.h"
+#include "model/location_database.h"
+#include "pasa/configuration.h"
+
+namespace pasa {
+namespace testing_util {
+
+/// Builds a snapshot with users 0..n-1 at the given points.
+inline LocationDatabase MakeDb(const std::vector<Point>& points) {
+  LocationDatabase db;
+  for (size_t i = 0; i < points.size(); ++i) {
+    db.Add(static_cast<UserId>(i), points[i]);
+  }
+  return db;
+}
+
+/// Random snapshot of `n` users uniform over `extent`.
+inline LocationDatabase RandomDb(Rng* rng, size_t n, const MapExtent& extent) {
+  std::vector<Point> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back(Point{
+        extent.origin_x + static_cast<Coord>(rng->NextBounded(extent.side())),
+        extent.origin_y +
+            static_cast<Coord>(rng->NextBounded(extent.side()))});
+  }
+  return MakeDb(points);
+}
+
+/// Number of children per node for the two tree types.
+inline int ChildrenPerNode(const BinaryTree&) { return 2; }
+inline int ChildrenPerNode(const QuadTree&) { return 4; }
+
+inline bool NodeIsLive(const BinaryTree& tree, int32_t id) {
+  return tree.node(id).live;
+}
+inline bool NodeIsLive(const QuadTree&, int32_t) { return true; }
+
+/// The chain of nodes (self first, root last) a user at leaf `leaf` may be
+/// cloaked by — every masking tree policy must pick from this chain.
+template <typename Tree>
+std::vector<int32_t> AncestorChain(const Tree& tree, int32_t leaf) {
+  std::vector<int32_t> chain;
+  for (int32_t cur = leaf; cur >= 0; cur = tree.node(cur).parent) {
+    chain.push_back(cur);
+  }
+  return chain;
+}
+
+/// Maps every snapshot row to its resident leaf.
+template <typename Tree>
+std::vector<int32_t> LeafOfRow(const Tree& tree, size_t num_rows) {
+  std::vector<int32_t> leaf_of(num_rows, -1);
+  for (size_t id = 0; id < tree.num_nodes(); ++id) {
+    const auto& n = tree.node(static_cast<int32_t>(id));
+    if (!NodeIsLive(tree, static_cast<int32_t>(id)) || !n.IsLeaf()) continue;
+    for (const uint32_t row : tree.LeafRows(static_cast<int32_t>(id))) {
+      leaf_of[row] = static_cast<int32_t>(id);
+    }
+  }
+  return leaf_of;
+}
+
+/// Independent ground-truth oracle: exhaustively enumerates every masking
+/// tree policy (each user assigned some ancestor of its leaf), keeps those
+/// whose nonempty cloaking groups all have >= k members (the policy-aware
+/// sender k-anonymity characterization), and returns the minimum cost.
+/// Returns kInfiniteCost when no such policy exists. Exponential — only for
+/// tiny instances.
+template <typename Tree>
+Cost BruteForceOptimalCost(const Tree& tree, size_t num_rows, int k) {
+  const std::vector<int32_t> leaf_of = LeafOfRow(tree, num_rows);
+  std::vector<std::vector<int32_t>> candidates(num_rows);
+  for (size_t r = 0; r < num_rows; ++r) {
+    candidates[r] = AncestorChain(tree, leaf_of[r]);
+  }
+  std::vector<int64_t> group_count(tree.num_nodes(), 0);
+  Cost best = kInfiniteCost;
+  std::vector<int32_t> assignment(num_rows, -1);
+
+  auto recurse = [&](auto&& self, size_t row, Cost cost_so_far) -> void {
+    if (cost_so_far >= best) return;
+    if (row == num_rows) {
+      for (size_t id = 0; id < tree.num_nodes(); ++id) {
+        const int64_t g = group_count[id];
+        if (g != 0 && g < k) return;
+      }
+      best = cost_so_far;
+      return;
+    }
+    for (const int32_t node : candidates[row]) {
+      ++group_count[node];
+      self(self, row + 1,
+           cost_so_far + tree.node(node).region.Area());
+      --group_count[node];
+    }
+  };
+  recurse(recurse, 0, 0);
+  return best;
+}
+
+}  // namespace testing_util
+}  // namespace pasa
+
+#endif  // PASA_TESTS_TEST_UTIL_H_

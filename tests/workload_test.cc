@@ -1,0 +1,144 @@
+// Tests for the synthetic workload substrate: the Bay-Area-style generator,
+// the movement model, and the request generator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/bay_area.h"
+#include "workload/movement.h"
+#include "workload/requests.h"
+
+namespace pasa {
+namespace {
+
+BayAreaOptions SmallOptions() {
+  BayAreaOptions options;
+  options.log2_map_side = 12;  // 4 km toy map
+  options.num_intersections = 500;
+  options.users_per_intersection = 4;
+  options.user_sigma = 30.0;
+  options.num_clusters = 8;
+  options.seed = 42;
+  return options;
+}
+
+TEST(BayAreaTest, GeneratesRequestedSizeInsideExtent) {
+  const BayAreaGenerator gen(SmallOptions());
+  const LocationDatabase db = gen.Generate(1000);
+  EXPECT_EQ(db.size(), 1000u);
+  const Rect map = gen.extent().ToRect();
+  for (const auto& row : db.rows()) {
+    EXPECT_TRUE(map.Contains(row.location));
+  }
+}
+
+TEST(BayAreaTest, MasterSizeMatchesIntersectionsTimesUsers) {
+  BayAreaOptions options = SmallOptions();
+  options.num_intersections = 100;
+  options.users_per_intersection = 7;
+  const LocationDatabase db = BayAreaGenerator(options).GenerateMaster();
+  EXPECT_EQ(db.size(), 700u);
+}
+
+TEST(BayAreaTest, DeterministicPerSeedAndDistinctAcrossSeeds) {
+  const BayAreaGenerator a(SmallOptions());
+  const LocationDatabase d1 = a.Generate(300);
+  const LocationDatabase d2 = a.Generate(300);
+  ASSERT_EQ(d1.size(), d2.size());
+  for (size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_EQ(d1.row(i).location, d2.row(i).location);
+  }
+  BayAreaOptions other = SmallOptions();
+  other.seed = 43;
+  const LocationDatabase d3 = BayAreaGenerator(other).Generate(300);
+  bool differs = false;
+  for (size_t i = 0; i < d1.size(); ++i) {
+    if (!(d1.row(i).location == d3.row(i).location)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(BayAreaTest, DensityIsSkewed) {
+  // The cluster mixture must produce strong skew: the most-populated map
+  // quadrant should hold far more than the uniform 25% share.
+  const BayAreaGenerator gen(SmallOptions());
+  const LocationDatabase db = gen.Generate(4000);
+  const Rect map = gen.extent().ToRect();
+  size_t best = 0;
+  for (int q = 0; q < 4; ++q) {
+    best = std::max(best, db.CountInside(map.Quadrant(q)));
+  }
+  EXPECT_GT(best, db.size() * 35 / 100)
+      << "expected a dominant quadrant, got max share "
+      << (100.0 * static_cast<double>(best) / static_cast<double>(db.size()))
+      << "%";
+}
+
+TEST(BayAreaTest, SampleDrawsDistinctRowsWithDenseIds) {
+  const BayAreaGenerator gen(SmallOptions());
+  const LocationDatabase master = gen.Generate(2000);
+  const LocationDatabase sample = BayAreaGenerator::Sample(master, 500, 7);
+  EXPECT_EQ(sample.size(), 500u);
+  for (size_t i = 0; i < sample.size(); ++i) {
+    EXPECT_EQ(sample.row(i).user, static_cast<UserId>(i));
+  }
+  // Oversampling clamps to the master size.
+  EXPECT_EQ(BayAreaGenerator::Sample(master, 99999, 7).size(), 2000u);
+}
+
+TEST(MovementTest, MovesAreBoundedAndDistinct) {
+  const BayAreaGenerator gen(SmallOptions());
+  LocationDatabase db = gen.Generate(1000);
+  MovementOptions options;
+  options.moving_fraction = 0.2;
+  options.max_distance = 50.0;
+  options.seed = 3;
+  const std::vector<UserMove> moves = DrawMoves(db, gen.extent(), options);
+  EXPECT_EQ(moves.size(), 200u);
+  std::set<uint32_t> rows;
+  for (const UserMove& m : moves) {
+    rows.insert(m.row);
+    EXPECT_EQ(m.from, db.row(m.row).location);
+    const double dist =
+        std::sqrt(static_cast<double>(SquaredDistance(m.from, m.to)));
+    EXPECT_LE(dist, options.max_distance + 1.5);  // rounding slack
+    EXPECT_TRUE(gen.extent().ToRect().Contains(m.to));
+  }
+  EXPECT_EQ(rows.size(), moves.size());  // distinct movers
+
+  ASSERT_TRUE(ApplyMovesToDatabase(moves, &db).ok());
+  for (const UserMove& m : moves) {
+    EXPECT_EQ(db.row(m.row).location, m.to);
+  }
+}
+
+TEST(MovementTest, ZeroFractionMovesNobody) {
+  const BayAreaGenerator gen(SmallOptions());
+  const LocationDatabase db = gen.Generate(100);
+  MovementOptions options;
+  options.moving_fraction = 0.0;
+  EXPECT_TRUE(DrawMoves(db, gen.extent(), options).empty());
+}
+
+TEST(RequestsTest, DrawsValidRequests) {
+  const BayAreaGenerator gen(SmallOptions());
+  const LocationDatabase db = gen.Generate(500);
+  RequestGenerator requests(5);
+  const std::vector<ServiceRequest> batch = requests.Draw(db, 200);
+  EXPECT_EQ(batch.size(), 200u);
+  for (const ServiceRequest& sr : batch) {
+    EXPECT_TRUE(IsValid(sr, db));
+    EXPECT_EQ(sr.params.size(), 2u);
+    EXPECT_EQ(sr.params[0].name, "poi");
+    EXPECT_EQ(sr.params[1].name, "cat");
+  }
+}
+
+TEST(RequestsTest, EmptySnapshotYieldsNoRequests) {
+  RequestGenerator requests(5);
+  EXPECT_TRUE(requests.Draw(LocationDatabase(), 10).empty());
+}
+
+}  // namespace
+}  // namespace pasa

@@ -1,0 +1,34 @@
+# ctest driver for the pasa_cli end-to-end smoke test.
+
+function(run_or_die expected_rc)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expected_rc})
+    message(FATAL_ERROR "command ${ARGN} exited ${rc} (expected "
+                        "${expected_rc})\nstdout: ${out}\nstderr: ${err}")
+  endif()
+endfunction()
+
+set(LOC ${WORK_DIR}/cli_smoke_locations.csv)
+set(OPT ${WORK_DIR}/cli_smoke_opt.csv)
+set(CASPER ${WORK_DIR}/cli_smoke_casper.csv)
+
+run_or_die(0 ${CLI} generate --n 3000 --seed 7 --map-log2-side 13 --out ${LOC})
+run_or_die(0 ${CLI} stats --in ${LOC} --k 20)
+
+# The policy-aware optimum passes the audit...
+run_or_die(0 ${CLI} anonymize --in ${LOC} --k 20 --out ${OPT} --algorithm opt)
+run_or_die(0 ${CLI} audit --locations ${LOC} --cloaks ${OPT} --k 20)
+
+# ...while the Casper baseline is expected to be flagged (exit code 3:
+# k-inside policies are not policy-aware k-anonymous in general).
+run_or_die(0 ${CLI} anonymize --in ${LOC} --k 20 --out ${CASPER}
+           --algorithm casper)
+run_or_die(3 ${CLI} audit --locations ${LOC} --cloaks ${CASPER} --k 20)
+
+# Bad invocations are rejected.
+run_or_die(2 ${CLI})
+run_or_die(2 ${CLI} anonymize --in ${LOC})
+run_or_die(1 ${CLI} anonymize --in /no/such.csv --k 5 --out ${OPT})
+
+file(REMOVE ${LOC} ${OPT} ${CASPER})

@@ -1,0 +1,208 @@
+// pasa_cli — command-line front end for the pasa library.
+//
+//   pasa_cli generate  --n 100000 --seed 1 --out locations.csv
+//   pasa_cli anonymize --in locations.csv --k 50 --out cloaks.csv
+//                      [--algorithm opt|casper|puq|pub]
+//   pasa_cli audit     --locations locations.csv --cloaks cloaks.csv --k 50
+//   pasa_cli stats     --in locations.csv [--k 50]
+//
+// CSV formats are documented in src/io/csv.h.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "attack/auditor.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "index/binary_tree.h"
+#include "io/csv.h"
+#include "pasa/anonymizer.h"
+#include "policies/casper.h"
+#include "policies/k_inside_binary.h"
+#include "policies/k_inside_quad.h"
+#include "workload/bay_area.h"
+
+namespace {
+
+using namespace pasa;
+
+// Minimal --flag value parser; every command takes only such pairs.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) == 0) key = key.substr(2);
+      values_[key] = argv[i + 1];
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  pasa_cli generate  --n N [--seed S] [--map-log2-side L] --out F\n"
+      "  pasa_cli anonymize --in F --k K --out F2 [--algorithm "
+      "opt|casper|puq|pub]\n"
+      "  pasa_cli audit     --locations F --cloaks F2 --k K\n"
+      "  pasa_cli stats     --in F [--k K]\n");
+  return 2;
+}
+
+int RunGenerate(const Flags& flags) {
+  const int64_t n = flags.GetInt("n", 0);
+  if (n <= 0 || !flags.Has("out")) return Usage();
+  BayAreaOptions options;
+  options.log2_map_side =
+      static_cast<int>(flags.GetInt("map-log2-side", 17));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 2010));
+  const BayAreaGenerator generator(options);
+  const LocationDatabase db = generator.Generate(static_cast<size_t>(n));
+  Status s = SaveLocationDatabaseCsv(db, flags.GetString("out"));
+  if (!s.ok()) return Fail(s);
+  std::printf("wrote %s users to %s (map side 2^%d m)\n",
+              WithThousandsSeparators(static_cast<int64_t>(db.size())).c_str(),
+              flags.GetString("out").c_str(), options.log2_map_side);
+  return 0;
+}
+
+int RunAnonymize(const Flags& flags) {
+  if (!flags.Has("in") || !flags.Has("out")) return Usage();
+  const int k = static_cast<int>(flags.GetInt("k", 50));
+  Result<LocationDatabase> db = LoadLocationDatabaseCsv(flags.GetString("in"));
+  if (!db.ok()) return Fail(db.status());
+  Result<MapExtent> extent = MapExtent::Covering(db->BoundingBox());
+  if (!extent.ok()) return Fail(extent.status());
+
+  const std::string algorithm = flags.GetString("algorithm", "opt");
+  std::unique_ptr<BulkPolicyAlgorithm> policy;
+  if (algorithm == "opt") {
+    policy = std::make_unique<PolicyAwareOptimumAlgorithm>(*extent);
+  } else if (algorithm == "casper") {
+    policy = std::make_unique<CasperPolicy>(*extent);
+  } else if (algorithm == "puq") {
+    policy = std::make_unique<PolicyUnawareQuad>(*extent);
+  } else if (algorithm == "pub") {
+    policy = std::make_unique<PolicyUnawareBinary>(*extent);
+  } else {
+    return Usage();
+  }
+
+  WallTimer timer;
+  Result<CloakingTable> table = policy->Cloak(*db, k);
+  if (!table.ok()) return Fail(table.status());
+  const double seconds = timer.ElapsedSeconds();
+  Status s = SaveCloakingCsv(*db, *table, flags.GetString("out"));
+  if (!s.ok()) return Fail(s);
+  std::printf(
+      "%s cloaked %s users at k=%d in %.3f s (total cost %s, avg area "
+      "%.0f)\n",
+      policy->name().c_str(),
+      WithThousandsSeparators(static_cast<int64_t>(db->size())).c_str(), k,
+      seconds, WithThousandsSeparators(table->TotalCost()).c_str(),
+      table->AverageArea());
+  return 0;
+}
+
+int RunAudit(const Flags& flags) {
+  if (!flags.Has("locations") || !flags.Has("cloaks")) return Usage();
+  const int k = static_cast<int>(flags.GetInt("k", 50));
+  Result<LocationDatabase> db =
+      LoadLocationDatabaseCsv(flags.GetString("locations"));
+  if (!db.ok()) return Fail(db.status());
+  Result<CloakingTable> table =
+      LoadCloakingCsv(flags.GetString("cloaks"), *db);
+  if (!table.ok()) return Fail(table.status());
+
+  const bool masking = table->IsMasking(*db);
+  const AuditReport aware = AuditPolicyAware(*table);
+  const AuditReport unaware = AuditPolicyUnaware(*table, *db);
+  TablePrinter out({"check", "result"});
+  out.AddRow({"masking (every cloak contains its user)",
+              masking ? "yes" : "NO"});
+  out.AddRow({"policy-unaware attacker: min possible senders",
+              TablePrinter::Cell(
+                  static_cast<int64_t>(unaware.min_possible_senders))});
+  out.AddRow({"policy-AWARE attacker: min possible senders",
+              TablePrinter::Cell(
+                  static_cast<int64_t>(aware.min_possible_senders))});
+  out.AddRow({"sender k-anonymous vs policy-unaware (k=" + std::to_string(k) +
+                  ")",
+              unaware.Anonymous(k) ? "yes" : "NO"});
+  out.AddRow({"sender k-anonymous vs policy-aware  (k=" + std::to_string(k) +
+                  ")",
+              aware.Anonymous(k) ? "yes" : "NO"});
+  out.Print();
+  const size_t breaches = aware.Breaches(k).size();
+  if (breaches > 0) {
+    std::printf("%zu request(s) would expose their sender to a policy-aware "
+                "attacker.\n",
+                breaches);
+  }
+  return masking && aware.Anonymous(k) ? 0 : 3;
+}
+
+int RunStats(const Flags& flags) {
+  if (!flags.Has("in")) return Usage();
+  const int k = static_cast<int>(flags.GetInt("k", 50));
+  Result<LocationDatabase> db = LoadLocationDatabaseCsv(flags.GetString("in"));
+  if (!db.ok()) return Fail(db.status());
+  Result<MapExtent> extent = MapExtent::Covering(db->BoundingBox());
+  if (!extent.ok()) return Fail(extent.status());
+  Result<BinaryTree> tree =
+      BinaryTree::Build(*db, *extent, TreeOptions{.split_threshold = k});
+  if (!tree.ok()) return Fail(tree.status());
+  const BinaryTree::ShapeStats shape = tree->ComputeShapeStats();
+  TablePrinter out({"metric", "value"});
+  out.AddRow({"users", WithThousandsSeparators(
+                           static_cast<int64_t>(db->size()))});
+  out.AddRow({"bounding box", db->BoundingBox().ToString()});
+  out.AddRow({"map extent side (power of two)",
+              WithThousandsSeparators(extent->side())});
+  out.AddRow({"binary tree nodes", WithThousandsSeparators(
+                                       static_cast<int64_t>(shape.live_nodes))});
+  out.AddRow({"binary tree height",
+              TablePrinter::Cell(static_cast<int64_t>(shape.height))});
+  out.AddRow({"max leaf occupancy",
+              TablePrinter::Cell(
+                  static_cast<int64_t>(shape.max_leaf_occupancy))});
+  out.Print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (command == "generate") return RunGenerate(flags);
+  if (command == "anonymize") return RunAnonymize(flags);
+  if (command == "audit") return RunAudit(flags);
+  if (command == "stats") return RunStats(flags);
+  return Usage();
+}
