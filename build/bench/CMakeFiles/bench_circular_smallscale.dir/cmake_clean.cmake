@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_circular_smallscale.dir/bench_circular_smallscale.cc.o"
+  "CMakeFiles/bench_circular_smallscale.dir/bench_circular_smallscale.cc.o.d"
+  "bench_circular_smallscale"
+  "bench_circular_smallscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_circular_smallscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

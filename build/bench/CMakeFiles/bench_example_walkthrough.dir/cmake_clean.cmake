@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example_walkthrough.dir/bench_example_walkthrough.cc.o"
+  "CMakeFiles/bench_example_walkthrough.dir/bench_example_walkthrough.cc.o.d"
+  "bench_example_walkthrough"
+  "bench_example_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

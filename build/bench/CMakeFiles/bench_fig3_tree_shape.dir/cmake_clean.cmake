@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_tree_shape.dir/bench_fig3_tree_shape.cc.o"
+  "CMakeFiles/bench_fig3_tree_shape.dir/bench_fig3_tree_shape.cc.o.d"
+  "bench_fig3_tree_shape"
+  "bench_fig3_tree_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_tree_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

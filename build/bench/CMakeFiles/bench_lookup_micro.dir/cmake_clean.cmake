@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lookup_micro.dir/bench_lookup_micro.cc.o"
+  "CMakeFiles/bench_lookup_micro.dir/bench_lookup_micro.cc.o.d"
+  "bench_lookup_micro"
+  "bench_lookup_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lookup_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

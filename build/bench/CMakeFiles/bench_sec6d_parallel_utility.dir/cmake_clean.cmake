@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec6d_parallel_utility.dir/bench_sec6d_parallel_utility.cc.o"
+  "CMakeFiles/bench_sec6d_parallel_utility.dir/bench_sec6d_parallel_utility.cc.o.d"
+  "bench_sec6d_parallel_utility"
+  "bench_sec6d_parallel_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6d_parallel_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

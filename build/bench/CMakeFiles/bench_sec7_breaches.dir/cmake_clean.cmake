@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_breaches.dir/bench_sec7_breaches.cc.o"
+  "CMakeFiles/bench_sec7_breaches.dir/bench_sec7_breaches.cc.o.d"
+  "bench_sec7_breaches"
+  "bench_sec7_breaches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_breaches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

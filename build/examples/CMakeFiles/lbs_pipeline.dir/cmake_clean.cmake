@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbs_pipeline.dir/lbs_pipeline.cpp.o"
+  "CMakeFiles/lbs_pipeline.dir/lbs_pipeline.cpp.o.d"
+  "lbs_pipeline"
+  "lbs_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbs_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

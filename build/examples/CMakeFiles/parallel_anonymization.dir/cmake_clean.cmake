@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_anonymization.dir/parallel_anonymization.cpp.o"
+  "CMakeFiles/parallel_anonymization.dir/parallel_anonymization.cpp.o.d"
+  "parallel_anonymization"
+  "parallel_anonymization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_anonymization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasa_attack.dir/attack/auditor.cc.o"
+  "CMakeFiles/pasa_attack.dir/attack/auditor.cc.o.d"
+  "CMakeFiles/pasa_attack.dir/attack/pre.cc.o"
+  "CMakeFiles/pasa_attack.dir/attack/pre.cc.o.d"
+  "libpasa_attack.a"
+  "libpasa_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasa_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

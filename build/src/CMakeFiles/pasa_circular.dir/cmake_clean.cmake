@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasa_circular.dir/circular/candidates.cc.o"
+  "CMakeFiles/pasa_circular.dir/circular/candidates.cc.o.d"
+  "CMakeFiles/pasa_circular.dir/circular/exact_solver.cc.o"
+  "CMakeFiles/pasa_circular.dir/circular/exact_solver.cc.o.d"
+  "CMakeFiles/pasa_circular.dir/circular/greedy_solver.cc.o"
+  "CMakeFiles/pasa_circular.dir/circular/greedy_solver.cc.o.d"
+  "libpasa_circular.a"
+  "libpasa_circular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasa_circular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasa_common.dir/common/rng.cc.o"
+  "CMakeFiles/pasa_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/pasa_common.dir/common/stats.cc.o"
+  "CMakeFiles/pasa_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/pasa_common.dir/common/status.cc.o"
+  "CMakeFiles/pasa_common.dir/common/status.cc.o.d"
+  "CMakeFiles/pasa_common.dir/common/table.cc.o"
+  "CMakeFiles/pasa_common.dir/common/table.cc.o.d"
+  "CMakeFiles/pasa_common.dir/common/timer.cc.o"
+  "CMakeFiles/pasa_common.dir/common/timer.cc.o.d"
+  "libpasa_common.a"
+  "libpasa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pasa/anonymizer.cc" "src/CMakeFiles/pasa_core.dir/pasa/anonymizer.cc.o" "gcc" "src/CMakeFiles/pasa_core.dir/pasa/anonymizer.cc.o.d"
+  "/root/repo/src/pasa/bulk_dp_binary.cc" "src/CMakeFiles/pasa_core.dir/pasa/bulk_dp_binary.cc.o" "gcc" "src/CMakeFiles/pasa_core.dir/pasa/bulk_dp_binary.cc.o.d"
+  "/root/repo/src/pasa/bulk_dp_quad.cc" "src/CMakeFiles/pasa_core.dir/pasa/bulk_dp_quad.cc.o" "gcc" "src/CMakeFiles/pasa_core.dir/pasa/bulk_dp_quad.cc.o.d"
+  "/root/repo/src/pasa/configuration.cc" "src/CMakeFiles/pasa_core.dir/pasa/configuration.cc.o" "gcc" "src/CMakeFiles/pasa_core.dir/pasa/configuration.cc.o.d"
+  "/root/repo/src/pasa/extraction.cc" "src/CMakeFiles/pasa_core.dir/pasa/extraction.cc.o" "gcc" "src/CMakeFiles/pasa_core.dir/pasa/extraction.cc.o.d"
+  "/root/repo/src/pasa/incremental.cc" "src/CMakeFiles/pasa_core.dir/pasa/incremental.cc.o" "gcc" "src/CMakeFiles/pasa_core.dir/pasa/incremental.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pasa_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pasa_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pasa_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pasa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

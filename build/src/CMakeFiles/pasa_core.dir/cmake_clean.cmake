@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasa_core.dir/pasa/anonymizer.cc.o"
+  "CMakeFiles/pasa_core.dir/pasa/anonymizer.cc.o.d"
+  "CMakeFiles/pasa_core.dir/pasa/bulk_dp_binary.cc.o"
+  "CMakeFiles/pasa_core.dir/pasa/bulk_dp_binary.cc.o.d"
+  "CMakeFiles/pasa_core.dir/pasa/bulk_dp_quad.cc.o"
+  "CMakeFiles/pasa_core.dir/pasa/bulk_dp_quad.cc.o.d"
+  "CMakeFiles/pasa_core.dir/pasa/configuration.cc.o"
+  "CMakeFiles/pasa_core.dir/pasa/configuration.cc.o.d"
+  "CMakeFiles/pasa_core.dir/pasa/extraction.cc.o"
+  "CMakeFiles/pasa_core.dir/pasa/extraction.cc.o.d"
+  "CMakeFiles/pasa_core.dir/pasa/incremental.cc.o"
+  "CMakeFiles/pasa_core.dir/pasa/incremental.cc.o.d"
+  "libpasa_core.a"
+  "libpasa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasa_csp.dir/csp/server.cc.o"
+  "CMakeFiles/pasa_csp.dir/csp/server.cc.o.d"
+  "libpasa_csp.a"
+  "libpasa_csp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasa_csp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasa_geo.dir/geo/circle.cc.o"
+  "CMakeFiles/pasa_geo.dir/geo/circle.cc.o.d"
+  "CMakeFiles/pasa_geo.dir/geo/mbc.cc.o"
+  "CMakeFiles/pasa_geo.dir/geo/mbc.cc.o.d"
+  "CMakeFiles/pasa_geo.dir/geo/rect.cc.o"
+  "CMakeFiles/pasa_geo.dir/geo/rect.cc.o.d"
+  "libpasa_geo.a"
+  "libpasa_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasa_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasa_index.dir/index/binary_tree.cc.o"
+  "CMakeFiles/pasa_index.dir/index/binary_tree.cc.o.d"
+  "CMakeFiles/pasa_index.dir/index/morton.cc.o"
+  "CMakeFiles/pasa_index.dir/index/morton.cc.o.d"
+  "CMakeFiles/pasa_index.dir/index/quad_tree.cc.o"
+  "CMakeFiles/pasa_index.dir/index/quad_tree.cc.o.d"
+  "libpasa_index.a"
+  "libpasa_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasa_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

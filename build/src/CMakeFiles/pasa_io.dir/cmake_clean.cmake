@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasa_io.dir/io/csv.cc.o"
+  "CMakeFiles/pasa_io.dir/io/csv.cc.o.d"
+  "CMakeFiles/pasa_io.dir/io/svg.cc.o"
+  "CMakeFiles/pasa_io.dir/io/svg.cc.o.d"
+  "libpasa_io.a"
+  "libpasa_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasa_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasa_lbs.dir/lbs/poi.cc.o"
+  "CMakeFiles/pasa_lbs.dir/lbs/poi.cc.o.d"
+  "CMakeFiles/pasa_lbs.dir/lbs/provider.cc.o"
+  "CMakeFiles/pasa_lbs.dir/lbs/provider.cc.o.d"
+  "libpasa_lbs.a"
+  "libpasa_lbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasa_lbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasa_model.dir/model/anonymized_request.cc.o"
+  "CMakeFiles/pasa_model.dir/model/anonymized_request.cc.o.d"
+  "CMakeFiles/pasa_model.dir/model/cloaking.cc.o"
+  "CMakeFiles/pasa_model.dir/model/cloaking.cc.o.d"
+  "CMakeFiles/pasa_model.dir/model/location_database.cc.o"
+  "CMakeFiles/pasa_model.dir/model/location_database.cc.o.d"
+  "CMakeFiles/pasa_model.dir/model/service_request.cc.o"
+  "CMakeFiles/pasa_model.dir/model/service_request.cc.o.d"
+  "libpasa_model.a"
+  "libpasa_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasa_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

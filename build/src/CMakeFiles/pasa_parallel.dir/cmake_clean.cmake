@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasa_parallel.dir/parallel/master_policy.cc.o"
+  "CMakeFiles/pasa_parallel.dir/parallel/master_policy.cc.o.d"
+  "CMakeFiles/pasa_parallel.dir/parallel/partitioner.cc.o"
+  "CMakeFiles/pasa_parallel.dir/parallel/partitioner.cc.o.d"
+  "CMakeFiles/pasa_parallel.dir/parallel/runner.cc.o"
+  "CMakeFiles/pasa_parallel.dir/parallel/runner.cc.o.d"
+  "libpasa_parallel.a"
+  "libpasa_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasa_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/policies/casper.cc" "src/CMakeFiles/pasa_policies.dir/policies/casper.cc.o" "gcc" "src/CMakeFiles/pasa_policies.dir/policies/casper.cc.o.d"
+  "/root/repo/src/policies/find_mbc.cc" "src/CMakeFiles/pasa_policies.dir/policies/find_mbc.cc.o" "gcc" "src/CMakeFiles/pasa_policies.dir/policies/find_mbc.cc.o.d"
+  "/root/repo/src/policies/k_inside_binary.cc" "src/CMakeFiles/pasa_policies.dir/policies/k_inside_binary.cc.o" "gcc" "src/CMakeFiles/pasa_policies.dir/policies/k_inside_binary.cc.o.d"
+  "/root/repo/src/policies/k_inside_quad.cc" "src/CMakeFiles/pasa_policies.dir/policies/k_inside_quad.cc.o" "gcc" "src/CMakeFiles/pasa_policies.dir/policies/k_inside_quad.cc.o.d"
+  "/root/repo/src/policies/k_reciprocity.cc" "src/CMakeFiles/pasa_policies.dir/policies/k_reciprocity.cc.o" "gcc" "src/CMakeFiles/pasa_policies.dir/policies/k_reciprocity.cc.o.d"
+  "/root/repo/src/policies/k_sharing.cc" "src/CMakeFiles/pasa_policies.dir/policies/k_sharing.cc.o" "gcc" "src/CMakeFiles/pasa_policies.dir/policies/k_sharing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pasa_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pasa_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pasa_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pasa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasa_policies.dir/policies/casper.cc.o"
+  "CMakeFiles/pasa_policies.dir/policies/casper.cc.o.d"
+  "CMakeFiles/pasa_policies.dir/policies/find_mbc.cc.o"
+  "CMakeFiles/pasa_policies.dir/policies/find_mbc.cc.o.d"
+  "CMakeFiles/pasa_policies.dir/policies/k_inside_binary.cc.o"
+  "CMakeFiles/pasa_policies.dir/policies/k_inside_binary.cc.o.d"
+  "CMakeFiles/pasa_policies.dir/policies/k_inside_quad.cc.o"
+  "CMakeFiles/pasa_policies.dir/policies/k_inside_quad.cc.o.d"
+  "CMakeFiles/pasa_policies.dir/policies/k_reciprocity.cc.o"
+  "CMakeFiles/pasa_policies.dir/policies/k_reciprocity.cc.o.d"
+  "CMakeFiles/pasa_policies.dir/policies/k_sharing.cc.o"
+  "CMakeFiles/pasa_policies.dir/policies/k_sharing.cc.o.d"
+  "libpasa_policies.a"
+  "libpasa_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasa_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

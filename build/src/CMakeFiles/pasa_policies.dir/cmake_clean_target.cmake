@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpasa_policies.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/bay_area.cc" "src/CMakeFiles/pasa_workload.dir/workload/bay_area.cc.o" "gcc" "src/CMakeFiles/pasa_workload.dir/workload/bay_area.cc.o.d"
+  "/root/repo/src/workload/movement.cc" "src/CMakeFiles/pasa_workload.dir/workload/movement.cc.o" "gcc" "src/CMakeFiles/pasa_workload.dir/workload/movement.cc.o.d"
+  "/root/repo/src/workload/requests.cc" "src/CMakeFiles/pasa_workload.dir/workload/requests.cc.o" "gcc" "src/CMakeFiles/pasa_workload.dir/workload/requests.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pasa_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pasa_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pasa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

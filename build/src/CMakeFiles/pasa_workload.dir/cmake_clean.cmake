@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasa_workload.dir/workload/bay_area.cc.o"
+  "CMakeFiles/pasa_workload.dir/workload/bay_area.cc.o.d"
+  "CMakeFiles/pasa_workload.dir/workload/movement.cc.o"
+  "CMakeFiles/pasa_workload.dir/workload/movement.cc.o.d"
+  "CMakeFiles/pasa_workload.dir/workload/requests.cc.o"
+  "CMakeFiles/pasa_workload.dir/workload/requests.cc.o.d"
+  "libpasa_workload.a"
+  "libpasa_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasa_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breach_scenarios_test.dir/breach_scenarios_test.cc.o"
+  "CMakeFiles/breach_scenarios_test.dir/breach_scenarios_test.cc.o.d"
+  "breach_scenarios_test"
+  "breach_scenarios_test.pdb"
+  "breach_scenarios_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breach_scenarios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulkdp_test.dir/bulkdp_test.cc.o"
+  "CMakeFiles/bulkdp_test.dir/bulkdp_test.cc.o.d"
+  "bulkdp_test"
+  "bulkdp_test.pdb"
+  "bulkdp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulkdp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

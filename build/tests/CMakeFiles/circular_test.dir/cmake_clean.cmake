@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circular_test.dir/circular_test.cc.o"
+  "CMakeFiles/circular_test.dir/circular_test.cc.o.d"
+  "circular_test"
+  "circular_test.pdb"
+  "circular_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circular_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

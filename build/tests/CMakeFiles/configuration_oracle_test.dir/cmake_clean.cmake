@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/configuration_oracle_test.dir/configuration_oracle_test.cc.o"
+  "CMakeFiles/configuration_oracle_test.dir/configuration_oracle_test.cc.o.d"
+  "configuration_oracle_test"
+  "configuration_oracle_test.pdb"
+  "configuration_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/configuration_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

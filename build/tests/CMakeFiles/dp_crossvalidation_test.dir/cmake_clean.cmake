@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dp_crossvalidation_test.dir/dp_crossvalidation_test.cc.o"
+  "CMakeFiles/dp_crossvalidation_test.dir/dp_crossvalidation_test.cc.o.d"
+  "dp_crossvalidation_test"
+  "dp_crossvalidation_test.pdb"
+  "dp_crossvalidation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dp_crossvalidation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pasa_cli.dir/pasa_cli.cc.o"
+  "CMakeFiles/pasa_cli.dir/pasa_cli.cc.o.d"
+  "pasa_cli"
+  "pasa_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pasa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
