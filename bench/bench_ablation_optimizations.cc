@@ -178,5 +178,6 @@ int main() {
         "the paper credits to Casper but leaves out for simplicity) trims\n"
         "average cloak area on skewed data.\n");
   }
+  bench_util::WriteMetricsSnapshot("ablation_optimizations");
   return 0;
 }

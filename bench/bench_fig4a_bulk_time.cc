@@ -54,5 +54,6 @@ int main() {
       "\nExpected shape: each column grows linearly in |D|; more servers =>\n"
       "proportionally lower wall-clock (the paper reports <1 s for 1.75M on\n"
       "16 servers of 2005-era hardware).\n");
+  bench_util::WriteMetricsSnapshot("fig4a_bulk_time");
   return 0;
 }

@@ -42,5 +42,6 @@ int main() {
   table.Print();
   std::printf(
       "\nExpected shape: time grows quasi-linearly (sub-linearly) with k.\n");
+  bench_util::WriteMetricsSnapshot("fig4b_time_vs_k");
   return 0;
 }

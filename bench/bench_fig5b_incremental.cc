@@ -73,5 +73,6 @@ int main() {
       "\nExpected shape: incremental <= bulk everywhere; the gap closes as\n"
       "the moving fraction approaches ~5%% (most leaves go dirty and\n"
       "incremental degenerates into bulk re-anonymization).\n");
+  bench_util::WriteMetricsSnapshot("fig5b_incremental");
   return 0;
 }

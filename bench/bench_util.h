@@ -3,8 +3,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "workload/bay_area.h"
 
 namespace pasa {
@@ -39,6 +42,24 @@ inline size_t Scaled(size_t n) {
 inline void PrintHeader(const std::string& title) {
   std::printf("\n%s\n", title.c_str());
   std::printf("%s\n", std::string(title.size(), '=').c_str());
+}
+
+/// Writes the global observability snapshot to bench/out/<name>.metrics.json
+/// (relative to the working directory) so BENCH_*.json trajectories carry
+/// per-phase breakdowns alongside each harness's printed table. Call once at
+/// the end of a harness's main().
+inline void WriteMetricsSnapshot(const std::string& bench_name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench/out", ec);
+  const std::string path = "bench/out/" + bench_name + ".metrics.json";
+  const Status status =
+      obs::WriteJsonFile(obs::MetricsRegistry::Global(), path);
+  if (status.ok()) {
+    std::printf("\n[metrics snapshot: %s]\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "metrics snapshot failed: %s\n",
+                 status.ToString().c_str());
+  }
 }
 
 }  // namespace bench_util

@@ -4,10 +4,17 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+
 namespace pasa {
 namespace {
 
 AuditReport FromCounts(std::vector<size_t> counts) {
+  if (obs::Enabled()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("audit/audits_run").Increment();
+    registry.GetCounter("audit/rows_audited").Increment(counts.size());
+  }
   AuditReport report;
   report.possible_senders_per_row = std::move(counts);
   report.min_possible_senders =
@@ -59,24 +66,36 @@ std::vector<size_t> AuditReport::Breaches(int k) const {
       rows.push_back(i);
     }
   }
+  // Counts breaches per reporting call (Breaches may be invoked more than
+  // once on one report; each call represents one auditor decision).
+  obs::MetricsRegistry::Global().GetCounter("audit/breaches_found")
+      .Increment(rows.size());
   return rows;
 }
 
 AuditReport AuditPolicyAware(const CloakingTable& table) {
+  obs::MetricsRegistry::Global().GetCounter("audit/policy_aware_audits")
+      .Increment();
   return GroupAudit(RectsOf(table));
 }
 
 AuditReport AuditPolicyAware(const std::vector<Circle>& cloaks) {
+  obs::MetricsRegistry::Global().GetCounter("audit/policy_aware_audits")
+      .Increment();
   return GroupAudit(cloaks);
 }
 
 AuditReport AuditPolicyUnaware(const CloakingTable& table,
                                const LocationDatabase& db) {
+  obs::MetricsRegistry::Global().GetCounter("audit/policy_unaware_audits")
+      .Increment();
   return InsideAudit(RectsOf(table), db);
 }
 
 AuditReport AuditPolicyUnaware(const std::vector<Circle>& cloaks,
                                const LocationDatabase& db) {
+  obs::MetricsRegistry::Global().GetCounter("audit/policy_unaware_audits")
+      .Increment();
   return InsideAudit(cloaks, db);
 }
 

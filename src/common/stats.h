@@ -2,6 +2,7 @@
 #define PASA_COMMON_STATS_H_
 
 #include <cstddef>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -15,7 +16,10 @@ class RunningStats {
   void Add(double x);
 
   size_t count() const { return count_; }
+  /// Smallest observation so far; NaN before the first Add (a well-defined
+  /// "no data" sentinel — callers must not read 0.0 into an empty summary).
   double min() const { return min_; }
+  /// Largest observation so far; NaN before the first Add.
   double max() const { return max_; }
   double mean() const { return mean_; }
   /// Sample variance (n-1 denominator); 0 for fewer than two observations.
@@ -25,8 +29,8 @@ class RunningStats {
 
  private:
   size_t count_ = 0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  double min_ = std::numeric_limits<double>::quiet_NaN();
+  double max_ = std::numeric_limits<double>::quiet_NaN();
   double mean_ = 0.0;
   double m2_ = 0.0;
   double sum_ = 0.0;

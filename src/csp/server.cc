@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace pasa {
 
 CspServer::CspServer(CspOptions options, MapExtent extent,
@@ -40,16 +43,26 @@ void CspServer::RebuildUserIndex() {
 
 Result<std::vector<PointOfInterest>> CspServer::HandleRequest(
     const ServiceRequest& sr) {
+  static obs::Histogram& latency = obs::MetricsRegistry::Global().GetHistogram(
+      "csp/handle_request_seconds");
+  static obs::Counter& served =
+      obs::MetricsRegistry::Global().GetCounter("csp/requests_served");
+  static obs::Counter& rejected =
+      obs::MetricsRegistry::Global().GetCounter("csp/requests_rejected");
+  obs::ScopedHistogramTimer timer(latency);
+  obs::ScopedSpan span("csp/handle_request", obs::ScopedSpan::kRoot);
   const auto it = row_of_user_.find(sr.sender);
   if (it == row_of_user_.end() ||
       snapshot_.row(it->second).location != sr.location) {
     ++stats_.requests_rejected;
+    rejected.Increment();
     return Status::InvalidArgument(
         "service request is not valid w.r.t. the current snapshot");
   }
   const AnonymizedRequest ar{next_rid_++, policy_.table.cloak(it->second),
                              sr.params};
   ++stats_.requests_served;
+  served.Increment();
   return frontend_->Serve(ar);
 }
 
@@ -62,6 +75,7 @@ Status CspServer::RefreshPolicy() {
 
 Result<SnapshotReport> CspServer::AdvanceSnapshot(
     const std::vector<UserMove>& moves) {
+  obs::ScopedSpan span("csp/advance_snapshot", obs::ScopedSpan::kRoot);
   SnapshotReport report;
   report.moves_applied = moves.size();
 
@@ -82,18 +96,27 @@ Result<SnapshotReport> CspServer::AdvanceSnapshot(
 
   if (fraction > options_.rebuild_fraction) {
     // Bulk re-anonymization (Section VI-C: incremental degenerates anyway).
+    obs::ScopedSpan rebuild_span("rebuild");
     Result<IncrementalAnonymizer> rebuilt = IncrementalAnonymizer::Build(
         snapshot_, extent_, options_.k, options_.dp);
     if (!rebuilt.ok()) return rebuilt.status();
     *engine_ = std::move(*rebuilt);
     report.rebuilt = true;
     ++stats_.rebuilds;
+    obs::MetricsRegistry::Global().GetCounter("csp/snapshot/rebuilds")
+        .Increment();
   } else {
+    obs::ScopedSpan repair_span("repair");
     Result<size_t> repaired = engine_->ApplyMoves(moves);
     if (!repaired.ok()) return repaired.status();
     report.dp_rows_repaired = *repaired;
     ++stats_.incremental_updates;
+    obs::MetricsRegistry::Global()
+        .GetCounter("csp/snapshot/incremental_repairs")
+        .Increment();
   }
+  obs::MetricsRegistry::Global().GetCounter("csp/snapshot/moves_applied")
+      .Increment(moves.size());
   Status s = RefreshPolicy();
   if (!s.ok()) return s;
   report.policy_cost = policy_.cost;

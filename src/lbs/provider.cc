@@ -1,5 +1,8 @@
 #include "lbs/provider.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace pasa {
 
 std::vector<PointOfInterest> LbsProvider::Answer(
@@ -17,7 +20,35 @@ std::vector<PointOfInterest> LbsProvider::Answer(
 
 const std::vector<PointOfInterest>& CachingLbsFrontend::Serve(
     const AnonymizedRequest& ar) {
-  return cache_.GetOrFetch(ar, [&] { return provider_.Answer(ar); });
+  static obs::Histogram& latency =
+      obs::MetricsRegistry::Global().GetHistogram("lbs/serve_seconds");
+  static obs::Counter& hits =
+      obs::MetricsRegistry::Global().GetCounter("lbs/answer_cache/hits");
+  static obs::Counter& misses =
+      obs::MetricsRegistry::Global().GetCounter("lbs/answer_cache/misses");
+  obs::ScopedHistogramTimer timer(latency);
+  const size_t hits_before = cache_.stats().hits;
+  const auto& answer = cache_.GetOrFetch(ar, [&] {
+    // Nests under csp/handle_request when reached through the CSP.
+    obs::ScopedSpan miss_span("cache_miss");
+    return provider_.Answer(ar);
+  });
+  if (cache_.stats().hits > hits_before) {
+    hits.Increment();
+  } else {
+    misses.Increment();
+  }
+  return answer;
+}
+
+size_t CachingLbsFrontend::FlushAndBill() {
+  const size_t billable = cache_.Flush();
+  obs::MetricsRegistry::Global()
+      .GetCounter("lbs/answer_cache/billed_requests")
+      .Increment(billable);
+  obs::MetricsRegistry::Global().GetCounter("lbs/answer_cache/flushes")
+      .Increment();
+  return billable;
 }
 
 }  // namespace pasa

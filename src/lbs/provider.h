@@ -45,8 +45,9 @@ class CachingLbsFrontend {
   /// Serves `ar`, consulting the cache first.
   const std::vector<PointOfInterest>& Serve(const AnonymizedRequest& ar);
 
-  /// Flushes the cache and reports the billable request count to the LBS.
-  size_t FlushAndBill() { return cache_.Flush(); }
+  /// Flushes the cache and reports the billable request count to the LBS
+  /// (also exported as the lbs/answer_cache/billed_requests counter).
+  size_t FlushAndBill();
 
   const LbsProvider& provider() const { return provider_; }
   const AnswerCache<std::vector<PointOfInterest>>::Stats& cache_stats()

@@ -1,0 +1,237 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+
+#include "common/table.h"
+
+namespace pasa {
+namespace obs {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  std::string s = buf;
+  // JSON has no inf/nan literals; clamp to null-free safe strings.
+  if (s.find("inf") != std::string::npos ||
+      s.find("nan") != std::string::npos) {
+    return "0";
+  }
+  return s;
+}
+
+// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string PromName(const std::string& path) {
+  std::string out = "pasa_";
+  for (const char c : path) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+// Approximate quantile from cumulative bucket counts: the upper bound of the
+// first bucket whose cumulative count reaches q * total.
+double ApproxQuantile(const MetricsSnapshot::HistogramData& h, double q) {
+  if (h.count == 0) return 0.0;
+  const double target = q * static_cast<double>(h.count);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+    cumulative += h.bucket_counts[i];
+    if (static_cast<double>(cumulative) >= target) {
+      return i < h.upper_bounds.size() ? h.upper_bounds[i]
+                                       : h.upper_bounds.back();
+    }
+  }
+  return h.upper_bounds.empty() ? 0.0 : h.upper_bounds.back();
+}
+
+}  // namespace
+
+std::string ExportJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    AppendF(&out, "%s\n    \"%s\": %" PRIu64, first ? "" : ",",
+            JsonEscape(name).c_str(), value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    AppendF(&out, "%s\n    \"%s\": %s", first ? "" : ",",
+            JsonEscape(name).c_str(), JsonNumber(value).c_str());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    AppendF(&out, "%s\n    \"%s\": {\n      \"count\": %" PRIu64
+                  ",\n      \"sum\": %s,\n      \"buckets\": [",
+            first ? "" : ",", JsonEscape(name).c_str(), h.count,
+            JsonNumber(h.sum).c_str());
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      if (i < h.upper_bounds.size()) {
+        AppendF(&out, "{\"le\": %s, \"count\": %" PRIu64 "}",
+                JsonNumber(h.upper_bounds[i]).c_str(), h.bucket_counts[i]);
+      } else {
+        AppendF(&out, "{\"le\": \"+Inf\", \"count\": %" PRIu64 "}",
+                h.bucket_counts[i]);
+      }
+    }
+    out += "]\n    }";
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"spans\": {";
+  first = true;
+  for (const auto& [name, s] : snapshot.spans) {
+    AppendF(&out, "%s\n    \"%s\": {\"count\": %" PRIu64
+                  ", \"total_seconds\": %s, \"min_seconds\": %s, "
+                  "\"max_seconds\": %s}",
+            first ? "" : ",", JsonEscape(name).c_str(), s.count,
+            JsonNumber(s.total_seconds).c_str(),
+            JsonNumber(s.min_seconds).c_str(),
+            JsonNumber(s.max_seconds).c_str());
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = PromName(name);
+    AppendF(&out, "# TYPE %s counter\n", prom.c_str());
+    AppendF(&out, "%s %" PRIu64 "\n", prom.c_str(), value);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = PromName(name);
+    AppendF(&out, "# TYPE %s gauge\n", prom.c_str());
+    AppendF(&out, "%s %s\n", prom.c_str(), JsonNumber(value).c_str());
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string prom = PromName(name);
+    AppendF(&out, "# TYPE %s histogram\n", prom.c_str());
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      cumulative += h.bucket_counts[i];
+      if (i < h.upper_bounds.size()) {
+        AppendF(&out, "%s_bucket{le=\"%s\"} %" PRIu64 "\n", prom.c_str(),
+                JsonNumber(h.upper_bounds[i]).c_str(), cumulative);
+      } else {
+        AppendF(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", prom.c_str(),
+                cumulative);
+      }
+    }
+    AppendF(&out, "%s_sum %s\n", prom.c_str(), JsonNumber(h.sum).c_str());
+    AppendF(&out, "%s_count %" PRIu64 "\n", prom.c_str(), h.count);
+  }
+  if (!snapshot.spans.empty()) {
+    out += "# TYPE pasa_span_seconds_total counter\n";
+    for (const auto& [name, s] : snapshot.spans) {
+      AppendF(&out, "pasa_span_seconds_total{span=\"%s\"} %s\n", name.c_str(),
+              JsonNumber(s.total_seconds).c_str());
+    }
+    out += "# TYPE pasa_span_count counter\n";
+    for (const auto& [name, s] : snapshot.spans) {
+      AppendF(&out, "pasa_span_count{span=\"%s\"} %" PRIu64 "\n", name.c_str(),
+              s.count);
+    }
+  }
+  return out;
+}
+
+Status WriteJsonFile(const MetricsRegistry& registry,
+                     const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return Status::InvalidArgument("cannot open metrics file " + path);
+  }
+  file << ExportJson(registry.Snapshot());
+  file.close();
+  if (!file) return Status::Internal("failed writing metrics file " + path);
+  return Status::Ok();
+}
+
+std::string SummaryTable(const MetricsSnapshot& snapshot) {
+  TablePrinter table({"metric", "kind", "value"});
+  for (const auto& [name, s] : snapshot.spans) {
+    char value[128];
+    std::snprintf(value, sizeof(value), "%.3f s over %" PRIu64 " call(s)",
+                  s.total_seconds, s.count);
+    table.AddRow({name, "span", value});
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    char value[160];
+    std::snprintf(value, sizeof(value),
+                  "n=%" PRIu64 " mean=%.1f us p50<=%.1f us p99<=%.1f us",
+                  h.count,
+                  h.count ? h.sum / static_cast<double>(h.count) * 1e6 : 0.0,
+                  ApproxQuantile(h, 0.50) * 1e6, ApproxQuantile(h, 0.99) * 1e6);
+    table.AddRow({name, "histogram", value});
+  }
+  for (const auto& [name, value] : snapshot.counters) {
+    table.AddRow({name, "counter", std::to_string(value)});
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    table.AddRow({name, "gauge", buf});
+  }
+  return table.ToString();
+}
+
+}  // namespace obs
+}  // namespace pasa

@@ -1,0 +1,46 @@
+#ifndef PASA_OBS_EXPORT_H_
+#define PASA_OBS_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace pasa {
+namespace obs {
+
+/// Serializes a snapshot as structured JSON:
+///
+///   {
+///     "counters":   { "lbs/answer_cache/hits": 12, ... },
+///     "gauges":     { ... },
+///     "histograms": { "csp/handle_request_seconds":
+///                       { "count": N, "sum": S,
+///                         "buckets": [ {"le": 1e-06, "count": c}, ...,
+///                                      {"le": "+Inf", "count": c} ] }, ... },
+///     "spans":      { "bulk_dp/leaf_init":
+///                       { "count": N, "total_seconds": T,
+///                         "min_seconds": m, "max_seconds": M }, ... }
+///   }
+///
+/// Keys are emitted in sorted order, so output is deterministic.
+std::string ExportJson(const MetricsSnapshot& snapshot);
+
+/// Serializes a snapshot in the Prometheus text exposition format. Metric
+/// paths are sanitized ('/' and other non-[a-zA-Z0-9_] become '_') and
+/// prefixed with "pasa_"; histograms emit cumulative _bucket/_sum/_count
+/// series, spans emit _seconds_total and _count series with the original
+/// path as a {span="..."} label.
+std::string ExportPrometheus(const MetricsSnapshot& snapshot);
+
+/// Snapshots `registry` and writes the JSON export to `path`.
+Status WriteJsonFile(const MetricsRegistry& registry, const std::string& path);
+
+/// One-line-per-metric human dump of the most useful metrics (span totals,
+/// counters, histogram count/mean/p50-ish summaries) for CLI output.
+std::string SummaryTable(const MetricsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace pasa
+
+#endif  // PASA_OBS_EXPORT_H_

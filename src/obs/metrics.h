@@ -1,0 +1,186 @@
+#ifndef PASA_OBS_METRICS_H_
+#define PASA_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pasa {
+namespace obs {
+
+/// Process-wide switches for the observability layer.
+struct ObsOptions {
+  /// Runtime kill switch. When false, every Counter::Increment,
+  /// Gauge::Set, Histogram::Observe and ScopedSpan degenerates to one
+  /// relaxed atomic load plus a predictable branch, making the layer
+  /// near-zero-cost on instrumented hot paths (verified by
+  /// bench_obs_overhead).
+  bool enabled = true;
+};
+
+/// Installs `options` process-wide. Thread-safe; takes effect immediately
+/// for metric writes (a ScopedSpan that was already open when the layer was
+/// disabled finishes inert, and vice versa).
+void Configure(const ObsOptions& options);
+
+/// Current value of the runtime kill switch.
+bool Enabled();
+
+/// Monotonically increasing event count. All writes are relaxed atomics:
+/// exact under concurrency, no ordering guarantees with other metrics.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    if (!Enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) {
+    if (!Enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram (Prometheus style): one atomic count per bucket
+/// whose upper bound is given at construction, plus an implicit +Inf bucket,
+/// a total count and a sum. Bucket bounds are immutable after registration;
+/// GetHistogram ignores the bounds argument for an already-registered name.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  /// Records one observation (lock-free: a relaxed fetch_add per field).
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& upper_bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; index bounds_.size() is +Inf.
+  std::vector<uint64_t> bucket_counts() const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;  ///< sorted ascending
+  std::vector<std::atomic<uint64_t>> buckets_;  ///< bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Aggregate of every completed span (or recorded phase) with one path,
+/// e.g. "bulk_dp/temp_convolution". Min/max are maintained with CAS loops.
+class SpanStats {
+ public:
+  /// Folds `seconds` of work covering `count` units into the aggregate.
+  void Record(double seconds, uint64_t count = 1);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double total_seconds() const {
+    return total_seconds_.load(std::memory_order_relaxed);
+  }
+  /// NaN before the first Record.
+  double min_seconds() const;
+  double max_seconds() const;
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> total_seconds_{0.0};
+  std::atomic<bool> any_{false};
+  std::atomic<double> min_seconds_{0.0};
+  std::atomic<double> max_seconds_{0.0};
+};
+
+/// Default bucket bounds for latency histograms, in seconds: a 1-2-5 series
+/// from 1 microsecond to 10 seconds.
+const std::vector<double>& DefaultLatencyBuckets();
+
+/// Immutable copy of every registered metric, taken under the registry lock;
+/// what the exporters consume.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::vector<double> upper_bounds;
+    std::vector<uint64_t> bucket_counts;  ///< per-bucket; last is +Inf
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  struct SpanData {
+    uint64_t count = 0;
+    double total_seconds = 0.0;
+    double min_seconds = 0.0;
+    double max_seconds = 0.0;
+  };
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+  std::map<std::string, SpanData> spans;
+};
+
+/// Named registry of counters, gauges, histograms and span aggregates.
+///
+/// Get* calls are get-or-create under a mutex; the returned references stay
+/// valid for the registry's lifetime (Reset zeroes values but never
+/// deallocates), so hot paths should look a metric up once and reuse the
+/// reference:
+///
+///   static obs::Counter& hits =
+///       obs::MetricsRegistry::Global().GetCounter("lbs/answer_cache/hits");
+///   hits.Increment();
+///
+/// Metric names use '/'-separated paths; exporters sanitize them per format.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry all built-in instrumentation writes to.
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `upper_bounds` empty means DefaultLatencyBuckets(); ignored when the
+  /// name is already registered.
+  Histogram& GetHistogram(const std::string& name,
+                          std::vector<double> upper_bounds = {});
+  SpanStats& GetSpanStats(const std::string& path);
+
+  /// Folds an already-measured duration into the span aggregate for `path`
+  /// (the aggregated-phase alternative to ScopedSpan). No-op when disabled.
+  void RecordSpan(const std::string& path, double seconds, uint64_t count = 1);
+
+  /// Zeroes every registered metric. Registrations (names, bucket bounds)
+  /// and previously returned references remain valid.
+  void Reset();
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<SpanStats>> spans_;
+};
+
+}  // namespace obs
+}  // namespace pasa
+
+#endif  // PASA_OBS_METRICS_H_

@@ -1,0 +1,46 @@
+#include "obs/trace.h"
+
+#include <vector>
+
+namespace pasa {
+namespace obs {
+namespace {
+
+// Stack of full paths of the spans open on this thread, innermost last.
+thread_local std::vector<std::string> tls_span_stack;
+const std::string kEmptyPath;
+
+}  // namespace
+
+ScopedSpan::ScopedSpan(std::string_view name, Anchor anchor) {
+  if (!Enabled()) return;
+  active_ = true;
+  if (anchor == kNested && !tls_span_stack.empty()) {
+    path_.reserve(tls_span_stack.back().size() + 1 + name.size());
+    path_ = tls_span_stack.back();
+    path_ += '/';
+    path_ += name;
+  } else {
+    path_ = std::string(name);
+  }
+  tls_span_stack.push_back(path_);
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  tls_span_stack.pop_back();
+  // Record directly (not via RecordSpan) so a span that was open when the
+  // layer got disabled still reports its measured time.
+  MetricsRegistry::Global().GetSpanStats(path_).Record(seconds);
+}
+
+const std::string& CurrentSpanPath() {
+  return tls_span_stack.empty() ? kEmptyPath : tls_span_stack.back();
+}
+
+}  // namespace obs
+}  // namespace pasa

@@ -1,0 +1,77 @@
+#ifndef PASA_OBS_TRACE_H_
+#define PASA_OBS_TRACE_H_
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace pasa {
+namespace obs {
+
+/// RAII phase timer that folds its lifetime into the global registry's span
+/// aggregate. Spans nest per thread: a span opened while another is active
+/// on the same thread records under "<parent_path>/<name>", so
+///
+///   ScopedSpan outer("csp/advance_snapshot", ScopedSpan::kRoot);
+///   ScopedSpan inner("repair");   // records as csp/advance_snapshot/repair
+///
+/// Pass kRoot to anchor a span at the top level regardless of any enclosing
+/// span — used by subsystem entry points (e.g. "bulk_dp") whose exported
+/// names must be stable no matter which caller reached them.
+///
+/// A span constructed while the layer is disabled stays inert for its whole
+/// lifetime, even if the layer is re-enabled before it closes.
+class ScopedSpan {
+ public:
+  enum Anchor { kNested, kRoot };
+
+  explicit ScopedSpan(std::string_view name, Anchor anchor = kNested);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Full '/'-joined path this span records under (empty when inert).
+  const std::string& path() const { return path_; }
+
+ private:
+  bool active_ = false;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII latency sampler: observes its own lifetime (in seconds) into a
+/// histogram on destruction, covering every exit path of the enclosing
+/// scope. Inert when the layer is disabled at construction.
+class ScopedHistogramTimer {
+ public:
+  explicit ScopedHistogramTimer(Histogram& histogram)
+      : histogram_(histogram), active_(Enabled()) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedHistogramTimer() {
+    if (!active_) return;
+    histogram_.Observe(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count());
+  }
+  ScopedHistogramTimer(const ScopedHistogramTimer&) = delete;
+  ScopedHistogramTimer& operator=(const ScopedHistogramTimer&) = delete;
+
+ private:
+  Histogram& histogram_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Path of the innermost span currently open on this thread ("" if none).
+/// Exposed for tests and for instrumentation that wants to attach
+/// aggregated phases under the active span.
+const std::string& CurrentSpanPath();
+
+}  // namespace obs
+}  // namespace pasa
+
+#endif  // PASA_OBS_TRACE_H_

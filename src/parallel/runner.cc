@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <thread>
 
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pasa/extraction.h"
 
 namespace pasa {
@@ -48,13 +51,19 @@ Result<ParallelRunReport> RunPartitioned(const LocationDatabase& db,
   if (options.num_jurisdictions < 1) {
     return Status::InvalidArgument("need at least one jurisdiction");
   }
+  obs::ScopedSpan run_span("parallel/run", obs::ScopedSpan::kRoot);
   TreeOptions tree_options;
   tree_options.split_threshold = options.k;
+  std::unique_ptr<obs::ScopedSpan> partition_span;
+  if (obs::Enabled()) {
+    partition_span = std::make_unique<obs::ScopedSpan>("partition");
+  }
   Result<BinaryTree> tree = BinaryTree::Build(db, extent, tree_options);
   if (!tree.ok()) return tree.status();
 
   const std::vector<Jurisdiction> jurisdictions =
       GreedyPartition(*tree, options.k, options.num_jurisdictions);
+  partition_span.reset();
 
   ParallelRunReport report;
   report.master_table = CloakingTable(db.size());
@@ -110,6 +119,22 @@ Result<ParallelRunReport> RunPartitioned(const LocationDatabase& db,
     report.parallel_seconds = std::max(report.parallel_seconds, r.seconds);
     report.total_cpu_seconds += r.seconds;
     report.total_cost += r.cost;
+  }
+  if (obs::Enabled()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    obs::Histogram& per_jurisdiction =
+        registry.GetHistogram("parallel/jurisdiction_seconds");
+    for (const JurisdictionResult& r : report.jurisdictions) {
+      if (r.jurisdiction.users > 0) per_jurisdiction.Observe(r.seconds);
+    }
+    registry.GetCounter("parallel/runs").Increment();
+    registry.GetCounter("parallel/jurisdictions_run")
+        .Increment(jurisdictions.size());
+    registry.GetCounter("parallel/users_anonymized").Increment(db.size());
+    registry.GetGauge("parallel/last_wall_clock_seconds")
+        .Set(report.parallel_seconds);
+    registry.GetGauge("parallel/last_total_cpu_seconds")
+        .Set(report.total_cpu_seconds);
   }
   return report;
 }

@@ -1,5 +1,8 @@
 #include "pasa/anonymizer.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace pasa {
 
 Result<Anonymizer> Anonymizer::Build(const LocationDatabase& db,
@@ -12,12 +15,18 @@ Result<Anonymizer> Anonymizer::Build(const LocationDatabase& db,
   tree_options.max_depth = options.max_tree_depth;
   tree_options.orientation = options.orientation;
 
-  Result<BinaryTree> tree = BinaryTree::Build(db, extent, tree_options);
+  obs::ScopedSpan build_span("anonymizer/build", obs::ScopedSpan::kRoot);
+  Result<BinaryTree> tree = [&] {
+    obs::ScopedSpan tree_span("tree_build");
+    return BinaryTree::Build(db, extent, tree_options);
+  }();
   if (!tree.ok()) return tree.status();
   Result<DpMatrix> matrix = ComputeDpMatrix(*tree, options.k, options.dp);
   if (!matrix.ok()) return matrix.status();
-  Result<ExtractedPolicy> policy =
-      ExtractOptimalPolicy(*tree, *matrix, options.k);
+  Result<ExtractedPolicy> policy = [&] {
+    obs::ScopedSpan extract_span("extract_policy");
+    return ExtractOptimalPolicy(*tree, *matrix, options.k);
+  }();
   if (!policy.ok()) return policy.status();
 
   std::unordered_map<UserId, size_t> row_of_user;
@@ -50,6 +59,9 @@ Result<Rect> Anonymizer::CloakForUser(UserId user) const {
 }
 
 Result<AnonymizedRequest> Anonymizer::Anonymize(const ServiceRequest& sr) {
+  static obs::Histogram& latency = obs::MetricsRegistry::Global().GetHistogram(
+      "anonymizer/cloak_lookup_seconds");
+  obs::ScopedHistogramTimer timer(latency);
   const auto it = row_of_user_.find(sr.sender);
   if (it == row_of_user_.end()) {
     return Status::NotFound("sender not in the anonymized snapshot");

@@ -2,9 +2,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pasa {
 namespace {
+
+using ProfileClock = std::chrono::steady_clock;
+
+double SecondsSince(ProfileClock::time_point t0) {
+  return std::chrono::duration<double>(ProfileClock::now() - t0).count();
+}
 
 // Pass-up candidates of a row: the dense values [0..cap] plus d itself.
 // Appends (j, cost) pairs for one child's F set into `out` offset by `base`
@@ -47,7 +57,9 @@ DpRow ComputeLeafRow(const BinaryTree::Node& n, int k,
 // pairs. This is Algorithm 1 adapted to two children, before the temp-matrix
 // optimization; kept for the ablation benchmark.
 void FillDirect(const BinaryTree::Node& n, const DpRow& r1, const DpRow& r2,
-                uint32_t d1, uint32_t d2, int k, DpRow* row) {
+                uint32_t d1, uint32_t d2, int k, DpRow* row,
+                DpPhaseProfile* profile) {
+  const auto t0 = profile ? ProfileClock::now() : ProfileClock::time_point{};
   const Cost area = n.region.Area();
   std::vector<std::pair<uint32_t, Cost>> f1, f2;
   AppendShifted(r1, d1, 0, 0, &f1);
@@ -69,6 +81,7 @@ void FillDirect(const BinaryTree::Node& n, const DpRow& r1, const DpRow& r2,
     }
     row->dense[u] = best;
   }
+  if (profile) profile->direct_scan_seconds += SecondsSince(t0);
 }
 
 // Two-stage evaluation (Section V "From O(|B|(kh)^3) to O(|B|(kh)^2)"):
@@ -77,7 +90,9 @@ void FillDirect(const BinaryTree::Node& n, const DpRow& r1, const DpRow& r2,
 // j values are [0..cap1+cap2], d1+[0..cap2], [0..cap1]+d2 and d1+d2);
 // stage 2 derives every M[m][u] from g with a suffix-minimum sweep.
 void FillTwoStage(const BinaryTree::Node& n, const DpRow& r1, const DpRow& r2,
-                  uint32_t d1, uint32_t d2, int k, DpRow* row) {
+                  uint32_t d1, uint32_t d2, int k, DpRow* row,
+                  DpPhaseProfile* profile) {
+  auto t0 = profile ? ProfileClock::now() : ProfileClock::time_point{};
   const Cost area = n.region.Area();
   std::vector<std::pair<uint32_t, Cost>> g;
 
@@ -116,6 +131,10 @@ void FillTwoStage(const BinaryTree::Node& n, const DpRow& r1, const DpRow& r2,
     }
   }
   g.resize(w);
+  if (profile) {
+    profile->temp_convolution_seconds += SecondsSince(t0);
+    t0 = ProfileClock::now();
+  }
 
   // Suffix minima of g(j) + j*area, with the achieving j for bookkeeping.
   std::vector<Cost> suffix_cost(g.size() + 1, kInfiniteCost);
@@ -155,16 +174,25 @@ void FillTwoStage(const BinaryTree::Node& n, const DpRow& r1, const DpRow& r2,
     }
     row->dense[u] = best;
   }
+  if (profile) profile->suffix_sweep_seconds += SecondsSince(t0);
 }
 
 }  // namespace
 
 DpRow ComputeNodeRow(const BinaryTree& tree, int32_t node,
-                     const DpMatrix& matrix, int k,
-                     const DpOptions& options) {
+                     const DpMatrix& matrix, int k, const DpOptions& options,
+                     DpPhaseProfile* profile) {
   const BinaryTree::Node& n = tree.node(node);
   assert(n.live);
-  if (n.IsLeaf()) return ComputeLeafRow(n, k, options);
+  if (n.IsLeaf()) {
+    if (profile == nullptr) return ComputeLeafRow(n, k, options);
+    const auto t0 = ProfileClock::now();
+    DpRow row = ComputeLeafRow(n, k, options);
+    profile->leaf_init_seconds += SecondsSince(t0);
+    ++profile->leaf_rows;
+    profile->dense_cells += row.dense.size();
+    return row;
+  }
 
   const int32_t c1 = n.first_child;
   const int32_t c2 = n.first_child + 1;
@@ -176,13 +204,15 @@ DpRow ComputeNodeRow(const BinaryTree& tree, int32_t node,
 
   DpRow row;
   row.cap = ComputeCap(n.count, k, n.depth, options.lemma5_pruning);
+  if (profile) ++profile->internal_rows;
   if (!row.HasDense()) return row;
   row.dense.resize(row.cap + 1);
   if (options.two_stage) {
-    FillTwoStage(n, r1, r2, d1, d2, k, &row);
+    FillTwoStage(n, r1, r2, d1, d2, k, &row, profile);
   } else {
-    FillDirect(n, r1, r2, d1, d2, k, &row);
+    FillDirect(n, r1, r2, d1, d2, k, &row, profile);
   }
+  if (profile) profile->dense_cells += row.dense.size();
   return row;
 }
 
@@ -195,13 +225,34 @@ Result<DpMatrix> ComputeDpMatrix(const BinaryTree& tree, int k,
         "snapshot has " + std::to_string(total) + " users, fewer than k = " +
         std::to_string(k) + "; no policy-aware k-anonymous policy exists");
   }
+  obs::ScopedSpan span("bulk_dp", obs::ScopedSpan::kRoot);
+  DpPhaseProfile profile;
+  DpPhaseProfile* p = obs::Enabled() ? &profile : nullptr;
   DpMatrix matrix;
   matrix.rows.resize(tree.num_nodes());
   // Reverse index order: every child precedes its parent.
   for (size_t i = tree.num_nodes(); i-- > 0;) {
     const int32_t id = static_cast<int32_t>(i);
     if (!tree.node(id).live) continue;
-    matrix.rows[id] = ComputeNodeRow(tree, id, matrix, k, options);
+    matrix.rows[id] = ComputeNodeRow(tree, id, matrix, k, options, p);
+  }
+  if (p != nullptr) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.RecordSpan("bulk_dp/leaf_init", p->leaf_init_seconds,
+                        p->leaf_rows);
+    if (options.two_stage) {
+      registry.RecordSpan("bulk_dp/temp_convolution",
+                          p->temp_convolution_seconds, p->internal_rows);
+      registry.RecordSpan("bulk_dp/suffix_sweep", p->suffix_sweep_seconds,
+                          p->internal_rows);
+    } else {
+      registry.RecordSpan("bulk_dp/direct_scan", p->direct_scan_seconds,
+                          p->internal_rows);
+    }
+    registry.GetCounter("bulk_dp/runs").Increment();
+    registry.GetCounter("bulk_dp/rows_computed")
+        .Increment(p->leaf_rows + p->internal_rows);
+    registry.GetCounter("bulk_dp/dense_cells").Increment(p->dense_cells);
   }
   return matrix;
 }

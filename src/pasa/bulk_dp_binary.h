@@ -49,6 +49,21 @@ struct DpRow {
   }
 };
 
+/// Per-phase wall clock accumulated while filling DP rows, reported by the
+/// observability layer as "bulk_dp/*" spans. Plain (non-atomic) fields: each
+/// DP run profiles into its own instance. Only the phases the selected
+/// DpOptions actually execute accumulate time (two-stage fills
+/// temp_convolution/suffix_sweep, the direct variant fills direct_scan).
+struct DpPhaseProfile {
+  double leaf_init_seconds = 0.0;         ///< leaf rows (clause (i)/(ii))
+  double temp_convolution_seconds = 0.0;  ///< two-stage stage 1: temp matrix
+  double suffix_sweep_seconds = 0.0;      ///< two-stage stage 2 + suffix minima
+  double direct_scan_seconds = 0.0;       ///< un-staged direct evaluation
+  uint64_t leaf_rows = 0;
+  uint64_t internal_rows = 0;
+  uint64_t dense_cells = 0;  ///< dense DP entries materialized
+};
+
 /// The full configuration matrix M of algorithm Bulk_dp, one row per tree
 /// node (dead nodes have empty rows).
 struct DpMatrix {
@@ -70,8 +85,10 @@ Result<DpMatrix> ComputeDpMatrix(const BinaryTree& tree, int k,
 /// Recomputes the row of a single node from its (already computed) child
 /// rows — the unit of work shared by the bulk computation above and by
 /// incremental maintenance (Section IV "Incremental Maintenance of M").
+/// A non-null `profile` accumulates per-phase timings (obs layer).
 DpRow ComputeNodeRow(const BinaryTree& tree, int32_t node,
-                     const DpMatrix& matrix, int k, const DpOptions& options);
+                     const DpMatrix& matrix, int k, const DpOptions& options,
+                     DpPhaseProfile* profile = nullptr);
 
 }  // namespace pasa
 

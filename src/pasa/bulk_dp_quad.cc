@@ -1,9 +1,18 @@
 #include "pasa/bulk_dp_quad.h"
 
 #include <cassert>
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace pasa {
 namespace {
+
+double QuadSecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 // F(m) of Algorithm 1 line 13: [0..d-k] and d itself, with the cost of each
 // choice.
@@ -182,6 +191,7 @@ JointPassUp Combine(const std::vector<std::pair<uint32_t, Cost>>& a,
 }  // namespace
 
 Result<Cost> OptimalQuadCostFast(const QuadTree& tree, int k) {
+  obs::ScopedSpan span("bulk_dp_quad/fast_cost", obs::ScopedSpan::kRoot);
   if (k < 1) return Status::InvalidArgument("k must be >= 1");
   const uint32_t total = tree.node(QuadTree::kRootId).count;
   if (total == 0) return Cost{0};
@@ -297,13 +307,36 @@ Result<QuadDpMatrix> ComputeQuadDpMatrix(const QuadTree& tree, int k) {
   if (total > 0 && total < static_cast<uint32_t>(k)) {
     return Status::Infeasible("snapshot has fewer than k users");
   }
+  obs::ScopedSpan span("bulk_dp_quad", obs::ScopedSpan::kRoot);
+  const bool profiling = obs::Enabled();
+  double leaf_seconds = 0.0, internal_seconds = 0.0;
+  uint64_t leaf_rows = 0, internal_rows = 0;
   QuadDpMatrix matrix;
   matrix.rows.resize(tree.num_nodes());
   for (size_t i = tree.num_nodes(); i-- > 0;) {
     const QuadTree::Node& n = tree.node(static_cast<int32_t>(i));
-    matrix.rows[i] = n.IsLeaf()
-                         ? ComputeLeafRow(n, k)
-                         : ComputeInternalRow(tree, matrix, n, k);
+    if (!profiling) {
+      matrix.rows[i] = n.IsLeaf() ? ComputeLeafRow(n, k)
+                                  : ComputeInternalRow(tree, matrix, n, k);
+      continue;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    if (n.IsLeaf()) {
+      matrix.rows[i] = ComputeLeafRow(n, k);
+      leaf_seconds += QuadSecondsSince(t0);
+      ++leaf_rows;
+    } else {
+      matrix.rows[i] = ComputeInternalRow(tree, matrix, n, k);
+      internal_seconds += QuadSecondsSince(t0);
+      ++internal_rows;
+    }
+  }
+  if (profiling) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.RecordSpan("bulk_dp_quad/leaf_init", leaf_seconds, leaf_rows);
+    registry.RecordSpan("bulk_dp_quad/internal_rows", internal_seconds,
+                        internal_rows);
+    registry.GetCounter("bulk_dp_quad/runs").Increment();
   }
   return matrix;
 }

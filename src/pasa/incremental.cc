@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace pasa {
 
 Result<IncrementalAnonymizer> IncrementalAnonymizer::Build(
@@ -19,6 +22,7 @@ Result<IncrementalAnonymizer> IncrementalAnonymizer::Build(
 
 Result<size_t> IncrementalAnonymizer::ApplyMoves(
     const std::vector<UserMove>& moves) {
+  obs::ScopedSpan span("incremental/repair", obs::ScopedSpan::kRoot);
   std::vector<int32_t> dirty;
   dirty.reserve(moves.size() * 48);
   for (const UserMove& move : moves) {
@@ -47,6 +51,12 @@ Result<size_t> IncrementalAnonymizer::ApplyMoves(
     }
     matrix_.rows[id] = ComputeNodeRow(tree_, id, matrix_, k_, dp_options_);
     ++recomputed;
+  }
+  if (obs::Enabled()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("incremental/moves_applied").Increment(moves.size());
+    registry.GetCounter("incremental/rows_recomputed").Increment(recomputed);
+    registry.GetCounter("incremental/repairs").Increment();
   }
   return recomputed;
 }

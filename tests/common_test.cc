@@ -144,11 +144,40 @@ TEST(StatsTest, VarianceOfSingletonIsZero) {
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
 }
 
+TEST(StatsTest, EmptyRunningStatsHasNanExtremes) {
+  const RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(StatsTest, FirstAddReplacesNanExtremes) {
+  RunningStats s;
+  s.Add(-3.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), -3.0);
+}
+
 TEST(StatsTest, PercentileInterpolates) {
   EXPECT_DOUBLE_EQ(Percentile({1, 2, 3, 4}, 50), 2.5);
   EXPECT_DOUBLE_EQ(Percentile({4, 1, 3, 2}, 0), 1.0);
   EXPECT_DOUBLE_EQ(Percentile({4, 1, 3, 2}, 100), 4.0);
   EXPECT_DOUBLE_EQ(Percentile({}, 50), 0.0);
+}
+
+TEST(StatsTest, PercentileEdgeCases) {
+  // Empty input: 0 regardless of p.
+  EXPECT_DOUBLE_EQ(Percentile({}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 100), 0.0);
+  // Single element: every percentile is that element.
+  EXPECT_DOUBLE_EQ(Percentile({9.5}, 0), 9.5);
+  EXPECT_DOUBLE_EQ(Percentile({9.5}, 37), 9.5);
+  EXPECT_DOUBLE_EQ(Percentile({9.5}, 100), 9.5);
+  // Out-of-range p clamps to the extremes.
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3}, -10), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile({1, 2, 3}, 250), 3.0);
 }
 
 TEST(StatsTest, ThousandsSeparators) {

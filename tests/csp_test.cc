@@ -5,6 +5,7 @@
 
 #include "attack/auditor.h"
 #include "csp/server.h"
+#include "obs/metrics.h"
 #include "workload/bay_area.h"
 #include "workload/movement.h"
 #include "workload/requests.h"
@@ -86,6 +87,43 @@ TEST(CspServerTest, CacheShieldsTheLbsFromDuplicates) {
   EXPECT_EQ(csp->lbs_requests_seen(), 1u);
   // Billing still accounts for all 20.
   EXPECT_EQ(csp->FlushAnswerCache(), 20u);
+}
+
+TEST(CspServerTest, AnswerCacheCountersMatchServerAccounting) {
+  obs::Configure(obs::ObsOptions{.enabled = true});
+  obs::MetricsRegistry::Global().Reset();
+  const BayAreaGenerator gen(SmallBay());
+  LocationDatabase db = gen.Generate(500);
+  CspOptions options;
+  options.k = 10;
+  Result<CspServer> csp = CspServer::Start(db, gen.extent(),
+                                           SomePois(gen.extent(), 300),
+                                           options);
+  ASSERT_TRUE(csp.ok());
+
+  // A mix of repeats (same user, same query) and distinct queries.
+  const ServiceRequest repeated{db.row(0).user, db.row(0).location,
+                                {{"poi", "rest"}}};
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(csp->HandleRequest(repeated).ok());
+  RequestGenerator requests(11);
+  for (const ServiceRequest& sr : requests.Draw(db, 50)) {
+    ASSERT_TRUE(csp->HandleRequest(sr).ok());
+  }
+
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  ASSERT_EQ(snapshot.counters.count("lbs/answer_cache/hits"), 1u);
+  ASSERT_EQ(snapshot.counters.count("lbs/answer_cache/misses"), 1u);
+  const uint64_t hits = snapshot.counters.at("lbs/answer_cache/hits");
+  const uint64_t misses = snapshot.counters.at("lbs/answer_cache/misses");
+  // Every cache miss is exactly one request the LBS saw, and every served
+  // request was either a hit or a miss.
+  EXPECT_EQ(misses, csp->lbs_requests_seen());
+  EXPECT_EQ(hits + misses, csp->stats().requests_served);
+  EXPECT_EQ(csp->stats().requests_served, 60u);
+  EXPECT_GE(hits, 9u);  // the 9 repeats after the first are hits at minimum
+  EXPECT_EQ(snapshot.counters.at("csp/requests_served"),
+            csp->stats().requests_served);
 }
 
 TEST(CspServerTest, SnapshotAdvanceChoosesIncrementalOrRebuild) {

@@ -1,0 +1,225 @@
+// Unit tests for the observability layer: metric primitives, the global
+// registry, hierarchical span tracing, the runtime kill switch and the
+// JSON / Prometheus exporters.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pasa {
+namespace obs {
+namespace {
+
+// Every test runs against the process-wide registry and kill switch, so
+// start each one enabled and zeroed.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Configure(ObsOptions{.enabled = true});
+    MetricsRegistry::Global().Reset();
+  }
+  void TearDown() override { Configure(ObsOptions{.enabled = true}); }
+};
+
+TEST_F(ObsTest, CounterIncrements) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.Increment();
+  counter.Increment(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST_F(ObsTest, CounterIsExactUnderConcurrency) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.value(), static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+TEST_F(ObsTest, GaugeLastWriteWins) {
+  Gauge gauge;
+  gauge.Set(1.5);
+  gauge.Set(-2.25);
+  EXPECT_DOUBLE_EQ(gauge.value(), -2.25);
+}
+
+TEST_F(ObsTest, HistogramBucketSemantics) {
+  Histogram h({1.0, 2.0, 5.0});
+  // A value equal to an upper bound lands in that bucket (le semantics).
+  h.Observe(0.5);   // bucket le=1
+  h.Observe(1.0);   // bucket le=1
+  h.Observe(1.5);   // bucket le=2
+  h.Observe(5.0);   // bucket le=5
+  h.Observe(99.0);  // +Inf bucket
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 5.0 + 99.0);
+  const std::vector<uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + implicit +Inf
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST_F(ObsTest, RegistryDefaultsHistogramBucketsAndKeepsFirstBounds) {
+  auto& registry = MetricsRegistry::Global();
+  Histogram& defaulted = registry.GetHistogram("obs_test/defaulted");
+  EXPECT_EQ(defaulted.upper_bounds(), DefaultLatencyBuckets());
+  Histogram& custom = registry.GetHistogram("obs_test/custom", {1.0, 2.0});
+  // Bounds are fixed at first registration; later lookups ignore them.
+  Histogram& again = registry.GetHistogram("obs_test/custom", {7.0});
+  EXPECT_EQ(&custom, &again);
+  EXPECT_EQ(again.upper_bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST_F(ObsTest, SpanStatsTracksExtremes) {
+  SpanStats stats;
+  EXPECT_TRUE(std::isnan(stats.min_seconds()));
+  EXPECT_TRUE(std::isnan(stats.max_seconds()));
+  stats.Record(0.25);
+  stats.Record(0.75, 3);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.total_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.min_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(stats.max_seconds(), 0.75);
+}
+
+TEST_F(ObsTest, ScopedSpanNestsPaths) {
+  {
+    ScopedSpan outer("outer", ScopedSpan::kRoot);
+    EXPECT_EQ(outer.path(), "outer");
+    EXPECT_EQ(CurrentSpanPath(), "outer");
+    {
+      ScopedSpan inner("inner");
+      EXPECT_EQ(inner.path(), "outer/inner");
+      EXPECT_EQ(CurrentSpanPath(), "outer/inner");
+      // A kRoot span ignores the enclosing stack.
+      ScopedSpan rooted("rooted", ScopedSpan::kRoot);
+      EXPECT_EQ(rooted.path(), "rooted");
+    }
+    EXPECT_EQ(CurrentSpanPath(), "outer");
+  }
+  EXPECT_EQ(CurrentSpanPath(), "");
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  ASSERT_EQ(snapshot.spans.count("outer"), 1u);
+  ASSERT_EQ(snapshot.spans.count("outer/inner"), 1u);
+  ASSERT_EQ(snapshot.spans.count("rooted"), 1u);
+  EXPECT_EQ(snapshot.spans.at("outer").count, 1u);
+  EXPECT_GE(snapshot.spans.at("outer").total_seconds,
+            snapshot.spans.at("outer/inner").total_seconds);
+}
+
+TEST_F(ObsTest, ScopedHistogramTimerObservesLifetime) {
+  Histogram& h = MetricsRegistry::Global().GetHistogram("obs_test/timer");
+  { ScopedHistogramTimer timer(h); }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+}
+
+TEST_F(ObsTest, DisabledModeIsInert) {
+  auto& registry = MetricsRegistry::Global();
+  Counter& counter = registry.GetCounter("obs_test/disabled_counter");
+  Gauge& gauge = registry.GetGauge("obs_test/disabled_gauge");
+  Histogram& histogram = registry.GetHistogram("obs_test/disabled_histogram");
+
+  Configure(ObsOptions{.enabled = false});
+  EXPECT_FALSE(Enabled());
+  counter.Increment(100);
+  gauge.Set(3.5);
+  histogram.Observe(1.0);
+  registry.RecordSpan("obs_test/disabled_phase", 1.0);
+  {
+    ScopedSpan span("obs_test/disabled_span", ScopedSpan::kRoot);
+    EXPECT_EQ(span.path(), "");  // inert: no path, no stack entry
+    EXPECT_EQ(CurrentSpanPath(), "");
+  }
+  Configure(ObsOptions{.enabled = true});
+
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.0);
+  EXPECT_EQ(histogram.count(), 0u);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.spans.count("obs_test/disabled_phase"), 0u);
+  EXPECT_EQ(snapshot.spans.count("obs_test/disabled_span"), 0u);
+}
+
+TEST_F(ObsTest, ResetZeroesButKeepsReferences) {
+  auto& registry = MetricsRegistry::Global();
+  Counter& counter = registry.GetCounter("obs_test/reset_me");
+  counter.Increment(7);
+  registry.Reset();
+  EXPECT_EQ(counter.value(), 0u);
+  // Same object is returned after Reset, and it still works.
+  EXPECT_EQ(&registry.GetCounter("obs_test/reset_me"), &counter);
+  counter.Increment();
+  EXPECT_EQ(counter.value(), 1u);
+}
+
+TEST_F(ObsTest, JsonExportRoundTrip) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("obs_test/hits").Increment(3);
+  registry.GetGauge("obs_test/load").Set(0.5);
+  registry.GetHistogram("obs_test/lat", {0.1, 1.0}).Observe(0.05);
+  registry.RecordSpan("obs_test/phase", 2.0, 4);
+
+  const std::string json = ExportJson(registry.Snapshot());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test/hits\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test/load\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\": \"+Inf\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs_test/phase\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_seconds\": 2"), std::string::npos);
+  // Deterministic: same snapshot serializes identically.
+  EXPECT_EQ(json, ExportJson(registry.Snapshot()));
+}
+
+TEST_F(ObsTest, PrometheusExportSanitizesAndCumulates) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("obs_test/hits").Increment(3);
+  Histogram& h = registry.GetHistogram("obs_test/lat_seconds", {0.1, 1.0});
+  h.Observe(0.05);
+  h.Observe(0.5);
+  registry.RecordSpan("obs_test/phase", 2.0);
+
+  const std::string text = ExportPrometheus(registry.Snapshot());
+  // Counter: sanitized, prefixed, typed.
+  EXPECT_NE(text.find("# TYPE pasa_obs_test_hits counter"), std::string::npos);
+  EXPECT_NE(text.find("pasa_obs_test_hits 3"), std::string::npos);
+  // Histogram buckets are cumulative: le="1" covers both observations.
+  EXPECT_NE(text.find("pasa_obs_test_lat_seconds_bucket{le=\"0.1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("pasa_obs_test_lat_seconds_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("pasa_obs_test_lat_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("pasa_obs_test_lat_seconds_count 2"), std::string::npos);
+  // Spans keep the original path as a label.
+  EXPECT_NE(text.find("pasa_span_seconds_total{span=\"obs_test/phase\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("pasa_span_count{span=\"obs_test/phase\"} 1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pasa

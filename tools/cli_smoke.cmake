@@ -12,13 +12,34 @@ endfunction()
 set(LOC ${WORK_DIR}/cli_smoke_locations.csv)
 set(OPT ${WORK_DIR}/cli_smoke_opt.csv)
 set(CASPER ${WORK_DIR}/cli_smoke_casper.csv)
+set(METRICS ${WORK_DIR}/cli_smoke_metrics.json)
 
 run_or_die(0 ${CLI} generate --n 3000 --seed 7 --map-log2-side 13 --out ${LOC})
 run_or_die(0 ${CLI} stats --in ${LOC} --k 20)
 
 # The policy-aware optimum passes the audit...
-run_or_die(0 ${CLI} anonymize --in ${LOC} --k 20 --out ${OPT} --algorithm opt)
+run_or_die(0 ${CLI} anonymize --in ${LOC} --k 20 --out ${OPT} --algorithm opt
+           --metrics-out ${METRICS})
 run_or_die(0 ${CLI} audit --locations ${LOC} --cloaks ${OPT} --k 20)
+
+# The observability snapshot must exist and contain the per-phase DP spans,
+# the request-path latency histograms and the answer-cache counters.
+if(NOT EXISTS ${METRICS})
+  message(FATAL_ERROR "anonymize --metrics-out did not write ${METRICS}")
+endif()
+file(READ ${METRICS} metrics_json)
+foreach(required_key
+        "\"counters\"" "\"gauges\"" "\"histograms\"" "\"spans\""
+        "\"bulk_dp/leaf_init\"" "\"bulk_dp/temp_convolution\""
+        "\"bulk_dp/suffix_sweep\"" "\"anonymizer/cloak_lookup_seconds\""
+        "\"lbs/serve_seconds\"" "\"lbs/answer_cache/hits\""
+        "\"lbs/answer_cache/misses\"")
+  string(FIND "${metrics_json}" "${required_key}" key_at)
+  if(key_at EQUAL -1)
+    message(FATAL_ERROR "metrics JSON is missing ${required_key}:\n"
+                        "${metrics_json}")
+  endif()
+endforeach()
 
 # ...while the Casper baseline is expected to be flagged (exit code 3:
 # k-inside policies are not policy-aware k-anonymous in general).
@@ -31,4 +52,4 @@ run_or_die(2 ${CLI})
 run_or_die(2 ${CLI} anonymize --in ${LOC})
 run_or_die(1 ${CLI} anonymize --in /no/such.csv --k 5 --out ${OPT})
 
-file(REMOVE ${LOC} ${OPT} ${CASPER})
+file(REMOVE ${LOC} ${OPT} ${CASPER} ${METRICS})

@@ -6,8 +6,15 @@
 //   pasa_cli audit     --locations locations.csv --cloaks cloaks.csv --k 50
 //   pasa_cli stats     --in locations.csv [--k 50]
 //
+// Every subcommand additionally accepts --metrics-out <file.json>, which
+// writes the process-wide observability snapshot (per-phase bulk_dp spans,
+// latency histograms, answer-cache counters; see docs/observability.md) as
+// structured JSON on exit. anonymize and audit also print a human-readable
+// metrics dump.
+//
 // CSV formats are documented in src/io/csv.h.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -15,11 +22,16 @@
 #include <string>
 
 #include "attack/auditor.h"
+#include "common/rng.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "common/timer.h"
 #include "index/binary_tree.h"
 #include "io/csv.h"
+#include "lbs/poi.h"
+#include "lbs/provider.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "pasa/anonymizer.h"
 #include "policies/casper.h"
 #include "policies/k_inside_binary.h"
@@ -69,8 +81,46 @@ int Usage() {
       "  pasa_cli anonymize --in F --k K --out F2 [--algorithm "
       "opt|casper|puq|pub]\n"
       "  pasa_cli audit     --locations F --cloaks F2 --k K\n"
-      "  pasa_cli stats     --in F [--k K]\n");
+      "  pasa_cli stats     --in F [--k K]\n"
+      "every subcommand also accepts --metrics-out FILE.json (observability "
+      "snapshot)\n");
   return 2;
+}
+
+void PrintMetricsDump() {
+  std::printf("\nmetrics:\n%s",
+              obs::SummaryTable(obs::MetricsRegistry::Global().Snapshot())
+                  .c_str());
+}
+
+// Exercises the Section VII per-request path against the freshly built
+// policy: samples senders, anonymizes each request, and serves it through
+// the deduplicating answer cache backed by a synthetic POI set. Populates
+// the cloak-lookup / serve latency histograms and answer-cache counters so
+// `anonymize --metrics-out` captures the full pipeline, not just Bulk_dp.
+void ServeSampleRequests(Anonymizer& engine, const LocationDatabase& db,
+                         const MapExtent& extent) {
+  if (db.size() == 0) return;
+  Rng rng(42);
+  std::vector<PointOfInterest> pois;
+  constexpr size_t kNumPois = 256;
+  pois.reserve(kNumPois);
+  for (size_t i = 0; i < kNumPois; ++i) {
+    pois.push_back(PointOfInterest{
+        static_cast<int64_t>(i),
+        Point{static_cast<Coord>(rng.NextBounded(extent.side())),
+              static_cast<Coord>(rng.NextBounded(extent.side()))},
+        "poi"});
+  }
+  CachingLbsFrontend frontend(LbsProvider(PoiDatabase(std::move(pois)), 10));
+  const size_t samples = std::min<size_t>(db.size(), 2000);
+  const size_t stride = std::max<size_t>(1, db.size() / samples);
+  for (size_t row = 0; row < db.size(); row += stride) {
+    const ServiceRequest sr{db.row(row).user, db.row(row).location,
+                            {{"poi", "poi"}}};
+    Result<AnonymizedRequest> ar = engine.Anonymize(sr);
+    if (ar.ok()) frontend.Serve(*ar);
+  }
 }
 
 int RunGenerate(const Flags& flags) {
@@ -101,7 +151,8 @@ int RunAnonymize(const Flags& flags) {
   const std::string algorithm = flags.GetString("algorithm", "opt");
   std::unique_ptr<BulkPolicyAlgorithm> policy;
   if (algorithm == "opt") {
-    policy = std::make_unique<PolicyAwareOptimumAlgorithm>(*extent);
+    // Handled below: the optimum path keeps the engine alive so the
+    // per-request simulation can reuse the extracted policy.
   } else if (algorithm == "casper") {
     policy = std::make_unique<CasperPolicy>(*extent);
   } else if (algorithm == "puq") {
@@ -113,18 +164,34 @@ int RunAnonymize(const Flags& flags) {
   }
 
   WallTimer timer;
-  Result<CloakingTable> table = policy->Cloak(*db, k);
-  if (!table.ok()) return Fail(table.status());
+  std::unique_ptr<Anonymizer> engine;
+  std::string algorithm_name;
+  Result<CloakingTable> table = Status::Internal("unset");
+  if (algorithm == "opt") {
+    AnonymizerOptions engine_options;
+    engine_options.k = k;
+    Result<Anonymizer> built = Anonymizer::Build(*db, *extent, engine_options);
+    if (!built.ok()) return Fail(built.status());
+    engine = std::make_unique<Anonymizer>(std::move(*built));
+    table = engine->policy();
+    algorithm_name = "PolicyAware-OPT";
+  } else {
+    table = policy->Cloak(*db, k);
+    if (!table.ok()) return Fail(table.status());
+    algorithm_name = policy->name();
+  }
   const double seconds = timer.ElapsedSeconds();
   Status s = SaveCloakingCsv(*db, *table, flags.GetString("out"));
   if (!s.ok()) return Fail(s);
   std::printf(
       "%s cloaked %s users at k=%d in %.3f s (total cost %s, avg area "
       "%.0f)\n",
-      policy->name().c_str(),
+      algorithm_name.c_str(),
       WithThousandsSeparators(static_cast<int64_t>(db->size())).c_str(), k,
       seconds, WithThousandsSeparators(table->TotalCost()).c_str(),
       table->AverageArea());
+  if (engine != nullptr) ServeSampleRequests(*engine, *db, *extent);
+  PrintMetricsDump();
   return 0;
 }
 
@@ -163,6 +230,7 @@ int RunAudit(const Flags& flags) {
                 "attacker.\n",
                 breaches);
   }
+  PrintMetricsDump();
   return masking && aware.Anonymous(k) ? 0 : 3;
 }
 
@@ -200,9 +268,25 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   const Flags flags(argc, argv, 2);
-  if (command == "generate") return RunGenerate(flags);
-  if (command == "anonymize") return RunAnonymize(flags);
-  if (command == "audit") return RunAudit(flags);
-  if (command == "stats") return RunStats(flags);
-  return Usage();
+  int rc;
+  if (command == "generate") {
+    rc = RunGenerate(flags);
+  } else if (command == "anonymize") {
+    rc = RunAnonymize(flags);
+  } else if (command == "audit") {
+    rc = RunAudit(flags);
+  } else if (command == "stats") {
+    rc = RunStats(flags);
+  } else {
+    return Usage();
+  }
+  if (flags.Has("metrics-out")) {
+    const Status s = obs::WriteJsonFile(obs::MetricsRegistry::Global(),
+                                        flags.GetString("metrics-out"));
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
 }
