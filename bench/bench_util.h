@@ -3,7 +3,6 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <filesystem>
 #include <string>
 
 #include "obs/export.h"
@@ -49,8 +48,7 @@ inline void PrintHeader(const std::string& title) {
 /// per-phase breakdowns alongside each harness's printed table. Call once at
 /// the end of a harness's main().
 inline void WriteMetricsSnapshot(const std::string& bench_name) {
-  std::error_code ec;
-  std::filesystem::create_directories("bench/out", ec);
+  // WriteJsonFile creates bench/out/ itself when missing.
   const std::string path = "bench/out/" + bench_name + ".metrics.json";
   const Status status =
       obs::WriteJsonFile(obs::MetricsRegistry::Global(), path);

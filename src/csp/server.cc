@@ -2,8 +2,10 @@
 
 #include <utility>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_sink.h"
 
 namespace pasa {
 
@@ -56,6 +58,8 @@ Result<std::vector<PointOfInterest>> CspServer::HandleRequest(
       snapshot_.row(it->second).location != sr.location) {
     ++stats_.requests_rejected;
     rejected.Increment();
+    obs::LogDebug("csp", "rejected request from user %lld (stale or unknown)",
+                  static_cast<long long>(sr.sender));
     return Status::InvalidArgument(
         "service request is not valid w.r.t. the current snapshot");
   }
@@ -96,6 +100,12 @@ Result<SnapshotReport> CspServer::AdvanceSnapshot(
 
   if (fraction > options_.rebuild_fraction) {
     // Bulk re-anonymization (Section VI-C: incremental degenerates anyway).
+    obs::TraceInstant("csp/rebuild_triggered");
+    obs::LogDebug("csp",
+                  "snapshot rebuild: %zu moves touch %.1f%% of users "
+                  "(> %.1f%% threshold)",
+                  moves.size(), fraction * 100.0,
+                  options_.rebuild_fraction * 100.0);
     obs::ScopedSpan rebuild_span("rebuild");
     Result<IncrementalAnonymizer> rebuilt = IncrementalAnonymizer::Build(
         snapshot_, extent_, options_.k, options_.dp);
@@ -117,10 +127,20 @@ Result<SnapshotReport> CspServer::AdvanceSnapshot(
   }
   obs::MetricsRegistry::Global().GetCounter("csp/snapshot/moves_applied")
       .Increment(moves.size());
+  obs::TraceCounter("csp/moves_applied", static_cast<double>(moves.size()));
   Status s = RefreshPolicy();
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    obs::LogWarn("csp", "policy refresh failed: %s", s.ToString().c_str());
+    return s;
+  }
   report.policy_cost = policy_.cost;
   ++stats_.snapshots_advanced;
+  obs::LogDebug("csp",
+                "snapshot advanced: %zu moves, %s, %zu dp rows repaired, "
+                "policy cost %lld",
+                moves.size(), report.rebuilt ? "rebuilt" : "repaired",
+                report.dp_rows_repaired,
+                static_cast<long long>(report.policy_cost));
   return report;
 }
 

@@ -1,0 +1,113 @@
+#ifndef PASA_OBS_BENCHSTAT_H_
+#define PASA_OBS_BENCHSTAT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace pasa {
+namespace obs {
+namespace benchstat {
+
+/// Summary statistics of one measurement (e.g. a span's total seconds)
+/// across N repeated harness runs.
+struct Measurement {
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (N-1); 0 when N < 2
+  double min = 0.0;
+  uint64_t samples = 0;
+};
+
+/// One canonical BENCH_<name>.json performance snapshot: the tracked unit
+/// of the repo's perf trajectory. Compare two snapshots (an old committed
+/// one against a fresh run) to prove or refute an optimization claim.
+struct Snapshot {
+  std::string name;
+  int iterations = 0;
+  std::map<std::string, Measurement> measurements;
+};
+
+/// Folds per-run samples (measurement key -> value, one map per run) into
+/// a snapshot. Keys missing from some runs aggregate over the runs that
+/// have them.
+Snapshot Aggregate(const std::string& name,
+                   const std::vector<std::map<std::string, double>>& runs);
+
+/// Deterministic JSON serialization:
+///
+///   { "name": "fig4a", "iterations": 5,
+///     "measurements": {
+///       "span/bulk_dp": {"mean": 1.92, "stddev": 0.05, "min": 1.87,
+///                        "samples": 5}, ... } }
+std::string ToJson(const Snapshot& snapshot);
+Result<Snapshot> FromJson(const json::Value& document);
+
+/// File round trip; Write creates missing parent directories.
+Status WriteSnapshotFile(const Snapshot& snapshot, const std::string& path);
+Result<Snapshot> LoadSnapshotFile(const std::string& path);
+
+/// Extracts benchstat measurements from a pasa::obs metrics JSON document
+/// (the bench/out/<name>.metrics.json a harness writes): every span's
+/// total_seconds becomes "span/<path>", every histogram's mean becomes
+/// "hist/<name>/mean_seconds". Counters and gauges are not timings and
+/// are skipped.
+std::map<std::string, double> MeasurementsFromMetricsJson(
+    const json::Value& document);
+
+struct CompareOptions {
+  /// Relative slowdown (candidate mean vs baseline mean) above which a
+  /// measurement is flagged, e.g. 0.10 = +10%.
+  double threshold = 0.10;
+  /// A delta is ignored as noise unless it also exceeds
+  /// noise_sigma * (baseline.stddev + candidate.stddev). 0 disables the
+  /// noise gate.
+  double noise_sigma = 2.0;
+};
+
+enum class Verdict {
+  kUnchanged,    ///< within threshold
+  kWithinNoise,  ///< beyond threshold but inside the noise gate
+  kImprovement,  ///< candidate faster than baseline beyond both gates
+  kRegression,   ///< candidate slower than baseline beyond both gates
+};
+
+const char* VerdictName(Verdict verdict);
+
+struct KeyComparison {
+  std::string key;
+  double baseline_mean = 0.0;
+  double candidate_mean = 0.0;
+  double delta_percent = 0.0;  ///< (candidate - baseline) / baseline * 100
+  Verdict verdict = Verdict::kUnchanged;
+};
+
+struct CompareReport {
+  std::vector<KeyComparison> rows;  ///< shared keys, sorted
+  std::vector<std::string> only_in_baseline;
+  std::vector<std::string> only_in_candidate;
+
+  bool HasRegression() const {
+    for (const KeyComparison& row : rows) {
+      if (row.verdict == Verdict::kRegression) return true;
+    }
+    return false;
+  }
+};
+
+/// Compares every measurement key the two snapshots share. Measurements
+/// are times: a higher candidate mean is a slowdown.
+CompareReport Compare(const Snapshot& baseline, const Snapshot& candidate,
+                      const CompareOptions& options);
+
+/// Human-readable comparison table plus a one-line summary.
+std::string ReportTable(const CompareReport& report);
+
+}  // namespace benchstat
+}  // namespace obs
+}  // namespace pasa
+
+#endif  // PASA_OBS_BENCHSTAT_H_

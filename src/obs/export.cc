@@ -3,13 +3,13 @@
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "common/table.h"
 
 namespace pasa {
 namespace obs {
-namespace {
 
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -52,6 +52,8 @@ std::string JsonNumber(double v) {
   }
   return s;
 }
+
+namespace {
 
 // Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
 std::string PromName(const std::string& path) {
@@ -193,16 +195,30 @@ std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
   return out;
 }
 
-Status WriteJsonFile(const MetricsRegistry& registry,
-                     const std::string& path) {
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      return Status::InvalidArgument("cannot create directory " +
+                                     parent.string() + ": " + ec.message());
+    }
+  }
   std::ofstream file(path, std::ios::trunc);
   if (!file) {
-    return Status::InvalidArgument("cannot open metrics file " + path);
+    return Status::InvalidArgument("cannot open output file " + path);
   }
-  file << ExportJson(registry.Snapshot());
+  file << content;
   file.close();
-  if (!file) return Status::Internal("failed writing metrics file " + path);
+  if (!file) return Status::Internal("failed writing file " + path);
   return Status::Ok();
+}
+
+Status WriteJsonFile(const MetricsRegistry& registry,
+                     const std::string& path) {
+  return WriteTextFile(path, ExportJson(registry.Snapshot()));
 }
 
 std::string SummaryTable(const MetricsSnapshot& snapshot) {

@@ -33,8 +33,22 @@ std::string ExportJson(const MetricsSnapshot& snapshot);
 /// path as a {span="..."} label.
 std::string ExportPrometheus(const MetricsSnapshot& snapshot);
 
-/// Snapshots `registry` and writes the JSON export to `path`.
+/// Snapshots `registry` and writes the JSON export to `path`, creating
+/// missing parent directories first (so `--metrics-out runs/today/m.json`
+/// works without a pre-existing `runs/today/`).
 Status WriteJsonFile(const MetricsRegistry& registry, const std::string& path);
+
+/// Writes `content` to `path`, creating missing parent directories.
+/// Shared by the metrics, trace and benchstat writers.
+Status WriteTextFile(const std::string& path, const std::string& content);
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(const std::string& s);
+
+/// Formats a finite double as a JSON number; non-finite values (which JSON
+/// cannot represent) serialize as 0.
+std::string JsonNumber(double v);
 
 /// One-line-per-metric human dump of the most useful metrics (span totals,
 /// counters, histogram count/mean/p50-ish summaries) for CLI output.

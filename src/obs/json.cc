@@ -1,0 +1,277 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace pasa {
+namespace obs {
+namespace json {
+namespace {
+
+const std::string kEmptyString;
+const std::vector<Value> kEmptyArray;
+const std::map<std::string, Value> kEmptyObject;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> ParseDocument() {
+    Result<Value> value = ParseValue();
+    if (!value.ok()) return value;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case 'n':
+        if (ConsumeLiteral("null")) return Value();
+        return Error("invalid literal");
+      case 't':
+        if (ConsumeLiteral("true")) return Value::MakeBool(true);
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) return Value::MakeBool(false);
+        return Error("invalid literal");
+      case '"':
+        return ParseString();
+      case '[':
+        return ParseArray();
+      case '{':
+        return ParseObject();
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+        return Error("unexpected character");
+    }
+  }
+
+  Result<Value> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() && std::isdigit(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (Consume('.')) {
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') return Error("malformed number");
+    return Value::MakeNumber(parsed);
+  }
+
+  // Appends `code_point` to `out` as UTF-8.
+  static void AppendUtf8(uint32_t code_point, std::string* out) {
+    if (code_point < 0x80) {
+      *out += static_cast<char>(code_point);
+    } else if (code_point < 0x800) {
+      *out += static_cast<char>(0xC0 | (code_point >> 6));
+      *out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else {
+      *out += static_cast<char>(0xE0 | (code_point >> 12));
+      *out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code_point & 0x3F));
+    }
+  }
+
+  Result<Value> ParseString() {
+    if (!Consume('"')) return Error("expected string");
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Value::MakeString(std::move(out));
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<uint32_t>(h - 'A' + 10);
+            } else {
+              return Error("invalid \\u escape");
+            }
+          }
+          AppendUtf8(code, &out);  // surrogate pairs not recombined
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<Value> ParseArray() {
+    if (!Consume('[')) return Error("expected array");
+    std::vector<Value> items;
+    SkipWhitespace();
+    if (Consume(']')) return Value::MakeArray(std::move(items));
+    for (;;) {
+      Result<Value> item = ParseValue();
+      if (!item.ok()) return item;
+      items.push_back(std::move(*item));
+      SkipWhitespace();
+      if (Consume(']')) return Value::MakeArray(std::move(items));
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<Value> ParseObject() {
+    if (!Consume('{')) return Error("expected object");
+    std::map<std::string, Value> members;
+    SkipWhitespace();
+    if (Consume('}')) return Value::MakeObject(std::move(members));
+    for (;;) {
+      SkipWhitespace();
+      Result<Value> key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' in object");
+      Result<Value> value = ParseValue();
+      if (!value.ok()) return value;
+      members[key->str()] = std::move(*value);
+      SkipWhitespace();
+      if (Consume('}')) return Value::MakeObject(std::move(members));
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Value::MakeBool(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::MakeNumber(double n) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+Value Value::MakeString(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::MakeArray(std::vector<Value> items) {
+  Value v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+Value Value::MakeObject(std::map<std::string, Value> members) {
+  Value v;
+  v.type_ = Type::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+const std::string& Value::str() const {
+  return is_string() ? string_ : kEmptyString;
+}
+
+const std::vector<Value>& Value::array() const {
+  return is_array() ? array_ : kEmptyArray;
+}
+
+const std::map<std::string, Value>& Value::object() const {
+  return is_object() ? object_ : kEmptyObject;
+}
+
+const Value* Value::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+Result<Value> Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace json
+}  // namespace obs
+}  // namespace pasa

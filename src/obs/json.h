@@ -1,0 +1,70 @@
+#ifndef PASA_OBS_JSON_H_
+#define PASA_OBS_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pasa {
+namespace obs {
+namespace json {
+
+/// Minimal immutable JSON document model, just enough to read back the
+/// files this library writes (metrics snapshots, Chrome traces,
+/// BENCH_*.json) without an external dependency. Numbers are doubles;
+/// object keys are kept sorted (std::map), so re-serialization of our own
+/// exports is deterministic but key order of foreign documents is not
+/// preserved.
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : type_(Type::kNull) {}
+  static Value MakeBool(bool b);
+  static Value MakeNumber(double n);
+  static Value MakeString(std::string s);
+  static Value MakeArray(std::vector<Value> items);
+  static Value MakeObject(std::map<std::string, Value> members);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; calling the wrong one returns a zero value rather
+  /// than aborting, so lookups over untrusted documents stay total.
+  bool boolean() const { return is_bool() && bool_; }
+  double number() const { return is_number() ? number_ : 0.0; }
+  const std::string& str() const;
+  const std::vector<Value>& array() const;
+  const std::map<std::string, Value>& object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const;
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::map<std::string, Value> object_;
+};
+
+/// Parses one JSON document (with optional surrounding whitespace).
+/// Trailing non-whitespace after the document is an error. Standard JSON
+/// only: no comments, no trailing commas, no bare NaN/Infinity.
+Result<Value> Parse(std::string_view text);
+
+}  // namespace json
+}  // namespace obs
+}  // namespace pasa
+
+#endif  // PASA_OBS_JSON_H_

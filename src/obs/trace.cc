@@ -2,6 +2,8 @@
 
 #include <vector>
 
+#include "obs/trace_sink.h"
+
 namespace pasa {
 namespace obs {
 namespace {
@@ -24,6 +26,8 @@ ScopedSpan::ScopedSpan(std::string_view name, Anchor anchor) {
     path_ = std::string(name);
   }
   tls_span_stack.push_back(path_);
+  TraceEventSink& sink = TraceEventSink::Global();
+  if (sink.active()) sink.Record(TraceEvent::Type::kBegin, path_);
   start_ = std::chrono::steady_clock::now();
 }
 
@@ -32,6 +36,8 @@ ScopedSpan::~ScopedSpan() {
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
+  TraceEventSink& sink = TraceEventSink::Global();
+  if (sink.active()) sink.Record(TraceEvent::Type::kEnd, path_);
   tls_span_stack.pop_back();
   // Record directly (not via RecordSpan) so a span that was open when the
   // layer got disabled still reports its measured time.

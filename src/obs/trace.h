@@ -23,6 +23,11 @@ namespace obs {
 ///
 /// A span constructed while the layer is disabled stays inert for its whole
 /// lifetime, even if the layer is re-enabled before it closes.
+///
+/// When the global TraceEventSink is active (see obs/trace_sink.h), each
+/// span additionally emits paired begin/end timeline events, so the same
+/// instrumentation feeds both the aggregate SpanStats and the Chrome
+/// trace_event export.
 class ScopedSpan {
  public:
   enum Anchor { kNested, kRoot };

@@ -1,0 +1,153 @@
+#include "obs/trace_sink.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/export.h"
+
+namespace pasa {
+namespace obs {
+namespace {
+
+// Sink-assigned id of the calling thread; 0 = not yet assigned.
+thread_local uint32_t tls_trace_tid = 0;
+
+const char* PhaseOf(TraceEvent::Type type) {
+  switch (type) {
+    case TraceEvent::Type::kBegin:
+      return "B";
+    case TraceEvent::Type::kEnd:
+      return "E";
+    case TraceEvent::Type::kInstant:
+      return "i";
+    case TraceEvent::Type::kCounter:
+      return "C";
+  }
+  return "i";
+}
+
+}  // namespace
+
+TraceEventSink& TraceEventSink::Global() {
+  static TraceEventSink* sink = new TraceEventSink();
+  return *sink;
+}
+
+uint32_t TraceEventSink::CurrentThreadId() {
+  if (tls_trace_tid == 0) {
+    tls_trace_tid = next_tid_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  return tls_trace_tid;
+}
+
+void TraceEventSink::Start(size_t capacity) {
+  active_.store(false, std::memory_order_relaxed);
+  if (capacity == 0) capacity = 1;
+  // vector<Slot> cannot be resized in place (atomics are immovable), so
+  // rebuild; Start is documented as quiescent-only.
+  std::vector<Slot> fresh(capacity);
+  slots_.swap(fresh);
+  next_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+  base_ = std::chrono::steady_clock::now();
+  active_.store(true, std::memory_order_release);
+}
+
+void TraceEventSink::Stop() {
+  active_.store(false, std::memory_order_relaxed);
+}
+
+void TraceEventSink::Record(TraceEvent::Type type, std::string_view name,
+                            double value) {
+  if (!active()) return;
+  const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  if (seq >= slots_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Slot& slot = slots_[seq];
+  slot.event.type = type;
+  slot.event.tid = CurrentThreadId();
+  slot.event.ts_micros =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - base_)
+          .count();
+  slot.event.name.assign(name.data(), name.size());
+  slot.event.value = value;
+  slot.ready.store(true, std::memory_order_release);
+}
+
+size_t TraceEventSink::size() const {
+  const uint64_t claimed = next_.load(std::memory_order_relaxed);
+  return claimed < slots_.size() ? static_cast<size_t>(claimed)
+                                 : slots_.size();
+}
+
+void TraceEventSink::SetCurrentThreadName(std::string name) {
+  const uint32_t tid = CurrentThreadId();
+  std::lock_guard<std::mutex> lock(names_mu_);
+  thread_names_[tid] = std::move(name);
+}
+
+std::vector<TraceEvent> TraceEventSink::Events() const {
+  std::vector<TraceEvent> events;
+  const size_t n = size();
+  events.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (slots_[i].ready.load(std::memory_order_acquire)) {
+      events.push_back(slots_[i].event);
+    }
+  }
+  return events;
+}
+
+std::string TraceEventSink::ExportChromeTrace() const {
+  std::string out = "{\"displayTimeUnit\": \"ms\",\n";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "\"droppedEventCount\": %" PRIu64 ",\n",
+                dropped());
+  out += buf;
+  out += "\"traceEvents\": [";
+  bool first = true;
+  {
+    std::lock_guard<std::mutex> lock(names_mu_);
+    for (const auto& [tid, name] : thread_names_) {
+      std::snprintf(buf, sizeof(buf),
+                    "%s\n {\"ph\": \"M\", \"pid\": 1, \"tid\": %u, "
+                    "\"name\": \"thread_name\", \"args\": {\"name\": \"",
+                    first ? "" : ",", tid);
+      out += buf;
+      out += JsonEscape(name);
+      out += "\"}}";
+      first = false;
+    }
+  }
+  for (const TraceEvent& event : Events()) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n {\"ph\": \"%s\", \"pid\": 1, \"tid\": %u, "
+                  "\"ts\": %.3f, \"cat\": \"pasa\", \"name\": \"",
+                  first ? "" : ",", PhaseOf(event.type), event.tid,
+                  event.ts_micros);
+    out += buf;
+    out += JsonEscape(event.name);
+    out += '"';
+    if (event.type == TraceEvent::Type::kInstant) {
+      out += ", \"s\": \"t\"";  // thread-scoped instant
+    } else if (event.type == TraceEvent::Type::kCounter) {
+      std::snprintf(buf, sizeof(buf), ", \"args\": {\"value\": %s}",
+                    JsonNumber(event.value).c_str());
+      out += buf;
+    }
+    out += '}';
+    first = false;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status TraceEventSink::WriteChromeTraceFile(const std::string& path) const {
+  return WriteTextFile(path, ExportChromeTrace());
+}
+
+}  // namespace obs
+}  // namespace pasa

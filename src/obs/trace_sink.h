@@ -1,0 +1,139 @@
+#ifndef PASA_OBS_TRACE_SINK_H_
+#define PASA_OBS_TRACE_SINK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pasa {
+namespace obs {
+
+/// One timeline event. `ts_micros` is monotonic microseconds since the
+/// sink was started; `tid` is a small sink-assigned thread id (Chrome
+/// track), not the OS thread id.
+struct TraceEvent {
+  enum class Type : uint8_t { kBegin, kEnd, kInstant, kCounter };
+  Type type = Type::kInstant;
+  uint32_t tid = 0;
+  double ts_micros = 0.0;
+  std::string name;
+  double value = 0.0;  ///< counter events only
+};
+
+/// Lock-light, fixed-capacity timeline recorder behind every ScopedSpan
+/// plus the TraceInstant/TraceCounter call sites. Recording one event is
+/// one relaxed atomic load (active check), one fetch_add to claim a slot,
+/// a plain write into the pre-allocated slot and a release store that
+/// publishes it — no locks, no allocation beyond the event name string.
+///
+/// The buffer is bounded: once `capacity` events are recorded, further
+/// events are counted in `dropped()` and discarded, so a forgotten
+/// tracing session can never exhaust memory. Export keeps whatever fit.
+///
+/// Start/Stop reconfigure the buffer and are NOT safe to call while other
+/// threads may be mid-Record; start tracing before spawning workers and
+/// stop after joining them (what pasa_cli --trace-out does).
+class TraceEventSink {
+ public:
+  TraceEventSink() = default;
+  TraceEventSink(const TraceEventSink&) = delete;
+  TraceEventSink& operator=(const TraceEventSink&) = delete;
+
+  /// The process-wide sink every built-in instrumentation site feeds.
+  static TraceEventSink& Global();
+
+  static constexpr size_t kDefaultCapacity = 1 << 20;
+
+  /// Clears the buffer, (re)allocates `capacity` slots, zeroes the drop
+  /// counter, rebases timestamps at "now" and enables recording.
+  void Start(size_t capacity = kDefaultCapacity);
+
+  /// Disables recording. The buffer keeps its events for export.
+  void Stop();
+
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  /// Records one event (no-op unless active). Thread-safe.
+  void Record(TraceEvent::Type type, std::string_view name,
+              double value = 0.0);
+
+  /// Events discarded because the buffer was full.
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Events successfully recorded so far.
+  size_t size() const;
+  size_t capacity() const { return slots_.size(); }
+
+  /// Labels the calling thread's track in the exported trace (e.g.
+  /// "pasa-worker-3"). Safe to call whether or not tracing is active;
+  /// names persist across Start/Stop so long-lived pools register once.
+  void SetCurrentThreadName(std::string name);
+
+  /// Snapshot of the published events, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  /// Serializes the buffer as a Chrome trace_event JSON object:
+  ///
+  ///   { "displayTimeUnit": "ms",
+  ///     "droppedEventCount": 0,
+  ///     "traceEvents": [
+  ///       {"ph":"M","pid":1,"tid":2,"name":"thread_name",
+  ///        "args":{"name":"pasa-worker-1"}},
+  ///       {"ph":"B","pid":1,"tid":2,"ts":12.5,"cat":"pasa","name":"bulk_dp"},
+  ///       {"ph":"E","pid":1,"tid":2,"ts":80.0,"cat":"pasa","name":"bulk_dp"},
+  ///       {"ph":"i","pid":1,"tid":2,"ts":40.0,"cat":"pasa","name":"rebuild",
+  ///        "s":"t"},
+  ///       {"ph":"C","pid":1,"tid":2,"ts":41.0,"cat":"pasa","name":"moves",
+  ///        "args":{"value":128}} ] }
+  ///
+  /// loadable directly in Perfetto / chrome://tracing.
+  std::string ExportChromeTrace() const;
+
+  /// Writes ExportChromeTrace() to `path`, creating missing parent
+  /// directories.
+  Status WriteChromeTraceFile(const std::string& path) const;
+
+ private:
+  struct Slot {
+    std::atomic<bool> ready{false};
+    TraceEvent event;
+  };
+
+  uint32_t CurrentThreadId();
+
+  std::atomic<bool> active_{false};
+  std::atomic<uint64_t> next_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint32_t> next_tid_{0};
+  std::vector<Slot> slots_;
+  std::chrono::steady_clock::time_point base_;
+  mutable std::mutex names_mu_;
+  std::map<uint32_t, std::string> thread_names_;
+};
+
+/// Marks a point in time on the calling thread's track (e.g. a snapshot
+/// rebuild decision). No-op unless the global sink is active.
+inline void TraceInstant(std::string_view name) {
+  TraceEventSink& sink = TraceEventSink::Global();
+  if (sink.active()) sink.Record(TraceEvent::Type::kInstant, name);
+}
+
+/// Plots `value` over time under `name` in the trace viewer's counter
+/// track. No-op unless the global sink is active.
+inline void TraceCounter(std::string_view name, double value) {
+  TraceEventSink& sink = TraceEventSink::Global();
+  if (sink.active()) sink.Record(TraceEvent::Type::kCounter, name, value);
+}
+
+}  // namespace obs
+}  // namespace pasa
+
+#endif  // PASA_OBS_TRACE_SINK_H_

@@ -1,5 +1,6 @@
 #include "pasa/anonymizer.h"
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -33,6 +34,10 @@ Result<Anonymizer> Anonymizer::Build(const LocationDatabase& db,
   row_of_user.reserve(db.size());
   for (size_t i = 0; i < db.size(); ++i) row_of_user[db.row(i).user] = i;
 
+  obs::LogDebug("anonymizer", "built optimal policy: %zu users, k=%d, "
+                "cost %lld",
+                db.size(), options.k,
+                static_cast<long long>(policy->cost));
   Anonymizer a(options, std::move(*tree), std::move(*policy),
                std::move(row_of_user));
   a.location_of_user_.reserve(db.size());

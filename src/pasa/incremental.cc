@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_sink.h"
 
 namespace pasa {
 
@@ -57,7 +59,12 @@ Result<size_t> IncrementalAnonymizer::ApplyMoves(
     registry.GetCounter("incremental/moves_applied").Increment(moves.size());
     registry.GetCounter("incremental/rows_recomputed").Increment(recomputed);
     registry.GetCounter("incremental/repairs").Increment();
+    obs::TraceCounter("incremental/rows_recomputed",
+                      static_cast<double>(recomputed));
   }
+  obs::LogDebug("incremental", "repair: %zu moves, %zu dirty rows, "
+                "%zu recomputed",
+                moves.size(), dirty.size(), recomputed);
   return recomputed;
 }
 

@@ -1,0 +1,77 @@
+// Unit tests for the minimal JSON reader backing pasa_benchstat and the
+// trace/metrics round-trip tests.
+
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+namespace pasa {
+namespace obs {
+namespace json {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_TRUE(Parse("true")->boolean());
+  EXPECT_FALSE(Parse("false")->boolean());
+  EXPECT_DOUBLE_EQ(Parse("42")->number(), 42.0);
+  EXPECT_DOUBLE_EQ(Parse("-3.5e2")->number(), -350.0);
+  EXPECT_EQ(Parse("\"hi\"")->str(), "hi");
+}
+
+TEST(JsonTest, ParsesStringEscapes) {
+  Result<Value> v = Parse(R"("a\"b\\c\nd\teA")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->str(), "a\"b\\c\nd\teA");
+}
+
+TEST(JsonTest, ParsesNestedStructure) {
+  Result<Value> v = Parse(R"({
+    "name": "fig4a",
+    "iterations": 3,
+    "empty_array": [],
+    "empty_object": {},
+    "measurements": {"span/bulk_dp": {"mean": 1.5, "samples": 3}},
+    "list": [1, 2.5, "x", null, true]
+  })");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_object());
+  EXPECT_EQ(v->Find("name")->str(), "fig4a");
+  EXPECT_DOUBLE_EQ(v->Find("iterations")->number(), 3.0);
+  EXPECT_TRUE(v->Find("empty_array")->array().empty());
+  EXPECT_TRUE(v->Find("empty_object")->object().empty());
+  const Value* span = v->Find("measurements")->Find("span/bulk_dp");
+  ASSERT_NE(span, nullptr);
+  EXPECT_DOUBLE_EQ(span->Find("mean")->number(), 1.5);
+  const std::vector<Value>& list = v->Find("list")->array();
+  ASSERT_EQ(list.size(), 5u);
+  EXPECT_DOUBLE_EQ(list[1].number(), 2.5);
+  EXPECT_EQ(list[2].str(), "x");
+  EXPECT_TRUE(list[3].is_null());
+  EXPECT_TRUE(list[4].boolean());
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1,]").ok());
+  EXPECT_FALSE(Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Parse("\"unterminated").ok());
+  EXPECT_FALSE(Parse("nul").ok());
+  EXPECT_FALSE(Parse("{} trailing").ok());
+  EXPECT_FALSE(Parse("{\"a\": 1,}").ok());
+}
+
+TEST(JsonTest, WrongTypeAccessorsReturnZeroValues) {
+  Result<Value> v = Parse("[1]");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->number(), 0.0);
+  EXPECT_EQ(v->str(), "");
+  EXPECT_TRUE(v->object().empty());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace json
+}  // namespace obs
+}  // namespace pasa

@@ -1,0 +1,163 @@
+// Tests for the structured logger: level parsing, the runtime filter and
+// both sink formats (JSONL and human).
+
+#include "obs/log.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace pasa {
+namespace obs {
+namespace {
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// The logger is a process-wide singleton: point it at a per-test file and
+// always restore the stderr sink and default level afterwards.
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    Logger::Global().UseStderr();
+    Logger::Global().SetLevel(LogLevel::kInfo);
+  }
+
+  std::string TestFile(const std::string& name) {
+    return ::testing::TempDir() + "/log_test/" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+           "/" + name;
+  }
+};
+
+TEST_F(LogTest, LevelNamesRoundTrip) {
+  EXPECT_STREQ(LogLevelName(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(LogLevelName(LogLevel::kInfo), "info");
+  EXPECT_STREQ(LogLevelName(LogLevel::kWarn), "warn");
+  EXPECT_STREQ(LogLevelName(LogLevel::kError), "error");
+  EXPECT_STREQ(LogLevelName(LogLevel::kOff), "off");
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    Result<LogLevel> parsed = ParseLogLevel(LogLevelName(level));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, level);
+  }
+}
+
+TEST_F(LogTest, ParseLogLevelAcceptsAliasesAndRejectsJunk) {
+  EXPECT_EQ(*ParseLogLevel("WARN"), LogLevel::kWarn);
+  EXPECT_EQ(*ParseLogLevel("warning"), LogLevel::kWarn);
+  EXPECT_EQ(*ParseLogLevel("Debug"), LogLevel::kDebug);
+  EXPECT_FALSE(ParseLogLevel("shouting").ok());
+  EXPECT_FALSE(ParseLogLevel("").ok());
+}
+
+TEST_F(LogTest, EnabledFollowsRuntimeLevel) {
+  Logger& logger = Logger::Global();
+  logger.SetLevel(LogLevel::kWarn);
+  EXPECT_FALSE(logger.Enabled(LogLevel::kDebug));
+  EXPECT_FALSE(logger.Enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.Enabled(LogLevel::kWarn));
+  EXPECT_TRUE(logger.Enabled(LogLevel::kError));
+  logger.SetLevel(LogLevel::kOff);
+  EXPECT_FALSE(logger.Enabled(LogLevel::kError));
+}
+
+// The satellite filter test: with the level at warn, only warn and error
+// records reach the sink, and each emitted line is a self-contained JSON
+// object carrying ts/level/component/msg plus the structured fields.
+TEST_F(LogTest, JsonlSinkFiltersBelowMinLevel) {
+  const std::string path = TestFile("filtered.jsonl");
+  Logger& logger = Logger::Global();
+  ASSERT_TRUE(logger.SetJsonlFile(path).ok());
+  logger.SetLevel(LogLevel::kWarn);
+
+  logger.Log(LogLevel::kDebug, "csp", "suppressed debug");
+  logger.Log(LogLevel::kInfo, "csp", "suppressed info");
+  logger.Log(LogLevel::kWarn, "csp", "policy refresh failed",
+             {{"moves", "128"}});
+  logger.Log(LogLevel::kError, "cli", "bad \"input\"");
+  logger.UseStderr();  // flush + close the file sink
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 2u);
+
+  Result<json::Value> warn = json::Parse(lines[0]);
+  ASSERT_TRUE(warn.ok()) << lines[0];
+  EXPECT_EQ(warn->Find("level")->str(), "warn");
+  EXPECT_EQ(warn->Find("component")->str(), "csp");
+  EXPECT_EQ(warn->Find("msg")->str(), "policy refresh failed");
+  EXPECT_EQ(warn->Find("moves")->str(), "128");
+  ASSERT_NE(warn->Find("ts"), nullptr);
+  EXPECT_NE(warn->Find("ts")->str().find("T"), std::string::npos);
+
+  Result<json::Value> error = json::Parse(lines[1]);
+  ASSERT_TRUE(error.ok()) << lines[1];
+  EXPECT_EQ(error->Find("level")->str(), "error");
+  EXPECT_EQ(error->Find("msg")->str(), "bad \"input\"");  // escape survived
+}
+
+TEST_F(LogTest, HumanSinkFormatsLevelComponentAndFields) {
+  const std::string path = TestFile("human.log");
+  Logger& logger = Logger::Global();
+  ASSERT_TRUE(logger.SetHumanFile(path).ok());
+  logger.SetLevel(LogLevel::kDebug);
+  logger.Log(LogLevel::kInfo, "parallel", "run finished",
+             {{"jurisdictions", "4"}, {"users", "1000"}});
+  logger.UseStderr();
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  const std::string& line = lines[0];
+  EXPECT_NE(line.find("INFO"), std::string::npos) << line;
+  EXPECT_NE(line.find("[parallel]"), std::string::npos) << line;
+  EXPECT_NE(line.find("run finished"), std::string::npos) << line;
+  EXPECT_NE(line.find("jurisdictions=4"), std::string::npos) << line;
+  EXPECT_NE(line.find("users=1000"), std::string::npos) << line;
+  // ISO-8601 UTC timestamp prefix.
+  EXPECT_NE(line.find("T"), std::string::npos);
+  EXPECT_NE(line.find("Z "), std::string::npos);
+}
+
+TEST_F(LogTest, PrintfWrappersFormatAndFilter) {
+  const std::string path = TestFile("wrappers.jsonl");
+  Logger& logger = Logger::Global();
+  ASSERT_TRUE(logger.SetJsonlFile(path).ok());
+  logger.SetLevel(LogLevel::kInfo);
+
+  LogDebug("anonymizer", "hidden %d", 1);
+  LogInfo("anonymizer", "built policy: %zu users, k=%d",
+          static_cast<size_t>(1750000), 20);
+  LogWarn("csp", "refresh failed: %s", "timeout");
+  LogError("cli", "exit %d", 3);
+  logger.UseStderr();
+
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(json::Parse(lines[0])->Find("msg")->str(),
+            "built policy: 1750000 users, k=20");
+  EXPECT_EQ(json::Parse(lines[1])->Find("level")->str(), "warn");
+  EXPECT_EQ(json::Parse(lines[2])->Find("component")->str(), "cli");
+}
+
+TEST_F(LogTest, FileSinkCreatesParentDirectories) {
+  const std::string path = TestFile("deep/nested/dirs/out.jsonl");
+  ASSERT_TRUE(Logger::Global().SetJsonlFile(path).ok());
+  Logger::Global().Log(LogLevel::kError, "t", "x");
+  Logger::Global().UseStderr();
+  EXPECT_EQ(ReadLines(path).size(), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pasa

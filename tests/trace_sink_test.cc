@@ -1,0 +1,256 @@
+// Tests for the lock-light timeline recorder: concurrent-writer stress
+// (no tears, bounded capacity with drop counter), the ScopedSpan feed and
+// Chrome trace_event export well-formedness.
+
+#include "obs/trace_sink.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace pasa {
+namespace obs {
+namespace {
+
+class TraceSinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Configure(ObsOptions{.enabled = true});
+    MetricsRegistry::Global().Reset();
+  }
+  void TearDown() override {
+    TraceEventSink::Global().Stop();
+    Configure(ObsOptions{.enabled = true});
+  }
+};
+
+TEST_F(TraceSinkTest, InactiveSinkRecordsNothing) {
+  TraceEventSink sink;
+  EXPECT_FALSE(sink.active());
+  sink.Record(TraceEvent::Type::kInstant, "ignored");
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.dropped(), 0u);
+}
+
+TEST_F(TraceSinkTest, RecordsTypedEventsWithMonotonicTimestamps) {
+  TraceEventSink sink;
+  sink.Start(64);
+  sink.Record(TraceEvent::Type::kBegin, "phase");
+  sink.Record(TraceEvent::Type::kInstant, "tick");
+  sink.Record(TraceEvent::Type::kCounter, "moves", 128.0);
+  sink.Record(TraceEvent::Type::kEnd, "phase");
+  sink.Stop();
+
+  const std::vector<TraceEvent> events = sink.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].type, TraceEvent::Type::kBegin);
+  EXPECT_EQ(events[0].name, "phase");
+  EXPECT_EQ(events[1].type, TraceEvent::Type::kInstant);
+  EXPECT_EQ(events[2].type, TraceEvent::Type::kCounter);
+  EXPECT_DOUBLE_EQ(events[2].value, 128.0);
+  EXPECT_EQ(events[3].type, TraceEvent::Type::kEnd);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_micros, events[i - 1].ts_micros);
+    EXPECT_EQ(events[i].tid, events[0].tid);  // all from this thread
+  }
+}
+
+TEST_F(TraceSinkTest, StartRebasesClockAndClearsBuffer) {
+  TraceEventSink sink;
+  sink.Start(4);
+  sink.Record(TraceEvent::Type::kInstant, "old");
+  sink.Start(8);
+  EXPECT_EQ(sink.size(), 0u);
+  EXPECT_EQ(sink.capacity(), 8u);
+  sink.Record(TraceEvent::Type::kInstant, "new");
+  const std::vector<TraceEvent> events = sink.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "new");
+}
+
+// The satellite stress test: 8 threads hammer a sink whose capacity only
+// fits one eighth of the traffic. Every published event must be intact
+// (no torn name/type), the buffer must stay bounded, and every discarded
+// event must be accounted for in dropped().
+TEST_F(TraceSinkTest, ConcurrentWritersNeverTearAndDropsAreCounted) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kPerThread = 1000;
+  constexpr size_t kCapacity = kThreads * kPerThread / 8;
+
+  TraceEventSink sink;
+  sink.Start(kCapacity);
+
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sink, &go, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      const std::string name = "writer-" + std::to_string(t);
+      for (size_t i = 0; i < kPerThread; ++i) {
+        sink.Record(TraceEvent::Type::kCounter, name,
+                    static_cast<double>(i));
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : threads) t.join();
+  sink.Stop();
+
+  EXPECT_EQ(sink.size(), kCapacity);
+  EXPECT_EQ(sink.dropped(), kThreads * kPerThread - kCapacity);
+
+  const std::vector<TraceEvent> events = sink.Events();
+  EXPECT_EQ(events.size(), kCapacity);
+  // Tear check: every published event must carry an intact writer name,
+  // an in-range value and a tid that is consistent for that writer.
+  std::map<std::string, uint32_t> tid_of_writer;
+  for (const TraceEvent& event : events) {
+    EXPECT_EQ(event.type, TraceEvent::Type::kCounter);
+    ASSERT_EQ(event.name.rfind("writer-", 0), 0u) << event.name;
+    const int writer = std::stoi(event.name.substr(7));
+    EXPECT_GE(writer, 0);
+    EXPECT_LT(writer, static_cast<int>(kThreads));
+    EXPECT_GE(event.value, 0.0);
+    EXPECT_LT(event.value, static_cast<double>(kPerThread));
+    const auto [it, inserted] =
+        tid_of_writer.emplace(event.name, event.tid);
+    if (!inserted) {
+      EXPECT_EQ(it->second, event.tid) << event.name;
+    }
+  }
+  EXPECT_GE(tid_of_writer.size(), 1u);
+}
+
+TEST_F(TraceSinkTest, ScopedSpanFeedsActiveGlobalSink) {
+  TraceEventSink& sink = TraceEventSink::Global();
+  sink.Start(64);
+  {
+    ScopedSpan outer("outer", ScopedSpan::kRoot);
+    ScopedSpan inner("inner");
+  }
+  sink.Stop();
+
+  // Spans record their full hierarchical path, matching the span metrics.
+  const std::vector<TraceEvent> events = sink.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].type, TraceEvent::Type::kBegin);
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].type, TraceEvent::Type::kBegin);
+  EXPECT_EQ(events[1].name, "outer/inner");
+  EXPECT_EQ(events[2].type, TraceEvent::Type::kEnd);
+  EXPECT_EQ(events[2].name, "outer/inner");
+  EXPECT_EQ(events[3].type, TraceEvent::Type::kEnd);
+  EXPECT_EQ(events[3].name, "outer");
+}
+
+TEST_F(TraceSinkTest, ObsKillSwitchAlsoSilencesSpans) {
+  TraceEventSink& sink = TraceEventSink::Global();
+  sink.Start(64);
+  Configure(ObsOptions{.enabled = false});
+  {
+    ScopedSpan span("invisible", ScopedSpan::kRoot);
+  }
+  TraceInstant("also-invisible-via-helper-only-when-inactive");
+  sink.Stop();
+  // The span early-returns when obs is disabled; the helper still records
+  // because the sink itself is active — assert only the span silence.
+  for (const TraceEvent& event : sink.Events()) {
+    EXPECT_NE(event.name, "invisible");
+  }
+}
+
+TEST_F(TraceSinkTest, HelpersAreNoOpsWhenSinkInactive) {
+  TraceEventSink& sink = TraceEventSink::Global();
+  sink.Stop();
+  const size_t before = sink.size();
+  TraceInstant("nope");
+  TraceCounter("nope", 1.0);
+  EXPECT_EQ(sink.size(), before);
+}
+
+TEST_F(TraceSinkTest, ExportIsValidChromeTraceJson) {
+  TraceEventSink& sink = TraceEventSink::Global();
+  sink.Start(8);
+  sink.SetCurrentThreadName("test-main");
+  sink.Record(TraceEvent::Type::kBegin, "bulk_dp");
+  sink.Record(TraceEvent::Type::kInstant, "csp/rebuild \"quoted\"");
+  sink.Record(TraceEvent::Type::kCounter, "moves", 42.0);
+  sink.Record(TraceEvent::Type::kEnd, "bulk_dp");
+  // Overflow the 8-slot buffer to surface droppedEventCount.
+  for (int i = 0; i < 10; ++i) {
+    sink.Record(TraceEvent::Type::kInstant, "overflow");
+  }
+  sink.Stop();
+
+  Result<json::Value> doc = json::Parse(sink.ExportChromeTrace());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->Find("displayTimeUnit")->str(), "ms");
+  EXPECT_DOUBLE_EQ(doc->Find("droppedEventCount")->number(), 6.0);
+
+  const json::Value* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  bool saw_thread_name = false, saw_begin = false, saw_end = false;
+  bool saw_instant = false, saw_counter = false;
+  for (const json::Value& event : events->array()) {
+    ASSERT_TRUE(event.is_object());
+    const std::string ph = event.Find("ph")->str();
+    EXPECT_DOUBLE_EQ(event.Find("pid")->number(), 1.0);
+    ASSERT_NE(event.Find("tid"), nullptr);
+    if (ph == "M") {
+      EXPECT_EQ(event.Find("name")->str(), "thread_name");
+      EXPECT_EQ(event.Find("args")->Find("name")->str(), "test-main");
+      saw_thread_name = true;
+      continue;
+    }
+    EXPECT_EQ(event.Find("cat")->str(), "pasa");
+    ASSERT_NE(event.Find("ts"), nullptr);
+    if (ph == "B") {
+      EXPECT_EQ(event.Find("name")->str(), "bulk_dp");
+      saw_begin = true;
+    } else if (ph == "E") {
+      saw_end = true;
+    } else if (ph == "i") {
+      EXPECT_EQ(event.Find("s")->str(), "t");
+      if (event.Find("name")->str() == "csp/rebuild \"quoted\"") {
+        saw_instant = true;  // escape round trip survived
+      }
+    } else if (ph == "C") {
+      EXPECT_DOUBLE_EQ(event.Find("args")->Find("value")->number(), 42.0);
+      saw_counter = true;
+    }
+  }
+  EXPECT_TRUE(saw_thread_name);
+  EXPECT_TRUE(saw_begin);
+  EXPECT_TRUE(saw_end);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_counter);
+}
+
+TEST_F(TraceSinkTest, WriteChromeTraceFileCreatesParentDirectories) {
+  TraceEventSink sink;
+  sink.Start(4);
+  sink.Record(TraceEvent::Type::kInstant, "x");
+  sink.Stop();
+  const std::string path = ::testing::TempDir() +
+                           "/trace_sink_test/nested/dir/trace.json";
+  ASSERT_TRUE(sink.WriteChromeTraceFile(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pasa

@@ -1,0 +1,60 @@
+# ctest driver for the pasa_benchstat end-to-end smoke test: a real run
+# over a scaled-down harness, a self-compare that must pass, and synthetic
+# snapshot pairs exercising the regression / improvement / within-noise
+# verdicts and their exit codes.
+
+function(run_or_die expected_rc)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc
+                  WORKING_DIRECTORY ${WORK_DIR}
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expected_rc})
+    message(FATAL_ERROR "command ${ARGN} exited ${rc} (expected "
+                        "${expected_rc})\nstdout: ${out}\nstderr: ${err}")
+  endif()
+endfunction()
+
+function(write_snapshot path mean stddev)
+  file(WRITE ${path} "{\n  \"name\": \"synthetic\",\n  \"iterations\": 3,\n"
+       "  \"measurements\": {\n    \"span/bulk_dp\": {\"mean\": ${mean}, "
+       "\"stddev\": ${stddev}, \"min\": ${mean}, \"samples\": 3}\n  }\n}\n")
+endfunction()
+
+set(SNAP ${WORK_DIR}/BENCH_smoke_test.json)
+
+run_or_die(0 ${BENCHSTAT} run --bench ${BENCH} --name smoke_test
+           --iterations 2 --scale 0.002 --out ${SNAP})
+
+if(NOT EXISTS ${SNAP})
+  message(FATAL_ERROR "benchstat run did not write ${SNAP}")
+endif()
+file(READ ${SNAP} snap_json)
+foreach(required_key "\"name\"" "\"iterations\"" "\"measurements\""
+        "\"wall_seconds\"" "\"span/bulk_dp\"" "\"mean\"" "\"stddev\""
+        "\"min\"" "\"samples\"")
+  string(FIND "${snap_json}" "${required_key}" key_at)
+  if(key_at EQUAL -1)
+    message(FATAL_ERROR "snapshot is missing ${required_key}:\n${snap_json}")
+  endif()
+endforeach()
+
+# Identical snapshots never regress.
+run_or_die(0 ${BENCHSTAT} compare --baseline ${SNAP} --candidate ${SNAP})
+
+# Synthetic pairs: an injected 20% slowdown beyond noise must exit 1; the
+# reverse direction is an improvement (exit 0); a slowdown buried in noise
+# passes (exit 0).
+set(BASE ${WORK_DIR}/BENCH_syn_base.json)
+set(SLOW ${WORK_DIR}/BENCH_syn_slow.json)
+set(NOISY_BASE ${WORK_DIR}/BENCH_syn_noisy_base.json)
+set(NOISY_SLOW ${WORK_DIR}/BENCH_syn_noisy_slow.json)
+write_snapshot(${BASE} 1.0 0.01)
+write_snapshot(${SLOW} 1.2 0.01)
+write_snapshot(${NOISY_BASE} 1.0 0.5)
+write_snapshot(${NOISY_SLOW} 1.2 0.5)
+
+run_or_die(1 ${BENCHSTAT} compare --baseline ${BASE} --candidate ${SLOW})
+run_or_die(0 ${BENCHSTAT} compare --baseline ${SLOW} --candidate ${BASE})
+run_or_die(0 ${BENCHSTAT} compare --baseline ${NOISY_BASE}
+           --candidate ${NOISY_SLOW})
+
+file(REMOVE ${SNAP} ${BASE} ${SLOW} ${NOISY_BASE} ${NOISY_SLOW})

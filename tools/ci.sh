@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Tier-1 CI driver: release build + full ctest, an AddressSanitizer
+# build + full ctest, and a smoke pasa_benchstat run that proves the
+# perf-regression gate works end to end (writes BENCH_smoke.json and
+# self-compares it, which must pass).
+#
+# Usage: tools/ci.sh [build-dir-prefix]
+#
+# Knobs (environment):
+#   PASA_CI_SKIP_RELEASE=1  skip the release build (also skips the
+#                           benchstat smoke, which needs its binaries)
+#   PASA_CI_SKIP_ASAN=1     skip the sanitizer build (e.g. on hosts
+#                           without ASan runtimes)
+#   PASA_CI_JOBS=N          parallelism (default: nproc)
+#   PASA_CI_BENCH_SCALE=S   workload scale for the benchstat smoke run
+#                           (default 0.002: a couple of seconds)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build-ci}"
+jobs="${PASA_CI_JOBS:-$(nproc)}"
+scale="${PASA_CI_BENCH_SCALE:-0.002}"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+if [[ "${PASA_CI_SKIP_RELEASE:-0}" != "1" ]]; then
+  step "release build + tests (${prefix}-release)"
+  cmake -B "${prefix}-release" -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build "${prefix}-release" -j "${jobs}"
+  ctest --test-dir "${prefix}-release" --output-on-failure -j "${jobs}"
+else
+  step "release build skipped (PASA_CI_SKIP_RELEASE=1)"
+fi
+
+if [[ "${PASA_CI_SKIP_ASAN:-0}" != "1" ]]; then
+  step "asan build + tests (${prefix}-asan)"
+  cmake -B "${prefix}-asan" -S . -DCMAKE_BUILD_TYPE=Debug \
+        -DPASA_SANITIZE=address
+  cmake --build "${prefix}-asan" -j "${jobs}"
+  ctest --test-dir "${prefix}-asan" --output-on-failure -j "${jobs}"
+else
+  step "asan build skipped (PASA_CI_SKIP_ASAN=1)"
+fi
+
+if [[ "${PASA_CI_SKIP_RELEASE:-0}" != "1" ]]; then
+  step "benchstat smoke run (scale ${scale})"
+  "${prefix}-release/tools/pasa_benchstat" run \
+      --bench "${prefix}-release/bench/bench_fig4a_bulk_time" \
+      --iterations 2 --scale "${scale}" \
+      --name smoke --out "${prefix}-release/BENCH_smoke.json"
+  # A snapshot must never regress against itself: exercises the compare
+  # path and the exit-code contract.
+  "${prefix}-release/tools/pasa_benchstat" compare \
+      --baseline "${prefix}-release/BENCH_smoke.json" \
+      --candidate "${prefix}-release/BENCH_smoke.json"
+fi
+
+step "ci passed"

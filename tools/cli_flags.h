@@ -1,0 +1,46 @@
+#ifndef PASA_TOOLS_CLI_FLAGS_H_
+#define PASA_TOOLS_CLI_FLAGS_H_
+
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace pasa {
+namespace tools {
+
+/// Minimal --flag value parser shared by pasa_cli and pasa_benchstat;
+/// every command takes only such pairs. A repeated flag last-wins; a
+/// dangling flag with no value is ignored.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) == 0) key = key.substr(2);
+      values_[key] = argv[i + 1];
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace tools
+}  // namespace pasa
+
+#endif  // PASA_TOOLS_CLI_FLAGS_H_

@@ -12,14 +12,17 @@ endfunction()
 set(LOC ${WORK_DIR}/cli_smoke_locations.csv)
 set(OPT ${WORK_DIR}/cli_smoke_opt.csv)
 set(CASPER ${WORK_DIR}/cli_smoke_casper.csv)
-set(METRICS ${WORK_DIR}/cli_smoke_metrics.json)
+# Written into a non-existent subdirectory on purpose: the exporters must
+# create missing parent directories.
+set(METRICS ${WORK_DIR}/cli_smoke_out/metrics.json)
+set(TRACE ${WORK_DIR}/cli_smoke_out/trace.json)
 
 run_or_die(0 ${CLI} generate --n 3000 --seed 7 --map-log2-side 13 --out ${LOC})
 run_or_die(0 ${CLI} stats --in ${LOC} --k 20)
 
 # The policy-aware optimum passes the audit...
 run_or_die(0 ${CLI} anonymize --in ${LOC} --k 20 --out ${OPT} --algorithm opt
-           --metrics-out ${METRICS})
+           --metrics-out ${METRICS} --trace-out ${TRACE} --log-level debug)
 run_or_die(0 ${CLI} audit --locations ${LOC} --cloaks ${OPT} --k 20)
 
 # The observability snapshot must exist and contain the per-phase DP spans,
@@ -41,6 +44,28 @@ foreach(required_key
   endif()
 endforeach()
 
+# The timeline trace must be a Chrome trace_event JSON: a traceEvents
+# array of begin/end pairs with thread ids and monotonic timestamps, plus
+# the thread_name metadata record for the registered main thread.
+if(NOT EXISTS ${TRACE})
+  message(FATAL_ERROR "anonymize --trace-out did not write ${TRACE}")
+endif()
+file(READ ${TRACE} trace_json)
+foreach(required_fragment
+        "\"traceEvents\"" "\"displayTimeUnit\"" "\"droppedEventCount\""
+        "\"ph\": \"B\"" "\"ph\": \"E\"" "\"ph\": \"M\""
+        "\"name\": \"thread_name\"" "\"args\": {\"name\": \"main\"}"
+        "\"ts\": " "\"tid\": " "\"cat\": \"pasa\""
+        "\"name\": \"bulk_dp\"" "\"name\": \"anonymizer/build\"")
+  string(FIND "${trace_json}" "${required_fragment}" fragment_at)
+  if(fragment_at EQUAL -1)
+    message(FATAL_ERROR "trace JSON is missing ${required_fragment}")
+  endif()
+endforeach()
+
+# An invalid --log-level is a usage error.
+run_or_die(2 ${CLI} stats --in ${LOC} --log-level shouting)
+
 # ...while the Casper baseline is expected to be flagged (exit code 3:
 # k-inside policies are not policy-aware k-anonymous in general).
 run_or_die(0 ${CLI} anonymize --in ${LOC} --k 20 --out ${CASPER}
@@ -52,4 +77,4 @@ run_or_die(2 ${CLI})
 run_or_die(2 ${CLI} anonymize --in ${LOC})
 run_or_die(1 ${CLI} anonymize --in /no/such.csv --k 5 --out ${OPT})
 
-file(REMOVE ${LOC} ${OPT} ${CASPER} ${METRICS})
+file(REMOVE ${LOC} ${OPT} ${CASPER} ${METRICS} ${TRACE})

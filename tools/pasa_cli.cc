@@ -6,18 +6,21 @@
 //   pasa_cli audit     --locations locations.csv --cloaks cloaks.csv --k 50
 //   pasa_cli stats     --in locations.csv [--k 50]
 //
-// Every subcommand additionally accepts --metrics-out <file.json>, which
-// writes the process-wide observability snapshot (per-phase bulk_dp spans,
-// latency histograms, answer-cache counters; see docs/observability.md) as
-// structured JSON on exit. anonymize and audit also print a human-readable
-// metrics dump.
+// Every subcommand additionally accepts:
+//   --metrics-out FILE.json   observability snapshot (per-phase bulk_dp
+//                             spans, latency histograms, answer-cache
+//                             counters) written as structured JSON on exit
+//   --trace-out FILE.json     per-event timeline as Chrome trace_event
+//                             JSON, loadable in Perfetto/chrome://tracing
+//   --log-level LEVEL         runtime log filter (debug|info|warn|error|off)
+// anonymize and audit also print a human-readable metrics dump. See
+// docs/observability.md.
 //
 // CSV formats are documented in src/io/csv.h.
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <map>
 #include <memory>
 #include <string>
 
@@ -31,45 +34,24 @@
 #include "lbs/poi.h"
 #include "lbs/provider.h"
 #include "obs/export.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_sink.h"
 #include "pasa/anonymizer.h"
 #include "policies/casper.h"
 #include "policies/k_inside_binary.h"
 #include "policies/k_inside_quad.h"
 #include "workload/bay_area.h"
+#include "tools/cli_flags.h"
 
 namespace {
 
 using namespace pasa;
-
-// Minimal --flag value parser; every command takes only such pairs.
-class Flags {
- public:
-  Flags(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) == 0) key = key.substr(2);
-      values_[key] = argv[i + 1];
-    }
-  }
-
-  std::string GetString(const std::string& key,
-                        const std::string& fallback = "") const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
-  }
-  int64_t GetInt(const std::string& key, int64_t fallback) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
-  }
-  bool Has(const std::string& key) const { return values_.count(key) > 0; }
-
- private:
-  std::map<std::string, std::string> values_;
-};
+using tools::Flags;
 
 int Fail(const Status& status) {
-  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  obs::LogError("cli", "%s", status.ToString().c_str());
   return 1;
 }
 
@@ -82,8 +64,11 @@ int Usage() {
       "opt|casper|puq|pub]\n"
       "  pasa_cli audit     --locations F --cloaks F2 --k K\n"
       "  pasa_cli stats     --in F [--k K]\n"
-      "every subcommand also accepts --metrics-out FILE.json (observability "
-      "snapshot)\n");
+      "every subcommand also accepts:\n"
+      "  --metrics-out FILE.json  observability snapshot\n"
+      "  --trace-out FILE.json    Chrome trace_event timeline "
+      "(Perfetto-loadable)\n"
+      "  --log-level LEVEL        debug|info|warn|error|off\n");
   return 2;
 }
 
@@ -101,6 +86,8 @@ void PrintMetricsDump() {
 void ServeSampleRequests(Anonymizer& engine, const LocationDatabase& db,
                          const MapExtent& extent) {
   if (db.size() == 0) return;
+  obs::ScopedSpan span("cli/serve_sample_requests", obs::ScopedSpan::kRoot);
+  obs::LogDebug("cli", "serving sampled requests through the answer cache");
   Rng rng(42);
   std::vector<PointOfInterest> pois;
   constexpr size_t kNumPois = 256;
@@ -149,6 +136,8 @@ int RunAnonymize(const Flags& flags) {
   if (!extent.ok()) return Fail(extent.status());
 
   const std::string algorithm = flags.GetString("algorithm", "opt");
+  obs::LogInfo("cli", "anonymize: %zu users, k=%d, algorithm=%s", db->size(),
+               k, algorithm.c_str());
   std::unique_ptr<BulkPolicyAlgorithm> policy;
   if (algorithm == "opt") {
     // Handled below: the optimum path keeps the engine alive so the
@@ -268,6 +257,21 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   const Flags flags(argc, argv, 2);
+  if (flags.Has("log-level")) {
+    Result<obs::LogLevel> level =
+        obs::ParseLogLevel(flags.GetString("log-level"));
+    if (!level.ok()) {
+      std::fprintf(stderr, "error: %s\n", level.status().ToString().c_str());
+      return Usage();
+    }
+    obs::Logger::Global().SetLevel(*level);
+  }
+  const bool tracing = flags.Has("trace-out");
+  if (tracing) {
+    obs::TraceEventSink::Global().SetCurrentThreadName("main");
+    obs::TraceEventSink::Global().Start();
+  }
+  obs::LogDebug("cli", "running subcommand '%s'", command.c_str());
   int rc;
   if (command == "generate") {
     rc = RunGenerate(flags);
@@ -284,8 +288,22 @@ int main(int argc, char** argv) {
     const Status s = obs::WriteJsonFile(obs::MetricsRegistry::Global(),
                                         flags.GetString("metrics-out"));
     if (!s.ok()) {
-      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      Fail(s);
       if (rc == 0) rc = 1;
+    }
+  }
+  if (tracing) {
+    obs::TraceEventSink& sink = obs::TraceEventSink::Global();
+    sink.Stop();
+    const Status s = sink.WriteChromeTraceFile(flags.GetString("trace-out"));
+    if (!s.ok()) {
+      Fail(s);
+      if (rc == 0) rc = 1;
+    } else {
+      obs::LogInfo("cli", "wrote trace with %zu event(s) (%llu dropped) to %s",
+                   sink.size(),
+                   static_cast<unsigned long long>(sink.dropped()),
+                   flags.GetString("trace-out").c_str());
     }
   }
   return rc;
