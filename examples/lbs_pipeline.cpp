@@ -74,7 +74,7 @@ int main() {
     WallTimer serve_timer;
     size_t served = 0;
     for (const ServiceRequest& sr : requests.Draw(csp->snapshot(), 20000)) {
-      Result<std::vector<PointOfInterest>> answer = csp->HandleRequest(sr);
+      Result<LbsAnswer> answer = csp->HandleRequest(sr);
       if (answer.ok()) ++served;
     }
     std::printf("  served %zu requests in %.1f ms (%.2f us each); LBS saw "

@@ -14,6 +14,10 @@ const char* StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kNotFound:
       return "NOT_FOUND";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }

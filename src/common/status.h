@@ -21,6 +21,11 @@ enum class StatusCode {
   kInternal,
   /// The entity looked up (user, node, jurisdiction) does not exist.
   kNotFound,
+  /// A dependency (the LBS provider, a jurisdiction server) is temporarily
+  /// unable to serve; retrying later may succeed.
+  kUnavailable,
+  /// The operation did not complete within its per-request deadline.
+  kDeadlineExceeded,
 };
 
 /// Returns a short stable name for `code` ("OK", "INFEASIBLE", ...).
@@ -53,6 +58,12 @@ class Status {
   }
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

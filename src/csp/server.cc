@@ -1,7 +1,9 @@
 #include "csp/server.h"
 
 #include <utility>
+#include <vector>
 
+#include "fault/injector.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -18,7 +20,8 @@ CspServer::CspServer(CspOptions options, MapExtent extent,
       engine_(std::make_unique<IncrementalAnonymizer>(std::move(engine))),
       policy_(std::move(policy)),
       frontend_(std::make_unique<CachingLbsFrontend>(
-          LbsProvider(std::move(pois), options.answers_per_request))) {
+          LbsProvider(std::move(pois), options.answers_per_request),
+          options.resilience)) {
   RebuildUserIndex();
 }
 
@@ -43,12 +46,15 @@ void CspServer::RebuildUserIndex() {
   }
 }
 
-Result<std::vector<PointOfInterest>> CspServer::HandleRequest(
-    const ServiceRequest& sr) {
+Result<LbsAnswer> CspServer::HandleRequest(const ServiceRequest& sr) {
   static obs::Histogram& latency = obs::MetricsRegistry::Global().GetHistogram(
       "csp/handle_request_seconds");
   static obs::Counter& served =
       obs::MetricsRegistry::Global().GetCounter("csp/requests_served");
+  static obs::Counter& degraded =
+      obs::MetricsRegistry::Global().GetCounter("csp/requests_degraded");
+  static obs::Counter& failed =
+      obs::MetricsRegistry::Global().GetCounter("csp/requests_failed");
   static obs::Counter& rejected =
       obs::MetricsRegistry::Global().GetCounter("csp/requests_rejected");
   obs::ScopedHistogramTimer timer(latency);
@@ -65,9 +71,21 @@ Result<std::vector<PointOfInterest>> CspServer::HandleRequest(
   }
   const AnonymizedRequest ar{next_rid_++, policy_.table.cloak(it->second),
                              sr.params};
+  Result<LbsAnswer> answer = frontend_->Serve(ar);
+  if (!answer.ok()) {
+    // Provider down and no cached fallback: the request is lost, but the
+    // anonymization guarantee was never at stake — only the LBS hop failed.
+    ++stats_.requests_failed;
+    failed.Increment();
+    return answer.status();
+  }
   ++stats_.requests_served;
   served.Increment();
-  return frontend_->Serve(ar);
+  if (answer->degraded) {
+    ++stats_.requests_degraded;
+    degraded.Increment();
+  }
+  return answer;
 }
 
 Status CspServer::RefreshPolicy() {
@@ -77,57 +95,151 @@ Status CspServer::RefreshPolicy() {
   return Status::Ok();
 }
 
+Status CspServer::RebuildEngine() {
+  obs::ScopedSpan rebuild_span("rebuild");
+  Result<IncrementalAnonymizer> rebuilt = IncrementalAnonymizer::Build(
+      snapshot_, extent_, options_.k, options_.dp);
+  if (!rebuilt.ok()) return rebuilt.status();
+  *engine_ = std::move(*rebuilt);
+  return Status::Ok();
+}
+
 Result<SnapshotReport> CspServer::AdvanceSnapshot(
     const std::vector<UserMove>& moves) {
   obs::ScopedSpan span("csp/advance_snapshot", obs::ScopedSpan::kRoot);
+  static obs::Counter& quarantined_counter = obs::MetricsRegistry::Global()
+      .GetCounter("csp/snapshot/moves_quarantined");
   SnapshotReport report;
-  report.moves_applied = moves.size();
+  fault::FaultInjector& injector = fault::FaultInjector::Global();
+
+  // Validate every move against the current snapshot; malformed ones are
+  // quarantined (counted, logged) instead of failing the whole advance. The
+  // snapshot/corrupt_move injection point simulates a dirty MPC feed by
+  // mangling moves right at this boundary, which must end in quarantine.
+  std::vector<UserMove> accepted;
+  accepted.reserve(moves.size());
+  std::vector<bool> already_moved(snapshot_.size(), false);
+  size_t corrupted = 0;
+  for (const UserMove& original : moves) {
+    UserMove move = original;
+    if (injector.ShouldInject(fault::kSnapshotCorruptMove)) {
+      switch (corrupted++ % 3) {
+        case 0:  // unknown user: row beyond the snapshot
+          move.row += static_cast<uint32_t>(snapshot_.size());
+          break;
+        case 1:  // destination outside the map extent
+          move.to = Point{extent_.origin_x + 2 * extent_.side(),
+                          extent_.origin_y};
+          break;
+        default:  // stale origin
+          move.from.x += 1;
+          break;
+      }
+    }
+    const char* reason = nullptr;
+    if (move.row >= snapshot_.size()) {
+      reason = "unknown_user";
+    } else if (snapshot_.row(move.row).location != move.from) {
+      reason = "stale_origin";
+    } else if (!extent_.Contains(move.to)) {
+      reason = "out_of_extent";
+    } else if (already_moved[move.row]) {
+      reason = "duplicate";
+    }
+    if (reason != nullptr) {
+      ++report.moves_quarantined;
+      obs::MetricsRegistry::Global()
+          .GetCounter(std::string("csp/quarantine/") + reason)
+          .Increment();
+      obs::TraceInstant("csp/move_quarantined");
+      obs::LogDebug("csp", "quarantined move of row %u (%s)", move.row,
+                    reason);
+      continue;
+    }
+    already_moved[move.row] = true;
+    accepted.push_back(move);
+  }
+  if (report.moves_quarantined > 0) {
+    quarantined_counter.Increment(report.moves_quarantined);
+    stats_.moves_quarantined += report.moves_quarantined;
+    obs::LogWarn("csp", "quarantined %zu of %zu moves this snapshot",
+                 report.moves_quarantined, moves.size());
+  }
+  report.moves_applied = accepted.size();
+
+  // Apply the accepted moves to the CSP's snapshot first; the engine tracks
+  // its own copy of the positions.
+  for (const UserMove& move : accepted) {
+    Status s = snapshot_.MoveUser(snapshot_.row(move.row).user, move.to);
+    if (!s.ok()) return Status::Internal("validated move failed to apply: " +
+                                         s.ToString());
+  }
 
   const double fraction =
       snapshot_.empty() ? 0.0
-                        : static_cast<double>(moves.size()) /
+                        : static_cast<double>(accepted.size()) /
                               static_cast<double>(snapshot_.size());
-  // Apply the moves to the CSP's snapshot first; the engine tracks its own
-  // copy of the positions.
-  for (const UserMove& move : moves) {
-    if (move.row >= snapshot_.size() ||
-        snapshot_.row(move.row).location != move.from) {
-      return Status::InvalidArgument("stale or out-of-range move");
-    }
-    Status s = snapshot_.MoveUser(snapshot_.row(move.row).user, move.to);
-    if (!s.ok()) return s;
-  }
-
-  if (fraction > options_.rebuild_fraction) {
+  bool need_rebuild = fraction > options_.rebuild_fraction;
+  if (need_rebuild) {
     // Bulk re-anonymization (Section VI-C: incremental degenerates anyway).
     obs::TraceInstant("csp/rebuild_triggered");
     obs::LogDebug("csp",
                   "snapshot rebuild: %zu moves touch %.1f%% of users "
                   "(> %.1f%% threshold)",
-                  moves.size(), fraction * 100.0,
+                  accepted.size(), fraction * 100.0,
                   options_.rebuild_fraction * 100.0);
-    obs::ScopedSpan rebuild_span("rebuild");
-    Result<IncrementalAnonymizer> rebuilt = IncrementalAnonymizer::Build(
-        snapshot_, extent_, options_.k, options_.dp);
-    if (!rebuilt.ok()) return rebuilt.status();
-    *engine_ = std::move(*rebuilt);
+  } else {
+    obs::ScopedSpan repair_span("repair");
+    Status repair = Status::Ok();
+    if (injector.ShouldInject(fault::kSnapshotRepairFail)) {
+      repair = Status::Unavailable("injected incremental repair failure");
+    } else {
+      Result<size_t> repaired = engine_->ApplyMoves(accepted);
+      if (repaired.ok()) {
+        report.dp_rows_repaired = *repaired;
+      } else {
+        repair = repaired.status();
+      }
+    }
+    if (repair.ok()) {
+      ++stats_.incremental_updates;
+      obs::MetricsRegistry::Global()
+          .GetCounter("csp/snapshot/incremental_repairs")
+          .Increment();
+    } else {
+      // Self-healing: a failed repair may leave the engine's tree/matrix
+      // partially updated, so discard it and rebuild from the (clean)
+      // snapshot instead of failing the advance.
+      report.repair_fell_back_to_rebuild = true;
+      report.dp_rows_repaired = 0;
+      ++stats_.repair_fallbacks;
+      need_rebuild = true;
+      obs::MetricsRegistry::Global()
+          .GetCounter("csp/snapshot/repair_fallbacks")
+          .Increment();
+      obs::TraceInstant("csp/repair_fallback");
+      obs::LogWarn("csp",
+                   "incremental repair failed (%s); falling back to a full "
+                   "rebuild",
+                   repair.ToString().c_str());
+    }
+  }
+  if (need_rebuild) {
+    Status s = RebuildEngine();
+    if (!s.ok()) {
+      obs::LogError("csp", "snapshot rebuild failed: %s",
+                    s.ToString().c_str());
+      return s;
+    }
     report.rebuilt = true;
     ++stats_.rebuilds;
     obs::MetricsRegistry::Global().GetCounter("csp/snapshot/rebuilds")
         .Increment();
-  } else {
-    obs::ScopedSpan repair_span("repair");
-    Result<size_t> repaired = engine_->ApplyMoves(moves);
-    if (!repaired.ok()) return repaired.status();
-    report.dp_rows_repaired = *repaired;
-    ++stats_.incremental_updates;
-    obs::MetricsRegistry::Global()
-        .GetCounter("csp/snapshot/incremental_repairs")
-        .Increment();
   }
   obs::MetricsRegistry::Global().GetCounter("csp/snapshot/moves_applied")
-      .Increment(moves.size());
-  obs::TraceCounter("csp/moves_applied", static_cast<double>(moves.size()));
+      .Increment(accepted.size());
+  obs::TraceCounter("csp/moves_applied",
+                    static_cast<double>(accepted.size()));
   Status s = RefreshPolicy();
   if (!s.ok()) {
     obs::LogWarn("csp", "policy refresh failed: %s", s.ToString().c_str());
@@ -136,9 +248,14 @@ Result<SnapshotReport> CspServer::AdvanceSnapshot(
   report.policy_cost = policy_.cost;
   ++stats_.snapshots_advanced;
   obs::LogDebug("csp",
-                "snapshot advanced: %zu moves, %s, %zu dp rows repaired, "
-                "policy cost %lld",
-                moves.size(), report.rebuilt ? "rebuilt" : "repaired",
+                "snapshot advanced: %zu moves (%zu quarantined), %s, %zu dp "
+                "rows repaired, policy cost %lld",
+                accepted.size(), report.moves_quarantined,
+                report.rebuilt
+                    ? (report.repair_fell_back_to_rebuild
+                           ? "rebuilt (repair fallback)"
+                           : "rebuilt")
+                    : "repaired",
                 report.dp_rows_repaired,
                 static_cast<long long>(report.policy_cost));
   return report;

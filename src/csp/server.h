@@ -23,14 +23,23 @@ struct CspOptions {
   /// rebuild from scratch instead of maintaining incrementally (Section
   /// VI-C: beyond ~5% movers incremental degenerates into bulk anyway).
   double rebuild_fraction = 0.05;
+  /// Retry/deadline/circuit-breaker tuning for the LBS hop.
+  ResilienceOptions resilience;
 };
 
 /// Bookkeeping returned by CspServer::AdvanceSnapshot.
 struct SnapshotReport {
-  size_t moves_applied = 0;
-  bool rebuilt = false;        ///< full rebuild vs incremental repair
-  size_t dp_rows_repaired = 0; ///< 0 when rebuilt
+  size_t moves_applied = 0;     ///< moves accepted and applied
+  size_t moves_quarantined = 0; ///< malformed moves rejected, not fatal
+  bool rebuilt = false;         ///< full rebuild vs incremental repair
+  /// True when an incremental repair failed and the server self-healed by
+  /// falling back to a full rebuild (implies `rebuilt`).
+  bool repair_fell_back_to_rebuild = false;
+  size_t dp_rows_repaired = 0;  ///< 0 when rebuilt
   Cost policy_cost = 0;
+
+  friend bool operator==(const SnapshotReport& a, const SnapshotReport& b) =
+      default;
 };
 
 /// The privacy-conscious LBS model of Section II-B assembled into one
@@ -39,6 +48,13 @@ struct SnapshotReport {
 /// policy (incrementally when cheap, from scratch when not), (c) anonymizes
 /// incoming service requests, and (d) forwards them to the untrusted LBS
 /// through the deduplicating answer cache of Section VII.
+///
+/// The serving path is built to survive a flaky provider and dirty inputs:
+/// malformed moves are quarantined rather than fatal, a failed incremental
+/// repair self-heals into a full rebuild, and LBS outages degrade answers
+/// (stale, flagged) instead of dropping requests. The k-anonymity guarantee
+/// itself is never relaxed — every served cloak comes from the maintained
+/// optimal policy and identities never cross the CSP boundary.
 ///
 ///   CspServer csp = *CspServer::Start(db, extent, pois, {.k = 50});
 ///   auto answer = csp.HandleRequest(sr);      // POIs near the cloak
@@ -57,10 +73,15 @@ class CspServer {
 
   /// Full request path: validate the request against the current snapshot,
   /// cloak the sender, fetch (or reuse) the LBS answer. The sender identity
-  /// never crosses the CSP boundary.
-  Result<std::vector<PointOfInterest>> HandleRequest(const ServiceRequest& sr);
+  /// never crosses the CSP boundary. `LbsAnswer::degraded` marks answers
+  /// served stale from the cache while the provider was unreachable.
+  Result<LbsAnswer> HandleRequest(const ServiceRequest& sr);
 
-  /// Advances to the next location-database snapshot.
+  /// Advances to the next location-database snapshot. Malformed moves
+  /// (unknown row, stale origin, destination outside the map, duplicate
+  /// mover) are quarantined and the remaining moves applied; a failed
+  /// incremental repair falls back to a full rebuild. Fails only when even
+  /// the rebuild is impossible.
   Result<SnapshotReport> AdvanceSnapshot(const std::vector<UserMove>& moves);
 
   /// Flushes the LBS answer cache (e.g. daily) and returns the billable
@@ -69,10 +90,16 @@ class CspServer {
 
   struct Stats {
     size_t requests_served = 0;
+    size_t requests_degraded = 0;  ///< subset of served: stale answers
+    size_t requests_failed = 0;    ///< provider down, no fallback available
     size_t requests_rejected = 0;
     size_t snapshots_advanced = 0;
+    size_t moves_quarantined = 0;
     size_t rebuilds = 0;
     size_t incremental_updates = 0;
+    size_t repair_fallbacks = 0;   ///< incremental failures healed by rebuild
+
+    friend bool operator==(const Stats& a, const Stats& b) = default;
   };
   const Stats& stats() const { return stats_; }
   /// How many requests the (untrusted) LBS actually saw — always at most
@@ -80,6 +107,8 @@ class CspServer {
   size_t lbs_requests_seen() const {
     return frontend_->provider().requests_seen();
   }
+  /// Resilience-layer state of the LBS hop (retries, breaker, deadlines).
+  const ResilientLbsClient& lbs_client() const { return frontend_->client(); }
 
  private:
   CspServer(CspOptions options, MapExtent extent,
@@ -88,6 +117,8 @@ class CspServer {
 
   Status RefreshPolicy();
   void RebuildUserIndex();
+  /// From-scratch rebuild of the engine on the current snapshot.
+  Status RebuildEngine();
 
   CspOptions options_;
   MapExtent extent_;

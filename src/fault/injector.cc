@@ -1,0 +1,87 @@
+#include "fault/injector.h"
+
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
+
+namespace pasa {
+namespace fault {
+namespace {
+
+// FNV-1a over the point name, mixed into the plan seed so each point draws
+// from an independent deterministic stream.
+uint64_t HashPointName(std::string_view name) {
+  uint64_t hash = 1469598103934665603ull;
+  for (const char c : name) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(const FaultPlan& plan, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  for (const FaultPointConfig& config : plan.points) {
+    PointState state;
+    state.config = config;
+    state.rng = Rng(seed ^ HashPointName(config.point));
+    points_.emplace(config.point, std::move(state));
+  }
+  armed_.store(!points_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+FaultDecision FaultInjector::Evaluate(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  if (it == points_.end()) return {};
+  PointState& state = it->second;
+  ++state.evaluations;
+  const FaultPointConfig& config = state.config;
+  if (state.evaluations <= config.after) return {};
+  if (config.every > 0 &&
+      (state.evaluations - config.after) % config.every != 0) {
+    return {};
+  }
+  if (config.max_fires > 0 && state.fires >= config.max_fires) return {};
+  if (config.probability < 1.0 &&
+      state.rng.NextDouble() >= config.probability) {
+    return {};
+  }
+  ++state.fires;
+  obs::MetricsRegistry::Global()
+      .GetCounter("fault/injected/" + config.point)
+      .Increment();
+  obs::TraceInstant("fault/" + config.point);
+  FaultDecision decision;
+  decision.fire = true;
+  decision.latency_micros = config.latency_micros;
+  return decision;
+}
+
+uint64_t FaultInjector::fires(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+uint64_t FaultInjector::evaluations(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.evaluations;
+}
+
+}  // namespace fault
+}  // namespace pasa

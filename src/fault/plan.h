@@ -1,0 +1,71 @@
+#ifndef PASA_FAULT_PLAN_H_
+#define PASA_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace pasa {
+namespace fault {
+
+/// Catalog of injection points the serving path consults. A FaultPlan may
+/// only name points from this catalog (typos would otherwise silently never
+/// fire). See docs/robustness.md for what each point simulates.
+inline constexpr std::string_view kLbsLatency = "lbs/latency";
+inline constexpr std::string_view kLbsError = "lbs/error";
+inline constexpr std::string_view kLbsTimeout = "lbs/timeout";
+inline constexpr std::string_view kSnapshotCorruptMove =
+    "snapshot/corrupt_move";
+inline constexpr std::string_view kSnapshotRepairFail = "snapshot/repair_fail";
+inline constexpr std::string_view kParallelJurisdictionFail =
+    "parallel/jurisdiction_fail";
+
+/// Every known injection point, for validation and documentation.
+const std::vector<std::string_view>& KnownFaultPoints();
+
+/// Configuration for one injection point: how often it fires and, for
+/// latency faults, the payload. An evaluation is one consultation of the
+/// point by the serving path; the schedule filters evaluations down to
+/// *eligible* ones, and `probability` is then drawn per eligible evaluation
+/// from the point's own seeded stream.
+struct FaultPointConfig {
+  std::string point;          ///< one of the catalog names above
+  double probability = 1.0;   ///< chance of firing per eligible evaluation
+  uint64_t after = 0;         ///< skip the first `after` evaluations
+  uint64_t every = 0;         ///< if > 0, eligible only every Nth evaluation
+  uint64_t max_fires = 0;     ///< if > 0, stop firing after this many fires
+  double latency_micros = 0;  ///< simulated latency payload (lbs/latency)
+};
+
+/// A deterministic, seeded fault schedule: which injection points misbehave
+/// and how often. Parsed from JSON:
+///
+///   {
+///     "seed": 42,                       // optional; CLI --fault-seed wins
+///     "points": [
+///       {"point": "lbs/error", "probability": 0.25},
+///       {"point": "lbs/latency", "probability": 0.5,
+///        "latency_micros": 20000, "after": 10, "every": 2, "max_fires": 100}
+///     ]
+///   }
+///
+/// Unknown point names, probabilities outside [0, 1], negative schedule
+/// fields and malformed JSON are all InvalidArgument.
+struct FaultPlan {
+  uint64_t default_seed = 2010;
+  std::vector<FaultPointConfig> points;
+
+  /// Parses a plan from JSON text.
+  static Result<FaultPlan> FromJson(std::string_view text);
+
+  /// Reads and parses `path`. NotFound when the file cannot be read.
+  static Result<FaultPlan> FromJsonFile(const std::string& path);
+};
+
+}  // namespace fault
+}  // namespace pasa
+
+#endif  // PASA_FAULT_PLAN_H_

@@ -1,11 +1,14 @@
 #ifndef PASA_LBS_ANSWER_CACHE_H_
 #define PASA_LBS_ANSWER_CACHE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
+#include "geo/rect.h"
 #include "model/anonymized_request.h"
 
 namespace pasa {
@@ -16,6 +19,12 @@ namespace pasa {
 /// cannot mount the l-diversity / t-closeness style frequency-counting
 /// attacks. The cache also keeps the aggregate request count the anonymizer
 /// submits to the LBS at flush time for billing.
+///
+/// Beyond deduplication, the cache doubles as the degradation store of the
+/// self-healing serving path: when the provider is unreachable,
+/// FindStaleFallback offers the best previously cached answer for the same
+/// parameters whose cloak overlaps the request's (a stale/approximate answer
+/// beats a dropped request, and the k-anonymity of the cloak is unaffected).
 template <typename Answer>
 class AnswerCache {
  public:
@@ -23,24 +32,67 @@ class AnswerCache {
     size_t hits = 0;
     size_t misses = 0;
     size_t flushes = 0;
+    /// Fallback answers served while the provider was unreachable.
+    size_t stale_serves = 0;
     /// Requests served since the last flush — reported to the LBS for
     /// billing when the cache is flushed (the paper's billing adjustment).
     size_t billable_since_flush = 0;
   };
 
+  /// Exact lookup by (cloak, params). Counts a hit (and bills it) or a
+  /// miss; a miss is expected to be followed by Put or FindStaleFallback.
+  const Answer* Lookup(const AnonymizedRequest& ar) {
+    const auto it = cache_.find(KeyOf(ar));
+    if (it == cache_.end()) {
+      ++stats_.misses;
+      return nullptr;
+    }
+    ++stats_.hits;
+    ++stats_.billable_since_flush;
+    return &it->second.answer;
+  }
+
+  /// Stores a freshly fetched (and therefore billable) answer.
+  const Answer& Put(const AnonymizedRequest& ar, Answer answer) {
+    ++stats_.billable_since_flush;
+    Entry entry{ar.cloak, ParamsKeyOf(ar), std::move(answer)};
+    return cache_.insert_or_assign(KeyOf(ar), std::move(entry))
+        .first->second.answer;
+  }
+
+  /// Degradation path: the cached answer with identical parameters whose
+  /// cloak overlaps `ar`'s the most (ties broken by insertion-independent
+  /// key order for determinism); nullptr when nothing overlaps. Served
+  /// answers still count as billable — the data was produced by the LBS.
+  const Answer* FindStaleFallback(const AnonymizedRequest& ar) {
+    const std::string params = ParamsKeyOf(ar);
+    const Entry* best = nullptr;
+    const std::string* best_key = nullptr;
+    int64_t best_overlap = 0;
+    for (const auto& [key, entry] : cache_) {
+      if (entry.params != params || !entry.cloak.Intersects(ar.cloak)) {
+        continue;
+      }
+      const int64_t overlap = OverlapArea(entry.cloak, ar.cloak);
+      if (best == nullptr || overlap > best_overlap ||
+          (overlap == best_overlap && key < *best_key)) {
+        best = &entry;
+        best_key = &key;
+        best_overlap = overlap;
+      }
+    }
+    if (best == nullptr) return nullptr;
+    ++stats_.stale_serves;
+    ++stats_.billable_since_flush;
+    return &best->answer;
+  }
+
   /// Returns the cached answer for `ar`'s (cloak, params) key, fetching it
   /// from the LBS via `fetch` on a miss. Only misses reach the provider.
   const Answer& GetOrFetch(const AnonymizedRequest& ar,
                            const std::function<Answer()>& fetch) {
-    ++stats_.billable_since_flush;
-    const std::string key = KeyOf(ar);
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      ++stats_.hits;
-      return it->second;
-    }
-    ++stats_.misses;
-    return cache_.emplace(key, fetch()).first->second;
+    if (const Answer* cached = Lookup(ar)) return *cached;
+    return Put(ar, fetch());
   }
 
   /// Drops every cached answer (the paper flushes "at infrequent intervals,
@@ -58,9 +110,20 @@ class AnswerCache {
   const Stats& stats() const { return stats_; }
 
  private:
-  static std::string KeyOf(const AnonymizedRequest& ar) {
-    // rid deliberately excluded: duplicates must collide.
-    std::string key = ar.cloak.ToString();
+  struct Entry {
+    Rect cloak;
+    std::string params;
+    Answer answer;
+  };
+
+  static int64_t OverlapArea(const Rect& a, const Rect& b) {
+    const int64_t w = std::min(a.x2, b.x2) - std::max(a.x1, b.x1);
+    const int64_t h = std::min(a.y2, b.y2) - std::max(a.y1, b.y1);
+    return std::max<int64_t>(w, 0) * std::max<int64_t>(h, 0);
+  }
+
+  static std::string ParamsKeyOf(const AnonymizedRequest& ar) {
+    std::string key;
     for (const NameValue& nv : ar.params) {
       key += '|';
       key += nv.name;
@@ -70,7 +133,12 @@ class AnswerCache {
     return key;
   }
 
-  std::unordered_map<std::string, Answer> cache_;
+  static std::string KeyOf(const AnonymizedRequest& ar) {
+    // rid deliberately excluded: duplicates must collide.
+    return ar.cloak.ToString() + ParamsKeyOf(ar);
+  }
+
+  std::unordered_map<std::string, Entry> cache_;
   Stats stats_;
 };
 

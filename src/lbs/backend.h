@@ -1,0 +1,41 @@
+#ifndef PASA_LBS_BACKEND_H_
+#define PASA_LBS_BACKEND_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "lbs/poi.h"
+#include "model/anonymized_request.h"
+
+namespace pasa {
+
+/// Abstract transport to the (untrusted, third-party) LBS provider. The
+/// production implementation is the in-process LbsProvider; tests substitute
+/// flaky backends to exercise the resilience layer. A backend sees only
+/// anonymized requests — cloaks and parameters, never identities.
+///
+/// Failures are part of the contract: a real provider sits across a network
+/// hop and may be down (kUnavailable) or slow (kDeadlineExceeded).
+class LbsBackend {
+ public:
+  virtual ~LbsBackend() = default;
+
+  /// Evaluates one anonymized request.
+  virtual Result<std::vector<PointOfInterest>> Fetch(
+      const AnonymizedRequest& ar) = 0;
+};
+
+/// What the CSP hands back to a client: the POIs plus a degradation flag.
+/// `degraded` is true when the provider could not be reached and the answer
+/// was served stale/approximate from the answer cache (an overlapping cloak
+/// with the same parameters). Degradation never touches the k-anonymity
+/// guarantee — the cloak was formed before the LBS hop and identities never
+/// cross the CSP boundary either way; only answer freshness is relaxed.
+struct LbsAnswer {
+  std::vector<PointOfInterest> pois;
+  bool degraded = false;
+};
+
+}  // namespace pasa
+
+#endif  // PASA_LBS_BACKEND_H_

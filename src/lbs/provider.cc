@@ -1,13 +1,15 @@
 #include "lbs/provider.h"
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_sink.h"
 
 namespace pasa {
 
 std::vector<PointOfInterest> LbsProvider::Answer(
     const AnonymizedRequest& ar) const {
-  ++requests_seen_;
+  requests_seen_.fetch_add(1, std::memory_order_relaxed);
   std::string category;
   for (const NameValue& nv : ar.params) {
     if (nv.name == "poi") {
@@ -18,27 +20,43 @@ std::vector<PointOfInterest> LbsProvider::Answer(
   return pois_.NearestToCloak(ar.cloak, category, answers_per_request_);
 }
 
-const std::vector<PointOfInterest>& CachingLbsFrontend::Serve(
-    const AnonymizedRequest& ar) {
+Result<LbsAnswer> CachingLbsFrontend::Serve(const AnonymizedRequest& ar) {
   static obs::Histogram& latency =
       obs::MetricsRegistry::Global().GetHistogram("lbs/serve_seconds");
   static obs::Counter& hits =
       obs::MetricsRegistry::Global().GetCounter("lbs/answer_cache/hits");
   static obs::Counter& misses =
       obs::MetricsRegistry::Global().GetCounter("lbs/answer_cache/misses");
+  static obs::Counter& stale_serves = obs::MetricsRegistry::Global()
+      .GetCounter("lbs/answer_cache/stale_serves");
+  static obs::Counter& unserved =
+      obs::MetricsRegistry::Global().GetCounter("lbs/unserved_requests");
   obs::ScopedHistogramTimer timer(latency);
-  const size_t hits_before = cache_.stats().hits;
-  const auto& answer = cache_.GetOrFetch(ar, [&] {
+  if (const std::vector<PointOfInterest>* cached = cache_.Lookup(ar)) {
+    hits.Increment();
+    return LbsAnswer{*cached, /*degraded=*/false};
+  }
+  Result<std::vector<PointOfInterest>> fetched = [&] {
     // Nests under csp/handle_request when reached through the CSP.
     obs::ScopedSpan miss_span("cache_miss");
-    return provider_.Answer(ar);
-  });
-  if (cache_.stats().hits > hits_before) {
-    hits.Increment();
-  } else {
+    return client_.Fetch(ar);
+  }();
+  if (fetched.ok()) {
     misses.Increment();
+    return LbsAnswer{cache_.Put(ar, std::move(*fetched)), /*degraded=*/false};
   }
-  return answer;
+  if (const std::vector<PointOfInterest>* stale =
+          cache_.FindStaleFallback(ar)) {
+    misses.Increment();
+    stale_serves.Increment();
+    obs::TraceInstant("lbs/stale_serve");
+    obs::LogDebug("lbs", "provider unreachable (%s); serving stale answer",
+                  fetched.status().ToString().c_str());
+    return LbsAnswer{*stale, /*degraded=*/true};
+  }
+  misses.Increment();
+  unserved.Increment();
+  return fetched.status();
 }
 
 size_t CachingLbsFrontend::FlushAndBill() {

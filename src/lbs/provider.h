@@ -1,11 +1,15 @@
 #ifndef PASA_LBS_PROVIDER_H_
 #define PASA_LBS_PROVIDER_H_
 
+#include <atomic>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "lbs/answer_cache.h"
+#include "lbs/backend.h"
 #include "lbs/poi.h"
+#include "lbs/resilient_client.h"
 #include "model/anonymized_request.h"
 
 namespace pasa {
@@ -13,50 +17,77 @@ namespace pasa {
 /// The (untrusted) third-party LBS of the model: answers anonymized
 /// requests by nearest-neighbor search over its POI index. It sees only
 /// cloaks, never identities or precise locations.
-class LbsProvider {
+class LbsProvider : public LbsBackend {
  public:
   /// `answers_per_request`: how many POIs each answer carries (the client
   /// filters locally for the one nearest its true position).
   LbsProvider(PoiDatabase pois, size_t answers_per_request)
       : pois_(std::move(pois)), answers_per_request_(answers_per_request) {}
 
+  LbsProvider(LbsProvider&& other) noexcept
+      : pois_(std::move(other.pois_)),
+        answers_per_request_(other.answers_per_request_),
+        requests_seen_(other.requests_seen_.load(std::memory_order_relaxed)) {
+  }
+
   /// Evaluates the request: the nearest POIs of the requested category
   /// ("poi" parameter) to the cloak region.
   std::vector<PointOfInterest> Answer(const AnonymizedRequest& ar) const;
 
+  /// LbsBackend: the in-process provider itself never fails; failures are
+  /// simulated upstream by the resilience layer's injection points.
+  Result<std::vector<PointOfInterest>> Fetch(
+      const AnonymizedRequest& ar) override {
+    return Answer(ar);
+  }
+
   /// Number of requests this provider actually evaluated — the count an
   /// attacker at the LBS could log for frequency attacks.
-  size_t requests_seen() const { return requests_seen_; }
+  size_t requests_seen() const {
+    return requests_seen_.load(std::memory_order_relaxed);
+  }
 
  private:
   PoiDatabase pois_;
   size_t answers_per_request_;
-  mutable size_t requests_seen_ = 0;
+  /// Atomic: Answer is const and may run concurrently (thread-mode runs).
+  mutable std::atomic<size_t> requests_seen_{0};
 };
 
 /// The trusted CSP front half of the Section VII architecture: forwards
-/// anonymized requests to the LBS through the answer cache, so duplicates
-/// never leave the CSP.
+/// anonymized requests to the LBS backend through the answer cache and the
+/// resilience layer, so duplicates never leave the CSP and a flaky provider
+/// degrades answers instead of dropping requests.
 class CachingLbsFrontend {
  public:
-  explicit CachingLbsFrontend(LbsProvider provider)
-      : provider_(std::move(provider)) {}
+  explicit CachingLbsFrontend(LbsProvider provider,
+                              const ResilienceOptions& resilience = {})
+      : provider_(std::make_unique<LbsProvider>(std::move(provider))),
+        client_(provider_.get(), resilience) {}
 
-  /// Serves `ar`, consulting the cache first.
-  const std::vector<PointOfInterest>& Serve(const AnonymizedRequest& ar);
+  /// Serves `ar`, consulting the cache first. On a miss the fetch goes
+  /// through the resilient client; if the provider stays unreachable the
+  /// answer degrades to the best overlapping cached answer (flagged
+  /// `degraded`), and only when no fallback exists does the request fail
+  /// with kUnavailable / kDeadlineExceeded.
+  Result<LbsAnswer> Serve(const AnonymizedRequest& ar);
 
   /// Flushes the cache and reports the billable request count to the LBS
   /// (also exported as the lbs/answer_cache/billed_requests counter).
   size_t FlushAndBill();
 
-  const LbsProvider& provider() const { return provider_; }
+  const LbsProvider& provider() const { return *provider_; }
+  const ResilientLbsClient& client() const { return client_; }
   const AnswerCache<std::vector<PointOfInterest>>::Stats& cache_stats()
       const {
     return cache_.stats();
   }
 
  private:
-  LbsProvider provider_;
+  /// unique_ptr keeps the backend address stable for the client when the
+  /// frontend itself is moved.
+  std::unique_ptr<LbsProvider> provider_;
+  ResilientLbsClient client_;
   AnswerCache<std::vector<PointOfInterest>> cache_;
 };
 

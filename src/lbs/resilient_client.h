@@ -1,0 +1,93 @@
+#ifndef PASA_LBS_RESILIENT_CLIENT_H_
+#define PASA_LBS_RESILIENT_CLIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "lbs/backend.h"
+
+namespace pasa {
+
+/// Tuning for the CSP-side resilience layer in front of the LBS backend.
+/// Time-like quantities are simulated microseconds: the in-process backend
+/// has no real network, so latency enters the system only through the fault
+/// injector's lbs/latency payload, and the deadline/backoff arithmetic below
+/// is exact and deterministic rather than wall-clock dependent.
+struct ResilienceOptions {
+  /// Total tries per request (1 initial + retries). Only kUnavailable is
+  /// retried; kDeadlineExceeded means the budget is gone.
+  int max_attempts = 3;
+  /// Per-request budget; injected latency and backoff both consume it.
+  double deadline_micros = 50'000;
+  /// Exponential backoff between attempts, with deterministic jitter.
+  double initial_backoff_micros = 1'000;
+  double backoff_multiplier = 2.0;
+  double max_backoff_micros = 16'000;
+  /// Seed of the jitter stream (full jitter in [0, backoff)).
+  uint64_t jitter_seed = 2010;
+  /// Consecutive failed requests (after retries) that open the breaker.
+  int breaker_failure_threshold = 5;
+  /// While open, this many requests fail fast before one half-open probe is
+  /// allowed through. Counted in requests, not wall time, so replay is
+  /// deterministic.
+  uint64_t breaker_cooldown_requests = 16;
+};
+
+/// The self-healing hop between the answer cache and the LBS backend:
+/// bounded retries with exponential backoff + deterministic jitter, a
+/// per-request deadline, and a circuit breaker that fails fast while the
+/// provider is down and probes it again after a cooldown. All decisions are
+/// functions of statuses, the configured schedule and seeded streams, never
+/// of wall time — a chaos run replays identically from its seed.
+///
+/// Not thread-safe; serialize access like the answer cache it sits behind.
+class ResilientLbsClient {
+ public:
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+  struct Stats {
+    uint64_t requests = 0;
+    uint64_t attempts = 0;          ///< backend tries incl. injected failures
+    uint64_t retries = 0;
+    uint64_t failures = 0;          ///< requests that exhausted all attempts
+    uint64_t fail_fast = 0;         ///< rejected by the open breaker
+    uint64_t deadline_exceeded = 0;
+    uint64_t breaker_opens = 0;
+
+    friend bool operator==(const Stats& a, const Stats& b) = default;
+  };
+
+  /// `backend` must outlive the client.
+  ResilientLbsClient(LbsBackend* backend, const ResilienceOptions& options);
+
+  /// Fetches `ar` with retries/deadline/breaker applied. On failure the
+  /// status is kUnavailable (provider down or breaker open) or
+  /// kDeadlineExceeded (budget consumed).
+  Result<std::vector<PointOfInterest>> Fetch(const AnonymizedRequest& ar);
+
+  BreakerState breaker_state() const { return breaker_state_; }
+  const Stats& stats() const { return stats_; }
+  const ResilienceOptions& options() const { return options_; }
+
+ private:
+  /// One try: consults the lbs/latency, lbs/timeout and lbs/error injection
+  /// points, then the backend. `simulated_micros` accumulates latency.
+  Result<std::vector<PointOfInterest>> FetchOnce(const AnonymizedRequest& ar,
+                                                 double* simulated_micros);
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  LbsBackend* backend_;
+  ResilienceOptions options_;
+  Rng jitter_;
+  BreakerState breaker_state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  uint64_t cooldown_remaining_ = 0;
+  Stats stats_;
+};
+
+}  // namespace pasa
+
+#endif  // PASA_LBS_RESILIENT_CLIENT_H_

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/timer.h"
+#include "fault/injector.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -60,6 +61,45 @@ Status AnonymizeJurisdiction(const LocationDatabase& db,
   return Status::Ok();
 }
 
+// Failure containment around one jurisdiction: consults the
+// parallel/jurisdiction_fail injection point before each attempt (a server
+// that crashes mid-run) and retries in place. Master rows are only written
+// by a successful attempt, so a failure never leaves partial cloaks behind.
+Status RunJurisdictionContained(const LocationDatabase& db,
+                                const Jurisdiction& jurisdiction, size_t j,
+                                const std::vector<uint32_t>& rows,
+                                const ParallelRunOptions& options,
+                                JurisdictionResult* result,
+                                CloakingTable* master,
+                                std::atomic<size_t>* failures,
+                                std::atomic<size_t>* retries) {
+  Status last = Status::Ok();
+  const int attempts = 1 + std::max(0, options.max_jurisdiction_retries);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      retries->fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry::Global()
+          .GetCounter("parallel/jurisdiction_retries")
+          .Increment();
+    }
+    if (fault::FaultInjector::Global().ShouldInject(
+            fault::kParallelJurisdictionFail)) {
+      last = Status::Unavailable("injected jurisdiction failure");
+    } else {
+      last = AnonymizeJurisdiction(db, jurisdiction, rows, options.k,
+                                   options.dp, result, master);
+      if (last.ok()) return last;
+    }
+    failures->fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::Global()
+        .GetCounter("parallel/jurisdiction_failures")
+        .Increment();
+    obs::LogWarn("parallel", "jurisdiction %zu attempt %d failed: %s", j,
+                 attempt + 1, last.ToString().c_str());
+  }
+  return last;
+}
+
 }  // namespace
 
 Result<ParallelRunReport> RunPartitioned(const LocationDatabase& db,
@@ -92,9 +132,11 @@ Result<ParallelRunReport> RunPartitioned(const LocationDatabase& db,
     rows_of[j] = tree->SubtreeRows(jurisdictions[j].node);
   }
 
+  std::atomic<size_t> failures{0};
+  std::atomic<size_t> retries{0};
   if (options.use_threads) {
     std::atomic<size_t> next{0};
-    std::atomic<bool> failed{false};
+    std::vector<Status> statuses(jurisdictions.size());
     const size_t workers =
         std::min<size_t>(std::thread::hardware_concurrency() > 0
                              ? std::thread::hardware_concurrency()
@@ -109,28 +151,44 @@ Result<ParallelRunReport> RunPartitioned(const LocationDatabase& db,
         NameWorkerThread(w);
         for (;;) {
           const size_t j = next.fetch_add(1);
-          if (j >= jurisdictions.size() || failed.load()) return;
+          if (j >= jurisdictions.size()) return;
           report.jurisdictions[j].jurisdiction = jurisdictions[j];
           if (jurisdictions[j].users == 0) continue;
           obs::ScopedSpan span("parallel/jurisdiction",
                                obs::ScopedSpan::kRoot);
           obs::TraceCounter("parallel/jurisdiction_users",
                             static_cast<double>(jurisdictions[j].users));
-          // Each jurisdiction writes disjoint master rows: no locking.
-          Status s = AnonymizeJurisdiction(
-              db, jurisdictions[j], rows_of[j], options.k, options.dp,
-              &report.jurisdictions[j], &report.master_table);
-          if (!s.ok()) {
-            obs::LogError("parallel", "jurisdiction %zu failed: %s", j,
-                          s.ToString().c_str());
-            failed.store(true);
-          }
+          // Each jurisdiction writes disjoint master rows: no locking. A
+          // failed jurisdiction never aborts its siblings — it is recorded
+          // and retried inline after the join.
+          statuses[j] = RunJurisdictionContained(
+              db, jurisdictions[j], j, rows_of[j], options,
+              &report.jurisdictions[j], &report.master_table, &failures,
+              &retries);
         }
       });
     }
     for (std::thread& t : pool) t.join();
-    if (failed.load()) {
-      return Status::Internal("a jurisdiction failed to anonymize");
+    // Last line of defense: re-run jurisdictions whose server kept failing
+    // inline on the coordinating thread, so a flaky server pool degrades to
+    // sequential execution instead of losing the master policy.
+    for (size_t j = 0; j < jurisdictions.size(); ++j) {
+      if (statuses[j].ok()) continue;
+      ++report.inline_fallbacks;
+      obs::MetricsRegistry::Global()
+          .GetCounter("parallel/inline_fallbacks")
+          .Increment();
+      obs::TraceInstant("parallel/inline_fallback");
+      obs::LogWarn("parallel",
+                   "jurisdiction %zu exhausted its server retries (%s); "
+                   "re-running inline",
+                   j, statuses[j].ToString().c_str());
+      obs::ScopedSpan span("parallel/jurisdiction", obs::ScopedSpan::kRoot);
+      Status s = RunJurisdictionContained(
+          db, jurisdictions[j], j, rows_of[j], options,
+          &report.jurisdictions[j], &report.master_table, &failures,
+          &retries);
+      if (!s.ok()) return s;
     }
   } else {
     for (size_t j = 0; j < jurisdictions.size(); ++j) {
@@ -139,12 +197,15 @@ Result<ParallelRunReport> RunPartitioned(const LocationDatabase& db,
       obs::ScopedSpan span("parallel/jurisdiction", obs::ScopedSpan::kRoot);
       obs::TraceCounter("parallel/jurisdiction_users",
                         static_cast<double>(jurisdictions[j].users));
-      Status s = AnonymizeJurisdiction(
-          db, jurisdictions[j], rows_of[j], options.k, options.dp,
-          &report.jurisdictions[j], &report.master_table);
+      Status s = RunJurisdictionContained(
+          db, jurisdictions[j], j, rows_of[j], options,
+          &report.jurisdictions[j], &report.master_table, &failures,
+          &retries);
       if (!s.ok()) return s;
     }
   }
+  report.jurisdiction_failures = failures.load(std::memory_order_relaxed);
+  report.jurisdiction_retries = retries.load(std::memory_order_relaxed);
 
   for (const JurisdictionResult& r : report.jurisdictions) {
     report.parallel_seconds = std::max(report.parallel_seconds, r.seconds);

@@ -21,6 +21,14 @@ struct JurisdictionResult {
 /// Outcome of a partitioned (multi-server) bulk anonymization.
 struct ParallelRunReport {
   std::vector<JurisdictionResult> jurisdictions;
+  /// Failure-containment accounting: attempts that failed, in-place
+  /// retries, and jurisdictions recovered by falling back to inline
+  /// sequential execution on the coordinating thread after their server
+  /// kept failing. The master policy is only lost when a jurisdiction
+  /// fails every retry AND the inline fallback.
+  size_t jurisdiction_failures = 0;
+  size_t jurisdiction_retries = 0;
+  size_t inline_fallbacks = 0;
   /// Wall-clock estimate when every jurisdiction runs on its own server:
   /// the slowest server (plus nothing else — partitioning is amortized
   /// across snapshots per Section V's static-partition design).
@@ -45,6 +53,10 @@ struct ParallelRunOptions {
   /// max() model is the honest simulation of a server pool; thread mode is
   /// provided for multi-core hosts.
   bool use_threads = false;
+  /// In-place retries per jurisdiction before giving up on its server and
+  /// (in thread mode) falling back to inline sequential execution. A failed
+  /// jurisdiction never aborts its siblings.
+  int max_jurisdiction_retries = 1;
 };
 
 /// Partitions the map with GreedyPartition, anonymizes every jurisdiction

@@ -1,0 +1,231 @@
+// Chaos tests: drive the CSP serving path and the parallel runner through
+// seeded fault schedules and assert the three robustness invariants of
+// docs/robustness.md — (1) every served cloak is still k-anonymous, (2)
+// nothing crashes or wedges, (3) a given seed replays the identical outcome.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "attack/auditor.h"
+#include "csp/server.h"
+#include "fault/injector.h"
+#include "parallel/runner.h"
+#include "workload/bay_area.h"
+#include "workload/movement.h"
+#include "workload/requests.h"
+
+namespace pasa {
+namespace {
+
+BayAreaOptions ChaosBay() {
+  BayAreaOptions options;
+  options.log2_map_side = 13;
+  options.num_intersections = 250;
+  options.users_per_intersection = 4;
+  options.user_sigma = 40.0;
+  options.num_clusters = 6;
+  options.seed = 23;
+  return options;
+}
+
+PoiDatabase ChaosPois(const MapExtent& extent, size_t n) {
+  Rng rng(29);
+  const std::vector<std::string> categories = {"rest", "gas", "hospital"};
+  std::vector<PointOfInterest> pois;
+  for (size_t i = 0; i < n; ++i) {
+    pois.push_back(PointOfInterest{
+        static_cast<int64_t>(i),
+        Point{static_cast<Coord>(rng.NextBounded(extent.side())),
+              static_cast<Coord>(rng.NextBounded(extent.side()))},
+        categories[rng.NextBounded(categories.size())]});
+  }
+  return PoiDatabase(std::move(pois));
+}
+
+// Everything in every fault spans: an unreliable provider (errors, latency
+// spikes, hangs), a dirty move feed, and flaky incremental repairs.
+fault::FaultPlan EverythingPlan() {
+  fault::FaultPlan plan;
+  fault::FaultPointConfig error{std::string(fault::kLbsError)};
+  error.probability = 0.2;
+  plan.points.push_back(error);
+  fault::FaultPointConfig latency{std::string(fault::kLbsLatency)};
+  latency.probability = 0.15;
+  latency.latency_micros = 30'000;  // over half the 50 ms default deadline
+  plan.points.push_back(latency);
+  fault::FaultPointConfig timeout{std::string(fault::kLbsTimeout)};
+  timeout.probability = 0.05;
+  plan.points.push_back(timeout);
+  fault::FaultPointConfig corrupt{std::string(fault::kSnapshotCorruptMove)};
+  corrupt.probability = 0.1;
+  plan.points.push_back(corrupt);
+  fault::FaultPointConfig repair{std::string(fault::kSnapshotRepairFail)};
+  repair.probability = 0.3;
+  plan.points.push_back(repair);
+  return plan;
+}
+
+/// The complete observable outcome of one chaos run; two runs with the same
+/// seed must produce equal outcomes, field for field.
+struct ChaosOutcome {
+  std::vector<SnapshotReport> reports;
+  std::vector<Cost> policy_costs;
+  CspServer::Stats stats;
+  ResilientLbsClient::Stats client_stats;
+  std::map<std::string, uint64_t> fires;
+  size_t lbs_requests_seen = 0;
+  size_t degraded_answers = 0;
+
+  friend bool operator==(const ChaosOutcome& a, const ChaosOutcome& b) =
+      default;
+};
+
+// One full chaos run: `snapshots` epochs of (request burst, snapshot
+// advance) against a CSP server under EverythingPlan() armed with `seed`.
+// Asserts the safety invariants inline; returns the outcome for replay
+// comparison.
+ChaosOutcome ChaosRun(uint64_t seed, int snapshots, int requests_per_epoch) {
+  const BayAreaGenerator gen(ChaosBay());
+  LocationDatabase db = gen.Generate(1000);
+  CspOptions options;
+  options.k = 10;
+  options.rebuild_fraction = 0.2;  // keep advances on the incremental path
+  Result<CspServer> csp = CspServer::Start(db, gen.extent(),
+                                           ChaosPois(gen.extent(), 400),
+                                           options);
+  EXPECT_TRUE(csp.ok()) << csp.status().ToString();
+  ChaosOutcome outcome;
+  if (!csp.ok()) return outcome;
+
+  fault::FaultInjector::Global().Arm(EverythingPlan(), seed);
+  RequestGenerator requests(static_cast<uint64_t>(seed * 31 + 1));
+  MovementOptions movement;
+  movement.moving_fraction = 0.03;
+  movement.max_distance = 60.0;
+  for (int epoch = 0; epoch < snapshots; ++epoch) {
+    for (const ServiceRequest& sr :
+         requests.Draw(csp->snapshot(), requests_per_epoch)) {
+      const Result<LbsAnswer> answer = csp->HandleRequest(sr);
+      // A failed request is acceptable degradation (provider down, nothing
+      // cached); a served one must never relax the answer size contract.
+      if (answer.ok()) {
+        EXPECT_LE(answer->pois.size(), options.answers_per_request);
+        if (answer->degraded) ++outcome.degraded_answers;
+      } else {
+        EXPECT_TRUE(answer.status().code() == StatusCode::kUnavailable ||
+                    answer.status().code() == StatusCode::kDeadlineExceeded)
+            << answer.status().ToString();
+      }
+    }
+    movement.seed = seed * 1000 + static_cast<uint64_t>(epoch);
+    const std::vector<UserMove> moves =
+        DrawMoves(csp->snapshot(), gen.extent(), movement);
+    Result<SnapshotReport> report = csp->AdvanceSnapshot(moves);
+    EXPECT_TRUE(report.ok()) << report.status().ToString();
+    if (!report.ok()) break;
+    outcome.reports.push_back(*report);
+    outcome.policy_costs.push_back(csp->policy_cost());
+
+    // The heart of the matter: whatever faults fired, the policy served to
+    // users is a valid masking of the current snapshot and k-anonymous
+    // against the policy-aware attacker.
+    EXPECT_TRUE(csp->policy().IsMasking(csp->snapshot()));
+    EXPECT_TRUE(AuditPolicyAware(csp->policy()).Anonymous(options.k));
+  }
+  outcome.stats = csp->stats();
+  outcome.client_stats = csp->lbs_client().stats();
+  outcome.lbs_requests_seen = csp->lbs_requests_seen();
+  for (const std::string_view point : fault::KnownFaultPoints()) {
+    outcome.fires[std::string(point)] =
+        fault::FaultInjector::Global().fires(point);
+  }
+  fault::FaultInjector::Global().Disarm();
+  return outcome;
+}
+
+TEST(ChaosTest, ServingPathSurvivesAndReplaysDeterministically) {
+  size_t total_quarantined = 0;
+  size_t total_repair_fallbacks = 0;
+  size_t total_degraded_or_failed = 0;
+  for (const uint64_t seed : {101u, 202u, 303u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const ChaosOutcome first = ChaosRun(seed, /*snapshots=*/5,
+                                        /*requests_per_epoch=*/150);
+    const ChaosOutcome replay = ChaosRun(seed, 5, 150);
+    EXPECT_TRUE(first == replay) << "chaos run is not deterministic";
+
+    // The plan actually bit: provider faults fired and were absorbed.
+    EXPECT_GT(first.fires.at(std::string(fault::kLbsError)), 0u);
+    EXPECT_GT(first.client_stats.retries, 0u);
+    EXPECT_EQ(first.stats.snapshots_advanced, 5u);
+    total_quarantined += first.stats.moves_quarantined;
+    total_repair_fallbacks += first.stats.repair_fallbacks;
+    total_degraded_or_failed +=
+        first.stats.requests_degraded + first.stats.requests_failed;
+
+    // Different seeds must differ somewhere (fire counts, reports, ...).
+    const ChaosOutcome other = ChaosRun(seed + 7, 5, 150);
+    EXPECT_FALSE(first == other);
+  }
+  // Across the seeds, every degradation path was exercised.
+  EXPECT_GT(total_quarantined, 0u);
+  EXPECT_GT(total_repair_fallbacks, 0u);
+  EXPECT_GT(total_degraded_or_failed, 0u);
+}
+
+// Jurisdiction-level chaos for the parallel runner: servers fail randomly,
+// the run retries and falls back but always recombines a complete,
+// k-anonymous master policy.
+ParallelRunReport ParallelChaosRun(uint64_t seed, bool use_threads,
+                                   const LocationDatabase& db,
+                                   const MapExtent& extent) {
+  fault::FaultPlan plan;
+  fault::FaultPointConfig fail{std::string(fault::kParallelJurisdictionFail)};
+  fail.probability = 0.35;
+  plan.points.push_back(fail);
+  fault::FaultInjector::Global().Arm(plan, seed);
+  ParallelRunOptions options;
+  options.k = 10;
+  options.num_jurisdictions = 8;
+  options.use_threads = use_threads;
+  options.max_jurisdiction_retries = 4;
+  Result<ParallelRunReport> report = RunPartitioned(db, extent, options);
+  fault::FaultInjector::Global().Disarm();
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->master_table.IsMasking(db));
+  EXPECT_TRUE(AuditPolicyAware(report->master_table).Anonymous(options.k));
+  return report.ok() ? *report : ParallelRunReport{};
+}
+
+TEST(ChaosTest, ParallelRunnerContainsJurisdictionFailures) {
+  const BayAreaGenerator gen(ChaosBay());
+  const LocationDatabase db = gen.Generate(1500);
+  size_t total_failures = 0;
+  for (const uint64_t seed : {11u, 22u, 33u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const ParallelRunReport first =
+        ParallelChaosRun(seed, /*use_threads=*/false, db, gen.extent());
+    const ParallelRunReport replay =
+        ParallelChaosRun(seed, false, db, gen.extent());
+    // Sequential evaluation order is fixed, so the contained failures and
+    // retries replay exactly, as does the recombined policy.
+    EXPECT_EQ(first.jurisdiction_failures, replay.jurisdiction_failures);
+    EXPECT_EQ(first.jurisdiction_retries, replay.jurisdiction_retries);
+    EXPECT_EQ(first.total_cost, replay.total_cost);
+    total_failures += first.jurisdiction_failures;
+  }
+  EXPECT_GT(total_failures, 0u);
+
+  // Thread mode: evaluation order (and so the fault pattern) is scheduler
+  // dependent, but the safety invariants checked inside ParallelChaosRun
+  // must hold regardless, and the master policy is never lost.
+  const ParallelRunReport threaded =
+      ParallelChaosRun(44u, /*use_threads=*/true, db, gen.extent());
+  EXPECT_EQ(threaded.total_users, db.size());
+}
+
+}  // namespace
+}  // namespace pasa

@@ -33,9 +33,22 @@ TEST(StatusTest, FactoriesCarryCodeAndMessage) {
 TEST(StatusTest, EveryCodeHasAName) {
   for (const StatusCode code :
        {StatusCode::kOk, StatusCode::kInfeasible, StatusCode::kInvalidArgument,
-        StatusCode::kInternal, StatusCode::kNotFound}) {
+        StatusCode::kInternal, StatusCode::kNotFound,
+        StatusCode::kUnavailable, StatusCode::kDeadlineExceeded}) {
     EXPECT_STRNE(StatusCodeName(code), "UNKNOWN");
   }
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DEADLINE_EXCEEDED");
+}
+
+TEST(StatusTest, ResilienceFactories) {
+  const Status unavailable = Status::Unavailable("provider down");
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(unavailable.ToString(), "UNAVAILABLE: provider down");
+  const Status deadline = Status::DeadlineExceeded("budget spent");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "DEADLINE_EXCEEDED: budget spent");
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -5,6 +5,7 @@
 
 #include "attack/auditor.h"
 #include "csp/server.h"
+#include "fault/injector.h"
 #include "obs/metrics.h"
 #include "workload/bay_area.h"
 #include "workload/movement.h"
@@ -51,9 +52,10 @@ TEST(CspServerTest, ServesValidRequestsRejectsStaleOnes) {
 
   RequestGenerator requests(3);
   for (const ServiceRequest& sr : requests.Draw(db, 100)) {
-    Result<std::vector<PointOfInterest>> answer = csp->HandleRequest(sr);
+    Result<LbsAnswer> answer = csp->HandleRequest(sr);
     ASSERT_TRUE(answer.ok());
-    EXPECT_LE(answer->size(), options.answers_per_request);
+    EXPECT_LE(answer->pois.size(), options.answers_per_request);
+    EXPECT_FALSE(answer->degraded);
   }
   EXPECT_EQ(csp->stats().requests_served, 100u);
 
@@ -177,7 +179,7 @@ TEST(CspServerTest, SnapshotAdvanceChoosesIncrementalOrRebuild) {
                   .ok());
 }
 
-TEST(CspServerTest, RejectsStaleMoves) {
+TEST(CspServerTest, QuarantinesMalformedMovesAndAppliesTheRest) {
   const BayAreaGenerator gen(SmallBay());
   LocationDatabase db = gen.Generate(300);
   CspOptions options;
@@ -186,9 +188,101 @@ TEST(CspServerTest, RejectsStaleMoves) {
                                            SomePois(gen.extent(), 10),
                                            options);
   ASSERT_TRUE(csp.ok());
-  const Point actual = db.row(0).location;
-  const UserMove stale{0, {actual.x + 1, actual.y}, actual};
-  EXPECT_FALSE(csp->AdvanceSnapshot({stale}).ok());
+
+  const Point a = csp->snapshot().row(0).location;
+  const Point b = csp->snapshot().row(1).location;
+  const std::vector<UserMove> moves = {
+      // One good move...
+      {1, b, {b.x + 1, b.y}},
+      // ...and one of each quarantine reason. None is fatal.
+      {static_cast<uint32_t>(csp->snapshot().size() + 7),
+       a, {a.x + 1, a.y}},                            // unknown_user
+      {0, {a.x + 1, a.y}, a},                         // stale_origin
+      {0, a, {gen.extent().origin_x + 2 * gen.extent().side(),
+              gen.extent().origin_y}},                // out_of_extent
+      {1, b, {b.x + 2, b.y}},                         // duplicate mover
+  };
+  Result<SnapshotReport> report = csp->AdvanceSnapshot(moves);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->moves_applied, 1u);
+  EXPECT_EQ(report->moves_quarantined, 4u);
+  EXPECT_EQ(csp->stats().moves_quarantined, 4u);
+  EXPECT_EQ(csp->snapshot().row(1).location, (Point{b.x + 1, b.y}));
+  // The surviving snapshot still yields a valid k-anonymous policy.
+  EXPECT_TRUE(csp->policy().IsMasking(csp->snapshot()));
+  EXPECT_TRUE(AuditPolicyAware(csp->policy()).Anonymous(options.k));
+}
+
+TEST(CspServerTest, FailedIncrementalRepairFallsBackToRebuild) {
+  const BayAreaGenerator gen(SmallBay());
+  LocationDatabase db = gen.Generate(1000);
+  CspOptions options;
+  options.k = 10;
+  options.rebuild_fraction = 0.5;  // keep the advance on the incremental path
+  Result<CspServer> csp = CspServer::Start(db, gen.extent(),
+                                           SomePois(gen.extent(), 10),
+                                           options);
+  ASSERT_TRUE(csp.ok());
+
+  // Force the incremental repair itself to fail: the server must self-heal
+  // by rebuilding from the (already updated) snapshot, not fail the advance.
+  fault::FaultPlan plan;
+  plan.points.push_back({std::string(fault::kSnapshotRepairFail)});
+  fault::FaultInjector::Global().Arm(plan, /*seed=*/5);
+  MovementOptions movement;
+  movement.moving_fraction = 0.01;
+  movement.seed = 9;
+  const std::vector<UserMove> moves =
+      DrawMoves(csp->snapshot(), gen.extent(), movement);
+  Result<SnapshotReport> report = csp->AdvanceSnapshot(moves);
+  fault::FaultInjector::Global().Disarm();
+
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->repair_fell_back_to_rebuild);
+  EXPECT_TRUE(report->rebuilt);
+  EXPECT_EQ(report->dp_rows_repaired, 0u);
+  EXPECT_EQ(csp->stats().repair_fallbacks, 1u);
+  EXPECT_EQ(csp->stats().rebuilds, 1u);
+  EXPECT_EQ(csp->stats().incremental_updates, 0u);
+
+  // The rebuilt policy is exactly the bulk-optimal one for the new snapshot.
+  EXPECT_TRUE(csp->policy().IsMasking(csp->snapshot()));
+  EXPECT_TRUE(AuditPolicyAware(csp->policy()).Anonymous(options.k));
+  Result<IncrementalAnonymizer> fresh = IncrementalAnonymizer::Build(
+      csp->snapshot(), gen.extent(), options.k, options.dp);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(csp->policy_cost(), *fresh->OptimalCost());
+}
+
+TEST(CspServerTest, CorruptedMoveFeedEndsInQuarantineNotCrash) {
+  const BayAreaGenerator gen(SmallBay());
+  LocationDatabase db = gen.Generate(500);
+  CspOptions options;
+  options.k = 5;
+  Result<CspServer> csp = CspServer::Start(db, gen.extent(),
+                                           SomePois(gen.extent(), 10),
+                                           options);
+  ASSERT_TRUE(csp.ok());
+
+  // Corrupt every third move at the ingest boundary.
+  fault::FaultPlan plan;
+  fault::FaultPointConfig corrupt{std::string(fault::kSnapshotCorruptMove)};
+  corrupt.every = 3;
+  plan.points.push_back(corrupt);
+  fault::FaultInjector::Global().Arm(plan, /*seed=*/3);
+  MovementOptions movement;
+  movement.moving_fraction = 0.05;
+  movement.seed = 21;
+  const std::vector<UserMove> moves =
+      DrawMoves(csp->snapshot(), gen.extent(), movement);
+  Result<SnapshotReport> report = csp->AdvanceSnapshot(moves);
+  fault::FaultInjector::Global().Disarm();
+
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->moves_quarantined, moves.size() / 3);
+  EXPECT_EQ(report->moves_applied, moves.size() - moves.size() / 3);
+  EXPECT_TRUE(csp->policy().IsMasking(csp->snapshot()));
+  EXPECT_TRUE(AuditPolicyAware(csp->policy()).Anonymous(options.k));
 }
 
 TEST(CspServerTest, StartFailsBelowK) {

@@ -1,12 +1,15 @@
-// Tests for the LBS provider substrate: POI nearest-to-cloak queries and
-// the Section VII answer cache (frequency-attack mitigation + billing).
+// Tests for the LBS provider substrate: POI nearest-to-cloak queries, the
+// Section VII answer cache (frequency-attack mitigation + billing), and the
+// resilience layer (retries, circuit breaker, serve-stale degradation).
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "fault/injector.h"
 #include "lbs/answer_cache.h"
 #include "lbs/poi.h"
 #include "lbs/provider.h"
+#include "lbs/resilient_client.h"
 
 namespace pasa {
 namespace {
@@ -119,13 +122,179 @@ TEST(LbsProviderTest, FrontendShieldsFrequencies) {
   // 50 duplicate requests from the same cloak (the frequency-attack
   // scenario of Section VII): the LBS must see exactly one.
   for (int i = 0; i < 50; ++i) {
-    const auto& answer = frontend.Serve(
+    const Result<LbsAnswer> answer = frontend.Serve(
         AnonymizedRequest{10 + i, ar.cloak, ar.params});
-    EXPECT_LE(answer.size(), 5u);
+    ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+    EXPECT_LE(answer->pois.size(), 5u);
+    EXPECT_FALSE(answer->degraded);
   }
   EXPECT_EQ(frontend.provider().requests_seen(), 1u);
   EXPECT_EQ(frontend.cache_stats().hits, 49u);
   EXPECT_EQ(frontend.FlushAndBill(), 50u);  // billing is still accurate
+}
+
+TEST(AnswerCacheTest, StaleFallbackPrefersLargestOverlapSameParams) {
+  AnswerCache<int> cache;
+  cache.Put({1, {0, 0, 8, 8}, {{"poi", "rest"}}}, 1);
+  cache.Put({2, {4, 4, 20, 20}, {{"poi", "rest"}}}, 2);
+  cache.Put({3, {0, 0, 64, 64}, {{"poi", "gas"}}}, 3);
+
+  // {4,4,12,12} overlaps entry 1 by 4x4 and entry 2 by 8x8: entry 2 wins.
+  const AnonymizedRequest ar{9, {4, 4, 12, 12}, {{"poi", "rest"}}};
+  const int* stale = cache.FindStaleFallback(ar);
+  ASSERT_NE(stale, nullptr);
+  EXPECT_EQ(*stale, 2);
+  EXPECT_EQ(cache.stats().stale_serves, 1u);
+
+  // Same cloak, different params: the gas entry overlaps but params differ.
+  const int* wrong_params =
+      cache.FindStaleFallback({9, {4, 4, 12, 12}, {{"poi", "spa"}}});
+  EXPECT_EQ(wrong_params, nullptr);
+
+  // Disjoint cloak: nothing to serve.
+  const int* disjoint =
+      cache.FindStaleFallback({9, {100, 100, 110, 110}, {{"poi", "rest"}}});
+  EXPECT_EQ(disjoint, nullptr);
+}
+
+// An LbsBackend that fails its first `fail_first` fetches with kUnavailable.
+class FlakyBackend : public LbsBackend {
+ public:
+  explicit FlakyBackend(int fail_first) : fail_remaining_(fail_first) {}
+
+  Result<std::vector<PointOfInterest>> Fetch(
+      const AnonymizedRequest& ar) override {
+    ++fetches_;
+    if (fail_remaining_ > 0) {
+      --fail_remaining_;
+      return Status::Unavailable("backend down");
+    }
+    return std::vector<PointOfInterest>{{1, {1, 1}, "rest"}};
+  }
+
+  int fetches() const { return fetches_; }
+
+ private:
+  int fail_remaining_;
+  int fetches_ = 0;
+};
+
+const AnonymizedRequest kAr{1, {0, 0, 8, 8}, {{"poi", "rest"}}};
+
+TEST(ResilientLbsClientTest, RetriesTransientFailures) {
+  FlakyBackend backend(/*fail_first=*/2);
+  ResilientLbsClient client(&backend, ResilienceOptions{});
+  const auto answer = client.Fetch(kAr);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(backend.fetches(), 3);
+  EXPECT_EQ(client.stats().retries, 2u);
+  EXPECT_EQ(client.stats().failures, 0u);
+  EXPECT_EQ(client.breaker_state(), ResilientLbsClient::BreakerState::kClosed);
+}
+
+TEST(ResilientLbsClientTest, GivesUpAfterMaxAttempts) {
+  FlakyBackend backend(/*fail_first=*/1000);
+  ResilienceOptions options;
+  options.max_attempts = 2;
+  ResilientLbsClient client(&backend, options);
+  const auto answer = client.Fetch(kAr);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(backend.fetches(), 2);
+  EXPECT_EQ(client.stats().failures, 1u);
+}
+
+TEST(ResilientLbsClientTest, BreakerOpensFailsFastAndProbesAfterCooldown) {
+  FlakyBackend backend(/*fail_first=*/4);  // 2 failed requests x 2 attempts
+  ResilienceOptions options;
+  options.max_attempts = 2;
+  options.breaker_failure_threshold = 2;
+  options.breaker_cooldown_requests = 3;
+  ResilientLbsClient client(&backend, options);
+
+  EXPECT_FALSE(client.Fetch(kAr).ok());
+  EXPECT_EQ(client.breaker_state(), ResilientLbsClient::BreakerState::kClosed);
+  EXPECT_FALSE(client.Fetch(kAr).ok());  // second failure trips the breaker
+  EXPECT_EQ(client.breaker_state(), ResilientLbsClient::BreakerState::kOpen);
+  EXPECT_EQ(client.stats().breaker_opens, 1u);
+
+  // Cooldown: 3 requests fail fast without touching the backend.
+  const int fetches_when_open = backend.fetches();
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(client.Fetch(kAr).ok());
+  EXPECT_EQ(backend.fetches(), fetches_when_open);
+  EXPECT_EQ(client.stats().fail_fast, 3u);
+
+  // The next request is the half-open probe; the backend has recovered, so
+  // it succeeds and closes the breaker.
+  const auto probed = client.Fetch(kAr);
+  ASSERT_TRUE(probed.ok()) << probed.status().ToString();
+  EXPECT_EQ(client.breaker_state(), ResilientLbsClient::BreakerState::kClosed);
+  ASSERT_TRUE(client.Fetch(kAr).ok());
+}
+
+TEST(ResilientLbsClientTest, FailedProbeReopensTheBreaker) {
+  FlakyBackend backend(/*fail_first=*/1000);
+  ResilienceOptions options;
+  options.max_attempts = 1;
+  options.breaker_failure_threshold = 1;
+  options.breaker_cooldown_requests = 1;
+  ResilientLbsClient client(&backend, options);
+
+  EXPECT_FALSE(client.Fetch(kAr).ok());  // trips
+  EXPECT_EQ(client.breaker_state(), ResilientLbsClient::BreakerState::kOpen);
+  EXPECT_FALSE(client.Fetch(kAr).ok());  // fail fast (cooldown = 1)
+  EXPECT_FALSE(client.Fetch(kAr).ok());  // probe fails -> reopen
+  EXPECT_EQ(client.breaker_state(), ResilientLbsClient::BreakerState::kOpen);
+  EXPECT_EQ(client.stats().breaker_opens, 2u);
+}
+
+TEST(ResilientLbsClientTest, InjectedTimeoutExceedsDeadlineWithoutRetry) {
+  fault::FaultPlan plan;
+  plan.points.push_back({std::string(fault::kLbsTimeout)});
+  fault::FaultInjector::Global().Arm(plan, /*seed=*/7);
+
+  FlakyBackend backend(/*fail_first=*/0);
+  ResilientLbsClient client(&backend, ResilienceOptions{});
+  const auto answer = client.Fetch(kAr);
+  fault::FaultInjector::Global().Disarm();
+
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(backend.fetches(), 0);  // timed out before reaching the backend
+  EXPECT_EQ(client.stats().retries, 0u);  // deadline is not retryable
+  EXPECT_EQ(client.stats().deadline_exceeded, 1u);
+}
+
+TEST(LbsProviderTest, ServeDegradesToStaleAnswerWhenProviderIsDown) {
+  Rng rng(3);
+  PoiDatabase pois(RandomPois(&rng, 200, 500));
+  CachingLbsFrontend frontend(LbsProvider(std::move(pois), 5));
+
+  // Warm the cache while the provider is healthy.
+  const AnonymizedRequest warm{1, {100, 100, 160, 160}, {{"poi", "rest"}}};
+  const auto fresh = frontend.Serve(warm);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->degraded);
+
+  // Take the provider down and ask from an overlapping (different) cloak.
+  fault::FaultPlan plan;
+  plan.points.push_back({std::string(fault::kLbsError)});
+  fault::FaultInjector::Global().Arm(plan, /*seed=*/11);
+  const AnonymizedRequest moved{2, {120, 120, 180, 180}, {{"poi", "rest"}}};
+  const auto degraded = frontend.Serve(moved);
+
+  // A disjoint cloak has no fallback: the request is lost, not mis-served.
+  const AnonymizedRequest far{3, {400, 400, 420, 420}, {{"poi", "rest"}}};
+  const auto lost = frontend.Serve(far);
+  fault::FaultInjector::Global().Disarm();
+
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->degraded);
+  EXPECT_EQ(frontend.cache_stats().stale_serves, 1u);
+  ASSERT_FALSE(lost.ok());
+  EXPECT_EQ(lost.status().code(), StatusCode::kUnavailable);
+  // Billing: warm fetch + stale serve are billable; the lost request is not.
+  EXPECT_EQ(frontend.FlushAndBill(), 2u);
 }
 
 TEST(LbsProviderTest, AnswersAreNearestOfRequestedCategory) {

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 CI driver: release build + full ctest, an AddressSanitizer
-# build + full ctest, and a smoke pasa_benchstat run that proves the
-# perf-regression gate works end to end (writes BENCH_smoke.json and
+# build + full ctest, a ThreadSanitizer build running the concurrency
+# suites (chaos + parallel), and a smoke pasa_benchstat run that proves
+# the perf-regression gate works end to end (writes BENCH_smoke.json and
 # self-compares it, which must pass).
 #
 # Usage: tools/ci.sh [build-dir-prefix]
@@ -11,6 +12,7 @@
 #                           benchstat smoke, which needs its binaries)
 #   PASA_CI_SKIP_ASAN=1     skip the sanitizer build (e.g. on hosts
 #                           without ASan runtimes)
+#   PASA_CI_SKIP_TSAN=1     skip the thread-sanitizer build
 #   PASA_CI_JOBS=N          parallelism (default: nproc)
 #   PASA_CI_BENCH_SCALE=S   workload scale for the benchstat smoke run
 #                           (default 0.002: a couple of seconds)
@@ -40,6 +42,20 @@ if [[ "${PASA_CI_SKIP_ASAN:-0}" != "1" ]]; then
   ctest --test-dir "${prefix}-asan" --output-on-failure -j "${jobs}"
 else
   step "asan build skipped (PASA_CI_SKIP_ASAN=1)"
+fi
+
+if [[ "${PASA_CI_SKIP_TSAN:-0}" != "1" ]]; then
+  step "tsan build + concurrency tests (${prefix}-tsan)"
+  cmake -B "${prefix}-tsan" -S . -DCMAKE_BUILD_TYPE=Debug \
+        -DPASA_SANITIZE=thread
+  cmake --build "${prefix}-tsan" -j "${jobs}" \
+        --target chaos_test parallel_test trace_sink_test
+  # The threaded suites: jurisdiction workers + fault injector (chaos),
+  # the worker pool itself (parallel), and the concurrent trace ring.
+  ctest --test-dir "${prefix}-tsan" --output-on-failure -j "${jobs}" \
+        -R 'Chaos|Parallel|TraceSink'
+else
+  step "tsan build skipped (PASA_CI_SKIP_TSAN=1)"
 fi
 
 if [[ "${PASA_CI_SKIP_RELEASE:-0}" != "1" ]]; then

@@ -66,6 +66,32 @@ endforeach()
 # An invalid --log-level is a usage error.
 run_or_die(2 ${CLI} stats --in ${LOC} --log-level shouting)
 
+# The resilient serving path: fault-free first, then under an armed fault
+# plan (flaky provider + dirty move feed + failing repairs). Both must exit
+# 0 — the k-anonymity audit inside `serve` has to pass even under chaos.
+set(PLAN ${WORK_DIR}/cli_smoke_fault_plan.json)
+file(WRITE ${PLAN} "{\n"
+     "  \"seed\": 42,\n"
+     "  \"points\": [\n"
+     "    {\"point\": \"lbs/error\", \"probability\": 0.3},\n"
+     "    {\"point\": \"lbs/latency\", \"probability\": 0.2,"
+     " \"latency_micros\": 30000},\n"
+     "    {\"point\": \"snapshot/corrupt_move\", \"probability\": 0.2},\n"
+     "    {\"point\": \"snapshot/repair_fail\", \"probability\": 0.5}\n"
+     "  ]\n"
+     "}\n")
+run_or_die(0 ${CLI} serve --in ${LOC} --k 20 --snapshots 3 --requests 500)
+run_or_die(0 ${CLI} serve --in ${LOC} --k 20 --snapshots 3 --requests 500
+           --fault-plan ${PLAN} --fault-seed 7)
+
+# A malformed fault plan (unknown injection point) is a usage error, as is
+# --fault-seed without a plan.
+set(BAD_PLAN ${WORK_DIR}/cli_smoke_bad_plan.json)
+file(WRITE ${BAD_PLAN} "{\"points\": [{\"point\": \"lbs/typo\"}]}\n")
+run_or_die(2 ${CLI} serve --in ${LOC} --k 20 --fault-plan ${BAD_PLAN})
+run_or_die(2 ${CLI} serve --in ${LOC} --k 20 --fault-seed 7)
+run_or_die(2 ${CLI} serve --k 20)
+
 # ...while the Casper baseline is expected to be flagged (exit code 3:
 # k-inside policies are not policy-aware k-anonymous in general).
 run_or_die(0 ${CLI} anonymize --in ${LOC} --k 20 --out ${CASPER}
@@ -77,4 +103,4 @@ run_or_die(2 ${CLI})
 run_or_die(2 ${CLI} anonymize --in ${LOC})
 run_or_die(1 ${CLI} anonymize --in /no/such.csv --k 5 --out ${OPT})
 
-file(REMOVE ${LOC} ${OPT} ${CASPER} ${METRICS} ${TRACE})
+file(REMOVE ${LOC} ${OPT} ${CASPER} ${METRICS} ${TRACE} ${PLAN} ${BAD_PLAN})

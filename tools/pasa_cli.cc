@@ -5,6 +5,8 @@
 //                      [--algorithm opt|casper|puq|pub]
 //   pasa_cli audit     --locations locations.csv --cloaks cloaks.csv --k 50
 //   pasa_cli stats     --in locations.csv [--k 50]
+//   pasa_cli serve     --in locations.csv --k 50 [--snapshots N]
+//                      [--requests R] [--seed S]
 //
 // Every subcommand additionally accepts:
 //   --metrics-out FILE.json   observability snapshot (per-phase bulk_dp
@@ -13,8 +15,12 @@
 //   --trace-out FILE.json     per-event timeline as Chrome trace_event
 //                             JSON, loadable in Perfetto/chrome://tracing
 //   --log-level LEVEL         runtime log filter (debug|info|warn|error|off)
+//   --fault-plan FILE.json    arm the deterministic fault injector with a
+//                             seeded fault schedule (see docs/robustness.md)
+//   --fault-seed N            override the plan's seed for replaying a
+//                             specific chaos schedule
 // anonymize and audit also print a human-readable metrics dump. See
-// docs/observability.md.
+// docs/observability.md and docs/robustness.md.
 //
 // CSV formats are documented in src/io/csv.h.
 
@@ -29,6 +35,9 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "common/timer.h"
+#include "csp/server.h"
+#include "fault/injector.h"
+#include "fault/plan.h"
 #include "index/binary_tree.h"
 #include "io/csv.h"
 #include "lbs/poi.h"
@@ -43,6 +52,8 @@
 #include "policies/k_inside_binary.h"
 #include "policies/k_inside_quad.h"
 #include "workload/bay_area.h"
+#include "workload/movement.h"
+#include "workload/requests.h"
 #include "tools/cli_flags.h"
 
 namespace {
@@ -64,11 +75,15 @@ int Usage() {
       "opt|casper|puq|pub]\n"
       "  pasa_cli audit     --locations F --cloaks F2 --k K\n"
       "  pasa_cli stats     --in F [--k K]\n"
+      "  pasa_cli serve     --in F --k K [--snapshots N] [--requests R] "
+      "[--seed S]\n"
       "every subcommand also accepts:\n"
       "  --metrics-out FILE.json  observability snapshot\n"
       "  --trace-out FILE.json    Chrome trace_event timeline "
       "(Perfetto-loadable)\n"
-      "  --log-level LEVEL        debug|info|warn|error|off\n");
+      "  --log-level LEVEL        debug|info|warn|error|off\n"
+      "  --fault-plan FILE.json   arm the deterministic fault injector\n"
+      "  --fault-seed N           override the fault plan's seed\n");
   return 2;
 }
 
@@ -223,6 +238,102 @@ int RunAudit(const Flags& flags) {
   return masking && aware.Anonymous(k) ? 0 : 3;
 }
 
+// Runs the resilient CSP serving path end to end: per snapshot, a burst of
+// service requests through the answer cache / resilient LBS client, then a
+// snapshot advance with movement (quarantine + incremental repair or
+// rebuild). With --fault-plan this is the CLI face of the chaos harness:
+// the printed report shows how much degradation the faults caused and that
+// the k-anonymity audit still passes.
+int RunServe(const Flags& flags) {
+  if (!flags.Has("in")) return Usage();
+  const int k = static_cast<int>(flags.GetInt("k", 50));
+  const int snapshots = static_cast<int>(flags.GetInt("snapshots", 5));
+  const int per_epoch = static_cast<int>(flags.GetInt("requests", 1000));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 2010));
+  if (snapshots < 1 || per_epoch < 0) return Usage();
+  Result<LocationDatabase> db = LoadLocationDatabaseCsv(flags.GetString("in"));
+  if (!db.ok()) return Fail(db.status());
+  Result<MapExtent> extent = MapExtent::Covering(db->BoundingBox());
+  if (!extent.ok()) return Fail(extent.status());
+
+  Rng rng(seed);
+  std::vector<PointOfInterest> pois;
+  constexpr size_t kNumPois = 512;
+  const std::vector<std::string> categories = {"rest", "gas", "hospital"};
+  pois.reserve(kNumPois);
+  for (size_t i = 0; i < kNumPois; ++i) {
+    pois.push_back(PointOfInterest{
+        static_cast<int64_t>(i),
+        Point{static_cast<Coord>(rng.NextBounded(extent->side())),
+              static_cast<Coord>(rng.NextBounded(extent->side()))},
+        categories[rng.NextBounded(categories.size())]});
+  }
+  CspOptions options;
+  options.k = k;
+  obs::LogInfo("cli", "serve: %zu users, k=%d, %d snapshot(s), %d "
+               "request(s) each%s",
+               db->size(), k, snapshots, per_epoch,
+               fault::FaultInjector::Global().armed()
+                   ? ", fault injector ARMED" : "");
+  WallTimer timer;
+  Result<CspServer> csp = CspServer::Start(std::move(*db), *extent,
+                                           PoiDatabase(std::move(pois)),
+                                           options);
+  if (!csp.ok()) return Fail(csp.status());
+
+  RequestGenerator requests(seed + 1);
+  MovementOptions movement;
+  movement.moving_fraction = 0.02;
+  for (int epoch = 0; epoch < snapshots; ++epoch) {
+    for (const ServiceRequest& sr :
+         requests.Draw(csp->snapshot(), static_cast<size_t>(per_epoch))) {
+      csp->HandleRequest(sr).ok();  // failures are counted in stats
+    }
+    movement.seed = seed + 100 + static_cast<uint64_t>(epoch);
+    const std::vector<UserMove> moves =
+        DrawMoves(csp->snapshot(), *extent, movement);
+    Result<SnapshotReport> report = csp->AdvanceSnapshot(moves);
+    if (!report.ok()) return Fail(report.status());
+  }
+  const double seconds = timer.ElapsedSeconds();
+
+  const CspServer::Stats& stats = csp->stats();
+  const ResilientLbsClient::Stats& client = csp->lbs_client().stats();
+  const bool anonymous = AuditPolicyAware(csp->policy()).Anonymous(k);
+  TablePrinter out({"metric", "value"});
+  out.AddRow({"requests served",
+              TablePrinter::Cell(static_cast<int64_t>(stats.requests_served))});
+  out.AddRow({"  of which degraded (stale answers)",
+              TablePrinter::Cell(
+                  static_cast<int64_t>(stats.requests_degraded))});
+  out.AddRow({"requests failed (provider down)",
+              TablePrinter::Cell(static_cast<int64_t>(stats.requests_failed))});
+  out.AddRow({"lbs requests actually seen",
+              TablePrinter::Cell(
+                  static_cast<int64_t>(csp->lbs_requests_seen()))});
+  out.AddRow({"lbs retries / fail-fast / breaker opens",
+              std::to_string(client.retries) + " / " +
+                  std::to_string(client.fail_fast) + " / " +
+                  std::to_string(client.breaker_opens)});
+  out.AddRow({"snapshots advanced",
+              TablePrinter::Cell(
+                  static_cast<int64_t>(stats.snapshots_advanced))});
+  out.AddRow({"moves quarantined",
+              TablePrinter::Cell(
+                  static_cast<int64_t>(stats.moves_quarantined))});
+  out.AddRow({"incremental updates / rebuilds / repair fallbacks",
+              std::to_string(stats.incremental_updates) + " / " +
+                  std::to_string(stats.rebuilds) + " / " +
+                  std::to_string(stats.repair_fallbacks)});
+  out.AddRow({"final policy k-anonymous (policy-aware, k=" +
+                  std::to_string(k) + ")",
+              anonymous ? "yes" : "NO"});
+  out.Print();
+  std::printf("served %d snapshot(s) in %.3f s\n", snapshots, seconds);
+  PrintMetricsDump();
+  return anonymous ? 0 : 3;
+}
+
 int RunStats(const Flags& flags) {
   if (!flags.Has("in")) return Usage();
   const int k = static_cast<int>(flags.GetInt("k", 50));
@@ -266,6 +377,24 @@ int main(int argc, char** argv) {
     }
     obs::Logger::Global().SetLevel(*level);
   }
+  if (flags.Has("fault-plan")) {
+    Result<fault::FaultPlan> plan =
+        fault::FaultPlan::FromJsonFile(flags.GetString("fault-plan"));
+    if (!plan.ok()) {
+      std::fprintf(stderr, "error: %s\n", plan.status().ToString().c_str());
+      return Usage();
+    }
+    const uint64_t fault_seed = flags.Has("fault-seed")
+        ? static_cast<uint64_t>(flags.GetInt("fault-seed", 0))
+        : plan->default_seed;
+    fault::FaultInjector::Global().Arm(*plan, fault_seed);
+    obs::LogInfo("cli", "fault injector armed: %zu point(s), seed %llu",
+                 plan->points.size(),
+                 static_cast<unsigned long long>(fault_seed));
+  } else if (flags.Has("fault-seed")) {
+    std::fprintf(stderr, "error: --fault-seed requires --fault-plan\n");
+    return Usage();
+  }
   const bool tracing = flags.Has("trace-out");
   if (tracing) {
     obs::TraceEventSink::Global().SetCurrentThreadName("main");
@@ -281,6 +410,8 @@ int main(int argc, char** argv) {
     rc = RunAudit(flags);
   } else if (command == "stats") {
     rc = RunStats(flags);
+  } else if (command == "serve") {
+    rc = RunServe(flags);
   } else {
     return Usage();
   }
