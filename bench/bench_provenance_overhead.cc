@@ -1,0 +1,189 @@
+// Provenance / windowed-telemetry / SLO overhead microbenchmark: proves the
+// pasa::obs v3 additions keep the production serving path near-free while
+// everything is disarmed (the default configuration).
+//
+// Part 1 times the full CSP request path — validate, cloak, resilient LBS
+// fetch through the answer cache — in three configurations:
+//   (a) uninstrumented: obs kill switch off, v3 stack disarmed
+//   (b) production:     obs on, provenance ring / windows / SLOs disarmed
+//   (c) fully armed:    obs on, ring + windows + SLO tracker recording
+// The acceptance bound gates (b) against (a): a disarmed ring costs one
+// relaxed load in ScopedProvenanceRecord plus null-pointer checks at the
+// annotation sites, and disarmed windows/SLOs cost one relaxed load each
+// per request, so (b) must stay within 2% of (a); 5% is enforced for
+// scheduler noise on shared hosts, mirroring bench_obs_overhead and
+// bench_fault_overhead. (c) is reported for context — an armed audit pays
+// for record moves, window slices and burn-rate evaluation by design.
+//
+// Part 2 reports the per-operation cost of the new primitives in both
+// disarmed and armed modes.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "csp/server.h"
+#include "obs/metrics.h"
+#include "obs/provenance.h"
+#include "obs/slo.h"
+#include "obs/window.h"
+#include "workload/bay_area.h"
+#include "workload/requests.h"
+
+namespace {
+
+using namespace pasa;
+
+double Median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+// Serves the same request stream `reps` times, returning the median
+// wall-clock of one pass. The cache is flushed per pass so every pass does
+// identical work (same hits, same misses, same provider fetches).
+double TimeServing(CspServer& csp, const std::vector<ServiceRequest>& stream,
+                   int reps) {
+  std::vector<double> seconds;
+  seconds.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    csp.FlushAnswerCache();
+    WallTimer timer;
+    for (const ServiceRequest& sr : stream) {
+      if (!csp.HandleRequest(sr).ok()) return -1.0;
+    }
+    seconds.push_back(timer.ElapsedSeconds());
+  }
+  return Median(std::move(seconds));
+}
+
+void DisarmV3() {
+  obs::ProvenanceRing::Global().Disable();
+  obs::WindowRegistry::Global().Disable();
+  obs::SloTracker::Global().Disable();
+}
+
+void ArmV3() {
+  obs::SimClock::Global().Reset();
+  obs::ProvenanceRing::Global().Enable();
+  obs::WindowRegistry::Global().Enable();
+  obs::SloTracker::Global().Enable();
+}
+
+}  // namespace
+
+int main() {
+  using bench_util::Scaled;
+
+  bench_util::PrintHeader(
+      "pasa::obs v3 overhead: CSP request path, disarmed vs armed audit");
+  BayAreaOptions bay;
+  bay.log2_map_side = 15;
+  bay.num_intersections = 2000;
+  bay.users_per_intersection = 10;
+  bay.seed = 3;
+  const BayAreaGenerator generator(bay);
+  const LocationDatabase db = generator.Generate(Scaled(50'000));
+  const int k = 50;
+  const int reps = 5;
+
+  Rng rng(9);
+  std::vector<PointOfInterest> pois;
+  for (size_t i = 0; i < 2048; ++i) {
+    pois.push_back(PointOfInterest{
+        static_cast<int64_t>(i),
+        Point{static_cast<Coord>(rng.NextBounded(generator.extent().side())),
+              static_cast<Coord>(rng.NextBounded(generator.extent().side()))},
+        "poi"});
+  }
+  CspOptions options;
+  options.k = k;
+  Result<CspServer> csp = CspServer::Start(db, generator.extent(),
+                                           PoiDatabase(std::move(pois)),
+                                           options);
+  if (!csp.ok()) {
+    std::fprintf(stderr, "CSP start failed: %s\n",
+                 csp.status().ToString().c_str());
+    return 1;
+  }
+  RequestGenerator requests(13);
+  const std::vector<ServiceRequest> stream =
+      requests.Draw(csp->snapshot(), Scaled(100'000));
+
+  // Warm-up pass (page in the policy, stabilize the allocator).
+  DisarmV3();
+  (void)TimeServing(*csp, stream, 1);
+
+  obs::Configure(obs::ObsOptions{.enabled = false});
+  const double uninstrumented_seconds = TimeServing(*csp, stream, reps);
+  obs::Configure(obs::ObsOptions{.enabled = true});
+  const double production_seconds = TimeServing(*csp, stream, reps);
+  ArmV3();
+  const double armed_seconds = TimeServing(*csp, stream, reps);
+  const size_t audited = obs::ProvenanceRing::Global().size();
+  DisarmV3();
+  if (uninstrumented_seconds < 0.0 || production_seconds < 0.0 ||
+      armed_seconds < 0.0) {
+    std::fprintf(stderr, "serving pass failed\n");
+    return 1;
+  }
+  const double overhead_percent =
+      (production_seconds - uninstrumented_seconds) / uninstrumented_seconds *
+      100.0;
+  const double armed_percent =
+      (armed_seconds - uninstrumented_seconds) / uninstrumented_seconds *
+      100.0;
+
+  TablePrinter table({"mode", "median of " + std::to_string(reps) +
+                                  " passes (s)"});
+  table.AddRow({"obs off, v3 disarmed (uninstrumented)",
+                TablePrinter::Cell(uninstrumented_seconds, 4)});
+  table.AddRow({"obs on, v3 disarmed (production)",
+                TablePrinter::Cell(production_seconds, 4)});
+  table.AddRow({"ring + windows + SLOs armed",
+                TablePrinter::Cell(armed_seconds, 4)});
+  table.Print();
+  std::printf(
+      "\nproduction-vs-uninstrumented overhead: %+.2f%% (gated)\n"
+      "armed-audit-vs-uninstrumented overhead: %+.2f%% (context, kept %zu "
+      "records)\n"
+      "Disarmed provenance reduces to one relaxed load per request plus\n"
+      "null-pointer checks at the annotation sites, so the production path\n"
+      "must stay within 2%% of the uninstrumented baseline.\n",
+      overhead_percent, armed_percent, audited);
+
+  bench_util::PrintHeader("Per-operation cost of the v3 primitives");
+  constexpr int kOps = 2'000'000;
+  auto time_ops = [](auto&& body) {
+    WallTimer timer;
+    for (int i = 0; i < kOps; ++i) body();
+    return timer.ElapsedSeconds() * 1e9 / kOps;
+  };
+  const double scope_disarmed_ns =
+      time_ops([] { obs::ScopedProvenanceRecord scope; });
+  obs::SloTracker::Global().EnsureObjective(obs::DefaultServingObjectives()[0]);
+  const double slo_disarmed_ns = time_ops(
+      [] { obs::SloTracker::Global().Record(obs::kSloAvailability, true, 0); });
+  ArmV3();
+  const double scope_armed_ns =
+      time_ops([] { obs::ScopedProvenanceRecord scope; });
+  const double slo_armed_ns = time_ops(
+      [] { obs::SloTracker::Global().Record(obs::kSloAvailability, true, 0); });
+  DisarmV3();
+  TablePrinter ops_table({"operation", "disarmed ns/op", "armed ns/op"});
+  ops_table.AddRow({"ScopedProvenanceRecord open+close",
+                    TablePrinter::Cell(scope_disarmed_ns, 1),
+                    TablePrinter::Cell(scope_armed_ns, 1)});
+  ops_table.AddRow({"SloTracker::Record",
+                    TablePrinter::Cell(slo_disarmed_ns, 1),
+                    TablePrinter::Cell(slo_armed_ns, 1)});
+  ops_table.Print();
+
+  bench_util::WriteMetricsSnapshot("provenance_overhead");
+  // Exit code encodes the acceptance bound so CI can gate on it; allow a
+  // little slack over the documented 2% for scheduler noise on shared hosts.
+  return overhead_percent <= 5.0 ? 0 : 1;
+}

@@ -3,11 +3,14 @@
 #include <utility>
 #include <vector>
 
+#include "common/timer.h"
 #include "fault/injector.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "obs/trace_sink.h"
+#include "obs/window.h"
 
 namespace pasa {
 
@@ -23,6 +26,11 @@ CspServer::CspServer(CspOptions options, MapExtent extent,
           LbsProvider(std::move(pois), options.answers_per_request),
           options.resilience)) {
   RebuildUserIndex();
+  group_size_of_node_ =
+      GroupSizesByNode(policy_.assignment, engine_->tree().num_nodes());
+  for (const obs::SloObjective& objective : obs::DefaultServingObjectives()) {
+    obs::SloTracker::Global().EnsureObjective(objective);
+  }
 }
 
 Result<CspServer> CspServer::Start(LocationDatabase initial_snapshot,
@@ -49,6 +57,44 @@ void CspServer::RebuildUserIndex() {
 Result<LbsAnswer> CspServer::HandleRequest(const ServiceRequest& sr) {
   static obs::Histogram& latency = obs::MetricsRegistry::Global().GetHistogram(
       "csp/handle_request_seconds");
+  obs::ScopedProvenanceRecord prov;
+  WallTimer timer;
+  ServeDecision decision;
+  Result<LbsAnswer> answer = ServeRequest(sr, prov.get(), &decision);
+  const double seconds = timer.ElapsedSeconds();
+  latency.Observe(seconds);
+  const bool windows_on = obs::WindowRegistry::Global().enabled();
+  const bool slos_on = obs::SloTracker::Global().enabled();
+  if (windows_on || slos_on) {
+    const uint64_t now = obs::SimClock::Global().Advance(
+        static_cast<uint64_t>(seconds * 1e6) + 1);
+    if (windows_on) {
+      static obs::SlidingWindowHistogram& window_latency =
+          obs::WindowRegistry::Global().GetHistogram(
+              "csp/window/serve_latency_seconds");
+      window_latency.Observe(seconds, now);
+      if (!decision.rejected) {
+        static obs::SlidingWindowRate& degraded_rate =
+            obs::WindowRegistry::Global().GetRate("csp/window/degraded_rate");
+        degraded_rate.Record(decision.degraded, now);
+      }
+    }
+    if (slos_on && !decision.rejected) {
+      // Client errors don't burn serving SLOs; everything accepted does.
+      obs::SloTracker& slo = obs::SloTracker::Global();
+      slo.Record(obs::kSloAvailability, answer.ok(), now);
+      slo.RecordLatency(obs::kSloServeLatency, seconds, now);
+      slo.Record(obs::kSloAnonymity,
+                 decision.group_size >= static_cast<uint64_t>(options_.k),
+                 now);
+    }
+  }
+  return answer;
+}
+
+Result<LbsAnswer> CspServer::ServeRequest(const ServiceRequest& sr,
+                                          obs::ProvenanceRecord* p,
+                                          ServeDecision* decision) {
   static obs::Counter& served =
       obs::MetricsRegistry::Global().GetCounter("csp/requests_served");
   static obs::Counter& degraded =
@@ -57,33 +103,79 @@ Result<LbsAnswer> CspServer::HandleRequest(const ServiceRequest& sr) {
       obs::MetricsRegistry::Global().GetCounter("csp/requests_failed");
   static obs::Counter& rejected =
       obs::MetricsRegistry::Global().GetCounter("csp/requests_rejected");
-  obs::ScopedHistogramTimer timer(latency);
   obs::ScopedSpan span("csp/handle_request", obs::ScopedSpan::kRoot);
+  WallTimer cloak_timer;
   const auto it = row_of_user_.find(sr.sender);
   if (it == row_of_user_.end() ||
       snapshot_.row(it->second).location != sr.location) {
+    decision->rejected = true;
     ++stats_.requests_rejected;
     rejected.Increment();
     obs::LogDebug("csp", "rejected request from user %lld (stale or unknown)",
                   static_cast<long long>(sr.sender));
-    return Status::InvalidArgument(
+    const Status status = Status::InvalidArgument(
         "service request is not valid w.r.t. the current snapshot");
+    if (p != nullptr) {
+      p->sender = sr.sender;
+      p->k = options_.k;
+      p->outcome = obs::RequestOutcome::kRejected;
+      p->status = StatusCodeName(status.code());
+      p->cloak_seconds = cloak_timer.ElapsedSeconds();
+    }
+    return status;
   }
-  const AnonymizedRequest ar{next_rid_++, policy_.table.cloak(it->second),
+  const size_t row = it->second;
+  const int32_t node = row < policy_.assignment.size()
+                           ? policy_.assignment[row]
+                           : -1;
+  if (node >= 0 && static_cast<size_t>(node) < group_size_of_node_.size()) {
+    decision->group_size = group_size_of_node_[node];
+  }
+  const AnonymizedRequest ar{next_rid_++, policy_.table.cloak(row),
                              sr.params};
+  if (p != nullptr) {
+    p->rid = ar.rid;
+    p->sender = sr.sender;
+    p->k = options_.k;
+    p->cloak_x1 = ar.cloak.x1;
+    p->cloak_y1 = ar.cloak.y1;
+    p->cloak_x2 = ar.cloak.x2;
+    p->cloak_y2 = ar.cloak.y2;
+    p->cloak_area = ar.cloak.Area();
+    p->policy_node = node;
+    if (node >= 0) {
+      const BinaryTree& tree = engine_->tree();
+      p->tree_path = tree.PathString(node);
+      p->node_depth = tree.node(node).depth;
+      p->group_size = decision->group_size;
+      if (static_cast<size_t>(node) < policy_.config.passed_up.size()) {
+        p->passed_up = policy_.config.C(node);
+      }
+    }
+    p->cloak_seconds = cloak_timer.ElapsedSeconds();
+  }
   Result<LbsAnswer> answer = frontend_->Serve(ar);
   if (!answer.ok()) {
     // Provider down and no cached fallback: the request is lost, but the
     // anonymization guarantee was never at stake — only the LBS hop failed.
     ++stats_.requests_failed;
     failed.Increment();
+    if (p != nullptr) {
+      p->outcome = obs::RequestOutcome::kFailed;
+      p->status = StatusCodeName(answer.status().code());
+    }
     return answer.status();
   }
   ++stats_.requests_served;
   served.Increment();
   if (answer->degraded) {
+    decision->degraded = true;
     ++stats_.requests_degraded;
     degraded.Increment();
+  }
+  if (p != nullptr) {
+    p->outcome = answer->degraded ? obs::RequestOutcome::kDegraded
+                                  : obs::RequestOutcome::kServed;
   }
   return answer;
 }
@@ -92,6 +184,8 @@ Status CspServer::RefreshPolicy() {
   Result<ExtractedPolicy> policy = engine_->ExtractPolicy();
   if (!policy.ok()) return policy.status();
   policy_ = std::move(*policy);
+  group_size_of_node_ =
+      GroupSizesByNode(policy_.assignment, engine_->tree().num_nodes());
   return Status::Ok();
 }
 

@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "lbs/provider.h"
 #include "model/service_request.h"
+#include "obs/provenance.h"
 #include "pasa/incremental.h"
 
 namespace pasa {
@@ -111,9 +112,23 @@ class CspServer {
   const ResilientLbsClient& lbs_client() const { return frontend_->client(); }
 
  private:
+  /// How one request through ServeRequest went, for the windowed telemetry
+  /// and SLO records the outer HandleRequest emits.
+  struct ServeDecision {
+    bool rejected = false;
+    bool degraded = false;
+    uint64_t group_size = 0;
+  };
+
   CspServer(CspOptions options, MapExtent extent,
             LocationDatabase snapshot, IncrementalAnonymizer engine,
             ExtractedPolicy policy, PoiDatabase pois);
+
+  /// The validate + cloak + LBS-hop core of HandleRequest; annotates the
+  /// provenance record (null when disarmed) and fills `decision`.
+  Result<LbsAnswer> ServeRequest(const ServiceRequest& sr,
+                                 obs::ProvenanceRecord* p,
+                                 ServeDecision* decision);
 
   Status RefreshPolicy();
   void RebuildUserIndex();
@@ -127,6 +142,9 @@ class CspServer {
   ExtractedPolicy policy_;
   std::unique_ptr<CachingLbsFrontend> frontend_;
   std::unordered_map<UserId, size_t> row_of_user_;
+  /// Anonymity-group size per cloaking tree node for the current policy
+  /// (GroupSizesByNode over policy_.assignment); provenance + anonymity SLO.
+  std::vector<uint32_t> group_size_of_node_;
   RequestId next_rid_ = 1;
   Stats stats_;
 };

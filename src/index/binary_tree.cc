@@ -266,6 +266,24 @@ int BinaryTree::Height() const {
   return height;
 }
 
+std::string BinaryTree::PathString(int32_t id) const {
+  if (id < 0 || static_cast<size_t>(id) >= nodes_.size()) return "";
+  std::string turns;  // collected leaf-to-root, reversed at the end
+  int32_t cur = id;
+  while (cur != kRootId) {
+    const int32_t parent = nodes_[cur].parent;
+    if (parent < 0) return "";  // abandoned/detached node
+    turns += cur == nodes_[parent].first_child ? '0' : '1';
+    cur = parent;
+  }
+  std::string path = "r";
+  for (auto it = turns.rbegin(); it != turns.rend(); ++it) {
+    path += '.';
+    path += *it;
+  }
+  return path;
+}
+
 BinaryTree::ShapeStats BinaryTree::ComputeShapeStats() const {
   ShapeStats s;
   double depth_sum = 0.0;

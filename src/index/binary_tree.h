@@ -2,6 +2,7 @@
 #define PASA_INDEX_BINARY_TREE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -105,6 +106,11 @@ class BinaryTree {
 
   /// Maximum depth over live nodes.
   int Height() const;
+
+  /// Root-to-node path as turn labels: "r" for the root, then ".0" for a
+  /// first child and ".1" for a second (e.g. "r.0.1"). Empty string for an
+  /// out-of-range id. What provenance records store as `tree_path`.
+  std::string PathString(int32_t id) const;
 
   /// Aggregate shape statistics for the Figure 3 experiment.
   struct ShapeStats {

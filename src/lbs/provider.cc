@@ -1,11 +1,26 @@
 #include "lbs/provider.h"
 
+#include "common/timer.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 #include "obs/trace_sink.h"
+#include "obs/window.h"
 
 namespace pasa {
+namespace {
+
+/// Feeds the windowed cache-hit rate (armed runs only). The clock is not
+/// advanced here; the serving path advances it once per request.
+void RecordCacheHitWindow(bool hit) {
+  if (!obs::WindowRegistry::Global().enabled()) return;
+  static obs::SlidingWindowRate& rate =
+      obs::WindowRegistry::Global().GetRate("lbs/window/cache_hit_rate");
+  rate.Record(hit, obs::SimClock::Global().now());
+}
+
+}  // namespace
 
 std::vector<PointOfInterest> LbsProvider::Answer(
     const AnonymizedRequest& ar) const {
@@ -32,10 +47,18 @@ Result<LbsAnswer> CachingLbsFrontend::Serve(const AnonymizedRequest& ar) {
   static obs::Counter& unserved =
       obs::MetricsRegistry::Global().GetCounter("lbs/unserved_requests");
   obs::ScopedHistogramTimer timer(latency);
+  obs::ProvenanceRecord* p = obs::CurrentProvenance();
+  WallTimer lbs_timer;
   if (const std::vector<PointOfInterest>* cached = cache_.Lookup(ar)) {
     hits.Increment();
+    RecordCacheHitWindow(true);
+    if (p != nullptr) {
+      p->cache_hit = true;
+      p->lbs_seconds = lbs_timer.ElapsedSeconds();
+    }
     return LbsAnswer{*cached, /*degraded=*/false};
   }
+  RecordCacheHitWindow(false);
   Result<std::vector<PointOfInterest>> fetched = [&] {
     // Nests under csp/handle_request when reached through the CSP.
     obs::ScopedSpan miss_span("cache_miss");
@@ -43,6 +66,7 @@ Result<LbsAnswer> CachingLbsFrontend::Serve(const AnonymizedRequest& ar) {
   }();
   if (fetched.ok()) {
     misses.Increment();
+    if (p != nullptr) p->lbs_seconds = lbs_timer.ElapsedSeconds();
     return LbsAnswer{cache_.Put(ar, std::move(*fetched)), /*degraded=*/false};
   }
   if (const std::vector<PointOfInterest>* stale =
@@ -52,10 +76,15 @@ Result<LbsAnswer> CachingLbsFrontend::Serve(const AnonymizedRequest& ar) {
     obs::TraceInstant("lbs/stale_serve");
     obs::LogDebug("lbs", "provider unreachable (%s); serving stale answer",
                   fetched.status().ToString().c_str());
+    if (p != nullptr) {
+      p->stale_fallback = true;
+      p->lbs_seconds = lbs_timer.ElapsedSeconds();
+    }
     return LbsAnswer{*stale, /*degraded=*/true};
   }
   misses.Increment();
   unserved.Increment();
+  if (p != nullptr) p->lbs_seconds = lbs_timer.ElapsedSeconds();
   return fetched.status();
 }
 

@@ -5,9 +5,28 @@
 #include "fault/injector.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
+#include "obs/slo.h"
 #include "obs/trace_sink.h"
+#include "obs/window.h"
 
 namespace pasa {
+namespace {
+
+/// Books the simulated micros one Fetch consumed (injected latency +
+/// backoff): onto the provenance record, and onto the SimClock so windowed
+/// telemetry sees provider slowness as elapsed time (wall time covers only
+/// in-process work; see SimClock).
+void FinishSimulated(obs::ProvenanceRecord* p, double micros) {
+  if (micros <= 0.0) return;
+  if (p != nullptr) p->lbs_simulated_micros += micros;
+  if (obs::WindowRegistry::Global().enabled() ||
+      obs::SloTracker::Global().enabled()) {
+    obs::SimClock::Global().Advance(static_cast<uint64_t>(micros));
+  }
+}
+
+}  // namespace
 
 ResilientLbsClient::ResilientLbsClient(LbsBackend* backend,
                                        const ResilienceOptions& options)
@@ -16,9 +35,12 @@ ResilientLbsClient::ResilientLbsClient(LbsBackend* backend,
 Result<std::vector<PointOfInterest>> ResilientLbsClient::FetchOnce(
     const AnonymizedRequest& ar, double* simulated_micros) {
   ++stats_.attempts;
+  obs::ProvenanceRecord* p = obs::CurrentProvenance();
+  if (p != nullptr) ++p->lbs_attempts;
   fault::FaultInjector& injector = fault::FaultInjector::Global();
   const fault::FaultDecision latency = injector.Decide(fault::kLbsLatency);
   if (latency.fire) {
+    if (p != nullptr) obs::AddFaultFire(p, fault::kLbsLatency);
     *simulated_micros += latency.latency_micros;
     if (*simulated_micros > options_.deadline_micros) {
       return Status::DeadlineExceeded(
@@ -26,11 +48,13 @@ Result<std::vector<PointOfInterest>> ResilientLbsClient::FetchOnce(
     }
   }
   if (injector.ShouldInject(fault::kLbsTimeout)) {
+    if (p != nullptr) obs::AddFaultFire(p, fault::kLbsTimeout);
     // A hung attempt consumes the whole remaining budget.
     *simulated_micros = options_.deadline_micros + 1.0;
     return Status::DeadlineExceeded("provider timed out");
   }
   if (injector.ShouldInject(fault::kLbsError)) {
+    if (p != nullptr) obs::AddFaultFire(p, fault::kLbsError);
     return Status::Unavailable("provider error");
   }
   return backend_->Fetch(ar);
@@ -77,11 +101,13 @@ Result<std::vector<PointOfInterest>> ResilientLbsClient::Fetch(
   static obs::Counter& deadline_counter = obs::MetricsRegistry::Global()
       .GetCounter("lbs/resilient/deadline_exceeded");
   ++stats_.requests;
+  obs::ProvenanceRecord* p = obs::CurrentProvenance();
   if (breaker_state_ == BreakerState::kOpen) {
     if (cooldown_remaining_ > 0) {
       --cooldown_remaining_;
       ++stats_.fail_fast;
       fail_fast_counter.Increment();
+      if (p != nullptr) p->breaker_rejected = true;
       return Status::Unavailable("circuit breaker open");
     }
     breaker_state_ = BreakerState::kHalfOpen;  // let one probe through
@@ -97,6 +123,7 @@ Result<std::vector<PointOfInterest>> ResilientLbsClient::Fetch(
         FetchOnce(ar, &simulated_micros);
     if (answer.ok()) {
       RecordSuccess();
+      FinishSimulated(p, simulated_micros);
       return answer;
     }
     last = answer.status();
@@ -113,12 +140,15 @@ Result<std::vector<PointOfInterest>> ResilientLbsClient::Fetch(
     }
     ++stats_.retries;
     retries_counter.Increment();
+    if (p != nullptr) ++p->lbs_retries;
   }
   if (last.code() == StatusCode::kDeadlineExceeded) {
     ++stats_.deadline_exceeded;
     deadline_counter.Increment();
+    if (p != nullptr) p->deadline_exceeded = true;
   }
   RecordFailure();
+  FinishSimulated(p, simulated_micros);
   return last;
 }
 

@@ -67,7 +67,7 @@ std::string PromName(const std::string& path) {
 }
 
 void AppendF(std::string* out, const char* fmt, ...) {
-  char buf[256];
+  char buf[512];
   va_list args;
   va_start(args, fmt);
   std::vsnprintf(buf, sizeof(buf), fmt, args);
@@ -134,6 +134,10 @@ std::string ExportJson(const MetricsSnapshot& snapshot) {
   }
   out += first ? "},\n" : "\n  },\n";
 
+  const bool have_windows = !snapshot.windows.histograms.empty() ||
+                            !snapshot.windows.rates.empty();
+  const bool have_slos = !snapshot.slos.empty();
+
   out += "  \"spans\": {";
   first = true;
   for (const auto& [name, s] : snapshot.spans) {
@@ -146,7 +150,58 @@ std::string ExportJson(const MetricsSnapshot& snapshot) {
             JsonNumber(s.max_seconds).c_str());
     first = false;
   }
-  out += first ? "}\n" : "\n  }\n";
+  out += first ? "}" : "\n  }";
+  out += (have_windows || have_slos) ? ",\n" : "\n";
+
+  if (have_windows) {
+    out += "  \"windows\": {\n    \"histograms\": {";
+    first = true;
+    for (const auto& [name, w] : snapshot.windows.histograms) {
+      AppendF(&out,
+              "%s\n      \"%s\": {\"window_micros\": %" PRIu64
+              ", \"count\": %" PRIu64
+              ", \"sum\": %s, \"p50\": %s, \"p95\": %s, \"p99\": %s}",
+              first ? "" : ",", JsonEscape(name).c_str(), w.window_micros,
+              w.count, JsonNumber(w.sum).c_str(), JsonNumber(w.p50).c_str(),
+              JsonNumber(w.p95).c_str(), JsonNumber(w.p99).c_str());
+      first = false;
+    }
+    out += first ? "},\n    \"rates\": {" : "\n    },\n    \"rates\": {";
+    first = true;
+    for (const auto& [name, r] : snapshot.windows.rates) {
+      AppendF(&out,
+              "%s\n      \"%s\": {\"window_micros\": %" PRIu64
+              ", \"good\": %" PRIu64 ", \"total\": %" PRIu64 ", \"rate\": %s}",
+              first ? "" : ",", JsonEscape(name).c_str(), r.window_micros,
+              r.good, r.total, JsonNumber(r.rate).c_str());
+      first = false;
+    }
+    out += first ? "}\n  }" : "\n    }\n  }";
+    out += have_slos ? ",\n" : "\n";
+  }
+
+  if (have_slos) {
+    out += "  \"slos\": [";
+    first = true;
+    for (const auto& slo : snapshot.slos) {
+      AppendF(&out,
+              "%s\n    {\"name\": \"%s\", \"kind\": \"%s\", \"target\": %s, "
+              "\"alerting\": %s, \"fast_burn\": %s, \"slow_burn\": %s, "
+              "\"fast_good\": %" PRIu64 ", \"fast_total\": %" PRIu64
+              ", \"slow_good\": %" PRIu64 ", \"slow_total\": %" PRIu64
+              ", \"alerts_fired\": %" PRIu64 ", \"alerts_resolved\": %" PRIu64
+              "}",
+              first ? "" : ",", JsonEscape(slo.name).c_str(),
+              SloKindName(slo.kind), JsonNumber(slo.target).c_str(),
+              slo.alerting ? "true" : "false",
+              JsonNumber(slo.fast_burn).c_str(),
+              JsonNumber(slo.slow_burn).c_str(), slo.fast_good,
+              slo.fast_total, slo.slow_good, slo.slow_total, slo.alerts_fired,
+              slo.alerts_resolved);
+      first = false;
+    }
+    out += first ? "]\n" : "\n  ]\n";
+  }
   out += "}\n";
   return out;
 }
@@ -192,6 +247,43 @@ std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
               s.count);
     }
   }
+  for (const auto& [name, w] : snapshot.windows.histograms) {
+    const std::string prom = PromName(name);
+    AppendF(&out, "# TYPE %s_p50 gauge\n%s_p50 %s\n", prom.c_str(),
+            prom.c_str(), JsonNumber(w.p50).c_str());
+    AppendF(&out, "# TYPE %s_p95 gauge\n%s_p95 %s\n", prom.c_str(),
+            prom.c_str(), JsonNumber(w.p95).c_str());
+    AppendF(&out, "# TYPE %s_p99 gauge\n%s_p99 %s\n", prom.c_str(),
+            prom.c_str(), JsonNumber(w.p99).c_str());
+    AppendF(&out, "# TYPE %s_window_count gauge\n%s_window_count %" PRIu64
+                  "\n",
+            prom.c_str(), prom.c_str(), w.count);
+  }
+  for (const auto& [name, r] : snapshot.windows.rates) {
+    const std::string prom = PromName(name);
+    AppendF(&out, "# TYPE %s gauge\n%s %s\n", prom.c_str(), prom.c_str(),
+            JsonNumber(r.rate).c_str());
+    AppendF(&out, "# TYPE %s_window_total gauge\n%s_window_total %" PRIu64
+                  "\n",
+            prom.c_str(), prom.c_str(), r.total);
+  }
+  if (!snapshot.slos.empty()) {
+    out += "# TYPE pasa_slo_alerting gauge\n";
+    for (const auto& slo : snapshot.slos) {
+      AppendF(&out, "pasa_slo_alerting{slo=\"%s\"} %d\n", slo.name.c_str(),
+              slo.alerting ? 1 : 0);
+    }
+    out += "# TYPE pasa_slo_fast_burn gauge\n";
+    for (const auto& slo : snapshot.slos) {
+      AppendF(&out, "pasa_slo_fast_burn{slo=\"%s\"} %s\n", slo.name.c_str(),
+              JsonNumber(slo.fast_burn).c_str());
+    }
+    out += "# TYPE pasa_slo_slow_burn gauge\n";
+    for (const auto& slo : snapshot.slos) {
+      AppendF(&out, "pasa_slo_slow_burn{slo=\"%s\"} %s\n", slo.name.c_str(),
+              JsonNumber(slo.slow_burn).c_str());
+    }
+  }
   return out;
 }
 
@@ -216,9 +308,33 @@ Status WriteTextFile(const std::string& path, const std::string& content) {
   return Status::Ok();
 }
 
+namespace {
+
+/// Folds the armed global window registry / SLO tracker into `snapshot`,
+/// evaluated at the SimClock's current simulated time.
+void Augment(MetricsSnapshot* snapshot) {
+  const uint64_t now = SimClock::Global().now();
+  if (WindowRegistry::Global().enabled()) {
+    snapshot->windows = WindowRegistry::Global().Snapshot(now);
+  }
+  if (SloTracker::Global().enabled()) {
+    snapshot->slos = SloTracker::Global().Evaluate(now);
+  }
+}
+
+}  // namespace
+
+MetricsSnapshot FullSnapshot() {
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  Augment(&snapshot);
+  return snapshot;
+}
+
 Status WriteJsonFile(const MetricsRegistry& registry,
                      const std::string& path) {
-  return WriteTextFile(path, ExportJson(registry.Snapshot()));
+  MetricsSnapshot snapshot = registry.Snapshot();
+  if (&registry == &MetricsRegistry::Global()) Augment(&snapshot);
+  return WriteTextFile(path, ExportJson(snapshot));
 }
 
 std::string SummaryTable(const MetricsSnapshot& snapshot) {
@@ -245,6 +361,27 @@ std::string SummaryTable(const MetricsSnapshot& snapshot) {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.6g", value);
     table.AddRow({name, "gauge", buf});
+  }
+  for (const auto& [name, w] : snapshot.windows.histograms) {
+    char value[160];
+    std::snprintf(value, sizeof(value),
+                  "n=%" PRIu64 " p50=%.1f us p95=%.1f us p99=%.1f us",
+                  w.count, w.p50 * 1e6, w.p95 * 1e6, w.p99 * 1e6);
+    table.AddRow({name, "window", value});
+  }
+  for (const auto& [name, r] : snapshot.windows.rates) {
+    char value[128];
+    std::snprintf(value, sizeof(value), "rate=%.4f (%" PRIu64 "/%" PRIu64 ")",
+                  r.rate, r.good, r.total);
+    table.AddRow({name, "window", value});
+  }
+  for (const auto& slo : snapshot.slos) {
+    char value[160];
+    std::snprintf(value, sizeof(value),
+                  "%s fast_burn=%.2f slow_burn=%.2f fired=%" PRIu64,
+                  slo.alerting ? "ALERT" : "ok", slo.fast_burn, slo.slow_burn,
+                  slo.alerts_fired);
+    table.AddRow({slo.name, "slo", value});
   }
   return table.ToString();
 }

@@ -23,6 +23,20 @@ namespace obs {
 ///                         "min_seconds": m, "max_seconds": M }, ... }
 ///   }
 ///
+/// When the snapshot carries windowed telemetry or SLO states (see
+/// FullSnapshot), two extra sections follow:
+///
+///     "windows": { "histograms": { name: {"window_micros": W, "count": N,
+///                                         "sum": S, "p50": ..., "p95": ...,
+///                                         "p99": ...} },
+///                  "rates":      { name: {"window_micros": W, "good": G,
+///                                         "total": T, "rate": R} } },
+///     "slos":    [ {"name": ..., "kind": "availability", "target": ...,
+///                   "alerting": false, "fast_burn": ..., "slow_burn": ...,
+///                   "fast_good": ..., "fast_total": ..., "slow_good": ...,
+///                   "slow_total": ..., "alerts_fired": ...,
+///                   "alerts_resolved": ...} ]
+///
 /// Keys are emitted in sorted order, so output is deterministic.
 std::string ExportJson(const MetricsSnapshot& snapshot);
 
@@ -33,9 +47,16 @@ std::string ExportJson(const MetricsSnapshot& snapshot);
 /// path as a {span="..."} label.
 std::string ExportPrometheus(const MetricsSnapshot& snapshot);
 
-/// Snapshots `registry` and writes the JSON export to `path`, creating
-/// missing parent directories first (so `--metrics-out runs/today/m.json`
-/// works without a pre-existing `runs/today/`).
+/// Snapshot of the global MetricsRegistry augmented with the global
+/// window registry and SLO tracker (evaluated at the SimClock's current
+/// simulated time) when those are armed; a plain metrics snapshot
+/// otherwise. What the CLI dump and run report consume.
+MetricsSnapshot FullSnapshot();
+
+/// Snapshots `registry` (augmented like FullSnapshot when `registry` is
+/// the global one) and writes the JSON export to `path`, creating missing
+/// parent directories first (so `--metrics-out runs/today/m.json` works
+/// without a pre-existing `runs/today/`).
 Status WriteJsonFile(const MetricsRegistry& registry, const std::string& path);
 
 /// Writes `content` to `path`, creating missing parent directories.

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/log.h"
+
 namespace pasa {
 namespace obs {
 namespace {
@@ -126,14 +128,31 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> upper_bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = histograms_[name];
-  if (!slot) {
-    slot = std::make_unique<Histogram>(upper_bounds.empty()
-                                           ? DefaultLatencyBuckets()
-                                           : std::move(upper_bounds));
+  bool mismatched = false;
+  Histogram* histogram = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = histograms_[name];
+    if (!slot) {
+      slot = std::make_unique<Histogram>(upper_bounds.empty()
+                                             ? DefaultLatencyBuckets()
+                                             : std::move(upper_bounds));
+    } else if (!upper_bounds.empty()) {
+      std::sort(upper_bounds.begin(), upper_bounds.end());
+      mismatched = upper_bounds != slot->upper_bounds();
+    }
+    histogram = slot.get();
   }
-  return *slot;
+  // Emitting outside the lock: LogWarn/GetCounter must not run under the
+  // non-recursive registry mutex.
+  if (mismatched) {
+    LogWarn("obs",
+            "GetHistogram(\"%s\") called with bounds that differ from the "
+            "registered ones; keeping first-registration bounds",
+            name.c_str());
+    GetCounter("obs/histogram_bounds_mismatches").Increment();
+  }
+  return *histogram;
 }
 
 SpanStats& MetricsRegistry::GetSpanStats(const std::string& path) {

@@ -9,6 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/slo.h"
+#include "obs/window.h"
+
 namespace pasa {
 namespace obs {
 
@@ -62,7 +65,8 @@ class Gauge {
 /// Fixed-bucket histogram (Prometheus style): one atomic count per bucket
 /// whose upper bound is given at construction, plus an implicit +Inf bucket,
 /// a total count and a sum. Bucket bounds are immutable after registration;
-/// GetHistogram ignores the bounds argument for an already-registered name.
+/// GetHistogram keeps first-registration bounds and warns when a later call
+/// passes different ones.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> upper_bounds);
@@ -131,6 +135,11 @@ struct MetricsSnapshot {
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramData> histograms;
   std::map<std::string, SpanData> spans;
+  /// Sliding-window telemetry and SLO states, filled by obs::FullSnapshot /
+  /// WriteJsonFile when the window registry / SLO tracker are armed; empty
+  /// (and omitted from exports) otherwise, so un-armed output is unchanged.
+  WindowSnapshot windows;
+  std::vector<SloState> slos;
 };
 
 /// Named registry of counters, gauges, histograms and span aggregates.
@@ -156,8 +165,10 @@ class MetricsRegistry {
 
   Counter& GetCounter(const std::string& name);
   Gauge& GetGauge(const std::string& name);
-  /// `upper_bounds` empty means DefaultLatencyBuckets(); ignored when the
-  /// name is already registered.
+  /// `upper_bounds` empty means DefaultLatencyBuckets(). When the name is
+  /// already registered the first registration's bounds win; passing
+  /// explicitly different bounds logs a warning and increments
+  /// "obs/histogram_bounds_mismatches" instead of silently diverging.
   Histogram& GetHistogram(const std::string& name,
                           std::vector<double> upper_bounds = {});
   SpanStats& GetSpanStats(const std::string& path);

@@ -1,0 +1,333 @@
+#include "obs/provenance.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/export.h"
+
+namespace pasa {
+namespace obs {
+namespace {
+
+thread_local ProvenanceRecord* g_current_record = nullptr;
+
+/// Exact JSON formatting for doubles: %.17g round-trips every finite value
+/// through strtod, which the field-for-field audit round-trip test relies
+/// on (the exporters' JsonNumber uses %.12g and is lossy by design).
+std::string ExactNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  std::string s = buf;
+  if (s.find("inf") != std::string::npos ||
+      s.find("nan") != std::string::npos) {
+    return "0";
+  }
+  return s;
+}
+
+void AppendField(std::string* out, const char* key, const std::string& value,
+                 bool quoted) {
+  if (out->size() > 1) *out += ',';
+  *out += '"';
+  *out += key;
+  *out += "\":";
+  if (quoted) {
+    *out += '"';
+    *out += JsonEscape(value);
+    *out += '"';
+  } else {
+    *out += value;
+  }
+}
+
+void AppendInt(std::string* out, const char* key, int64_t v) {
+  AppendField(out, key, std::to_string(v), /*quoted=*/false);
+}
+
+void AppendUint(std::string* out, const char* key, uint64_t v) {
+  AppendField(out, key, std::to_string(v), /*quoted=*/false);
+}
+
+void AppendBool(std::string* out, const char* key, bool v) {
+  AppendField(out, key, v ? "true" : "false", /*quoted=*/false);
+}
+
+void AppendDouble(std::string* out, const char* key, double v) {
+  AppendField(out, key, ExactNumber(v), /*quoted=*/false);
+}
+
+double NumberOr(const json::Value& obj, const char* key, double fallback) {
+  const json::Value* v = obj.Find(key);
+  return v != nullptr && v->is_number() ? v->number() : fallback;
+}
+
+bool BoolOr(const json::Value& obj, const char* key, bool fallback) {
+  const json::Value* v = obj.Find(key);
+  return v != nullptr && v->is_bool() ? v->boolean() : fallback;
+}
+
+std::string StringOr(const json::Value& obj, const char* key,
+                     const std::string& fallback) {
+  const json::Value* v = obj.Find(key);
+  return v != nullptr && v->is_string() ? v->str() : fallback;
+}
+
+}  // namespace
+
+const char* RequestOutcomeName(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kServed:
+      return "served";
+    case RequestOutcome::kDegraded:
+      return "degraded";
+    case RequestOutcome::kFailed:
+      return "failed";
+    case RequestOutcome::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+Result<RequestOutcome> ParseRequestOutcome(std::string_view name) {
+  if (name == "served") return RequestOutcome::kServed;
+  if (name == "degraded") return RequestOutcome::kDegraded;
+  if (name == "failed") return RequestOutcome::kFailed;
+  if (name == "rejected") return RequestOutcome::kRejected;
+  return Status::InvalidArgument("unknown request outcome '" +
+                                 std::string(name) + "'");
+}
+
+void AddFaultFire(ProvenanceRecord* record, std::string_view point) {
+  auto& fires = record->fault_fires;
+  const auto it = std::lower_bound(
+      fires.begin(), fires.end(), point,
+      [](const std::pair<std::string, uint32_t>& entry,
+         std::string_view key) { return entry.first < key; });
+  if (it != fires.end() && it->first == point) {
+    ++it->second;
+    return;
+  }
+  fires.insert(it, {std::string(point), 1});
+}
+
+std::string ProvenanceToJsonl(const ProvenanceRecord& r) {
+  std::string out = "{";
+  AppendInt(&out, "rid", r.rid);
+  AppendInt(&out, "sender", r.sender);
+  AppendField(&out, "outcome", RequestOutcomeName(r.outcome),
+              /*quoted=*/true);
+  AppendField(&out, "status", r.status, /*quoted=*/true);
+  AppendInt(&out, "k", r.k);
+  AppendInt(&out, "cloak_x1", r.cloak_x1);
+  AppendInt(&out, "cloak_y1", r.cloak_y1);
+  AppendInt(&out, "cloak_x2", r.cloak_x2);
+  AppendInt(&out, "cloak_y2", r.cloak_y2);
+  AppendInt(&out, "cloak_area", r.cloak_area);
+  AppendInt(&out, "policy_node", r.policy_node);
+  AppendField(&out, "tree_path", r.tree_path, /*quoted=*/true);
+  AppendInt(&out, "node_depth", r.node_depth);
+  AppendUint(&out, "group_size", r.group_size);
+  AppendUint(&out, "passed_up", r.passed_up);
+  AppendBool(&out, "cache_hit", r.cache_hit);
+  AppendBool(&out, "stale_fallback", r.stale_fallback);
+  AppendUint(&out, "lbs_attempts", r.lbs_attempts);
+  AppendUint(&out, "lbs_retries", r.lbs_retries);
+  AppendBool(&out, "breaker_rejected", r.breaker_rejected);
+  AppendBool(&out, "deadline_exceeded", r.deadline_exceeded);
+  AppendDouble(&out, "lbs_simulated_micros", r.lbs_simulated_micros);
+  std::string fires = "{";
+  for (size_t i = 0; i < r.fault_fires.size(); ++i) {
+    if (i > 0) fires += ',';
+    fires += '"';
+    fires += JsonEscape(r.fault_fires[i].first);
+    fires += "\":";
+    fires += std::to_string(r.fault_fires[i].second);
+  }
+  fires += '}';
+  AppendField(&out, "fault_fires", fires, /*quoted=*/false);
+  AppendDouble(&out, "total_seconds", r.total_seconds);
+  AppendDouble(&out, "cloak_seconds", r.cloak_seconds);
+  AppendDouble(&out, "lbs_seconds", r.lbs_seconds);
+  out += '}';
+  return out;
+}
+
+Result<ProvenanceRecord> ProvenanceFromJson(const json::Value& value) {
+  if (!value.is_object()) {
+    return Status::InvalidArgument("provenance record is not a JSON object");
+  }
+  ProvenanceRecord r;
+  Result<RequestOutcome> outcome =
+      ParseRequestOutcome(StringOr(value, "outcome", "rejected"));
+  if (!outcome.ok()) return outcome.status();
+  r.outcome = *outcome;
+  r.rid = static_cast<int64_t>(NumberOr(value, "rid", 0));
+  r.sender = static_cast<int64_t>(NumberOr(value, "sender", 0));
+  r.status = StringOr(value, "status", "OK");
+  r.k = static_cast<int32_t>(NumberOr(value, "k", 0));
+  r.cloak_x1 = static_cast<int64_t>(NumberOr(value, "cloak_x1", 0));
+  r.cloak_y1 = static_cast<int64_t>(NumberOr(value, "cloak_y1", 0));
+  r.cloak_x2 = static_cast<int64_t>(NumberOr(value, "cloak_x2", 0));
+  r.cloak_y2 = static_cast<int64_t>(NumberOr(value, "cloak_y2", 0));
+  r.cloak_area = static_cast<int64_t>(NumberOr(value, "cloak_area", 0));
+  r.policy_node = static_cast<int32_t>(NumberOr(value, "policy_node", -1));
+  r.tree_path = StringOr(value, "tree_path", "");
+  r.node_depth = static_cast<int32_t>(NumberOr(value, "node_depth", -1));
+  r.group_size = static_cast<uint64_t>(NumberOr(value, "group_size", 0));
+  r.passed_up = static_cast<uint64_t>(NumberOr(value, "passed_up", 0));
+  r.cache_hit = BoolOr(value, "cache_hit", false);
+  r.stale_fallback = BoolOr(value, "stale_fallback", false);
+  r.lbs_attempts = static_cast<uint32_t>(NumberOr(value, "lbs_attempts", 0));
+  r.lbs_retries = static_cast<uint32_t>(NumberOr(value, "lbs_retries", 0));
+  r.breaker_rejected = BoolOr(value, "breaker_rejected", false);
+  r.deadline_exceeded = BoolOr(value, "deadline_exceeded", false);
+  r.lbs_simulated_micros = NumberOr(value, "lbs_simulated_micros", 0.0);
+  if (const json::Value* fires = value.Find("fault_fires");
+      fires != nullptr && fires->is_object()) {
+    // json objects are sorted maps, matching AddFaultFire's ordering.
+    for (const auto& [point, count] : fires->object()) {
+      r.fault_fires.emplace_back(
+          point, static_cast<uint32_t>(count.number()));
+    }
+  }
+  r.total_seconds = NumberOr(value, "total_seconds", 0.0);
+  r.cloak_seconds = NumberOr(value, "cloak_seconds", 0.0);
+  r.lbs_seconds = NumberOr(value, "lbs_seconds", 0.0);
+  return r;
+}
+
+Result<std::vector<ProvenanceRecord>> ParseProvenanceJsonl(
+    std::string_view text) {
+  std::vector<ProvenanceRecord> records;
+  size_t line_number = 0;
+  size_t start = 0;
+  while (start <= text.size()) {
+    const size_t end = text.find('\n', start);
+    const std::string_view line = text.substr(
+        start, end == std::string_view::npos ? std::string_view::npos
+                                             : end - start);
+    ++line_number;
+    start = end == std::string_view::npos ? text.size() + 1 : end + 1;
+    if (line.find_first_not_of(" \t\r") == std::string_view::npos) continue;
+    Result<json::Value> value = json::Parse(line);
+    if (!value.ok()) {
+      return Status::InvalidArgument(
+          "audit line " + std::to_string(line_number) + ": " +
+          value.status().ToString());
+    }
+    Result<ProvenanceRecord> record = ProvenanceFromJson(*value);
+    if (!record.ok()) {
+      return Status::InvalidArgument(
+          "audit line " + std::to_string(line_number) + ": " +
+          record.status().ToString());
+    }
+    records.push_back(std::move(*record));
+  }
+  return records;
+}
+
+Result<std::vector<ProvenanceRecord>> ReadProvenanceJsonlFile(
+    const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot read audit file " + path);
+  std::ostringstream content;
+  content << file.rdbuf();
+  return ParseProvenanceJsonl(content.str());
+}
+
+ProvenanceRing& ProvenanceRing::Global() {
+  static ProvenanceRing* ring = new ProvenanceRing();
+  return *ring;
+}
+
+void ProvenanceRing::Enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = std::max<size_t>(1, capacity);
+  ring_.clear();
+  appended_ = 0;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void ProvenanceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  appended_ = 0;
+}
+
+void ProvenanceRing::Append(ProvenanceRecord record) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(record));
+  } else {
+    ring_[appended_ % capacity_] = std::move(record);
+  }
+  ++appended_;
+}
+
+size_t ProvenanceRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+size_t ProvenanceRing::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+uint64_t ProvenanceRing::total_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+uint64_t ProvenanceRing::overwritten() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appended_ > ring_.size() ? appended_ - ring_.size() : 0;
+}
+
+std::vector<ProvenanceRecord> ProvenanceRing::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ProvenanceRecord> out;
+  out.reserve(ring_.size());
+  // Once wrapped, the oldest retained record sits at appended_ % capacity_.
+  const size_t first =
+      appended_ > ring_.size() ? appended_ % capacity_ : 0;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(first + i) % ring_.size()]);
+  }
+  return out;
+}
+
+Status ProvenanceRing::WriteJsonlFile(const std::string& path) const {
+  std::string content;
+  for (const ProvenanceRecord& record : Records()) {
+    content += ProvenanceToJsonl(record);
+    content += '\n';
+  }
+  return WriteTextFile(path, content);
+}
+
+ProvenanceRecord* CurrentProvenance() { return g_current_record; }
+
+ScopedProvenanceRecord::ScopedProvenanceRecord()
+    : active_(ProvenanceRing::Global().enabled() &&
+              g_current_record == nullptr) {
+  if (!active_) return;
+  g_current_record = &record_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedProvenanceRecord::~ScopedProvenanceRecord() {
+  if (!active_) return;
+  record_.total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  g_current_record = nullptr;
+  ProvenanceRing::Global().Append(std::move(record_));
+}
+
+}  // namespace obs
+}  // namespace pasa

@@ -1,0 +1,199 @@
+#ifndef PASA_OBS_PROVENANCE_H_
+#define PASA_OBS_PROVENANCE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/json.h"
+
+namespace pasa {
+namespace obs {
+
+/// How one request left the serving path.
+enum class RequestOutcome : uint8_t {
+  kServed = 0,    ///< fresh answer (cache hit or provider fetch)
+  kDegraded = 1,  ///< served stale from the cache while the provider was down
+  kFailed = 2,    ///< provider down and no fallback: the request was lost
+  kRejected = 3,  ///< invalid w.r.t. the current snapshot (client error)
+};
+
+/// Short stable name ("served", "degraded", "failed", "rejected").
+const char* RequestOutcomeName(RequestOutcome outcome);
+
+/// Inverse of RequestOutcomeName; InvalidArgument on anything else.
+Result<RequestOutcome> ParseRequestOutcome(std::string_view name);
+
+/// Everything needed to reconstruct one request's cloak decision and its
+/// trip through the serving path after the fact: which policy-tree node
+/// cloaked the sender and why it is k-anonymous (group size, C(m) summary),
+/// plus how the LBS hop went (cache, retries, breaker, fault fires) and
+/// where the latency was spent. Cumulative metrics answer "how is serving
+/// doing"; a ProvenanceRecord answers "why did request #4217 get THIS
+/// cloak, and was it degraded".
+///
+/// Serialized as one JSONL object per record (`pasa_cli --audit-out`), with
+/// doubles printed exactly (%.17g) so a written audit file parses back
+/// field-for-field equal.
+struct ProvenanceRecord {
+  // Identity. rid is 0 for requests rejected before a cloak was assigned.
+  int64_t rid = 0;
+  int64_t sender = 0;
+  RequestOutcome outcome = RequestOutcome::kRejected;
+  std::string status = "OK";  ///< final StatusCode name
+
+  // The cloak decision. The cloak rectangle is stored as raw coordinates so
+  // pasa_obs stays dependency-free; callers copy from geo::Rect.
+  int32_t k = 0;
+  int64_t cloak_x1 = 0;
+  int64_t cloak_y1 = 0;
+  int64_t cloak_x2 = 0;
+  int64_t cloak_y2 = 0;
+  int64_t cloak_area = 0;
+  int32_t policy_node = -1;    ///< cloaking tree node id
+  std::string tree_path;       ///< root-to-node turns, e.g. "r.0.1"
+  int32_t node_depth = -1;
+  uint64_t group_size = 0;     ///< candidate senders sharing this cloak
+  uint64_t passed_up = 0;      ///< C(node): locations passed above the node
+
+  // The LBS hop.
+  bool cache_hit = false;
+  bool stale_fallback = false;     ///< degraded: overlapping cached answer
+  uint32_t lbs_attempts = 0;
+  uint32_t lbs_retries = 0;
+  bool breaker_rejected = false;   ///< failed fast at the open breaker
+  bool deadline_exceeded = false;
+  double lbs_simulated_micros = 0.0;  ///< injected latency + backoff consumed
+  /// Injection points that fired while serving this request, with fire
+  /// counts; kept sorted by point name (see AddFaultFire).
+  std::vector<std::pair<std::string, uint32_t>> fault_fires;
+
+  // Per-phase latency breakdown, wall seconds.
+  double total_seconds = 0.0;
+  double cloak_seconds = 0.0;  ///< validate + policy lookup
+  double lbs_seconds = 0.0;    ///< cache + resilient fetch
+
+  friend bool operator==(const ProvenanceRecord& a,
+                         const ProvenanceRecord& b) = default;
+};
+
+/// Counts one fire of `point` on the record, keeping fault_fires sorted by
+/// point name (which JSON-object round-trips preserve).
+void AddFaultFire(ProvenanceRecord* record, std::string_view point);
+
+/// One JSONL line (no trailing newline). Doubles use %.17g, so parsing the
+/// line back yields bit-identical values.
+std::string ProvenanceToJsonl(const ProvenanceRecord& record);
+
+/// Parses one record from a parsed JSON object. Unknown members are
+/// ignored; missing members keep their defaults; a malformed `outcome` is
+/// InvalidArgument.
+Result<ProvenanceRecord> ProvenanceFromJson(const json::Value& value);
+
+/// Parses a whole JSONL audit document (blank lines skipped).
+Result<std::vector<ProvenanceRecord>> ParseProvenanceJsonl(
+    std::string_view text);
+
+/// Reads and parses `path`; NotFound when the file cannot be read.
+Result<std::vector<ProvenanceRecord>> ReadProvenanceJsonlFile(
+    const std::string& path);
+
+/// Bounded ring of the most recent ProvenanceRecords, in the spirit of the
+/// TraceEventSink but overwrite-oldest instead of drop-newest (an audit
+/// wants the freshest requests). Disabled by default; the serving path's
+/// only disarmed cost is one relaxed load in ScopedProvenanceRecord plus
+/// null-pointer checks at annotation sites (gated by
+/// bench_provenance_overhead). Appends serialize on a mutex — the critical
+/// section is one vector-slot move, so the armed path stays lock-light and
+/// TSan-clean.
+class ProvenanceRing {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  /// The process-wide ring (armed by `pasa_cli --audit-out`).
+  static ProvenanceRing& Global();
+
+  ProvenanceRing() = default;
+  ProvenanceRing(const ProvenanceRing&) = delete;
+  ProvenanceRing& operator=(const ProvenanceRing&) = delete;
+
+  /// Clears the ring and starts recording, keeping the most recent
+  /// `capacity` records.
+  void Enable(size_t capacity = kDefaultCapacity);
+
+  /// Stops recording; the collected records stay readable.
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Discards all records (capacity is kept).
+  void Clear();
+
+  /// Stores one record, overwriting the oldest when full. No-op while
+  /// disabled.
+  void Append(ProvenanceRecord record);
+
+  size_t size() const;
+  size_t capacity() const;
+  /// Total records ever appended since Enable/Clear, including overwritten.
+  uint64_t total_appended() const;
+  uint64_t overwritten() const;
+
+  /// The retained records, oldest first.
+  std::vector<ProvenanceRecord> Records() const;
+
+  /// Writes the retained records as JSONL (creating parent directories).
+  Status WriteJsonlFile(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<bool> enabled_{false};
+  std::vector<ProvenanceRecord> ring_;  ///< grows to capacity_, then wraps
+  size_t capacity_ = kDefaultCapacity;
+  uint64_t appended_ = 0;
+};
+
+/// The record the current thread is building, or nullptr when no
+/// ScopedProvenanceRecord is open (or the ring is disabled). Lower layers
+/// (Anonymizer, CachingLbsFrontend, ResilientLbsClient) annotate through
+/// this instead of threading a record through every signature:
+///
+///   if (obs::ProvenanceRecord* p = obs::CurrentProvenance()) {
+///     p->cache_hit = true;
+///   }
+ProvenanceRecord* CurrentProvenance();
+
+/// RAII per-request record: opened by a top-level serving entry point
+/// (CspServer::HandleRequest, the CLI's sampled-request loop), exposed to
+/// nested layers via CurrentProvenance(), stamped with total_seconds and
+/// appended to the global ring on destruction. Inert (and free apart from
+/// one relaxed load) while the ring is disabled; a scope opened inside
+/// another scope is also inert, so the outermost entry point wins.
+class ScopedProvenanceRecord {
+ public:
+  ScopedProvenanceRecord();
+  ~ScopedProvenanceRecord();
+
+  ScopedProvenanceRecord(const ScopedProvenanceRecord&) = delete;
+  ScopedProvenanceRecord& operator=(const ScopedProvenanceRecord&) = delete;
+
+  bool active() const { return active_; }
+  /// The record being built, or nullptr when inert.
+  ProvenanceRecord* get() { return active_ ? &record_ : nullptr; }
+
+ private:
+  bool active_;
+  ProvenanceRecord record_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace pasa
+
+#endif  // PASA_OBS_PROVENANCE_H_

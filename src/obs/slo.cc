@@ -1,0 +1,200 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <string>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace_sink.h"
+
+namespace pasa {
+namespace obs {
+namespace {
+
+/// bad_fraction / (1 - target); an empty window burns nothing. A
+/// zero-tolerance objective (budget 0) burns kInfiniteBurn the moment a
+/// single bad event is in the window.
+double BurnRate(const SlidingWindowRate::Stats& stats, double target) {
+  if (stats.total == 0) return 0.0;
+  const double bad_fraction =
+      1.0 - static_cast<double>(stats.good) / static_cast<double>(stats.total);
+  const double budget = 1.0 - target;
+  if (budget <= 0.0) return bad_fraction > 0.0 ? kInfiniteBurn : 0.0;
+  return bad_fraction / budget;
+}
+
+}  // namespace
+
+const char* SloKindName(SloObjective::Kind kind) {
+  switch (kind) {
+    case SloObjective::Kind::kAvailability:
+      return "availability";
+    case SloObjective::Kind::kLatency:
+      return "latency";
+    case SloObjective::Kind::kZeroViolations:
+      return "zero_violations";
+  }
+  return "unknown";
+}
+
+std::vector<SloObjective> DefaultServingObjectives() {
+  std::vector<SloObjective> objectives;
+  {
+    SloObjective o;
+    o.name = kSloAvailability;
+    o.kind = SloObjective::Kind::kAvailability;
+    o.target = 0.999;
+    objectives.push_back(o);
+  }
+  {
+    SloObjective o;
+    o.name = kSloServeLatency;
+    o.kind = SloObjective::Kind::kLatency;
+    o.target = 0.99;
+    o.latency_threshold_seconds = 0.005;
+    objectives.push_back(o);
+  }
+  {
+    SloObjective o;
+    o.name = kSloAnonymity;
+    o.kind = SloObjective::Kind::kZeroViolations;
+    o.target = 1.0;
+    objectives.push_back(o);
+  }
+  return objectives;
+}
+
+SloTracker& SloTracker::Global() {
+  static SloTracker* tracker = new SloTracker();
+  return *tracker;
+}
+
+void SloTracker::Configure(std::vector<SloObjective> objectives) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  for (SloObjective& objective : objectives) {
+    if (objective.kind == SloObjective::Kind::kZeroViolations) {
+      objective.target = 1.0;
+    }
+    entries_[objective.name] = std::make_unique<Entry>(objective);
+  }
+}
+
+void SloTracker::EnsureObjective(const SloObjective& objective) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = entries_[objective.name];
+  if (!slot) {
+    SloObjective copy = objective;
+    if (copy.kind == SloObjective::Kind::kZeroViolations) copy.target = 1.0;
+    slot = std::make_unique<Entry>(copy);
+  }
+}
+
+void SloTracker::Record(const std::string& name, bool good,
+                        uint64_t now_micros) {
+  if (!enabled()) return;
+  int transition = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) return;
+    Entry& entry = *it->second;
+    entry.fast.Record(good, now_micros);
+    entry.slow.Record(good, now_micros);
+    EvaluateEntryLocked(&entry, now_micros, &transition);
+  }
+  if (transition != 0) EmitTransition(name, transition);
+}
+
+void SloTracker::RecordLatency(const std::string& name, double seconds,
+                               uint64_t now_micros) {
+  if (!enabled()) return;
+  double threshold = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) return;
+    threshold = it->second->objective.latency_threshold_seconds;
+  }
+  Record(name, seconds <= threshold, now_micros);
+}
+
+SloState SloTracker::EvaluateEntryLocked(Entry* entry, uint64_t now_micros,
+                                         int* transition) {
+  const SlidingWindowRate::Stats fast = entry->fast.Snapshot(now_micros);
+  const SlidingWindowRate::Stats slow = entry->slow.Snapshot(now_micros);
+  const double target = entry->objective.target;
+  const double fast_burn = BurnRate(fast, target);
+  const double slow_burn = BurnRate(slow, target);
+  const double threshold = entry->objective.burn_alert_threshold;
+  const bool should_alert = fast_burn >= threshold && slow_burn >= threshold;
+  *transition = 0;
+  if (should_alert && !entry->alerting) {
+    entry->alerting = true;
+    ++entry->fired;
+    *transition = 1;
+  } else if (!should_alert && entry->alerting) {
+    entry->alerting = false;
+    ++entry->resolved;
+    *transition = -1;
+  }
+  SloState state;
+  state.name = entry->objective.name;
+  state.kind = entry->objective.kind;
+  state.target = target;
+  state.alerting = entry->alerting;
+  state.fast_burn = fast_burn;
+  state.slow_burn = slow_burn;
+  state.fast_good = fast.good;
+  state.fast_total = fast.total;
+  state.slow_good = slow.good;
+  state.slow_total = slow.total;
+  state.alerts_fired = entry->fired;
+  state.alerts_resolved = entry->resolved;
+  return state;
+}
+
+void SloTracker::EmitTransition(const std::string& name, int transition) {
+  if (transition > 0) {
+    LogWarn("slo", "burn-rate alert FIRED for %s", name.c_str());
+    TraceInstant("slo/" + name + "/fired");
+    MetricsRegistry::Global().GetCounter("slo/alerts_fired").Increment();
+  } else if (transition < 0) {
+    LogInfo("slo", "burn-rate alert resolved for %s", name.c_str());
+    TraceInstant("slo/" + name + "/resolved");
+    MetricsRegistry::Global().GetCounter("slo/alerts_resolved").Increment();
+  }
+}
+
+std::vector<SloState> SloTracker::Evaluate(uint64_t now_micros) {
+  std::vector<SloState> states;
+  std::vector<std::pair<std::string, int>> transitions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    states.reserve(entries_.size());
+    for (auto& [name, entry] : entries_) {
+      int transition = 0;
+      states.push_back(EvaluateEntryLocked(entry.get(), now_micros,
+                                           &transition));
+      if (transition != 0) transitions.emplace_back(name, transition);
+    }
+  }
+  for (const auto& [name, transition] : transitions) {
+    EmitTransition(name, transition);
+  }
+  return states;
+}
+
+void SloTracker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : entries_) {
+    entry->fast.Reset();
+    entry->slow.Reset();
+    entry->alerting = false;
+    entry->fired = 0;
+    entry->resolved = 0;
+  }
+}
+
+}  // namespace obs
+}  // namespace pasa

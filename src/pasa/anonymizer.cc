@@ -2,6 +2,7 @@
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 
 namespace pasa {
@@ -44,6 +45,8 @@ Result<Anonymizer> Anonymizer::Build(const LocationDatabase& db,
   for (size_t i = 0; i < db.size(); ++i) {
     a.location_of_user_[db.row(i).user] = db.row(i).location;
   }
+  a.group_size_of_node_ =
+      GroupSizesByNode(a.policy_.assignment, a.tree_.num_nodes());
   return a;
 }
 
@@ -76,8 +79,33 @@ Result<AnonymizedRequest> Anonymizer::Anonymize(const ServiceRequest& sr) {
     return Status::InvalidArgument(
         "service request is not valid w.r.t. the snapshot");
   }
-  return AnonymizedRequest{next_rid_++, policy_.table.cloak(it->second),
-                           sr.params};
+  AnonymizedRequest ar{next_rid_++, policy_.table.cloak(it->second),
+                       sr.params};
+  if (obs::ProvenanceRecord* p = obs::CurrentProvenance()) {
+    p->rid = ar.rid;
+    p->sender = sr.sender;
+    p->k = options_.k;
+    p->cloak_x1 = ar.cloak.x1;
+    p->cloak_y1 = ar.cloak.y1;
+    p->cloak_x2 = ar.cloak.x2;
+    p->cloak_y2 = ar.cloak.y2;
+    p->cloak_area = ar.cloak.Area();
+    const size_t row = it->second;
+    const int32_t node =
+        row < policy_.assignment.size() ? policy_.assignment[row] : -1;
+    p->policy_node = node;
+    if (node >= 0) {
+      p->tree_path = tree_.PathString(node);
+      p->node_depth = tree_.node(node).depth;
+      if (static_cast<size_t>(node) < group_size_of_node_.size()) {
+        p->group_size = group_size_of_node_[node];
+      }
+      if (static_cast<size_t>(node) < policy_.config.passed_up.size()) {
+        p->passed_up = policy_.config.C(node);
+      }
+    }
+  }
+  return ar;
 }
 
 Result<CloakingTable> PolicyAwareOptimumAlgorithm::Cloak(

@@ -80,6 +80,9 @@ class Anonymizer {
   ExtractedPolicy policy_;
   std::unordered_map<UserId, size_t> row_of_user_;
   std::unordered_map<UserId, Point> location_of_user_;
+  /// Anonymity-group size per cloaking node (GroupSizesByNode), for the
+  /// provenance record Anonymize fills when the audit ring is armed.
+  std::vector<uint32_t> group_size_of_node_;
   RequestId next_rid_ = 1;
 };
 

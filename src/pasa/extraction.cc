@@ -125,4 +125,13 @@ Result<ExtractedPolicy> ExtractOptimalPolicy(const BinaryTree& tree,
   return out;
 }
 
+std::vector<uint32_t> GroupSizesByNode(const std::vector<int32_t>& assignment,
+                                       size_t num_nodes) {
+  std::vector<uint32_t> sizes(num_nodes, 0);
+  for (const int32_t node : assignment) {
+    if (node >= 0 && static_cast<size_t>(node) < num_nodes) ++sizes[node];
+  }
+  return sizes;
+}
+
 }  // namespace pasa

@@ -30,6 +30,13 @@ struct ExtractedPolicy {
 Result<ExtractedPolicy> ExtractOptimalPolicy(const BinaryTree& tree,
                                              const DpMatrix& matrix, int k);
 
+/// Number of snapshot rows assigned to each cloaking node: the size of the
+/// anonymity group a sender cloaked at that node hides in (>= k for every
+/// node the assignment uses). `num_nodes` sizes the result; out-of-range
+/// assignment entries are ignored.
+std::vector<uint32_t> GroupSizesByNode(const std::vector<int32_t>& assignment,
+                                       size_t num_nodes);
+
 }  // namespace pasa
 
 #endif  // PASA_PASA_EXTRACTION_H_

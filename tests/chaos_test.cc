@@ -12,6 +12,10 @@
 #include "attack/auditor.h"
 #include "csp/server.h"
 #include "fault/injector.h"
+#include "obs/metrics.h"
+#include "obs/provenance.h"
+#include "obs/slo.h"
+#include "obs/window.h"
 #include "parallel/runner.h"
 #include "workload/bay_area.h"
 #include "workload/movement.h"
@@ -84,10 +88,11 @@ struct ChaosOutcome {
 };
 
 // One full chaos run: `snapshots` epochs of (request burst, snapshot
-// advance) against a CSP server under EverythingPlan() armed with `seed`.
-// Asserts the safety invariants inline; returns the outcome for replay
-// comparison.
-ChaosOutcome ChaosRun(uint64_t seed, int snapshots, int requests_per_epoch) {
+// advance) against a CSP server under EverythingPlan() armed with `seed`
+// (or a fault-free run when `arm_faults` is false). Asserts the safety
+// invariants inline; returns the outcome for replay comparison.
+ChaosOutcome ChaosRun(uint64_t seed, int snapshots, int requests_per_epoch,
+                      bool arm_faults = true) {
   const BayAreaGenerator gen(ChaosBay());
   LocationDatabase db = gen.Generate(1000);
   CspOptions options;
@@ -100,7 +105,11 @@ ChaosOutcome ChaosRun(uint64_t seed, int snapshots, int requests_per_epoch) {
   ChaosOutcome outcome;
   if (!csp.ok()) return outcome;
 
-  fault::FaultInjector::Global().Arm(EverythingPlan(), seed);
+  if (arm_faults) {
+    fault::FaultInjector::Global().Arm(EverythingPlan(), seed);
+  } else {
+    fault::FaultInjector::Global().Disarm();
+  }
   RequestGenerator requests(static_cast<uint64_t>(seed * 31 + 1));
   MovementOptions movement;
   movement.moving_fraction = 0.03;
@@ -174,6 +183,126 @@ TEST(ChaosTest, ServingPathSurvivesAndReplaysDeterministically) {
   EXPECT_GT(total_quarantined, 0u);
   EXPECT_GT(total_repair_fallbacks, 0u);
   EXPECT_GT(total_degraded_or_failed, 0u);
+}
+
+// Arms the full pasa::obs v3 stack (provenance ring, windowed telemetry,
+// SLO tracker) from a clean slate, so a chaos run can be audited after the
+// fact.
+void ArmObservability() {
+  obs::SimClock::Global().Reset();
+  obs::MetricsRegistry::Global().Reset();
+  obs::ProvenanceRing::Global().Enable();
+  obs::WindowRegistry::Global().Enable();
+  obs::WindowRegistry::Global().Reset();
+  obs::SloTracker::Global().Configure({});  // CspServer re-adds the defaults
+  obs::SloTracker::Global().Enable();
+}
+
+void DisarmObservability() {
+  obs::ProvenanceRing::Global().Disable();
+  obs::WindowRegistry::Global().Disable();
+  obs::SloTracker::Global().Disable();
+  obs::SimClock::Global().Reset();
+}
+
+const obs::SloState& StateOf(const std::vector<obs::SloState>& states,
+                             const std::string& name) {
+  for (const obs::SloState& state : states) {
+    if (state.name == name) return state;
+  }
+  ADD_FAILURE() << "objective " << name << " was not evaluated";
+  static obs::SloState missing;
+  return missing;
+}
+
+// The audit trail must explain the chaos: every degraded or failed answer
+// carries the fault evidence that caused it, per-request fire counts add up
+// to exactly what the injector reports, and the availability SLO's
+// burn-rate alert fires while anonymity stays clean.
+TEST(ChaosTest, ProvenanceExplainsDegradationAndAvailabilitySloFires) {
+  ArmObservability();
+  const int snapshots = 5;
+  const int per_epoch = 150;
+  const ChaosOutcome outcome = ChaosRun(101, snapshots, per_epoch);
+
+  const std::vector<obs::ProvenanceRecord> records =
+      obs::ProvenanceRing::Global().Records();
+  ASSERT_EQ(records.size(),
+            static_cast<size_t>(snapshots) * static_cast<size_t>(per_epoch));
+  size_t degraded = 0;
+  size_t failed = 0;
+  std::map<std::string, uint64_t> fires_by_point;
+  for (const obs::ProvenanceRecord& r : records) {
+    ASSERT_NE(r.outcome, obs::RequestOutcome::kRejected);
+    // The per-request face of the k-anonymity audit: every accepted
+    // request was cloaked by a group no smaller than k.
+    EXPECT_GE(r.group_size, 10u);
+    EXPECT_GT(r.cloak_area, 0);
+    for (const auto& [point, count] : r.fault_fires) {
+      fires_by_point[point] += count;
+    }
+    if (r.outcome == obs::RequestOutcome::kDegraded) {
+      ++degraded;
+      EXPECT_TRUE(r.stale_fallback)
+          << "degraded answers come only from the stale-cache fallback";
+    }
+    if (r.outcome == obs::RequestOutcome::kFailed) ++failed;
+    if (r.outcome == obs::RequestOutcome::kDegraded ||
+        r.outcome == obs::RequestOutcome::kFailed) {
+      // No unexplained degradation: something observable went wrong first.
+      EXPECT_TRUE(!r.fault_fires.empty() || r.breaker_rejected ||
+                  r.deadline_exceeded)
+          << "rid " << r.rid << " degraded without fault evidence";
+    }
+  }
+  EXPECT_EQ(degraded, outcome.degraded_answers);
+  EXPECT_EQ(failed, outcome.stats.requests_failed);
+  // Per-request LBS fire counts reconcile exactly with the injector's own
+  // totals (every LBS fault fires under some request's provenance scope).
+  for (const std::string_view point :
+       {fault::kLbsError, fault::kLbsLatency, fault::kLbsTimeout}) {
+    EXPECT_EQ(fires_by_point[std::string(point)],
+              outcome.fires.at(std::string(point)))
+        << point;
+  }
+
+  const std::vector<obs::SloState> states =
+      obs::SloTracker::Global().Evaluate(obs::SimClock::Global().now());
+  EXPECT_GT(StateOf(states, obs::kSloAvailability).alerts_fired, 0u)
+      << "a provider this unreliable must trip the availability burn alert";
+  EXPECT_EQ(StateOf(states, obs::kSloAnonymity).alerts_fired, 0u)
+      << "faults degrade answers, never anonymity";
+  DisarmObservability();
+}
+
+// The control: with no faults armed, the same harness serves everything
+// fresh, writes only clean provenance, and no SLO alert fires.
+TEST(ChaosTest, CleanRunKeepsSlosQuietAndProvenanceClean) {
+  ArmObservability();
+  const ChaosOutcome outcome =
+      ChaosRun(404, /*snapshots=*/3, /*requests_per_epoch=*/100,
+               /*arm_faults=*/false);
+  EXPECT_EQ(outcome.degraded_answers, 0u);
+  EXPECT_EQ(outcome.stats.requests_failed, 0u);
+  const std::vector<obs::ProvenanceRecord> records =
+      obs::ProvenanceRing::Global().Records();
+  ASSERT_EQ(records.size(), 300u);
+  for (const obs::ProvenanceRecord& r : records) {
+    ASSERT_EQ(r.outcome, obs::RequestOutcome::kServed);
+    EXPECT_TRUE(r.fault_fires.empty());
+    EXPECT_FALSE(r.breaker_rejected);
+    EXPECT_FALSE(r.deadline_exceeded);
+    EXPECT_EQ(r.lbs_retries, 0u);
+  }
+  for (const obs::SloState& state :
+       obs::SloTracker::Global().Evaluate(obs::SimClock::Global().now())) {
+    EXPECT_FALSE(state.alerting) << state.name;
+    EXPECT_EQ(state.alerts_fired, 0u) << state.name;
+  }
+  EXPECT_EQ(
+      obs::MetricsRegistry::Global().GetCounter("slo/alerts_fired").value(),
+      0u);
+  DisarmObservability();
 }
 
 // Jurisdiction-level chaos for the parallel runner: servers fail randomly,

@@ -90,6 +90,26 @@ TEST_F(ObsTest, RegistryDefaultsHistogramBucketsAndKeepsFirstBounds) {
   EXPECT_EQ(again.upper_bounds(), (std::vector<double>{1.0, 2.0}));
 }
 
+TEST_F(ObsTest, MismatchedHistogramBoundsAreCountedNotSilent) {
+  auto& registry = MetricsRegistry::Global();
+  Counter& mismatches =
+      registry.GetCounter("obs/histogram_bounds_mismatches");
+  const uint64_t before = mismatches.value();
+  Histogram& first = registry.GetHistogram("obs_test/mismatch", {1.0, 2.0});
+  // Same bounds (in any order): no mismatch recorded.
+  registry.GetHistogram("obs_test/mismatch", {2.0, 1.0});
+  EXPECT_EQ(mismatches.value(), before);
+  // Defaulted bounds on lookup: also not a mismatch.
+  registry.GetHistogram("obs_test/mismatch");
+  EXPECT_EQ(mismatches.value(), before);
+  // Genuinely different bounds: first registration wins, but the footgun
+  // is now visible as a counter (and a warning log).
+  Histogram& again = registry.GetHistogram("obs_test/mismatch", {7.0});
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(again.upper_bounds(), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(mismatches.value(), before + 1);
+}
+
 TEST_F(ObsTest, SpanStatsTracksExtremes) {
   SpanStats stats;
   EXPECT_TRUE(std::isnan(stats.min_seconds()));

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 CI driver: release build + full ctest, an AddressSanitizer
 # build + full ctest, a ThreadSanitizer build running the concurrency
-# suites (chaos + parallel), and a smoke pasa_benchstat run that proves
-# the perf-regression gate works end to end (writes BENCH_smoke.json and
-# self-compares it, which must pass).
+# suites (chaos + parallel + the obs v3 primitives), the overhead gates
+# (disarmed obs / fault / provenance instrumentation must stay near-free),
+# and a smoke pasa_benchstat run that proves the perf-regression gate works
+# end to end (writes BENCH_smoke.json and self-compares it, which must
+# pass).
 #
 # Usage: tools/ci.sh [build-dir-prefix]
 #
@@ -16,12 +18,16 @@
 #   PASA_CI_JOBS=N          parallelism (default: nproc)
 #   PASA_CI_BENCH_SCALE=S   workload scale for the benchstat smoke run
 #                           (default 0.002: a couple of seconds)
+#   PASA_CI_OVERHEAD_SCALE=S  workload scale for the overhead gates
+#                           (default 0.02: large enough that the 5% bound
+#                           measures instrumentation, not timer noise)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 prefix="${1:-build-ci}"
 jobs="${PASA_CI_JOBS:-$(nproc)}"
 scale="${PASA_CI_BENCH_SCALE:-0.002}"
+overhead_scale="${PASA_CI_OVERHEAD_SCALE:-0.02}"
 
 step() { printf '\n== %s ==\n' "$*"; }
 
@@ -49,16 +55,27 @@ if [[ "${PASA_CI_SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B "${prefix}-tsan" -S . -DCMAKE_BUILD_TYPE=Debug \
         -DPASA_SANITIZE=thread
   cmake --build "${prefix}-tsan" -j "${jobs}" \
-        --target chaos_test parallel_test trace_sink_test
+        --target chaos_test parallel_test trace_sink_test \
+                 provenance_test window_test slo_test
   # The threaded suites: jurisdiction workers + fault injector (chaos),
-  # the worker pool itself (parallel), and the concurrent trace ring.
+  # the worker pool itself (parallel), the concurrent trace ring, and the
+  # lock-light obs v3 primitives (provenance ring, windows, SLO tracker).
   ctest --test-dir "${prefix}-tsan" --output-on-failure -j "${jobs}" \
-        -R 'Chaos|Parallel|TraceSink'
+        -R 'Chaos|Parallel|TraceSink|Provenance|Window|Slo'
 else
   step "tsan build skipped (PASA_CI_SKIP_TSAN=1)"
 fi
 
 if [[ "${PASA_CI_SKIP_RELEASE:-0}" != "1" ]]; then
+  step "overhead gates (scale ${overhead_scale})"
+  # Each binary exits non-zero when its disarmed instrumentation costs more
+  # than 5% on the hot path (obs metrics, fault injection points, and the
+  # provenance/window/SLO stack respectively).
+  for gate in bench_obs_overhead bench_fault_overhead \
+              bench_provenance_overhead; do
+    PASA_BENCH_SCALE="${overhead_scale}" "${prefix}-release/bench/${gate}"
+  done
+
   step "benchstat smoke run (scale ${scale})"
   "${prefix}-release/tools/pasa_benchstat" run \
       --bench "${prefix}-release/bench/bench_fig4a_bulk_time" \

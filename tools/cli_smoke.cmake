@@ -9,6 +9,26 @@ function(run_or_die expected_rc)
   endif()
 endfunction()
 
+# Like run_or_die, but hands the command's stdout back in `out_var` so the
+# caller can assert on its content.
+function(run_capture expected_rc out_var)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expected_rc})
+    message(FATAL_ERROR "command ${ARGN} exited ${rc} (expected "
+                        "${expected_rc})\nstdout: ${out}\nstderr: ${err}")
+  endif()
+  set(${out_var} "${out}" PARENT_SCOPE)
+endfunction()
+
+function(require_fragment haystack_var fragment what)
+  string(FIND "${${haystack_var}}" "${fragment}" fragment_at)
+  if(fragment_at EQUAL -1)
+    message(FATAL_ERROR "${what} is missing '${fragment}':\n"
+                        "${${haystack_var}}")
+  endif()
+endfunction()
+
 set(LOC ${WORK_DIR}/cli_smoke_locations.csv)
 set(OPT ${WORK_DIR}/cli_smoke_opt.csv)
 set(CASPER ${WORK_DIR}/cli_smoke_casper.csv)
@@ -92,6 +112,52 @@ run_or_die(2 ${CLI} serve --in ${LOC} --k 20 --fault-plan ${BAD_PLAN})
 run_or_die(2 ${CLI} serve --in ${LOC} --k 20 --fault-seed 7)
 run_or_die(2 ${CLI} serve --k 20)
 
+# The provenance audit trail: --audit-out writes one JSONL record per
+# sampled request (into a fresh subdirectory), `explain` reconstructs the
+# cloak decisions from it, and no accepted request may ever be a
+# k-anonymity violation.
+set(AUDIT ${WORK_DIR}/cli_smoke_out/audit.jsonl)
+run_or_die(0 ${CLI} anonymize --in ${LOC} --k 20 --out ${OPT}
+           --audit-out ${AUDIT})
+if(NOT EXISTS ${AUDIT})
+  message(FATAL_ERROR "anonymize --audit-out did not write ${AUDIT}")
+endif()
+file(READ ${AUDIT} audit_jsonl)
+foreach(required_key
+        "\"rid\":" "\"sender\":" "\"outcome\":\"served\"" "\"k\":20"
+        "\"cloak_area\":" "\"policy_node\":" "\"tree_path\":\"r"
+        "\"group_size\":" "\"passed_up\":" "\"cache_hit\":true"
+        "\"lbs_attempts\":" "\"fault_fires\":{}" "\"total_seconds\":")
+  require_fragment(audit_jsonl "${required_key}" "audit JSONL")
+endforeach()
+
+run_capture(0 explain_out ${CLI} explain --audit ${AUDIT} --limit 3)
+require_fragment(explain_out "cloak: [" "explain output")
+require_fragment(explain_out "group size" "explain output")
+require_fragment(explain_out "passed up" "explain output")
+require_fragment(explain_out "record(s) matched (3 shown)" "explain output")
+
+run_capture(0 violations_out ${CLI} explain --audit ${AUDIT}
+            --only violations)
+require_fragment(violations_out "0 of " "explain --only violations output")
+
+# explain without an audit file is a usage error; a missing file fails.
+run_or_die(2 ${CLI} explain)
+run_or_die(2 ${CLI} explain --audit ${AUDIT} --only sideways)
+run_or_die(1 ${CLI} explain --audit ${WORK_DIR}/no_such_audit.jsonl)
+
+# serve --watch renders the SLO / sliding-window dashboard against the
+# simulated clock at the requested epoch cadence.
+run_capture(0 watch_out ${CLI} serve --in ${LOC} --k 20 --snapshots 2
+            --requests 300 --watch 2)
+require_fragment(watch_out "[watch] epoch 2" "serve --watch output")
+require_fragment(watch_out "csp/availability" "serve --watch output")
+require_fragment(watch_out "csp/serve_latency" "serve --watch output")
+require_fragment(watch_out "csp/anonymity" "serve --watch output")
+require_fragment(watch_out "csp/window/serve_latency_seconds"
+                 "serve --watch output")
+require_fragment(watch_out "fast_burn=" "serve --watch output")
+
 # ...while the Casper baseline is expected to be flagged (exit code 3:
 # k-inside policies are not policy-aware k-anonymous in general).
 run_or_die(0 ${CLI} anonymize --in ${LOC} --k 20 --out ${CASPER}
@@ -103,4 +169,5 @@ run_or_die(2 ${CLI})
 run_or_die(2 ${CLI} anonymize --in ${LOC})
 run_or_die(1 ${CLI} anonymize --in /no/such.csv --k 5 --out ${OPT})
 
-file(REMOVE ${LOC} ${OPT} ${CASPER} ${METRICS} ${TRACE} ${PLAN} ${BAD_PLAN})
+file(REMOVE ${LOC} ${OPT} ${CASPER} ${METRICS} ${TRACE} ${PLAN} ${BAD_PLAN}
+     ${AUDIT})

@@ -6,7 +6,9 @@
 //   pasa_cli audit     --locations locations.csv --cloaks cloaks.csv --k 50
 //   pasa_cli stats     --in locations.csv [--k 50]
 //   pasa_cli serve     --in locations.csv --k 50 [--snapshots N]
-//                      [--requests R] [--seed S]
+//                      [--requests R] [--seed S] [--watch N]
+//   pasa_cli explain   --audit audit.jsonl [--rid N] [--limit N]
+//                      [--only served|degraded|failed|rejected|violations]
 //
 // Every subcommand additionally accepts:
 //   --metrics-out FILE.json   observability snapshot (per-phase bulk_dp
@@ -14,13 +16,19 @@
 //                             counters) written as structured JSON on exit
 //   --trace-out FILE.json     per-event timeline as Chrome trace_event
 //                             JSON, loadable in Perfetto/chrome://tracing
+//   --audit-out FILE.jsonl    arm the per-request provenance ring (plus the
+//                             windowed telemetry and SLO tracker) and write
+//                             one JSONL ProvenanceRecord per request on
+//                             exit; inspect with `pasa_cli explain`
 //   --log-level LEVEL         runtime log filter (debug|info|warn|error|off)
 //   --fault-plan FILE.json    arm the deterministic fault injector with a
 //                             seeded fault schedule (see docs/robustness.md)
 //   --fault-seed N            override the plan's seed for replaying a
 //                             specific chaos schedule
-// anonymize and audit also print a human-readable metrics dump. See
-// docs/observability.md and docs/robustness.md.
+// serve always arms the windowed telemetry and SLO burn-rate tracker;
+// `--watch N` renders their dashboard every N epochs. anonymize and audit
+// also print a human-readable metrics dump. See docs/observability.md and
+// docs/robustness.md.
 //
 // CSV formats are documented in src/io/csv.h.
 
@@ -45,8 +53,11 @@
 #include "obs/export.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "obs/trace_sink.h"
+#include "obs/window.h"
 #include "pasa/anonymizer.h"
 #include "policies/casper.h"
 #include "policies/k_inside_binary.h"
@@ -76,11 +87,15 @@ int Usage() {
       "  pasa_cli audit     --locations F --cloaks F2 --k K\n"
       "  pasa_cli stats     --in F [--k K]\n"
       "  pasa_cli serve     --in F --k K [--snapshots N] [--requests R] "
-      "[--seed S]\n"
+      "[--seed S] [--watch N]\n"
+      "  pasa_cli explain   --audit F.jsonl [--rid N] [--limit N]\n"
+      "                     [--only served|degraded|failed|rejected|"
+      "violations]\n"
       "every subcommand also accepts:\n"
       "  --metrics-out FILE.json  observability snapshot\n"
       "  --trace-out FILE.json    Chrome trace_event timeline "
       "(Perfetto-loadable)\n"
+      "  --audit-out FILE.jsonl   per-request provenance audit log\n"
       "  --log-level LEVEL        debug|info|warn|error|off\n"
       "  --fault-plan FILE.json   arm the deterministic fault injector\n"
       "  --fault-seed N           override the fault plan's seed\n");
@@ -88,9 +103,7 @@ int Usage() {
 }
 
 void PrintMetricsDump() {
-  std::printf("\nmetrics:\n%s",
-              obs::SummaryTable(obs::MetricsRegistry::Global().Snapshot())
-                  .c_str());
+  std::printf("\nmetrics:\n%s", obs::SummaryTable(obs::FullSnapshot()).c_str());
 }
 
 // Exercises the Section VII per-request path against the freshly built
@@ -120,8 +133,28 @@ void ServeSampleRequests(Anonymizer& engine, const LocationDatabase& db,
   for (size_t row = 0; row < db.size(); row += stride) {
     const ServiceRequest sr{db.row(row).user, db.row(row).location,
                             {{"poi", "poi"}}};
+    // Each sampled request is one provenance record when --audit-out armed
+    // the ring; Anonymize and Serve annotate through CurrentProvenance().
+    obs::ScopedProvenanceRecord prov;
     Result<AnonymizedRequest> ar = engine.Anonymize(sr);
-    if (ar.ok()) frontend.Serve(*ar);
+    if (!ar.ok()) {
+      if (obs::ProvenanceRecord* p = prov.get()) {
+        p->sender = sr.sender;
+        p->outcome = obs::RequestOutcome::kRejected;
+        p->status = StatusCodeName(ar.status().code());
+      }
+      continue;
+    }
+    Result<LbsAnswer> answer = frontend.Serve(*ar);
+    if (obs::ProvenanceRecord* p = prov.get()) {
+      if (answer.ok()) {
+        p->outcome = answer->degraded ? obs::RequestOutcome::kDegraded
+                                      : obs::RequestOutcome::kServed;
+      } else {
+        p->outcome = obs::RequestOutcome::kFailed;
+        p->status = StatusCodeName(answer.status().code());
+      }
+    }
   }
 }
 
@@ -238,6 +271,124 @@ int RunAudit(const Flags& flags) {
   return masking && aware.Anonymous(k) ? 0 : 3;
 }
 
+// Pretty-prints one audit record: the cloak decision (which node, why it is
+// k-anonymous), the LBS hop, and where the latency went.
+void PrintProvenanceRecord(const obs::ProvenanceRecord& r) {
+  std::printf("request %lld (sender %lld): %s, status %s\n",
+              static_cast<long long>(r.rid), static_cast<long long>(r.sender),
+              obs::RequestOutcomeName(r.outcome), r.status.c_str());
+  if (r.outcome != obs::RequestOutcome::kRejected) {
+    std::printf("  cloak: [%lld,%lld)x[%lld,%lld), area %lld\n",
+                static_cast<long long>(r.cloak_x1),
+                static_cast<long long>(r.cloak_x2),
+                static_cast<long long>(r.cloak_y1),
+                static_cast<long long>(r.cloak_y2),
+                static_cast<long long>(r.cloak_area));
+    std::printf("  policy: node %d (path %s, depth %d), group size %llu vs "
+                "k=%d (margin %+lld), C(m)=%llu passed up\n",
+                r.policy_node, r.tree_path.empty() ? "?" : r.tree_path.c_str(),
+                r.node_depth, static_cast<unsigned long long>(r.group_size),
+                r.k,
+                static_cast<long long>(r.group_size) -
+                    static_cast<long long>(r.k),
+                static_cast<unsigned long long>(r.passed_up));
+    const char* hop = r.cache_hit
+                          ? "answer cache hit"
+                          : (r.stale_fallback ? "STALE cache fallback"
+                                              : "provider fetch");
+    std::printf("  lbs: %s, %u attempt(s), %u retr%s%s%s\n", hop,
+                r.lbs_attempts, r.lbs_retries, r.lbs_retries == 1 ? "y" : "ies",
+                r.breaker_rejected ? ", rejected by open breaker" : "",
+                r.deadline_exceeded ? ", deadline exceeded" : "");
+    if (!r.fault_fires.empty()) {
+      std::string fires;
+      for (const auto& [point, count] : r.fault_fires) {
+        if (!fires.empty()) fires += ", ";
+        fires += point + " x" + std::to_string(count);
+      }
+      std::printf("  faults fired: %s\n", fires.c_str());
+    }
+  }
+  std::printf("  latency: total %.1f us (cloak %.1f us, lbs %.1f us, "
+              "simulated %.0f us)\n",
+              r.total_seconds * 1e6, r.cloak_seconds * 1e6,
+              r.lbs_seconds * 1e6, r.lbs_simulated_micros);
+}
+
+// Reconstructs cloak decisions from a --audit-out JSONL file, optionally
+// filtered to one request id or one outcome class ("violations" selects
+// accepted requests whose anonymity group was smaller than k — under the
+// maintained optimal policy there should be none).
+int RunExplain(const Flags& flags) {
+  if (!flags.Has("audit")) return Usage();
+  const std::string only = flags.GetString("only", "");
+  if (!only.empty() && only != "served" && only != "degraded" &&
+      only != "failed" && only != "rejected" && only != "violations") {
+    return Usage();
+  }
+  Result<std::vector<obs::ProvenanceRecord>> records =
+      obs::ReadProvenanceJsonlFile(flags.GetString("audit"));
+  if (!records.ok()) return Fail(records.status());
+  const bool have_rid = flags.Has("rid");
+  const int64_t rid = flags.GetInt("rid", 0);
+  const int64_t limit = flags.GetInt("limit", 0);
+  size_t matched = 0;
+  size_t shown = 0;
+  for (const obs::ProvenanceRecord& r : *records) {
+    if (have_rid && r.rid != rid) continue;
+    if (only == "violations") {
+      const bool violation = r.outcome != obs::RequestOutcome::kRejected &&
+                             r.group_size < static_cast<uint64_t>(r.k);
+      if (!violation) continue;
+    } else if (!only.empty() &&
+               only != obs::RequestOutcomeName(r.outcome)) {
+      continue;
+    }
+    ++matched;
+    if (limit > 0 && shown >= static_cast<size_t>(limit)) continue;
+    ++shown;
+    PrintProvenanceRecord(r);
+  }
+  std::printf("%zu of %zu audit record(s) matched (%zu shown)\n", matched,
+              records->size(), shown);
+  return 0;
+}
+
+// The `serve --watch` dashboard: SLO burn rates and the sliding windows,
+// rendered against the current simulated time.
+void PrintWatchDashboard(int epoch) {
+  const uint64_t now = obs::SimClock::Global().now();
+  TablePrinter table({"objective / window", "state", "detail"});
+  for (const obs::SloState& slo : obs::SloTracker::Global().Evaluate(now)) {
+    char detail[160];
+    std::snprintf(detail, sizeof(detail),
+                  "target=%.4g fast_burn=%.2f slow_burn=%.2f fired=%llu",
+                  slo.target, slo.fast_burn, slo.slow_burn,
+                  static_cast<unsigned long long>(slo.alerts_fired));
+    table.AddRow({slo.name, slo.alerting ? "ALERT" : "ok", detail});
+  }
+  const obs::WindowSnapshot windows =
+      obs::WindowRegistry::Global().Snapshot(now);
+  for (const auto& [name, h] : windows.histograms) {
+    char detail[160];
+    std::snprintf(detail, sizeof(detail),
+                  "n=%llu p50=%.1f us p95=%.1f us p99=%.1f us",
+                  static_cast<unsigned long long>(h.count), h.p50 * 1e6,
+                  h.p95 * 1e6, h.p99 * 1e6);
+    table.AddRow({name, "window", detail});
+  }
+  for (const auto& [name, r] : windows.rates) {
+    char detail[128];
+    std::snprintf(detail, sizeof(detail), "rate=%.4f (%llu/%llu)", r.rate,
+                  static_cast<unsigned long long>(r.good),
+                  static_cast<unsigned long long>(r.total));
+    table.AddRow({name, "window", detail});
+  }
+  std::printf("\n[watch] epoch %d, simulated t=%.3f s\n", epoch,
+              static_cast<double>(now) / 1e6);
+  table.Print();
+}
+
 // Runs the resilient CSP serving path end to end: per snapshot, a burst of
 // service requests through the answer cache / resilient LBS client, then a
 // snapshot advance with movement (quarantine + incremental repair or
@@ -250,7 +401,12 @@ int RunServe(const Flags& flags) {
   const int snapshots = static_cast<int>(flags.GetInt("snapshots", 5));
   const int per_epoch = static_cast<int>(flags.GetInt("requests", 1000));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 2010));
-  if (snapshots < 1 || per_epoch < 0) return Usage();
+  const int watch = static_cast<int>(flags.GetInt("watch", 0));
+  if (snapshots < 1 || per_epoch < 0 || watch < 0) return Usage();
+  // serve is the SLO-bearing path: always arm the windowed telemetry and
+  // burn-rate tracker so the final report (and --watch) can show them.
+  obs::WindowRegistry::Global().Enable();
+  obs::SloTracker::Global().Enable();
   Result<LocationDatabase> db = LoadLocationDatabaseCsv(flags.GetString("in"));
   if (!db.ok()) return Fail(db.status());
   Result<MapExtent> extent = MapExtent::Covering(db->BoundingBox());
@@ -294,6 +450,7 @@ int RunServe(const Flags& flags) {
         DrawMoves(csp->snapshot(), *extent, movement);
     Result<SnapshotReport> report = csp->AdvanceSnapshot(moves);
     if (!report.ok()) return Fail(report.status());
+    if (watch > 0 && (epoch + 1) % watch == 0) PrintWatchDashboard(epoch + 1);
   }
   const double seconds = timer.ElapsedSeconds();
 
@@ -400,6 +557,14 @@ int main(int argc, char** argv) {
     obs::TraceEventSink::Global().SetCurrentThreadName("main");
     obs::TraceEventSink::Global().Start();
   }
+  const bool auditing = flags.Has("audit-out");
+  if (auditing) {
+    obs::ProvenanceRing::Global().Enable();
+    obs::WindowRegistry::Global().Enable();
+    obs::SloTracker::Global().Enable();
+    obs::LogInfo("cli", "provenance ring armed (capacity %zu)",
+                 obs::ProvenanceRing::Global().capacity());
+  }
   obs::LogDebug("cli", "running subcommand '%s'", command.c_str());
   int rc;
   if (command == "generate") {
@@ -412,8 +577,24 @@ int main(int argc, char** argv) {
     rc = RunStats(flags);
   } else if (command == "serve") {
     rc = RunServe(flags);
+  } else if (command == "explain") {
+    rc = RunExplain(flags);
   } else {
     return Usage();
+  }
+  if (auditing) {
+    obs::ProvenanceRing& ring = obs::ProvenanceRing::Global();
+    const Status s = ring.WriteJsonlFile(flags.GetString("audit-out"));
+    if (!s.ok()) {
+      Fail(s);
+      if (rc == 0) rc = 1;
+    } else {
+      obs::LogInfo("cli",
+                   "wrote %zu provenance record(s) (%llu overwritten) to %s",
+                   ring.size(),
+                   static_cast<unsigned long long>(ring.overwritten()),
+                   flags.GetString("audit-out").c_str());
+    }
   }
   if (flags.Has("metrics-out")) {
     const Status s = obs::WriteJsonFile(obs::MetricsRegistry::Global(),
