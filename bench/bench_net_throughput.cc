@@ -1,0 +1,168 @@
+// Experiment E13 — serving-path throughput over the wire: the full
+// socket stack (frame decode -> admission -> CspServer -> frame encode)
+// on loopback, closed-loop clients. Complements bench_sec7_throughput,
+// which measures the same serving path via direct function calls; the
+// difference between the two is the wire + event-loop overhead.
+//
+// Prints req/s and latency percentiles per connection count and writes
+// the usual metrics snapshot. tools/ci.sh runs pasa_loadgen against
+// `pasa_cli serve --listen` for the benchstat-gated BENCH_net.json; this
+// harness is the in-process variant for quick local iteration.
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "csp/server.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "workload/bay_area.h"
+
+namespace {
+
+using namespace pasa;
+
+struct ClientStats {
+  std::vector<double> latencies;
+  uint64_t ok = 0;
+  uint64_t failed = 0;
+};
+
+void ClientLoop(uint16_t port, const LocationDatabase* db, int k,
+                size_t worker, size_t stride, uint64_t requests,
+                ClientStats* stats) {
+  Result<net::NetClient> client = net::NetClient::Connect(port, 10.0);
+  if (!client.ok()) {
+    stats->failed += requests;
+    return;
+  }
+  WallTimer timer;
+  for (uint64_t i = 0; i < requests; ++i) {
+    const auto& row = db->row((worker + i * stride) % db->size());
+    const ServiceRequest sr{row.user, row.location, {{"poi", "rest"}}};
+    const double start = timer.ElapsedSeconds();
+    Result<net::Frame> frame = client->Call(
+        net::MsgType::kServeRequest, net::EncodeServiceRequest(sr), 10.0);
+    const double latency = timer.ElapsedSeconds() - start;
+    if (!frame.ok() || frame->type != net::MsgType::kServeResponse) {
+      ++stats->failed;
+      continue;
+    }
+    Result<net::ServeResponseMsg> msg =
+        net::DecodeServeResponse(frame->payload);
+    if (!msg.ok() || msg->group_size < static_cast<uint64_t>(k)) {
+      ++stats->failed;
+      continue;
+    }
+    ++stats->ok;
+    stats->latencies.push_back(latency);
+  }
+}
+
+double Percentile(std::vector<double>* values, double q) {
+  if (values->empty()) return 0.0;
+  const size_t index = std::min(
+      values->size() - 1,
+      static_cast<size_t>(q * static_cast<double>(values->size())));
+  std::nth_element(values->begin(), values->begin() + index, values->end());
+  return (*values)[index];
+}
+
+}  // namespace
+
+int main() {
+  using bench_util::Scaled;
+
+  bench_util::PrintHeader(
+      "Serving-path throughput over loopback sockets (k = 50)");
+  BayAreaOptions map_options = bench_util::PaperScaleOptions();
+  const BayAreaGenerator generator(map_options);
+  const LocationDatabase master = generator.GenerateMaster();
+  const LocationDatabase db =
+      BayAreaGenerator::Sample(master, Scaled(100'000), 12);
+
+  std::vector<PointOfInterest> pois;
+  {
+    Rng rng(65);
+    const std::vector<std::string> categories = {"rest", "groc", "cinema"};
+    for (int i = 0; i < 10'000; ++i) {
+      pois.push_back(PointOfInterest{
+          i,
+          Point{static_cast<Coord>(rng.NextBounded(generator.extent().side())),
+                static_cast<Coord>(
+                    rng.NextBounded(generator.extent().side()))},
+          categories[rng.NextBounded(categories.size())]});
+    }
+  }
+
+  CspOptions options;
+  options.k = 50;
+  options.answers_per_request = 10;
+  Result<CspServer> csp = CspServer::Start(db, generator.extent(),
+                                           PoiDatabase(std::move(pois)),
+                                           options);
+  if (!csp.ok()) {
+    std::fprintf(stderr, "csp start failed: %s\n",
+                 csp.status().ToString().c_str());
+    return 1;
+  }
+
+  net::NetServerOptions net_options;
+  Result<std::unique_ptr<net::NetServer>> server =
+      net::NetServer::Start(&*csp, net_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "net start failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  const uint16_t port = (*server)->port();
+
+  const uint64_t requests_total = Scaled(100'000);
+  TablePrinter table({"connections", "req/s", "p50 (us)", "p99 (us)"});
+  for (const size_t connections : {1u, 4u, 8u}) {
+    std::vector<ClientStats> stats(connections);
+    std::vector<std::thread> workers;
+    WallTimer wall;
+    for (size_t w = 0; w < connections; ++w) {
+      const uint64_t share = requests_total / connections;
+      workers.emplace_back(ClientLoop, port, &db, options.k, w, connections,
+                           share, &stats[w]);
+    }
+    for (std::thread& worker : workers) worker.join();
+    const double elapsed = wall.ElapsedSeconds();
+
+    uint64_t ok = 0;
+    uint64_t failed = 0;
+    std::vector<double> latencies;
+    for (ClientStats& s : stats) {
+      ok += s.ok;
+      failed += s.failed;
+      latencies.insert(latencies.end(), s.latencies.begin(),
+                       s.latencies.end());
+    }
+    if (failed > 0) {
+      std::fprintf(stderr, "%llu request(s) failed\n",
+                   static_cast<unsigned long long>(failed));
+      return 1;
+    }
+    table.AddRow({std::to_string(connections),
+                  TablePrinter::Cell(static_cast<double>(ok) / elapsed, 0),
+                  TablePrinter::Cell(Percentile(&latencies, 0.50) * 1e6, 1),
+                  TablePrinter::Cell(Percentile(&latencies, 0.99) * 1e6, 1)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: req/s grows with connections until the single\n"
+      "event-loop thread saturates; p99 stays in the sub-millisecond range\n"
+      "on loopback.\n");
+
+  (*server)->Stop();
+  bench_util::WriteMetricsSnapshot("net_throughput");
+  return 0;
+}

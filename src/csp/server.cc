@@ -54,13 +54,24 @@ void CspServer::RebuildUserIndex() {
   }
 }
 
-Result<LbsAnswer> CspServer::HandleRequest(const ServiceRequest& sr) {
+Result<LbsAnswer> CspServer::HandleRequest(const ServiceRequest& sr,
+                                           ServeReceipt* receipt) {
   static obs::Histogram& latency = obs::MetricsRegistry::Global().GetHistogram(
       "csp/handle_request_seconds");
   obs::ScopedProvenanceRecord prov;
   WallTimer timer;
   ServeDecision decision;
-  Result<LbsAnswer> answer = ServeRequest(sr, prov.get(), &decision);
+  // When a caller (the network front end) already opened the per-request
+  // provenance scope, `prov` is inert and the outer record is the one to
+  // annotate — CurrentProvenance() resolves both cases.
+  Result<LbsAnswer> answer =
+      ServeRequest(sr, obs::CurrentProvenance(), &decision);
+  if (receipt != nullptr && answer.ok()) {
+    receipt->rid = decision.rid;
+    receipt->group_size = decision.group_size;
+    receipt->cloak = decision.cloak;
+    receipt->degraded = decision.degraded;
+  }
   const double seconds = timer.ElapsedSeconds();
   latency.Observe(seconds);
   const bool windows_on = obs::WindowRegistry::Global().enabled();
@@ -133,6 +144,8 @@ Result<LbsAnswer> CspServer::ServeRequest(const ServiceRequest& sr,
   }
   const AnonymizedRequest ar{next_rid_++, policy_.table.cloak(row),
                              sr.params};
+  decision->rid = ar.rid;
+  decision->cloak = ar.cloak;
   if (p != nullptr) {
     p->rid = ar.rid;
     p->sender = sr.sender;
@@ -178,6 +191,32 @@ Result<LbsAnswer> CspServer::ServeRequest(const ServiceRequest& sr,
                                   : obs::RequestOutcome::kServed;
   }
   return answer;
+}
+
+Result<AnonymizedRequest> CspServer::Cloak(const ServiceRequest& sr,
+                                           uint64_t* group_size) {
+  static obs::Counter& rejected =
+      obs::MetricsRegistry::Global().GetCounter("csp/requests_rejected");
+  const auto it = row_of_user_.find(sr.sender);
+  if (it == row_of_user_.end() ||
+      snapshot_.row(it->second).location != sr.location) {
+    ++stats_.requests_rejected;
+    rejected.Increment();
+    return Status::InvalidArgument(
+        "service request is not valid w.r.t. the current snapshot");
+  }
+  const size_t row = it->second;
+  if (group_size != nullptr) {
+    *group_size = 0;
+    const int32_t node = row < policy_.assignment.size()
+                             ? policy_.assignment[row]
+                             : -1;
+    if (node >= 0 &&
+        static_cast<size_t>(node) < group_size_of_node_.size()) {
+      *group_size = group_size_of_node_[node];
+    }
+  }
+  return AnonymizedRequest{next_rid_++, policy_.table.cloak(row), sr.params};
 }
 
 Status CspServer::RefreshPolicy() {

@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "lbs/provider.h"
+#include "model/anonymized_request.h"
 #include "model/service_request.h"
 #include "obs/provenance.h"
 #include "pasa/incremental.h"
@@ -72,11 +73,38 @@ class CspServer {
   Cost policy_cost() const { return policy_.cost; }
   const CloakingTable& policy() const { return policy_.table; }
 
+  /// What one HandleRequest decided, for callers (the network front end)
+  /// that must echo the cloak decision back to the client: the assigned
+  /// rid, the cloak actually sent to the LBS, and the size of the
+  /// anonymity group backing it.
+  struct ServeReceipt {
+    RequestId rid = 0;
+    uint64_t group_size = 0;
+    Rect cloak;
+    bool degraded = false;
+
+    friend bool operator==(const ServeReceipt& a, const ServeReceipt& b) =
+        default;
+  };
+
   /// Full request path: validate the request against the current snapshot,
   /// cloak the sender, fetch (or reuse) the LBS answer. The sender identity
   /// never crosses the CSP boundary. `LbsAnswer::degraded` marks answers
   /// served stale from the cache while the provider was unreachable.
-  Result<LbsAnswer> HandleRequest(const ServiceRequest& sr);
+  Result<LbsAnswer> HandleRequest(const ServiceRequest& sr) {
+    return HandleRequest(sr, nullptr);
+  }
+
+  /// Like HandleRequest, additionally filling `receipt` (may be null) with
+  /// the cloak decision on success.
+  Result<LbsAnswer> HandleRequest(const ServiceRequest& sr,
+                                  ServeReceipt* receipt);
+
+  /// Anonymize-only path: validate and cloak without the LBS hop (the wire
+  /// protocol's AnonymizeRequest). Fills `group_size` (may be null) with
+  /// the anonymity-group size backing the cloak.
+  Result<AnonymizedRequest> Cloak(const ServiceRequest& sr,
+                                  uint64_t* group_size);
 
   /// Advances to the next location-database snapshot. Malformed moves
   /// (unknown row, stale origin, destination outside the map, duplicate
@@ -118,6 +146,8 @@ class CspServer {
     bool rejected = false;
     bool degraded = false;
     uint64_t group_size = 0;
+    RequestId rid = 0;
+    Rect cloak;
   };
 
   CspServer(CspOptions options, MapExtent extent,

@@ -10,8 +10,9 @@ namespace fault {
 
 const std::vector<std::string_view>& KnownFaultPoints() {
   static const std::vector<std::string_view> points = {
-      kLbsLatency,          kLbsError,          kLbsTimeout,
-      kSnapshotCorruptMove, kSnapshotRepairFail, kParallelJurisdictionFail};
+      kLbsLatency,          kLbsError,           kLbsTimeout,
+      kSnapshotCorruptMove, kSnapshotRepairFail, kParallelJurisdictionFail,
+      kNetSlowRead,         kNetTornWrite,       kNetConnDrop};
   return points;
 }
 

@@ -22,6 +22,12 @@ inline constexpr std::string_view kSnapshotCorruptMove =
 inline constexpr std::string_view kSnapshotRepairFail = "snapshot/repair_fail";
 inline constexpr std::string_view kParallelJurisdictionFail =
     "parallel/jurisdiction_fail";
+/// Network front-end points (NetServer): a read delivering one byte at a
+/// time, a write torn mid-frame (resumed next tick), and a connection
+/// dropped right before its response is written.
+inline constexpr std::string_view kNetSlowRead = "net/slow_read";
+inline constexpr std::string_view kNetTornWrite = "net/torn_write";
+inline constexpr std::string_view kNetConnDrop = "net/conn_drop";
 
 /// Every known injection point, for validation and documentation.
 const std::vector<std::string_view>& KnownFaultPoints();

@@ -1,0 +1,135 @@
+#include "net/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <ctime>
+#include <utility>
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/timer.h"
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace pasa {
+namespace net {
+
+Result<NetClient> NetClient::Connect(uint16_t port, double timeout_seconds) {
+  WallTimer timer;
+  while (true) {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::Internal(std::string("socket: ") + std::strerror(errno));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return NetClient(fd);
+    }
+    close(fd);
+    // Retry-connect loop so a client racing server startup just waits.
+    if (timer.ElapsedSeconds() >= timeout_seconds) {
+      return Status::Unavailable(std::string("connect to 127.0.0.1:") +
+                                 std::to_string(port) + ": " +
+                                 std::strerror(errno));
+    }
+    struct timespec nap = {0, 2 * 1000 * 1000};  // 2ms
+    nanosleep(&nap, nullptr);
+  }
+}
+
+NetClient::NetClient(NetClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      decoder_(std::move(other.decoder_)) {}
+
+NetClient& NetClient::operator=(NetClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+NetClient::~NetClient() { Close(); }
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status NetClient::SendFrame(MsgType type, std::string_view payload) {
+  if (fd_ < 0) return Status::Unavailable("client is closed");
+  const std::string frame = EncodeFrame(type, payload);
+  size_t written = 0;
+  while (written < frame.size()) {
+    const ssize_t n = send(fd_, frame.data() + written,
+                           frame.size() - written, MSG_NOSIGNAL);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Unavailable(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+Result<Frame> NetClient::ReadFrame(double timeout_seconds) {
+  if (fd_ < 0) return Status::Unavailable("client is closed");
+  WallTimer timer;
+  char buf[64 * 1024];
+  while (true) {
+    Frame frame;
+    Status error;
+    switch (decoder_.Next(&frame, &error)) {
+      case FrameDecoder::Poll::kFrame:
+        return frame;
+      case FrameDecoder::Poll::kError:
+        return error;
+      case FrameDecoder::Poll::kNeedMore:
+        break;
+    }
+    const double left = timeout_seconds - timer.ElapsedSeconds();
+    if (left <= 0.0) {
+      return Status::DeadlineExceeded("timed out waiting for a frame");
+    }
+    pollfd p{fd_, POLLIN, 0};
+    const int ready = poll(&p, 1, static_cast<int>(left * 1000) + 1);
+    if (ready < 0 && errno != EINTR) {
+      return Status::Internal(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready <= 0) continue;
+    const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::Unavailable("connection closed by server");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return Status::Unavailable(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+Result<Frame> NetClient::Call(MsgType type, std::string_view payload,
+                              double timeout_seconds) {
+  if (Status s = SendFrame(type, payload); !s.ok()) return s;
+  return ReadFrame(timeout_seconds);
+}
+
+}  // namespace net
+}  // namespace pasa

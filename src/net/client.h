@@ -1,0 +1,54 @@
+#ifndef PASA_NET_CLIENT_H_
+#define PASA_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace pasa {
+namespace net {
+
+/// Minimal blocking client for the pasa wire protocol: one TCP connection,
+/// TCP_NODELAY, frame-at-a-time send/receive with a poll()-based read
+/// timeout. Used by pasa_loadgen, the tests and pasa_cli; not thread-safe
+/// (one NetClient per thread).
+class NetClient {
+ public:
+  /// Connects to 127.0.0.1:`port` (the NetServer binds loopback only).
+  static Result<NetClient> Connect(uint16_t port,
+                                   double timeout_seconds = 5.0);
+
+  NetClient(NetClient&& other) noexcept;
+  NetClient& operator=(NetClient&& other) noexcept;
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+  ~NetClient();
+
+  /// Writes one frame, blocking until it is fully on the wire.
+  Status SendFrame(MsgType type, std::string_view payload);
+
+  /// Reads the next complete frame, waiting at most `timeout_seconds`
+  /// (DeadlineExceeded on expiry, Unavailable when the peer closed).
+  Result<Frame> ReadFrame(double timeout_seconds = 5.0);
+
+  /// SendFrame + ReadFrame.
+  Result<Frame> Call(MsgType type, std::string_view payload,
+                     double timeout_seconds = 5.0);
+
+  int fd() const { return fd_; }
+  void Close();
+
+ private:
+  explicit NetClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace net
+}  // namespace pasa
+
+#endif  // PASA_NET_CLIENT_H_

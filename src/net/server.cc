@@ -1,0 +1,812 @@
+#include "net/server.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include "common/timer.h"
+#include "fault/injector.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/provenance.h"
+#include "obs/slo.h"
+#include "obs/window.h"
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace pasa {
+namespace net {
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(std::string("fcntl(O_NONBLOCK): ") +
+                            std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Poller backends.
+
+class NetServer::Poller {
+ public:
+  virtual ~Poller() = default;
+  virtual Status Add(int fd) = 0;
+  virtual void Remove(int fd) = 0;
+  /// Level-triggered: write interest stays until turned off.
+  virtual void SetWriteInterest(int fd, bool on) = 0;
+  virtual Status Wait(int timeout_ms, std::vector<PollEvent>* events) = 0;
+};
+
+#ifdef __linux__
+class NetServer::EpollPoller : public Poller {
+ public:
+  static Result<std::unique_ptr<Poller>> Create() {
+    const int fd = epoll_create1(0);
+    if (fd < 0) {
+      return Status::Internal(std::string("epoll_create1: ") +
+                              std::strerror(errno));
+    }
+    auto poller = std::unique_ptr<EpollPoller>(new EpollPoller());
+    poller->epoll_fd_ = fd;
+    return std::unique_ptr<Poller>(std::move(poller));
+  }
+
+  ~EpollPoller() override {
+    if (epoll_fd_ >= 0) close(epoll_fd_);
+  }
+
+  Status Add(int fd) override {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      return Status::Internal(std::string("epoll_ctl(ADD): ") +
+                              std::strerror(errno));
+    }
+    return Status::Ok();
+  }
+
+  void Remove(int fd) override {
+    epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+
+  void SetWriteInterest(int fd, bool on) override {
+    epoll_event ev{};
+    ev.events = on ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+    ev.data.fd = fd;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  }
+
+  Status Wait(int timeout_ms, std::vector<PollEvent>* events) override {
+    epoll_event raw[128];
+    const int n = epoll_wait(epoll_fd_, raw, 128, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return Status::Ok();
+      return Status::Internal(std::string("epoll_wait: ") +
+                              std::strerror(errno));
+    }
+    for (int i = 0; i < n; ++i) {
+      PollEvent event;
+      event.fd = raw[i].data.fd;
+      event.readable = (raw[i].events & EPOLLIN) != 0;
+      event.writable = (raw[i].events & EPOLLOUT) != 0;
+      event.broken = (raw[i].events & (EPOLLHUP | EPOLLERR)) != 0;
+      events->push_back(event);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  EpollPoller() = default;
+  int epoll_fd_ = -1;
+};
+#endif  // __linux__
+
+class NetServer::PollPoller : public Poller {
+ public:
+  Status Add(int fd) override {
+    interest_[fd] = POLLIN;
+    return Status::Ok();
+  }
+
+  void Remove(int fd) override { interest_.erase(fd); }
+
+  void SetWriteInterest(int fd, bool on) override {
+    const auto it = interest_.find(fd);
+    if (it == interest_.end()) return;
+    it->second = static_cast<short>(POLLIN | (on ? POLLOUT : 0));
+  }
+
+  Status Wait(int timeout_ms, std::vector<PollEvent>* events) override {
+    fds_.clear();
+    for (const auto& [fd, mask] : interest_) {
+      fds_.push_back(pollfd{fd, mask, 0});
+    }
+    const int n = poll(fds_.data(), fds_.size(), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return Status::Ok();
+      return Status::Internal(std::string("poll: ") + std::strerror(errno));
+    }
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0) continue;
+      PollEvent event;
+      event.fd = p.fd;
+      event.readable = (p.revents & POLLIN) != 0;
+      event.writable = (p.revents & POLLOUT) != 0;
+      event.broken = (p.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+      events->push_back(event);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::map<int, short> interest_;
+  std::vector<pollfd> fds_;
+};
+
+// ---------------------------------------------------------------------------
+// Lifecycle.
+
+NetServer::NetServer(CspServer* csp, const NetServerOptions& options)
+    : csp_(csp), options_(options) {}
+
+Result<std::unique_ptr<NetServer>> NetServer::Start(
+    CspServer* csp, const NetServerOptions& options) {
+  if (csp == nullptr) {
+    return Status::InvalidArgument("NetServer requires a CspServer");
+  }
+  auto server = std::unique_ptr<NetServer>(new NetServer(csp, options));
+
+  server->listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (server->listen_fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(server->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options.port);
+  if (bind(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+           sizeof(addr)) < 0) {
+    return Status::Unavailable(std::string("bind to port ") +
+                               std::to_string(options.port) + ": " +
+                               std::strerror(errno));
+  }
+  if (listen(server->listen_fd_, options.backlog) < 0) {
+    return Status::Internal(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                  &len) < 0) {
+    return Status::Internal(std::string("getsockname: ") +
+                            std::strerror(errno));
+  }
+  server->port_ = ntohs(addr.sin_port);
+  if (Status s = SetNonBlocking(server->listen_fd_); !s.ok()) return s;
+
+  if (pipe(server->wake_fds_) < 0) {
+    return Status::Internal(std::string("pipe: ") + std::strerror(errno));
+  }
+  if (Status s = SetNonBlocking(server->wake_fds_[0]); !s.ok()) return s;
+
+#ifdef __linux__
+  if (!options.use_poll) {
+    Result<std::unique_ptr<Poller>> poller = EpollPoller::Create();
+    if (!poller.ok()) return poller.status();
+    server->poller_ = std::move(*poller);
+  }
+#endif
+  if (server->poller_ == nullptr) {
+    server->poller_ = std::make_unique<PollPoller>();
+  }
+  if (Status s = server->poller_->Add(server->listen_fd_); !s.ok()) return s;
+  if (Status s = server->poller_->Add(server->wake_fds_[0]); !s.ok()) {
+    return s;
+  }
+
+  obs::SloTracker::Global().EnsureObjective(
+      {.name = kSloNetServeLatency,
+       .kind = obs::SloObjective::Kind::kLatency,
+       .target = 0.99,
+       .latency_threshold_seconds = 0.010});
+
+  server->loop_ = std::thread(&NetServer::Loop, server.get());
+  obs::LogInfo("net", "listening on 127.0.0.1:%u (%s backend)",
+               unsigned{server->port_},
+               options.use_poll ? "poll" : "default");
+  return server;
+}
+
+NetServer::~NetServer() {
+  Stop();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_fds_[0] >= 0) close(wake_fds_[0]);
+  if (wake_fds_[1] >= 0) close(wake_fds_[1]);
+}
+
+void NetServer::Stop() {
+  if (!stop_requested_.exchange(true)) {
+    const char byte = 'q';
+    [[maybe_unused]] ssize_t n = write(wake_fds_[1], &byte, 1);
+  }
+  if (loop_.joinable()) loop_.join();
+}
+
+bool NetServer::WaitForShutdown(double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  return shutdown_cv_.wait_for(
+      lock, std::chrono::duration<double>(timeout_seconds),
+      [this] { return loop_exited_; });
+}
+
+NetServer::Stats NetServer::stats() const {
+  Stats s;
+  s.connections_accepted = connections_accepted_.load();
+  s.connections_closed = connections_closed_.load();
+  s.connections_rejected = connections_rejected_.load();
+  s.frames_decoded = frames_decoded_.load();
+  s.frames_rejected = frames_rejected_.load();
+  s.requests_served = requests_served_.load();
+  s.admission_rejected = admission_rejected_.load();
+  s.faults_injected = faults_injected_.load();
+  s.bytes_read = bytes_read_.load();
+  s.bytes_written = bytes_written_.load();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Event loop.
+
+void NetServer::Loop() {
+  std::vector<PollEvent> events;
+  while (true) {
+    if (stop_requested_.load(std::memory_order_relaxed)) stopping_ = true;
+    if (stopping_) {
+      // Drain: exit once every queued response has been flushed (torn
+      // writes resume below), so a shutdown ack actually reaches the
+      // client before the loop dies.
+      bool outstanding = !pending_.empty();
+      for (auto& [fd, conn] : conns_) {
+        if (conn.out_offset < conn.outbuf.size()) outstanding = true;
+      }
+      if (!outstanding) break;
+    }
+
+    // A tick with queued work or held-back torn writes must not park in
+    // the poller.
+    bool torn_pending = false;
+    for (auto& [fd, conn] : conns_) {
+      if (conn.torn && conn.out_offset < conn.outbuf.size()) {
+        torn_pending = true;
+      }
+    }
+    const int timeout_ms = (!pending_.empty() || torn_pending) ? 0 : 50;
+
+    events.clear();
+    if (Status s = poller_->Wait(timeout_ms, &events); !s.ok()) {
+      obs::LogError("net", "poller failed: %s", s.ToString().c_str());
+      break;
+    }
+
+    for (const PollEvent& event : events) {
+      if (event.fd == listen_fd_) {
+        if (event.readable && !stopping_) HandleListener();
+        continue;
+      }
+      if (event.fd == wake_fds_[0]) {
+        char drain[64];
+        while (read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+        }
+        continue;
+      }
+      const auto it = conns_.find(event.fd);
+      if (it == conns_.end()) continue;
+      Conn* conn = &it->second;
+      const uint64_t conn_id = conn->id;
+      if (event.broken) {
+        CloseConn(conn_id);
+        continue;
+      }
+      if (event.readable) HandleReadable(conn);
+      // The read may have closed the connection; re-resolve before writing.
+      conn = FindConn(conn_id);
+      if (conn != nullptr && event.writable) HandleWritable(conn);
+    }
+
+    // Resume torn writes from previous ticks even without a poll event:
+    // the tear is ours, not the kernel's, so the socket is likely ready.
+    std::vector<uint64_t> torn_ids;
+    for (auto& [fd, conn] : conns_) {
+      if (conn.torn && conn.out_offset < conn.outbuf.size()) {
+        torn_ids.push_back(conn.id);
+      }
+    }
+    for (const uint64_t id : torn_ids) {
+      if (Conn* conn = FindConn(id)) {
+        conn->torn = false;
+        FlushConn(conn);
+      }
+    }
+
+    DispatchBatch();
+  }
+
+  // Close everything on the way out.
+  std::vector<uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (auto& [fd, conn] : conns_) ids.push_back(conn.id);
+  for (const uint64_t id : ids) CloseConn(id);
+  poller_->Remove(listen_fd_);
+  poller_->Remove(wake_fds_[0]);
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    loop_exited_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void NetServer::HandleListener() {
+  static obs::Counter& accepted =
+      obs::MetricsRegistry::Global().GetCounter("net/connections_accepted");
+  static obs::Counter& rejected =
+      obs::MetricsRegistry::Global().GetCounter("net/connections_rejected");
+  while (true) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: back to the poller
+    if (conns_.size() >= options_.max_connections) {
+      close(fd);
+      ++connections_rejected_;
+      rejected.Increment();
+      continue;
+    }
+    if (!SetNonBlocking(fd).ok()) {
+      close(fd);
+      continue;
+    }
+    SetNoDelay(fd);
+    if (!poller_->Add(fd).ok()) {
+      close(fd);
+      continue;
+    }
+    Conn conn;
+    conn.id = next_conn_id_++;
+    conn.fd = fd;
+    fd_of_conn_[conn.id] = fd;
+    conns_[fd] = std::move(conn);
+    ++connections_accepted_;
+    accepted.Increment();
+  }
+}
+
+NetServer::Conn* NetServer::FindConn(uint64_t conn_id) {
+  const auto id_it = fd_of_conn_.find(conn_id);
+  if (id_it == fd_of_conn_.end()) return nullptr;
+  const auto it = conns_.find(id_it->second);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+void NetServer::CloseConn(uint64_t conn_id) {
+  Conn* conn = FindConn(conn_id);
+  if (conn == nullptr) return;
+  const int fd = conn->fd;
+  poller_->Remove(fd);
+  close(fd);
+  fd_of_conn_.erase(conn_id);
+  conns_.erase(fd);
+  ++connections_closed_;
+  obs::MetricsRegistry::Global()
+      .GetCounter("net/connections_closed")
+      .Increment();
+}
+
+void NetServer::HandleReadable(Conn* conn) {
+  static obs::Counter& slow_reads =
+      obs::MetricsRegistry::Global().GetCounter("net/fault/slow_reads");
+  char buf[kReadChunk];
+  const uint64_t conn_id = conn->id;
+  while (true) {
+    size_t want = sizeof(buf);
+    if (fault::FaultInjector::Global().ShouldInject(fault::kNetSlowRead)) {
+      // A pathologically slow peer: deliver one byte this pass. The frame
+      // decoder is torn-read tolerant by construction, so this only adds
+      // latency.
+      want = 1;
+      ++faults_injected_;
+      slow_reads.Increment();
+    }
+    const ssize_t n = recv(conn->fd, buf, want, 0);
+    if (n > 0) {
+      bytes_read_ += static_cast<uint64_t>(n);
+      conn->decoder.Feed(buf, static_cast<size_t>(n));
+      DrainDecoder(conn);
+      if (FindConn(conn_id) == nullptr) return;  // decoder error closed it
+      if (static_cast<size_t>(n) < want) return;  // drained the socket
+      if (want == 1) return;  // slow read: one byte per tick
+      continue;
+    }
+    if (n == 0) {  // orderly peer close
+      CloseConn(conn_id);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    CloseConn(conn_id);
+    return;
+  }
+}
+
+void NetServer::DrainDecoder(Conn* conn) {
+  static obs::Counter& decoded =
+      obs::MetricsRegistry::Global().GetCounter("net/frames_decoded");
+  static obs::Counter& rejected =
+      obs::MetricsRegistry::Global().GetCounter("net/frames_rejected");
+  static obs::Counter& admission =
+      obs::MetricsRegistry::Global().GetCounter("net/admission_rejected");
+  const uint64_t conn_id = conn->id;
+  while (true) {
+    Frame frame;
+    Status error;
+    WallTimer decode_timer;
+    const FrameDecoder::Poll poll = conn->decoder.Next(&frame, &error);
+    if (poll == FrameDecoder::Poll::kNeedMore) return;
+    if (poll == FrameDecoder::Poll::kError) {
+      // The stream is desynchronized beyond repair: answer with the typed
+      // error, then close once it is flushed.
+      ++frames_rejected_;
+      rejected.Increment();
+      obs::LogWarn("net", "conn %llu: %s",
+                   static_cast<unsigned long long>(conn_id),
+                   error.ToString().c_str());
+      QueueError(conn, error, 0);
+      conn->close_after_flush = true;
+      FlushConn(conn);
+      return;
+    }
+    ++frames_decoded_;
+    decoded.Increment();
+
+    switch (frame.type) {
+      case MsgType::kServeRequest:
+      case MsgType::kAnonymizeRequest:
+      case MsgType::kSnapshotAdvance: {
+        if (pending_.size() >= options_.max_pending) {
+          // Admission control: a typed, retryable reject instead of an
+          // unbounded queue.
+          ++admission_rejected_;
+          admission.Increment();
+          QueueError(conn,
+                     Status::Unavailable("pending-request queue is full"),
+                     options_.retry_after_micros);
+          FlushConn(conn);
+          break;
+        }
+        Pending pending;
+        pending.conn_id = conn_id;
+        pending.frame = std::move(frame);
+        pending.decode_seconds = decode_timer.ElapsedSeconds();
+        pending.enqueued = std::chrono::steady_clock::now();
+        pending_.push_back(std::move(pending));
+        break;
+      }
+      case MsgType::kHealthRequest: {
+        // Operator plane: answered inline, bypassing admission so health
+        // stays observable under overload.
+        HealthResponseMsg msg;
+        msg.healthy = true;
+        msg.queue_depth = static_cast<uint32_t>(pending_.size());
+        msg.queue_capacity = static_cast<uint32_t>(options_.max_pending);
+        msg.connections = static_cast<uint32_t>(conns_.size());
+        QueueResponse(conn, MsgType::kHealthResponse,
+                      EncodeHealthResponse(msg));
+        FlushConn(conn);
+        break;
+      }
+      case MsgType::kStatsRequest: {
+        const CspServer::Stats& cs = csp_->stats();
+        StatsResponseMsg msg;
+        msg.requests_served = cs.requests_served;
+        msg.requests_degraded = cs.requests_degraded;
+        msg.requests_failed = cs.requests_failed;
+        msg.requests_rejected = cs.requests_rejected;
+        msg.snapshots_advanced = cs.snapshots_advanced;
+        msg.moves_quarantined = cs.moves_quarantined;
+        msg.rebuilds = cs.rebuilds;
+        msg.incremental_updates = cs.incremental_updates;
+        msg.repair_fallbacks = cs.repair_fallbacks;
+        msg.admission_rejected = admission_rejected_.load();
+        QueueResponse(conn, MsgType::kStatsResponse,
+                      EncodeStatsResponse(msg));
+        FlushConn(conn);
+        break;
+      }
+      case MsgType::kShutdownRequest: {
+        obs::LogInfo("net", "shutdown requested by conn %llu",
+                     static_cast<unsigned long long>(conn_id));
+        QueueResponse(conn, MsgType::kShutdownResponse, "");
+        conn->close_after_flush = true;
+        stopping_ = true;
+        FlushConn(conn);
+        break;
+      }
+      default: {
+        // A response type arriving at the server is a protocol violation.
+        ++frames_rejected_;
+        rejected.Increment();
+        QueueError(conn,
+                   Status::InvalidArgument(
+                       "frame type is not a request the server accepts"),
+                   0);
+        conn->close_after_flush = true;
+        FlushConn(conn);
+        return;
+      }
+    }
+    if (FindConn(conn_id) == nullptr) return;  // conn_drop during flush
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+
+void NetServer::DispatchBatch() {
+  size_t budget = options_.max_batch;
+  while (budget-- > 0 && !pending_.empty()) {
+    Pending pending = std::move(pending_.front());
+    pending_.pop_front();
+    Dispatch(pending);
+  }
+}
+
+void NetServer::Dispatch(const Pending& pending) {
+  static obs::Histogram& latency = obs::MetricsRegistry::Global().GetHistogram(
+      "net/serve_latency_seconds");
+  static obs::Counter& served =
+      obs::MetricsRegistry::Global().GetCounter("net/requests_served");
+  Conn* conn = FindConn(pending.conn_id);
+  if (conn == nullptr) return;  // client went away while queued
+
+  const double queue_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    pending.enqueued)
+          .count();
+
+  // The provenance scope spans decode -> serve -> encode; CspServer's
+  // nested scope is inert and annotates this record via
+  // CurrentProvenance().
+  obs::ScopedProvenanceRecord prov;
+  if (obs::ProvenanceRecord* p = prov.get()) {
+    p->net_decode_seconds = pending.decode_seconds;
+    p->net_queue_seconds = queue_seconds;
+  }
+  WallTimer serve_timer;
+
+  std::string payload;
+  MsgType response_type = MsgType::kError;
+  Status failure;
+
+  switch (pending.frame.type) {
+    case MsgType::kServeRequest: {
+      Result<ServiceRequest> sr = DecodeServiceRequest(pending.frame.payload);
+      if (!sr.ok()) {
+        failure = sr.status();
+        break;
+      }
+      CspServer::ServeReceipt receipt;
+      Result<LbsAnswer> answer = csp_->HandleRequest(*sr, &receipt);
+      if (!answer.ok()) {
+        failure = answer.status();
+        break;
+      }
+      ServeResponseMsg msg;
+      msg.rid = receipt.rid;
+      msg.group_size = receipt.group_size;
+      msg.degraded = answer->degraded;
+      msg.cloak_x1 = receipt.cloak.x1;
+      msg.cloak_y1 = receipt.cloak.y1;
+      msg.cloak_x2 = receipt.cloak.x2;
+      msg.cloak_y2 = receipt.cloak.y2;
+      msg.pois = answer->pois;
+      response_type = MsgType::kServeResponse;
+      payload = EncodeServeResponse(msg);
+      break;
+    }
+    case MsgType::kAnonymizeRequest: {
+      Result<ServiceRequest> sr = DecodeServiceRequest(pending.frame.payload);
+      if (!sr.ok()) {
+        failure = sr.status();
+        break;
+      }
+      uint64_t group_size = 0;
+      Result<AnonymizedRequest> ar = csp_->Cloak(*sr, &group_size);
+      if (!ar.ok()) {
+        failure = ar.status();
+        break;
+      }
+      AnonymizeResponseMsg msg;
+      msg.rid = ar->rid;
+      msg.group_size = group_size;
+      msg.cloak_x1 = ar->cloak.x1;
+      msg.cloak_y1 = ar->cloak.y1;
+      msg.cloak_x2 = ar->cloak.x2;
+      msg.cloak_y2 = ar->cloak.y2;
+      response_type = MsgType::kAnonymizeResponse;
+      payload = EncodeAnonymizeResponse(msg);
+      break;
+    }
+    case MsgType::kSnapshotAdvance: {
+      Result<SnapshotAdvanceMsg> msg =
+          DecodeSnapshotAdvance(pending.frame.payload);
+      if (!msg.ok()) {
+        failure = msg.status();
+        break;
+      }
+      Result<SnapshotReport> report = csp_->AdvanceSnapshot(msg->moves);
+      if (!report.ok()) {
+        failure = report.status();
+        break;
+      }
+      SnapshotReportMsg out;
+      out.moves_applied = report->moves_applied;
+      out.moves_quarantined = report->moves_quarantined;
+      out.rebuilt = report->rebuilt;
+      out.repair_fell_back_to_rebuild = report->repair_fell_back_to_rebuild;
+      out.dp_rows_repaired = report->dp_rows_repaired;
+      out.policy_cost = report->policy_cost;
+      response_type = MsgType::kSnapshotReport;
+      payload = EncodeSnapshotReport(out);
+      break;
+    }
+    default:
+      failure = Status::Internal("unroutable frame type reached dispatch");
+      break;
+  }
+
+  const double serve_seconds = serve_timer.ElapsedSeconds();
+  WallTimer encode_timer;
+  if (failure.ok()) {
+    QueueResponse(conn, response_type, payload);
+  } else {
+    QueueError(conn, failure, 0);
+  }
+  const double encode_seconds = encode_timer.ElapsedSeconds();
+  if (obs::ProvenanceRecord* p = prov.get()) {
+    p->net_encode_seconds = encode_seconds;
+  }
+  ++requests_served_;
+  served.Increment();
+
+  // The latency a remote client experiences: queued + served + encoded
+  // (decode happened before enqueue and is carried separately).
+  const double total =
+      pending.decode_seconds + queue_seconds + serve_seconds + encode_seconds;
+  latency.Observe(total);
+  const bool windows_on = obs::WindowRegistry::Global().enabled();
+  const bool slos_on = obs::SloTracker::Global().enabled();
+  if (windows_on || slos_on) {
+    // CspServer already advanced the clock by its own serve time; add only
+    // the net-layer overhead so the timeline keeps moving under pure
+    // net-layer load too.
+    const uint64_t now = obs::SimClock::Global().Advance(
+        static_cast<uint64_t>((total - serve_seconds) * 1e6) + 1);
+    if (windows_on) {
+      static obs::SlidingWindowHistogram& window_latency =
+          obs::WindowRegistry::Global().GetHistogram(
+              "net/window/serve_latency_seconds");
+      window_latency.Observe(total, now);
+    }
+    if (slos_on) {
+      obs::SloTracker::Global().RecordLatency(kSloNetServeLatency, total,
+                                              now);
+    }
+  }
+
+  FlushConn(conn);
+}
+
+// ---------------------------------------------------------------------------
+// Writing.
+
+void NetServer::QueueResponse(Conn* conn, MsgType type,
+                              const std::string& payload) {
+  conn->outbuf += EncodeFrame(type, payload);
+}
+
+void NetServer::QueueError(Conn* conn, const Status& status,
+                           uint64_t retry_after) {
+  ErrorMsg msg;
+  msg.code = status.code();
+  msg.retry_after_micros = retry_after;
+  msg.message = status.message();
+  QueueResponse(conn, MsgType::kError, EncodeError(msg));
+}
+
+void NetServer::FlushConn(Conn* conn) {
+  static obs::Counter& torn_writes =
+      obs::MetricsRegistry::Global().GetCounter("net/fault/torn_writes");
+  static obs::Counter& conn_drops =
+      obs::MetricsRegistry::Global().GetCounter("net/fault/conn_drops");
+  const uint64_t conn_id = conn->id;
+
+  if (conn->out_offset < conn->outbuf.size() &&
+      fault::FaultInjector::Global().ShouldInject(fault::kNetConnDrop)) {
+    // The peer vanishes right before its response: correctness must come
+    // from the client retrying, never from weakened anonymity.
+    ++faults_injected_;
+    conn_drops.Increment();
+    CloseConn(conn_id);
+    return;
+  }
+
+  size_t limit = conn->outbuf.size();
+  if (limit - conn->out_offset > 1 &&
+      fault::FaultInjector::Global().ShouldInject(fault::kNetTornWrite)) {
+    // Write only half of what is due; the remainder goes out next tick,
+    // exercising every client's torn-frame tolerance.
+    ++faults_injected_;
+    torn_writes.Increment();
+    limit = conn->out_offset + (limit - conn->out_offset) / 2;
+    conn->torn = true;
+  }
+
+  while (conn->out_offset < limit) {
+    const ssize_t n =
+        send(conn->fd, conn->outbuf.data() + conn->out_offset,
+             limit - conn->out_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      bytes_written_ += static_cast<uint64_t>(n);
+      conn->out_offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      poller_->SetWriteInterest(conn->fd, true);
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseConn(conn_id);
+    return;
+  }
+
+  if (conn->out_offset >= conn->outbuf.size()) {
+    conn->outbuf.clear();
+    conn->out_offset = 0;
+    poller_->SetWriteInterest(conn->fd, false);
+    if (conn->close_after_flush) CloseConn(conn_id);
+  } else {
+    // Torn write: keep write interest so the poller returns promptly.
+    poller_->SetWriteInterest(conn->fd, true);
+  }
+}
+
+void NetServer::HandleWritable(Conn* conn) {
+  conn->torn = false;
+  FlushConn(conn);
+}
+
+}  // namespace net
+}  // namespace pasa

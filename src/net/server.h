@@ -1,0 +1,194 @@
+#ifndef PASA_NET_SERVER_H_
+#define PASA_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "csp/server.h"
+#include "net/wire.h"
+
+namespace pasa {
+namespace net {
+
+/// Well-known objective name for the socket serving path (decode + queue +
+/// serve + encode, the latency a remote client actually experiences).
+inline constexpr char kSloNetServeLatency[] = "net/serve_latency";
+
+/// Tuning for the network front end.
+struct NetServerOptions {
+  /// TCP port to listen on; 0 picks a free port (read it back via port()).
+  uint16_t port = 0;
+  int backlog = 128;
+  /// Connections beyond this are accepted and immediately closed.
+  size_t max_connections = 1024;
+  /// Bounded pending-request queue: decoded requests waiting for a
+  /// dispatch slot. When full, new requests are rejected with kUnavailable
+  /// + retry_after_micros instead of queueing without bound.
+  size_t max_pending = 4096;
+  /// Requests dispatched into CspServer per event-loop tick; bounds how
+  /// long the loop stays away from the sockets.
+  size_t max_batch = 256;
+  /// Forces the portable poll() backend even where epoll is available.
+  bool use_poll = false;
+  /// Retry-after hint carried by admission-control rejections.
+  uint64_t retry_after_micros = 1000;
+};
+
+/// Single-threaded non-blocking network front end for CspServer: one event
+/// loop (epoll on Linux, poll elsewhere or with use_poll) accepts
+/// connections, feeds their byte streams through per-connection
+/// FrameDecoders, batches decoded requests into CspServer calls once per
+/// tick, and writes length-prefixed responses back — tolerating partial
+/// reads, torn writes and hostile frames on every connection.
+///
+/// All CspServer calls happen on the loop thread, so the (single-threaded)
+/// CSP needs no locking. Backpressure is a bounded pending-request queue:
+/// when it is full, serve/anonymize/advance requests get a typed
+/// kUnavailable Error frame with a retry-after hint (admission control)
+/// while Health/Stats/Shutdown — the operator plane — bypass admission.
+///
+/// Observability: per-connection/per-frame counters and latency histograms
+/// in the MetricsRegistry ("net/..."), a sliding-window latency histogram
+/// ("net/window/serve_latency_seconds") and the kSloNetServeLatency SLO
+/// when those stacks are armed, and a ScopedProvenanceRecord spanning
+/// decode -> serve -> encode per dispatched request. Fault injection:
+/// net/slow_read (reads deliver one byte), net/torn_write (responses are
+/// written half a frame at a time), net/conn_drop (the connection is
+/// severed right before its response) — none of which may ever weaken
+/// k-anonymity, only latency and availability.
+class NetServer {
+ public:
+  /// Binds, listens and spawns the event loop. The returned server is
+  /// already serving.
+  static Result<std::unique_ptr<NetServer>> Start(
+      CspServer* csp, const NetServerOptions& options);
+
+  ~NetServer();
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// The bound port (useful with options.port = 0).
+  uint16_t port() const { return port_; }
+
+  /// Signals the loop to finish and joins it. Idempotent.
+  void Stop();
+
+  /// Blocks until the loop exits (a kShutdownRequest frame or Stop()), at
+  /// most `timeout_seconds`. Returns true when the loop has exited.
+  bool WaitForShutdown(double timeout_seconds);
+
+  /// Monotonic counters, readable from any thread.
+  struct Stats {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_closed = 0;   ///< includes drops and rejects
+    uint64_t connections_rejected = 0; ///< over max_connections
+    uint64_t frames_decoded = 0;
+    uint64_t frames_rejected = 0;      ///< garbage/oversized/unknown frames
+    uint64_t requests_served = 0;      ///< responses written (incl. errors)
+    uint64_t admission_rejected = 0;   ///< kUnavailable, queue full
+    uint64_t faults_injected = 0;      ///< net/* fault fires
+    uint64_t bytes_read = 0;
+    uint64_t bytes_written = 0;
+  };
+  Stats stats() const;
+
+ private:
+  /// One readiness event from the poller backend.
+  struct PollEvent {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool broken = false;  ///< HUP/ERR: close the connection
+  };
+
+  /// Minimal readiness-notification abstraction: epoll where available,
+  /// poll() as the portable fallback. Level-triggered in both backends.
+  class Poller;
+  class EpollPoller;
+  class PollPoller;
+
+  /// Per-connection state.
+  struct Conn {
+    uint64_t id = 0;  ///< never reused, unlike the fd
+    int fd = -1;
+    FrameDecoder decoder;
+    std::string outbuf;        ///< encoded responses awaiting write
+    size_t out_offset = 0;     ///< bytes of outbuf already written
+    bool close_after_flush = false;
+    /// Set while net/torn_write holds back the tail of a frame; the
+    /// remainder goes out on the next tick.
+    bool torn = false;
+  };
+
+  /// One admitted request waiting for a dispatch slot.
+  struct Pending {
+    uint64_t conn_id = 0;
+    Frame frame;
+    double decode_seconds = 0.0;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  NetServer(CspServer* csp, const NetServerOptions& options);
+
+  void Loop();
+  void HandleListener();
+  void HandleReadable(Conn* conn);
+  void HandleWritable(Conn* conn);
+  /// Decodes as many frames as the connection's buffer holds, admitting
+  /// request frames and answering the operator plane inline.
+  void DrainDecoder(Conn* conn);
+  /// Routes one admitted frame through CspServer and encodes the response.
+  void Dispatch(const Pending& pending);
+  void DispatchBatch();
+  /// Appends an encoded response frame to the connection's outbuf.
+  void QueueResponse(Conn* conn, MsgType type, const std::string& payload);
+  void QueueError(Conn* conn, const Status& status, uint64_t retry_after);
+  void FlushConn(Conn* conn);
+  void CloseConn(uint64_t conn_id);
+  Conn* FindConn(uint64_t conn_id);
+
+  CspServer* const csp_;
+  const NetServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: Stop() wakes the poller
+
+  std::unique_ptr<Poller> poller_;
+  std::map<int, Conn> conns_;             ///< by fd; loop thread only
+  std::map<uint64_t, int> fd_of_conn_;    ///< conn id -> fd; loop thread only
+  std::deque<Pending> pending_;           ///< loop thread only
+  uint64_t next_conn_id_ = 1;
+  bool stopping_ = false;  ///< drain outbufs, then exit (loop thread only)
+
+  std::thread loop_;
+  std::atomic<bool> stop_requested_{false};
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool loop_exited_ = false;
+
+  // Stats counters (atomics: written by the loop, read from any thread).
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_closed_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> frames_decoded_{0};
+  std::atomic<uint64_t> frames_rejected_{0};
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> admission_rejected_{0};
+  std::atomic<uint64_t> faults_injected_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+};
+
+}  // namespace net
+}  // namespace pasa
+
+#endif  // PASA_NET_SERVER_H_

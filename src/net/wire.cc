@@ -1,0 +1,463 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+namespace pasa {
+namespace net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Primitive little-endian writers. Byte-by-byte shifts make the encoding
+// independent of host endianness.
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  PutU8(out, static_cast<uint8_t>(v));
+  PutU8(out, static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    PutU8(out, static_cast<uint8_t>(v >> shift));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    PutU8(out, static_cast<uint8_t>(v >> shift));
+  }
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutBool(std::string* out, bool v) { PutU8(out, v ? 1 : 0); }
+
+void PutString(std::string* out, std::string_view s) {
+  // Encoders truncate rather than emit a frame the decoder must reject.
+  const size_t n = s.size() < kMaxStringBytes ? s.size() : kMaxStringBytes;
+  PutU16(out, static_cast<uint16_t>(n));
+  out->append(s.data(), n);
+}
+
+// ---------------------------------------------------------------------------
+// Primitive reader with explicit bounds checking. Every Get* returns false
+// on underflow; decoders translate that into one typed error.
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  bool Done() const { return remaining() == 0; }
+
+  bool GetU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = static_cast<uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+
+  bool GetU16(uint16_t* v) {
+    uint8_t lo, hi;
+    if (!GetU8(&lo) || !GetU8(&hi)) return false;
+    *v = static_cast<uint16_t>(lo | (static_cast<uint16_t>(hi) << 8));
+    return true;
+  }
+
+  bool GetU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    uint32_t out = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      out |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_++]))
+             << shift;
+    }
+    *v = out;
+    return true;
+  }
+
+  bool GetU64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    uint64_t out = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      out |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_++]))
+             << shift;
+    }
+    *v = out;
+    return true;
+  }
+
+  bool GetI64(int64_t* v) {
+    uint64_t u;
+    if (!GetU64(&u)) return false;
+    *v = static_cast<int64_t>(u);
+    return true;
+  }
+
+  bool GetBool(bool* v) {
+    uint8_t u;
+    if (!GetU8(&u)) return false;
+    *v = u != 0;
+    return true;
+  }
+
+  bool GetString(std::string* s) {
+    uint16_t n;
+    if (!GetU16(&n)) return false;
+    if (n > kMaxStringBytes || remaining() < n) return false;
+    s->assign(bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("wire: truncated or malformed ") +
+                                 what + " payload");
+}
+
+Status Trailing(const char* what) {
+  return Status::InvalidArgument(std::string("wire: trailing bytes after ") +
+                                 what + " payload");
+}
+
+}  // namespace
+
+bool IsKnownMsgType(uint8_t type) {
+  return type >= static_cast<uint8_t>(MsgType::kServeRequest) &&
+         type <= static_cast<uint8_t>(MsgType::kShutdownResponse);
+}
+
+// ---------------------------------------------------------------------------
+// Encoders.
+
+std::string EncodeServiceRequest(const ServiceRequest& sr) {
+  std::string out;
+  PutI64(&out, sr.sender);
+  PutI64(&out, sr.location.x);
+  PutI64(&out, sr.location.y);
+  const size_t params =
+      sr.params.size() < kMaxParams ? sr.params.size() : kMaxParams;
+  PutU16(&out, static_cast<uint16_t>(params));
+  for (size_t i = 0; i < params; ++i) {
+    PutString(&out, sr.params[i].name);
+    PutString(&out, sr.params[i].value);
+  }
+  return out;
+}
+
+std::string EncodeServeResponse(const ServeResponseMsg& msg) {
+  std::string out;
+  PutI64(&out, msg.rid);
+  PutU64(&out, msg.group_size);
+  PutBool(&out, msg.degraded);
+  PutI64(&out, msg.cloak_x1);
+  PutI64(&out, msg.cloak_y1);
+  PutI64(&out, msg.cloak_x2);
+  PutI64(&out, msg.cloak_y2);
+  const size_t pois = msg.pois.size() < kMaxPois ? msg.pois.size() : kMaxPois;
+  PutU32(&out, static_cast<uint32_t>(pois));
+  for (size_t i = 0; i < pois; ++i) {
+    PutI64(&out, msg.pois[i].id);
+    PutI64(&out, msg.pois[i].location.x);
+    PutI64(&out, msg.pois[i].location.y);
+    PutString(&out, msg.pois[i].category);
+  }
+  return out;
+}
+
+std::string EncodeAnonymizeResponse(const AnonymizeResponseMsg& msg) {
+  std::string out;
+  PutI64(&out, msg.rid);
+  PutU64(&out, msg.group_size);
+  PutI64(&out, msg.cloak_x1);
+  PutI64(&out, msg.cloak_y1);
+  PutI64(&out, msg.cloak_x2);
+  PutI64(&out, msg.cloak_y2);
+  return out;
+}
+
+std::string EncodeSnapshotAdvance(const SnapshotAdvanceMsg& msg) {
+  std::string out;
+  PutU32(&out, static_cast<uint32_t>(msg.moves.size()));
+  for (const UserMove& move : msg.moves) {
+    PutU32(&out, move.row);
+    PutI64(&out, move.from.x);
+    PutI64(&out, move.from.y);
+    PutI64(&out, move.to.x);
+    PutI64(&out, move.to.y);
+  }
+  return out;
+}
+
+std::string EncodeSnapshotReport(const SnapshotReportMsg& msg) {
+  std::string out;
+  PutU64(&out, msg.moves_applied);
+  PutU64(&out, msg.moves_quarantined);
+  PutBool(&out, msg.rebuilt);
+  PutBool(&out, msg.repair_fell_back_to_rebuild);
+  PutU64(&out, msg.dp_rows_repaired);
+  PutI64(&out, msg.policy_cost);
+  return out;
+}
+
+std::string EncodeHealthResponse(const HealthResponseMsg& msg) {
+  std::string out;
+  PutBool(&out, msg.healthy);
+  PutU32(&out, msg.queue_depth);
+  PutU32(&out, msg.queue_capacity);
+  PutU32(&out, msg.connections);
+  return out;
+}
+
+std::string EncodeStatsResponse(const StatsResponseMsg& msg) {
+  std::string out;
+  PutU64(&out, msg.requests_served);
+  PutU64(&out, msg.requests_degraded);
+  PutU64(&out, msg.requests_failed);
+  PutU64(&out, msg.requests_rejected);
+  PutU64(&out, msg.snapshots_advanced);
+  PutU64(&out, msg.moves_quarantined);
+  PutU64(&out, msg.rebuilds);
+  PutU64(&out, msg.incremental_updates);
+  PutU64(&out, msg.repair_fallbacks);
+  PutU64(&out, msg.admission_rejected);
+  return out;
+}
+
+std::string EncodeError(const ErrorMsg& msg) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(msg.code));
+  PutU64(&out, msg.retry_after_micros);
+  PutString(&out, msg.message);
+  return out;
+}
+
+std::string EncodeFrame(MsgType type, std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&out, kWireMagic);
+  PutU8(&out, kWireVersion);
+  PutU8(&out, static_cast<uint8_t>(type));
+  PutU16(&out, 0);  // reserved
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Decoders.
+
+Result<ServiceRequest> DecodeServiceRequest(std::string_view payload) {
+  Reader r(payload);
+  ServiceRequest sr;
+  uint16_t params = 0;
+  if (!r.GetI64(&sr.sender) || !r.GetI64(&sr.location.x) ||
+      !r.GetI64(&sr.location.y) || !r.GetU16(&params)) {
+    return Truncated("ServiceRequest");
+  }
+  if (params > kMaxParams) {
+    return Status::InvalidArgument("wire: ServiceRequest parameter count " +
+                                   std::to_string(params) + " exceeds " +
+                                   std::to_string(kMaxParams));
+  }
+  sr.params.reserve(params);
+  for (uint16_t i = 0; i < params; ++i) {
+    NameValue nv;
+    if (!r.GetString(&nv.name) || !r.GetString(&nv.value)) {
+      return Truncated("ServiceRequest");
+    }
+    sr.params.push_back(std::move(nv));
+  }
+  if (!r.Done()) return Trailing("ServiceRequest");
+  return sr;
+}
+
+Result<ServeResponseMsg> DecodeServeResponse(std::string_view payload) {
+  Reader r(payload);
+  ServeResponseMsg msg;
+  uint32_t pois = 0;
+  if (!r.GetI64(&msg.rid) || !r.GetU64(&msg.group_size) ||
+      !r.GetBool(&msg.degraded) || !r.GetI64(&msg.cloak_x1) ||
+      !r.GetI64(&msg.cloak_y1) || !r.GetI64(&msg.cloak_x2) ||
+      !r.GetI64(&msg.cloak_y2) || !r.GetU32(&pois)) {
+    return Truncated("ServeResponse");
+  }
+  if (pois > kMaxPois) {
+    return Status::InvalidArgument("wire: ServeResponse POI count " +
+                                   std::to_string(pois) + " exceeds " +
+                                   std::to_string(kMaxPois));
+  }
+  // 26 = id + location + an empty category; guards reserve() against a
+  // count that cannot possibly fit in the remaining bytes.
+  if (r.remaining() < static_cast<size_t>(pois) * 26) {
+    return Truncated("ServeResponse");
+  }
+  msg.pois.reserve(pois);
+  for (uint32_t i = 0; i < pois; ++i) {
+    PointOfInterest poi;
+    if (!r.GetI64(&poi.id) || !r.GetI64(&poi.location.x) ||
+        !r.GetI64(&poi.location.y) || !r.GetString(&poi.category)) {
+      return Truncated("ServeResponse");
+    }
+    msg.pois.push_back(std::move(poi));
+  }
+  if (!r.Done()) return Trailing("ServeResponse");
+  return msg;
+}
+
+Result<AnonymizeResponseMsg> DecodeAnonymizeResponse(
+    std::string_view payload) {
+  Reader r(payload);
+  AnonymizeResponseMsg msg;
+  if (!r.GetI64(&msg.rid) || !r.GetU64(&msg.group_size) ||
+      !r.GetI64(&msg.cloak_x1) || !r.GetI64(&msg.cloak_y1) ||
+      !r.GetI64(&msg.cloak_x2) || !r.GetI64(&msg.cloak_y2)) {
+    return Truncated("AnonymizeResponse");
+  }
+  if (!r.Done()) return Trailing("AnonymizeResponse");
+  return msg;
+}
+
+Result<SnapshotAdvanceMsg> DecodeSnapshotAdvance(std::string_view payload) {
+  Reader r(payload);
+  SnapshotAdvanceMsg msg;
+  uint32_t moves = 0;
+  if (!r.GetU32(&moves)) return Truncated("SnapshotAdvance");
+  // Each move is exactly 36 bytes; reject a count the payload cannot hold
+  // before reserving anything.
+  if (r.remaining() != static_cast<size_t>(moves) * 36) {
+    return r.remaining() < static_cast<size_t>(moves) * 36
+               ? Truncated("SnapshotAdvance")
+               : Trailing("SnapshotAdvance");
+  }
+  msg.moves.reserve(moves);
+  for (uint32_t i = 0; i < moves; ++i) {
+    UserMove move;
+    if (!r.GetU32(&move.row) || !r.GetI64(&move.from.x) ||
+        !r.GetI64(&move.from.y) || !r.GetI64(&move.to.x) ||
+        !r.GetI64(&move.to.y)) {
+      return Truncated("SnapshotAdvance");
+    }
+    msg.moves.push_back(move);
+  }
+  return msg;
+}
+
+Result<SnapshotReportMsg> DecodeSnapshotReport(std::string_view payload) {
+  Reader r(payload);
+  SnapshotReportMsg msg;
+  if (!r.GetU64(&msg.moves_applied) || !r.GetU64(&msg.moves_quarantined) ||
+      !r.GetBool(&msg.rebuilt) ||
+      !r.GetBool(&msg.repair_fell_back_to_rebuild) ||
+      !r.GetU64(&msg.dp_rows_repaired) || !r.GetI64(&msg.policy_cost)) {
+    return Truncated("SnapshotReport");
+  }
+  if (!r.Done()) return Trailing("SnapshotReport");
+  return msg;
+}
+
+Result<HealthResponseMsg> DecodeHealthResponse(std::string_view payload) {
+  Reader r(payload);
+  HealthResponseMsg msg;
+  if (!r.GetBool(&msg.healthy) || !r.GetU32(&msg.queue_depth) ||
+      !r.GetU32(&msg.queue_capacity) || !r.GetU32(&msg.connections)) {
+    return Truncated("HealthResponse");
+  }
+  if (!r.Done()) return Trailing("HealthResponse");
+  return msg;
+}
+
+Result<StatsResponseMsg> DecodeStatsResponse(std::string_view payload) {
+  Reader r(payload);
+  StatsResponseMsg msg;
+  if (!r.GetU64(&msg.requests_served) || !r.GetU64(&msg.requests_degraded) ||
+      !r.GetU64(&msg.requests_failed) || !r.GetU64(&msg.requests_rejected) ||
+      !r.GetU64(&msg.snapshots_advanced) ||
+      !r.GetU64(&msg.moves_quarantined) || !r.GetU64(&msg.rebuilds) ||
+      !r.GetU64(&msg.incremental_updates) ||
+      !r.GetU64(&msg.repair_fallbacks) ||
+      !r.GetU64(&msg.admission_rejected)) {
+    return Truncated("StatsResponse");
+  }
+  if (!r.Done()) return Trailing("StatsResponse");
+  return msg;
+}
+
+Result<ErrorMsg> DecodeError(std::string_view payload) {
+  Reader r(payload);
+  ErrorMsg msg;
+  uint8_t code = 0;
+  if (!r.GetU8(&code) || !r.GetU64(&msg.retry_after_micros) ||
+      !r.GetString(&msg.message)) {
+    return Truncated("Error");
+  }
+  if (code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
+    return Status::InvalidArgument("wire: Error frame carries unknown "
+                                   "status code " + std::to_string(code));
+  }
+  msg.code = static_cast<StatusCode>(code);
+  if (!r.Done()) return Trailing("Error");
+  return msg;
+}
+
+FrameDecoder::Poll FrameDecoder::Next(Frame* frame, Status* error) {
+  // Compact the buffer once the consumed prefix dominates, so a long-lived
+  // connection does not grow its buffer without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const std::string_view pending =
+      std::string_view(buffer_).substr(consumed_);
+  if (pending.size() < kFrameHeaderBytes) return Poll::kNeedMore;
+
+  Reader r(pending);
+  uint32_t magic = 0, length = 0;
+  uint8_t version = 0, type = 0;
+  uint16_t reserved = 0;
+  r.GetU32(&magic);
+  r.GetU8(&version);
+  r.GetU8(&type);
+  r.GetU16(&reserved);
+  r.GetU32(&length);
+  if (magic != kWireMagic) {
+    *error = Status::InvalidArgument("wire: bad frame magic");
+    return Poll::kError;
+  }
+  if (version != kWireVersion) {
+    *error = Status::InvalidArgument("wire: unsupported protocol version " +
+                                     std::to_string(version));
+    return Poll::kError;
+  }
+  if (reserved != 0) {
+    *error = Status::InvalidArgument("wire: non-zero reserved header bits");
+    return Poll::kError;
+  }
+  if (!IsKnownMsgType(type)) {
+    *error = Status::InvalidArgument("wire: unknown frame type " +
+                                     std::to_string(type));
+    return Poll::kError;
+  }
+  if (length > kMaxPayloadBytes) {
+    *error = Status::InvalidArgument("wire: oversized frame payload (" +
+                                     std::to_string(length) + " bytes)");
+    return Poll::kError;
+  }
+  if (pending.size() < kFrameHeaderBytes + length) return Poll::kNeedMore;
+
+  frame->type = static_cast<MsgType>(type);
+  frame->payload.assign(pending.data() + kFrameHeaderBytes, length);
+  consumed_ += kFrameHeaderBytes + length;
+  return Poll::kFrame;
+}
+
+}  // namespace net
+}  // namespace pasa

@@ -1,0 +1,229 @@
+#ifndef PASA_NET_WIRE_H_
+#define PASA_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "lbs/poi.h"
+#include "model/service_request.h"
+#include "pasa/incremental.h"
+
+namespace pasa {
+namespace net {
+
+/// The pasa wire protocol, version 1: length-prefixed binary frames over a
+/// byte stream (TCP). Every frame is
+///
+///   offset  size  field
+///        0     4  magic      0x6E736170 ("pasn", little-endian)
+///        4     1  version    kWireVersion
+///        5     1  type       MsgType
+///        6     2  reserved   must be zero
+///        8     4  payload length (little-endian, <= kMaxPayloadBytes)
+///       12     n  payload    fixed-width little-endian fields
+///
+/// All integers are fixed-width little-endian regardless of host byte
+/// order (no varints). Strings are a u16 byte length followed by raw
+/// bytes; vectors are a u32 element count followed by the elements.
+/// See docs/serving.md for the payload layout of every message.
+inline constexpr uint32_t kWireMagic = 0x6E736170;  // "pasn"
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 12;
+/// Upper bound on one frame's payload; larger length prefixes are rejected
+/// before any allocation (a garbage or hostile length cannot balloon
+/// memory).
+inline constexpr size_t kMaxPayloadBytes = 1 << 20;
+/// Per-field sanity bounds enforced by the decoders.
+inline constexpr size_t kMaxStringBytes = 4096;
+inline constexpr size_t kMaxParams = 64;
+inline constexpr size_t kMaxPois = 4096;
+
+/// Frame types. Requests flow client -> server, responses server -> client.
+enum class MsgType : uint8_t {
+  kServeRequest = 1,      ///< ServiceRequest -> full serve path (cloak + LBS)
+  kServeResponse = 2,     ///< ServeResponseMsg
+  kAnonymizeRequest = 3,  ///< ServiceRequest -> cloak only, no LBS hop
+  kAnonymizeResponse = 4, ///< AnonymizeResponseMsg
+  kSnapshotAdvance = 5,   ///< SnapshotAdvanceMsg (the per-epoch move feed)
+  kSnapshotReport = 6,    ///< SnapshotReportMsg
+  kHealthRequest = 7,     ///< empty payload
+  kHealthResponse = 8,    ///< HealthResponseMsg
+  kStatsRequest = 9,      ///< empty payload
+  kStatsResponse = 10,    ///< StatsResponseMsg
+  kError = 11,            ///< ErrorMsg (typed rejection, maybe retryable)
+  kShutdownRequest = 12,  ///< empty payload; server acks then stops
+  kShutdownResponse = 13, ///< empty payload
+};
+
+/// True for the types a well-formed frame may carry.
+bool IsKnownMsgType(uint8_t type);
+
+/// One decoded frame: its type plus the raw payload bytes.
+struct Frame {
+  MsgType type = MsgType::kError;
+  std::string payload;
+
+  friend bool operator==(const Frame& a, const Frame& b) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Message payloads.
+
+/// Answer to a ServeRequest: the assigned rid, the cloak that was sent to
+/// the LBS, the size of the anonymity group backing it (so a client can
+/// verify group_size >= k end to end), and the POIs.
+struct ServeResponseMsg {
+  int64_t rid = 0;
+  uint64_t group_size = 0;
+  bool degraded = false;
+  int64_t cloak_x1 = 0;
+  int64_t cloak_y1 = 0;
+  int64_t cloak_x2 = 0;
+  int64_t cloak_y2 = 0;
+  std::vector<PointOfInterest> pois;
+
+  friend bool operator==(const ServeResponseMsg& a,
+                         const ServeResponseMsg& b) = default;
+};
+
+/// Answer to an AnonymizeRequest: the cloak without the LBS hop.
+struct AnonymizeResponseMsg {
+  int64_t rid = 0;
+  uint64_t group_size = 0;
+  int64_t cloak_x1 = 0;
+  int64_t cloak_y1 = 0;
+  int64_t cloak_x2 = 0;
+  int64_t cloak_y2 = 0;
+
+  friend bool operator==(const AnonymizeResponseMsg& a,
+                         const AnonymizeResponseMsg& b) = default;
+};
+
+/// A batch of user moves advancing the server to the next snapshot.
+struct SnapshotAdvanceMsg {
+  std::vector<UserMove> moves;
+
+  friend bool operator==(const SnapshotAdvanceMsg& a,
+                         const SnapshotAdvanceMsg& b) = default;
+};
+
+/// Wire form of csp::SnapshotReport.
+struct SnapshotReportMsg {
+  uint64_t moves_applied = 0;
+  uint64_t moves_quarantined = 0;
+  bool rebuilt = false;
+  bool repair_fell_back_to_rebuild = false;
+  uint64_t dp_rows_repaired = 0;
+  int64_t policy_cost = 0;
+
+  friend bool operator==(const SnapshotReportMsg& a,
+                         const SnapshotReportMsg& b) = default;
+};
+
+/// Liveness + backpressure state of the server.
+struct HealthResponseMsg {
+  bool healthy = false;
+  uint32_t queue_depth = 0;     ///< decoded requests awaiting dispatch
+  uint32_t queue_capacity = 0;  ///< admission-control bound
+  uint32_t connections = 0;
+
+  friend bool operator==(const HealthResponseMsg& a,
+                         const HealthResponseMsg& b) = default;
+};
+
+/// Wire form of CspServer::Stats plus the net-layer admission counter.
+struct StatsResponseMsg {
+  uint64_t requests_served = 0;
+  uint64_t requests_degraded = 0;
+  uint64_t requests_failed = 0;
+  uint64_t requests_rejected = 0;
+  uint64_t snapshots_advanced = 0;
+  uint64_t moves_quarantined = 0;
+  uint64_t rebuilds = 0;
+  uint64_t incremental_updates = 0;
+  uint64_t repair_fallbacks = 0;
+  uint64_t admission_rejected = 0;
+
+  friend bool operator==(const StatsResponseMsg& a,
+                         const StatsResponseMsg& b) = default;
+};
+
+/// Typed rejection. `retry_after_micros` is non-zero only for retryable
+/// admission-control rejects (kUnavailable with a full pending queue).
+struct ErrorMsg {
+  StatusCode code = StatusCode::kInternal;
+  uint64_t retry_after_micros = 0;
+  std::string message;
+
+  friend bool operator==(const ErrorMsg& a, const ErrorMsg& b) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Encoding. Encoders append to a std::string byte buffer and cannot fail;
+// bounds are the caller's contract (oversized fields would be rejected by
+// the decoder on the other side).
+
+std::string EncodeServiceRequest(const ServiceRequest& sr);
+std::string EncodeServeResponse(const ServeResponseMsg& msg);
+std::string EncodeAnonymizeResponse(const AnonymizeResponseMsg& msg);
+std::string EncodeSnapshotAdvance(const SnapshotAdvanceMsg& msg);
+std::string EncodeSnapshotReport(const SnapshotReportMsg& msg);
+std::string EncodeHealthResponse(const HealthResponseMsg& msg);
+std::string EncodeStatsResponse(const StatsResponseMsg& msg);
+std::string EncodeError(const ErrorMsg& msg);
+
+/// Wraps `payload` in a framed header. The result is ready to write to a
+/// socket.
+std::string EncodeFrame(MsgType type, std::string_view payload);
+
+// ---------------------------------------------------------------------------
+// Decoding. Every decoder consumes the exact payload and returns
+// InvalidArgument on truncation, trailing bytes, or out-of-bounds counts —
+// never crashes, never allocates proportionally to an unvalidated length.
+
+Result<ServiceRequest> DecodeServiceRequest(std::string_view payload);
+Result<ServeResponseMsg> DecodeServeResponse(std::string_view payload);
+Result<AnonymizeResponseMsg> DecodeAnonymizeResponse(std::string_view payload);
+Result<SnapshotAdvanceMsg> DecodeSnapshotAdvance(std::string_view payload);
+Result<SnapshotReportMsg> DecodeSnapshotReport(std::string_view payload);
+Result<HealthResponseMsg> DecodeHealthResponse(std::string_view payload);
+Result<StatsResponseMsg> DecodeStatsResponse(std::string_view payload);
+Result<ErrorMsg> DecodeError(std::string_view payload);
+
+/// Incremental frame decoder for one connection's byte stream. Feed bytes
+/// as they arrive (partial reads and torn frames are fine — the decoder
+/// simply waits for more), then poll Next() until it reports kNeedMore.
+///
+/// A header that can never become a valid frame (bad magic, unsupported
+/// version, non-zero reserved bits, unknown type, oversized length) is a
+/// kError with a typed InvalidArgument status; the stream is then
+/// desynchronized beyond repair and the connection should be closed.
+class FrameDecoder {
+ public:
+  enum class Poll {
+    kFrame,     ///< *frame was filled with one complete frame
+    kNeedMore,  ///< the buffered bytes do not yet hold a full frame
+    kError,     ///< *error holds the typed rejection; close the connection
+  };
+
+  void Feed(const char* data, size_t size) { buffer_.append(data, size); }
+  void Feed(std::string_view bytes) { buffer_.append(bytes); }
+
+  /// Extracts the next complete frame from the buffered bytes.
+  Poll Next(Frame* frame, Status* error);
+
+  /// Bytes buffered but not yet consumed by a complete frame.
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;  ///< prefix of buffer_ already handed out as frames
+};
+
+}  // namespace net
+}  // namespace pasa
+
+#endif  // PASA_NET_WIRE_H_

@@ -283,6 +283,37 @@ std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
       AppendF(&out, "pasa_slo_slow_burn{slo=\"%s\"} %s\n", slo.name.c_str(),
               JsonNumber(slo.slow_burn).c_str());
     }
+    // The same burn rates and window contents with explicit window labels,
+    // the series shape external multi-window alerting rules consume. The
+    // unlabeled pasa_slo_fast_burn/pasa_slo_slow_burn series above stay for
+    // dashboard compatibility.
+    out += "# TYPE pasa_slo_burn_rate gauge\n";
+    for (const auto& slo : snapshot.slos) {
+      AppendF(&out, "pasa_slo_burn_rate{slo=\"%s\",window=\"fast\"} %s\n",
+              slo.name.c_str(), JsonNumber(slo.fast_burn).c_str());
+      AppendF(&out, "pasa_slo_burn_rate{slo=\"%s\",window=\"slow\"} %s\n",
+              slo.name.c_str(), JsonNumber(slo.slow_burn).c_str());
+    }
+    out += "# TYPE pasa_slo_window_good gauge\n";
+    for (const auto& slo : snapshot.slos) {
+      AppendF(&out, "pasa_slo_window_good{slo=\"%s\",window=\"fast\"} %" PRIu64
+                    "\n",
+              slo.name.c_str(), slo.fast_good);
+      AppendF(&out, "pasa_slo_window_good{slo=\"%s\",window=\"slow\"} %" PRIu64
+                    "\n",
+              slo.name.c_str(), slo.slow_good);
+    }
+    out += "# TYPE pasa_slo_window_total gauge\n";
+    for (const auto& slo : snapshot.slos) {
+      AppendF(&out,
+              "pasa_slo_window_total{slo=\"%s\",window=\"fast\"} %" PRIu64
+              "\n",
+              slo.name.c_str(), slo.fast_total);
+      AppendF(&out,
+              "pasa_slo_window_total{slo=\"%s\",window=\"slow\"} %" PRIu64
+              "\n",
+              slo.name.c_str(), slo.slow_total);
+    }
   }
   return out;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -151,6 +152,9 @@ std::string ProvenanceToJsonl(const ProvenanceRecord& r) {
   AppendDouble(&out, "total_seconds", r.total_seconds);
   AppendDouble(&out, "cloak_seconds", r.cloak_seconds);
   AppendDouble(&out, "lbs_seconds", r.lbs_seconds);
+  AppendDouble(&out, "net_decode_seconds", r.net_decode_seconds);
+  AppendDouble(&out, "net_queue_seconds", r.net_queue_seconds);
+  AppendDouble(&out, "net_encode_seconds", r.net_encode_seconds);
   out += '}';
   return out;
 }
@@ -196,6 +200,9 @@ Result<ProvenanceRecord> ProvenanceFromJson(const json::Value& value) {
   r.total_seconds = NumberOr(value, "total_seconds", 0.0);
   r.cloak_seconds = NumberOr(value, "cloak_seconds", 0.0);
   r.lbs_seconds = NumberOr(value, "lbs_seconds", 0.0);
+  r.net_decode_seconds = NumberOr(value, "net_decode_seconds", 0.0);
+  r.net_queue_seconds = NumberOr(value, "net_queue_seconds", 0.0);
+  r.net_encode_seconds = NumberOr(value, "net_encode_seconds", 0.0);
   return r;
 }
 
@@ -238,9 +245,51 @@ Result<std::vector<ProvenanceRecord>> ReadProvenanceJsonlFile(
   return ParseProvenanceJsonl(content.str());
 }
 
+/// The append-on-record JSONL sink behind StreamTo.
+struct ProvenanceRing::Stream {
+  std::ofstream file;
+};
+
+ProvenanceRing::ProvenanceRing() = default;
+ProvenanceRing::~ProvenanceRing() = default;
+
 ProvenanceRing& ProvenanceRing::Global() {
   static ProvenanceRing* ring = new ProvenanceRing();
   return *ring;
+}
+
+Status ProvenanceRing::StreamTo(const std::string& path) {
+  namespace fs = std::filesystem;
+  const fs::path parent = fs::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    fs::create_directories(parent, ec);
+  }
+  auto stream = std::make_unique<Stream>();
+  stream->file.open(path, std::ios::out | std::ios::trunc);
+  if (!stream->file) {
+    return Status::NotFound("cannot open audit stream " + path);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stream_ = std::move(stream);
+  streamed_ = 0;
+  return Status::Ok();
+}
+
+void ProvenanceRing::StopStreaming() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stream_ != nullptr) stream_->file.flush();
+  stream_.reset();
+}
+
+bool ProvenanceRing::streaming() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stream_ != nullptr;
+}
+
+uint64_t ProvenanceRing::streamed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return streamed_;
 }
 
 void ProvenanceRing::Enable(size_t capacity) {
@@ -260,6 +309,10 @@ void ProvenanceRing::Clear() {
 void ProvenanceRing::Append(ProvenanceRecord record) {
   if (!enabled()) return;
   std::lock_guard<std::mutex> lock(mu_);
+  if (stream_ != nullptr) {
+    stream_->file << ProvenanceToJsonl(record) << '\n';
+    ++streamed_;
+  }
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(record));
   } else {

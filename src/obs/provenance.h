@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -79,6 +80,12 @@ struct ProvenanceRecord {
   double cloak_seconds = 0.0;  ///< validate + policy lookup
   double lbs_seconds = 0.0;    ///< cache + resilient fetch
 
+  // Network front-end phases (zero for in-process requests): wire decode,
+  // time spent queued behind admission control, and response encode+write.
+  double net_decode_seconds = 0.0;
+  double net_queue_seconds = 0.0;
+  double net_encode_seconds = 0.0;
+
   friend bool operator==(const ProvenanceRecord& a,
                          const ProvenanceRecord& b) = default;
 };
@@ -119,7 +126,8 @@ class ProvenanceRing {
   /// The process-wide ring (armed by `pasa_cli --audit-out`).
   static ProvenanceRing& Global();
 
-  ProvenanceRing() = default;
+  ProvenanceRing();
+  ~ProvenanceRing();
   ProvenanceRing(const ProvenanceRing&) = delete;
   ProvenanceRing& operator=(const ProvenanceRing&) = delete;
 
@@ -136,8 +144,22 @@ class ProvenanceRing {
   void Clear();
 
   /// Stores one record, overwriting the oldest when full. No-op while
-  /// disabled.
+  /// disabled. When streaming is armed, also writes the record's JSONL
+  /// line to the stream before it can be overwritten.
   void Append(ProvenanceRecord record);
+
+  /// Arms append-on-record streaming: every Append from now on writes its
+  /// JSONL line straight to `path` (parent directories created, file
+  /// truncated), so long runs keep records the ring has overwritten.
+  /// NotFound when the file cannot be opened.
+  Status StreamTo(const std::string& path);
+
+  /// Flushes and closes the stream; the ring keeps recording.
+  void StopStreaming();
+
+  bool streaming() const;
+  /// Records written to the stream since StreamTo.
+  uint64_t streamed() const;
 
   size_t size() const;
   size_t capacity() const;
@@ -157,6 +179,10 @@ class ProvenanceRing {
   std::vector<ProvenanceRecord> ring_;  ///< grows to capacity_, then wraps
   size_t capacity_ = kDefaultCapacity;
   uint64_t appended_ = 0;
+  /// Append-on-record JSONL sink (pimpl'd so this header stays stream-free).
+  struct Stream;
+  std::unique_ptr<Stream> stream_;
+  uint64_t streamed_ = 0;
 };
 
 /// The record the current thread is building, or nullptr when no

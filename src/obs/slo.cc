@@ -1,8 +1,12 @@
 #include "obs/slo.h"
 
 #include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 
+#include "obs/json.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace_sink.h"
@@ -35,6 +39,115 @@ const char* SloKindName(SloObjective::Kind kind) {
       return "zero_violations";
   }
   return "unknown";
+}
+
+Result<SloObjective::Kind> ParseSloKind(std::string_view name) {
+  if (name == "availability") return SloObjective::Kind::kAvailability;
+  if (name == "latency") return SloObjective::Kind::kLatency;
+  if (name == "zero_violations") return SloObjective::Kind::kZeroViolations;
+  return Status::InvalidArgument("unknown SLO kind '" + std::string(name) +
+                                 "'");
+}
+
+namespace {
+
+/// Reads an optional positive number member into `*out`.
+Status ReadPositive(const json::Value& entry, const std::string& key,
+                    double* out) {
+  const json::Value* v = entry.Find(key);
+  if (v == nullptr) return Status::Ok();
+  if (!v->is_number() || v->number() <= 0.0) {
+    return Status::InvalidArgument("slo config: \"" + key +
+                                   "\" must be a positive number");
+  }
+  *out = v->number();
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::vector<SloObjective>> SloObjectivesFromJson(
+    std::string_view text) {
+  Result<json::Value> document = json::Parse(text);
+  if (!document.ok()) {
+    return Status::InvalidArgument("slo config: " +
+                                   document.status().message());
+  }
+  if (!document->is_object()) {
+    return Status::InvalidArgument("slo config: top level must be an object");
+  }
+  const json::Value* objectives = document->Find("objectives");
+  if (objectives == nullptr || !objectives->is_array()) {
+    return Status::InvalidArgument(
+        "slo config: missing \"objectives\" array");
+  }
+  std::vector<SloObjective> out;
+  std::set<std::string> seen;
+  for (const json::Value& entry : objectives->array()) {
+    if (!entry.is_object()) {
+      return Status::InvalidArgument(
+          "slo config: every objective must be an object");
+    }
+    SloObjective o;
+    const json::Value* name = entry.Find("name");
+    if (name == nullptr || !name->is_string() || name->str().empty()) {
+      return Status::InvalidArgument(
+          "slo config: objective is missing a \"name\" string");
+    }
+    o.name = name->str();
+    if (!seen.insert(o.name).second) {
+      return Status::InvalidArgument("slo config: duplicate objective \"" +
+                                     o.name + "\"");
+    }
+    const json::Value* kind = entry.Find("kind");
+    if (kind == nullptr || !kind->is_string()) {
+      return Status::InvalidArgument("slo config: objective \"" + o.name +
+                                     "\" is missing a \"kind\" string");
+    }
+    Result<SloObjective::Kind> parsed_kind = ParseSloKind(kind->str());
+    if (!parsed_kind.ok()) {
+      return Status::InvalidArgument("slo config: " +
+                                     parsed_kind.status().message());
+    }
+    o.kind = *parsed_kind;
+    if (const json::Value* target = entry.Find("target")) {
+      if (!target->is_number() || target->number() <= 0.0 ||
+          target->number() > 1.0) {
+        return Status::InvalidArgument(
+            "slo config: \"target\" must be in (0, 1]");
+      }
+      o.target = target->number();
+    }
+    Status s = ReadPositive(entry, "latency_threshold_seconds",
+                            &o.latency_threshold_seconds);
+    if (!s.ok()) return s;
+    double fast = static_cast<double>(o.fast_window_micros);
+    double slow = static_cast<double>(o.slow_window_micros);
+    if (s = ReadPositive(entry, "fast_window_micros", &fast); !s.ok()) {
+      return s;
+    }
+    if (s = ReadPositive(entry, "slow_window_micros", &slow); !s.ok()) {
+      return s;
+    }
+    o.fast_window_micros = static_cast<uint64_t>(fast);
+    o.slow_window_micros = static_cast<uint64_t>(slow);
+    if (s = ReadPositive(entry, "burn_alert_threshold",
+                         &o.burn_alert_threshold);
+        !s.ok()) {
+      return s;
+    }
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+Result<std::vector<SloObjective>> SloObjectivesFromJsonFile(
+    const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot read slo config " + path);
+  std::ostringstream content;
+  content << file.rdbuf();
+  return SloObjectivesFromJson(content.str());
 }
 
 std::vector<SloObjective> DefaultServingObjectives() {

@@ -7,8 +7,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "obs/window.h"
 
 namespace pasa {
@@ -47,6 +49,29 @@ struct SloObjective {
 
 /// Short stable name ("availability", "latency", "zero_violations").
 const char* SloKindName(SloObjective::Kind kind);
+
+/// Inverse of SloKindName; InvalidArgument on anything else.
+Result<SloObjective::Kind> ParseSloKind(std::string_view name);
+
+/// Parses a list of objectives from a JSON config document:
+///
+///   {"objectives": [
+///     {"name": "csp/serve_latency", "kind": "latency", "target": 0.99,
+///      "latency_threshold_seconds": 0.005,
+///      "fast_window_micros": 5000000, "slow_window_micros": 60000000,
+///      "burn_alert_threshold": 14.0}
+///   ]}
+///
+/// Only "name" and "kind" are required; other members default as in
+/// SloObjective. Unknown kinds, targets outside (0, 1], non-positive
+/// windows/thresholds, duplicate names and malformed JSON are all
+/// InvalidArgument.
+Result<std::vector<SloObjective>> SloObjectivesFromJson(
+    std::string_view text);
+
+/// Reads and parses `path`. NotFound when the file cannot be read.
+Result<std::vector<SloObjective>> SloObjectivesFromJsonFile(
+    const std::string& path);
 
 /// Well-known objective names for the CSP serving path.
 inline constexpr char kSloAvailability[] = "csp/availability";

@@ -16,6 +16,8 @@ struct UserMove {
   uint32_t row = 0;  ///< snapshot row index of the moving user
   Point from;
   Point to;
+
+  friend bool operator==(const UserMove& a, const UserMove& b) = default;
 };
 
 /// Incremental maintenance of the optimum configuration matrix (Section IV,

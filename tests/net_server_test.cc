@@ -1,0 +1,393 @@
+// Loopback tests for the network front end: concurrent clients must get
+// correct, k-anonymous answers over real sockets; backpressure must reject
+// with a typed retryable error; the poll fallback must behave like epoll;
+// and net/* fault injection may hurt latency and availability but never
+// k-anonymity.
+
+#include "net/server.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "attack/auditor.h"
+#include "common/rng.h"
+#include "csp/server.h"
+#include "fault/injector.h"
+#include "net/client.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "workload/bay_area.h"
+#include "workload/movement.h"
+
+namespace pasa {
+namespace net {
+namespace {
+
+BayAreaOptions SmallBay() {
+  BayAreaOptions options;
+  options.log2_map_side = 13;
+  options.num_intersections = 300;
+  options.users_per_intersection = 5;
+  options.user_sigma = 40.0;
+  options.num_clusters = 8;
+  options.seed = 17;
+  return options;
+}
+
+PoiDatabase SomePois(const MapExtent& extent, size_t n) {
+  Rng rng(5);
+  const std::vector<std::string> categories = {"rest", "groc", "cinema"};
+  std::vector<PointOfInterest> pois;
+  for (size_t i = 0; i < n; ++i) {
+    pois.push_back(PointOfInterest{
+        static_cast<int64_t>(i),
+        Point{static_cast<Coord>(rng.NextBounded(extent.side())),
+              static_cast<Coord>(rng.NextBounded(extent.side()))},
+        categories[rng.NextBounded(categories.size())]});
+  }
+  return PoiDatabase(std::move(pois));
+}
+
+struct Fixture {
+  explicit Fixture(int k = 10, NetServerOptions net_options = {}) {
+    const BayAreaGenerator gen(SmallBay());
+    db = gen.Generate(800);
+    extent = gen.extent();
+    CspOptions options;
+    options.k = k;
+    Result<CspServer> started =
+        CspServer::Start(db, extent, SomePois(extent, 300), options);
+    EXPECT_TRUE(started.ok()) << started.status().ToString();
+    csp = std::make_unique<CspServer>(std::move(*started));
+    Result<std::unique_ptr<NetServer>> net_started =
+        NetServer::Start(csp.get(), net_options);
+    EXPECT_TRUE(net_started.ok()) << net_started.status().ToString();
+    server = std::move(*net_started);
+  }
+
+  LocationDatabase db;
+  MapExtent extent;
+  std::unique_ptr<CspServer> csp;
+  std::unique_ptr<NetServer> server;
+};
+
+// One client issuing serve requests for `rows` users; every response must
+// be k-anonymous and mask the true location.
+void ServeAndVerify(uint16_t port, const LocationDatabase& db, int k,
+                    size_t first_row, size_t rows,
+                    std::atomic<int>* failures) {
+  Result<NetClient> client = NetClient::Connect(port, 10.0);
+  if (!client.ok()) {
+    failures->fetch_add(static_cast<int>(rows));
+    return;
+  }
+  for (size_t i = 0; i < rows; ++i) {
+    const auto& row = db.row((first_row + i) % db.size());
+    const ServiceRequest sr{row.user, row.location, {{"poi", "rest"}}};
+    Result<Frame> frame = client->Call(MsgType::kServeRequest,
+                                       EncodeServiceRequest(sr), 10.0);
+    if (!frame.ok() || frame->type != MsgType::kServeResponse) {
+      failures->fetch_add(1);
+      continue;
+    }
+    Result<ServeResponseMsg> msg = DecodeServeResponse(frame->payload);
+    if (!msg.ok()) {
+      failures->fetch_add(1);
+      continue;
+    }
+    const Rect cloak{msg->cloak_x1, msg->cloak_y1, msg->cloak_x2,
+                     msg->cloak_y2};
+    if (msg->group_size < static_cast<uint64_t>(k) ||
+        !cloak.Contains(sr.location) || msg->rid <= 0) {
+      failures->fetch_add(1);
+    }
+  }
+}
+
+TEST(NetServerTest, StartStopIsClean) {
+  Fixture fx;
+  EXPECT_GT(fx.server->port(), 0);
+  fx.server->Stop();
+  fx.server->Stop();  // idempotent
+}
+
+TEST(NetServerTest, ServesKAnonymousAnswersToConcurrentClients) {
+  Fixture fx(/*k=*/10);
+  const uint16_t port = fx.server->port();
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  const size_t kClients = 8;
+  const size_t kRequests = 50;
+  for (size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back(ServeAndVerify, port, std::cref(fx.db), 10,
+                         c * kRequests, kRequests, &failures);
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const NetServer::Stats stats = fx.server->stats();
+  EXPECT_EQ(stats.requests_served, kClients * kRequests);
+  EXPECT_EQ(stats.frames_rejected, 0u);
+  fx.server->Stop();
+}
+
+TEST(NetServerTest, AnonymizeOnlyPathReturnsCloak) {
+  Fixture fx(/*k=*/10);
+  Result<NetClient> client = NetClient::Connect(fx.server->port());
+  ASSERT_TRUE(client.ok());
+  const auto& row = fx.db.row(3);
+  const ServiceRequest sr{row.user, row.location, {}};
+  Result<Frame> frame = client->Call(MsgType::kAnonymizeRequest,
+                                     EncodeServiceRequest(sr));
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame->type, MsgType::kAnonymizeResponse);
+  Result<AnonymizeResponseMsg> msg = DecodeAnonymizeResponse(frame->payload);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_GE(msg->group_size, 10u);
+  const Rect cloak{msg->cloak_x1, msg->cloak_y1, msg->cloak_x2,
+                   msg->cloak_y2};
+  EXPECT_TRUE(cloak.Contains(sr.location));
+  fx.server->Stop();
+}
+
+TEST(NetServerTest, SnapshotAdvanceOverTheWire) {
+  Fixture fx(/*k=*/10);
+  Result<NetClient> client = NetClient::Connect(fx.server->port());
+  ASSERT_TRUE(client.ok());
+
+  MovementOptions move_options;
+  move_options.seed = 99;
+  SnapshotAdvanceMsg advance;
+  advance.moves = DrawMoves(fx.db, fx.extent, move_options);
+  ASSERT_FALSE(advance.moves.empty());
+  Result<Frame> frame = client->Call(MsgType::kSnapshotAdvance,
+                                     EncodeSnapshotAdvance(advance), 30.0);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame->type, MsgType::kSnapshotReport);
+  Result<SnapshotReportMsg> report = DecodeSnapshotReport(frame->payload);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->moves_applied + report->moves_quarantined,
+            advance.moves.size());
+
+  // The policy after the advance must still be k-anonymous.
+  EXPECT_TRUE(AuditPolicyAware(fx.csp->policy()).Anonymous(10));
+
+  // And a user who moved must now be served at the new location.
+  ASSERT_TRUE(ApplyMovesToDatabase(advance.moves, &fx.db).ok());
+  std::atomic<int> failures{0};
+  ServeAndVerify(fx.server->port(), fx.db, 10, 0, 50, &failures);
+  EXPECT_EQ(failures.load(), 0);
+  fx.server->Stop();
+}
+
+TEST(NetServerTest, RejectsUnknownUserWithTypedError) {
+  Fixture fx;
+  Result<NetClient> client = NetClient::Connect(fx.server->port());
+  ASSERT_TRUE(client.ok());
+  const ServiceRequest sr{999999, {0, 0}, {}};
+  Result<Frame> frame = client->Call(MsgType::kServeRequest,
+                                     EncodeServiceRequest(sr));
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame->type, MsgType::kError);
+  Result<ErrorMsg> msg = DecodeError(frame->payload);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_EQ(msg->code, StatusCode::kInvalidArgument);
+  EXPECT_EQ(msg->retry_after_micros, 0u);  // not retryable
+  fx.server->Stop();
+}
+
+TEST(NetServerTest, GarbageBytesCloseTheConnectionOnly) {
+  Fixture fx;
+  Result<NetClient> bad = NetClient::Connect(fx.server->port());
+  ASSERT_TRUE(bad.ok());
+  // 64 bytes of garbage: the server must answer with a typed error and
+  // close this connection — and keep serving others.
+  std::string garbage(64, '\xFF');
+  ASSERT_TRUE(bad->SendFrame(MsgType::kHealthRequest, "").ok());  // warm up
+  Result<Frame> health = bad->ReadFrame();
+  ASSERT_TRUE(health.ok());
+  const ssize_t wrote = ::send(bad->fd(), garbage.data(), garbage.size(), 0);
+  ASSERT_EQ(wrote, static_cast<ssize_t>(garbage.size()));
+  Result<Frame> reply = bad->ReadFrame(5.0);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, MsgType::kError);
+  // The stream is dead after the error frame.
+  Result<Frame> eof = bad->ReadFrame(5.0);
+  EXPECT_FALSE(eof.ok());
+
+  std::atomic<int> failures{0};
+  ServeAndVerify(fx.server->port(), fx.db, 10, 0, 20, &failures);
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(fx.server->stats().frames_rejected, 1u);
+  fx.server->Stop();
+}
+
+TEST(NetServerTest, BackpressureRejectsWithRetryAfter) {
+  NetServerOptions net_options;
+  net_options.max_pending = 1;
+  net_options.max_batch = 1;
+  net_options.retry_after_micros = 2500;
+  Fixture fx(/*k=*/10, net_options);
+  Result<NetClient> client = NetClient::Connect(fx.server->port());
+  ASSERT_TRUE(client.ok());
+
+  // Pipeline many requests without reading: with a queue bound of one,
+  // some must be admission-rejected with kUnavailable + retry-after.
+  const auto& row = fx.db.row(0);
+  const std::string payload =
+      EncodeServiceRequest({row.user, row.location, {{"poi", "rest"}}});
+  const int kBurst = 64;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(client->SendFrame(MsgType::kServeRequest, payload).ok());
+  }
+  int served = 0;
+  int rejected = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    Result<Frame> frame = client->ReadFrame(10.0);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    if (frame->type == MsgType::kServeResponse) {
+      ++served;
+    } else {
+      ASSERT_EQ(frame->type, MsgType::kError);
+      Result<ErrorMsg> msg = DecodeError(frame->payload);
+      ASSERT_TRUE(msg.ok());
+      EXPECT_EQ(msg->code, StatusCode::kUnavailable);
+      EXPECT_EQ(msg->retry_after_micros, 2500u);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(served + rejected, kBurst);
+  EXPECT_GT(served, 0);
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(fx.server->stats().admission_rejected,
+            static_cast<uint64_t>(rejected));
+
+  // Health bypasses admission even under pressure.
+  Result<Frame> health = client->Call(MsgType::kHealthRequest, "");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->type, MsgType::kHealthResponse);
+  fx.server->Stop();
+}
+
+TEST(NetServerTest, PollBackendServesLikeEpoll) {
+  NetServerOptions net_options;
+  net_options.use_poll = true;
+  Fixture fx(/*k=*/10, net_options);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < 4; ++c) {
+    clients.emplace_back(ServeAndVerify, fx.server->port(), std::cref(fx.db),
+                         10, c * 25, static_cast<size_t>(25), &failures);
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  fx.server->Stop();
+}
+
+TEST(NetServerTest, HealthAndStatsReportServerState) {
+  Fixture fx;
+  Result<NetClient> client = NetClient::Connect(fx.server->port());
+  ASSERT_TRUE(client.ok());
+
+  Result<Frame> health = client->Call(MsgType::kHealthRequest, "");
+  ASSERT_TRUE(health.ok());
+  ASSERT_EQ(health->type, MsgType::kHealthResponse);
+  Result<HealthResponseMsg> h = DecodeHealthResponse(health->payload);
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(h->healthy);
+  EXPECT_EQ(h->connections, 1u);
+  EXPECT_GT(h->queue_capacity, 0u);
+
+  const auto& row = fx.db.row(1);
+  const ServiceRequest sr{row.user, row.location, {{"poi", "rest"}}};
+  ASSERT_TRUE(
+      client->Call(MsgType::kServeRequest, EncodeServiceRequest(sr)).ok());
+
+  Result<Frame> stats = client->Call(MsgType::kStatsRequest, "");
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->type, MsgType::kStatsResponse);
+  Result<StatsResponseMsg> s = DecodeStatsResponse(stats->payload);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->requests_served, 1u);
+  fx.server->Stop();
+}
+
+TEST(NetServerTest, ShutdownFrameStopsTheServer) {
+  Fixture fx;
+  Result<NetClient> client = NetClient::Connect(fx.server->port());
+  ASSERT_TRUE(client.ok());
+  Result<Frame> ack = client->Call(MsgType::kShutdownRequest, "");
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->type, MsgType::kShutdownResponse);
+  EXPECT_TRUE(fx.server->WaitForShutdown(10.0));
+  fx.server->Stop();
+}
+
+// Chaos: all three net/* fault points armed at once. Latency and
+// availability may suffer (drops, torn writes, one-byte reads) but every
+// answer that does arrive must still be k-anonymous, and the policy behind
+// the server must stay anonymous throughout.
+TEST(NetServerTest, NetFaultsNeverWeakenAnonymity) {
+  fault::FaultPlan plan;
+  fault::FaultPointConfig slow{std::string(fault::kNetSlowRead)};
+  slow.probability = 0.3;
+  fault::FaultPointConfig torn{std::string(fault::kNetTornWrite)};
+  torn.probability = 0.3;
+  fault::FaultPointConfig drop{std::string(fault::kNetConnDrop)};
+  drop.probability = 0.05;
+  plan.points = {slow, torn, drop};
+  fault::FaultInjector::Global().Arm(plan, 2010);
+
+  Fixture fx(/*k=*/10);
+  const uint16_t port = fx.server->port();
+  const int k = 10;
+  std::atomic<int> verify_failures{0};
+  std::atomic<int> served{0};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < 40; ++i) {
+        // Reconnect per request: conn_drop kills connections at will.
+        Result<NetClient> client = NetClient::Connect(port, 10.0);
+        if (!client.ok()) continue;
+        const auto& row = fx.db.row((c * 40 + i) % fx.db.size());
+        const ServiceRequest sr{row.user, row.location, {{"poi", "rest"}}};
+        Result<Frame> frame = client->Call(
+            MsgType::kServeRequest, EncodeServiceRequest(sr), 10.0);
+        if (!frame.ok() || frame->type != MsgType::kServeResponse) {
+          continue;  // availability may suffer under faults
+        }
+        Result<ServeResponseMsg> msg = DecodeServeResponse(frame->payload);
+        if (!msg.ok()) {
+          verify_failures.fetch_add(1);
+          continue;
+        }
+        const Rect cloak{msg->cloak_x1, msg->cloak_y1, msg->cloak_x2,
+                         msg->cloak_y2};
+        if (msg->group_size < static_cast<uint64_t>(k) ||
+            !cloak.Contains(sr.location)) {
+          verify_failures.fetch_add(1);
+        } else {
+          served.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  fault::FaultInjector::Global().Disarm();
+
+  EXPECT_EQ(verify_failures.load(), 0);
+  EXPECT_GT(served.load(), 0);  // the server still makes progress
+  EXPECT_GT(fx.server->stats().faults_injected, 0u);
+  EXPECT_TRUE(AuditPolicyAware(fx.csp->policy()).Anonymous(k));
+  fx.server->Stop();
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace pasa

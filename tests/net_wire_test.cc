@@ -1,0 +1,378 @@
+// Wire-protocol tests: field-for-field round trips for every message,
+// golden little-endian frame bytes, the incremental FrameDecoder against
+// torn/partial delivery, and a seeded fuzz loop proving garbage bytes can
+// only produce typed errors — never crashes or silent misdecodes.
+
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace pasa {
+namespace net {
+namespace {
+
+TEST(NetWireTest, ServiceRequestRoundTrip) {
+  ServiceRequest sr;
+  sr.sender = 123456789012345;
+  sr.location = Point{-7, 1 << 20};
+  sr.params = {{"poi", "rest"}, {"cat", "ital"}, {"", ""}};
+  const Result<ServiceRequest> decoded =
+      DecodeServiceRequest(EncodeServiceRequest(sr));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, sr);
+}
+
+TEST(NetWireTest, ServeResponseRoundTrip) {
+  ServeResponseMsg msg;
+  msg.rid = 42;
+  msg.group_size = 50;
+  msg.degraded = true;
+  msg.cloak_x1 = -100;
+  msg.cloak_y1 = 0;
+  msg.cloak_x2 = 1 << 17;
+  msg.cloak_y2 = (1 << 17) + 1;
+  msg.pois = {{7, Point{10, 20}, "rest"}, {9, Point{-1, -2}, "groc"}};
+  const Result<ServeResponseMsg> decoded =
+      DecodeServeResponse(EncodeServeResponse(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(NetWireTest, AnonymizeResponseRoundTrip) {
+  AnonymizeResponseMsg msg;
+  msg.rid = 1;
+  msg.group_size = 77;
+  msg.cloak_x1 = 3;
+  msg.cloak_y1 = 4;
+  msg.cloak_x2 = 5;
+  msg.cloak_y2 = 6;
+  const Result<AnonymizeResponseMsg> decoded =
+      DecodeAnonymizeResponse(EncodeAnonymizeResponse(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(NetWireTest, SnapshotAdvanceRoundTrip) {
+  SnapshotAdvanceMsg msg;
+  msg.moves = {{0, Point{1, 2}, Point{3, 4}},
+               {4294967295u, Point{-5, -6}, Point{7, 8}}};
+  const Result<SnapshotAdvanceMsg> decoded =
+      DecodeSnapshotAdvance(EncodeSnapshotAdvance(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(NetWireTest, SnapshotReportRoundTrip) {
+  SnapshotReportMsg msg;
+  msg.moves_applied = 100;
+  msg.moves_quarantined = 3;
+  msg.rebuilt = true;
+  msg.repair_fell_back_to_rebuild = true;
+  msg.dp_rows_repaired = 0;
+  msg.policy_cost = -9;
+  const Result<SnapshotReportMsg> decoded =
+      DecodeSnapshotReport(EncodeSnapshotReport(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(NetWireTest, HealthResponseRoundTrip) {
+  HealthResponseMsg msg;
+  msg.healthy = true;
+  msg.queue_depth = 17;
+  msg.queue_capacity = 4096;
+  msg.connections = 3;
+  const Result<HealthResponseMsg> decoded =
+      DecodeHealthResponse(EncodeHealthResponse(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(NetWireTest, StatsResponseRoundTrip) {
+  StatsResponseMsg msg;
+  msg.requests_served = 1;
+  msg.requests_degraded = 2;
+  msg.requests_failed = 3;
+  msg.requests_rejected = 4;
+  msg.snapshots_advanced = 5;
+  msg.moves_quarantined = 6;
+  msg.rebuilds = 7;
+  msg.incremental_updates = 8;
+  msg.repair_fallbacks = 9;
+  msg.admission_rejected = 10;
+  const Result<StatsResponseMsg> decoded =
+      DecodeStatsResponse(EncodeStatsResponse(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, msg);
+}
+
+TEST(NetWireTest, ErrorRoundTrip) {
+  ErrorMsg msg;
+  msg.code = StatusCode::kUnavailable;
+  msg.retry_after_micros = 1000;
+  msg.message = "queue full";
+  const Result<ErrorMsg> decoded = DecodeError(EncodeError(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, msg);
+}
+
+// The header layout is part of the protocol contract: byte-for-byte
+// little-endian regardless of host order.
+TEST(NetWireTest, GoldenFrameBytes) {
+  const std::string frame = EncodeFrame(MsgType::kHealthRequest, "ab");
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + 2);
+  const unsigned char expected[14] = {
+      0x70, 0x61, 0x73, 0x6E,  // magic "pasn" little-endian
+      0x01,                    // version
+      0x07,                    // type kHealthRequest
+      0x00, 0x00,              // reserved
+      0x02, 0x00, 0x00, 0x00,  // payload length 2
+      'a',  'b'};
+  EXPECT_EQ(std::memcmp(frame.data(), expected, sizeof(expected)), 0);
+}
+
+TEST(NetWireTest, GoldenServiceRequestBytes) {
+  ServiceRequest sr;
+  sr.sender = 2;
+  sr.location = Point{1, -1};
+  sr.params = {{"a", "b"}};
+  const std::string payload = EncodeServiceRequest(sr);
+  const unsigned char expected[] = {
+      0x02, 0, 0, 0, 0, 0, 0, 0,                          // sender
+      0x01, 0, 0, 0, 0, 0, 0, 0,                          // x
+      0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,     // y = -1
+      0x01, 0x00,                                         // 1 param
+      0x01, 0x00, 'a',                                    // name
+      0x01, 0x00, 'b'};                                   // value
+  ASSERT_EQ(payload.size(), sizeof(expected));
+  EXPECT_EQ(std::memcmp(payload.data(), expected, sizeof(expected)), 0);
+}
+
+TEST(NetWireTest, DecoderRejectsTruncation) {
+  ServiceRequest sr;
+  sr.sender = 1;
+  sr.params = {{"poi", "rest"}};
+  const std::string payload = EncodeServiceRequest(sr);
+  // Every strict prefix must fail with InvalidArgument, never crash.
+  for (size_t len = 0; len < payload.size(); ++len) {
+    const Result<ServiceRequest> decoded =
+        DecodeServiceRequest(payload.substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "prefix length " << len;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(NetWireTest, DecoderRejectsTrailingBytes) {
+  const std::string payload = EncodeServiceRequest(ServiceRequest{});
+  const Result<ServiceRequest> decoded =
+      DecodeServiceRequest(payload + "x");
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetWireTest, DecoderRejectsOversizedCounts) {
+  // A tiny payload claiming 4 billion POIs must be rejected before any
+  // allocation proportional to the claim.
+  std::string payload = EncodeServeResponse(ServeResponseMsg{});
+  payload[payload.size() - 4] = static_cast<char>(0xFF);
+  payload[payload.size() - 3] = static_cast<char>(0xFF);
+  payload[payload.size() - 2] = static_cast<char>(0xFF);
+  payload[payload.size() - 1] = static_cast<char>(0xFF);
+  const Result<ServeResponseMsg> decoded = DecodeServeResponse(payload);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetWireTest, FrameDecoderHandlesOneByteDelivery) {
+  ServiceRequest sr;
+  sr.sender = 9;
+  sr.params = {{"poi", "rest"}};
+  const std::string bytes =
+      EncodeFrame(MsgType::kServeRequest, EncodeServiceRequest(sr)) +
+      EncodeFrame(MsgType::kHealthRequest, "");
+
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  for (const char byte : bytes) {
+    decoder.Feed(&byte, 1);
+    Frame frame;
+    Status error;
+    while (decoder.Next(&frame, &error) == FrameDecoder::Poll::kFrame) {
+      frames.push_back(frame);
+    }
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, MsgType::kServeRequest);
+  const Result<ServiceRequest> decoded =
+      DecodeServiceRequest(frames[0].payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, sr);
+  EXPECT_EQ(frames[1].type, MsgType::kHealthRequest);
+  EXPECT_TRUE(frames[1].payload.empty());
+}
+
+TEST(NetWireTest, FrameDecoderRejectsBadMagic) {
+  FrameDecoder decoder;
+  decoder.Feed("XXXXXXXXXXXX");
+  Frame frame;
+  Status error;
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Poll::kError);
+  EXPECT_EQ(error.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(NetWireTest, FrameDecoderRejectsBadVersion) {
+  std::string bytes = EncodeFrame(MsgType::kHealthRequest, "");
+  bytes[4] = 99;
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  Frame frame;
+  Status error;
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Poll::kError);
+}
+
+TEST(NetWireTest, FrameDecoderRejectsUnknownType) {
+  std::string bytes = EncodeFrame(MsgType::kHealthRequest, "");
+  bytes[5] = 0;  // 0 is not a known type
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  Frame frame;
+  Status error;
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Poll::kError);
+}
+
+TEST(NetWireTest, FrameDecoderRejectsNonZeroReserved) {
+  std::string bytes = EncodeFrame(MsgType::kHealthRequest, "");
+  bytes[6] = 1;
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  Frame frame;
+  Status error;
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Poll::kError);
+}
+
+TEST(NetWireTest, FrameDecoderRejectsOversizedLength) {
+  // A hostile length prefix (2 MiB > kMaxPayloadBytes) is rejected from the
+  // header alone — no allocation, no waiting for the claimed bytes.
+  std::string bytes = EncodeFrame(MsgType::kHealthRequest, "");
+  bytes[8] = 0;
+  bytes[9] = 0;
+  bytes[10] = 0x20;
+  bytes[11] = 0;
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  Frame frame;
+  Status error;
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Poll::kError);
+}
+
+TEST(NetWireTest, FrameDecoderNeedsMoreOnPartialHeader) {
+  FrameDecoder decoder;
+  const std::string bytes = EncodeFrame(MsgType::kHealthRequest, "payload");
+  decoder.Feed(bytes.substr(0, kFrameHeaderBytes - 1));
+  Frame frame;
+  Status error;
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Poll::kNeedMore);
+  decoder.Feed(bytes.substr(kFrameHeaderBytes - 1));
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Poll::kFrame);
+  EXPECT_EQ(frame.payload, "payload");
+}
+
+// Fuzz 1: random garbage fed to the frame decoder in random-sized chunks.
+// The decoder must only ever return frames or typed errors.
+TEST(NetWireTest, FuzzFrameDecoderSurvivesGarbage) {
+  Rng rng(2010);
+  for (int round = 0; round < 200; ++round) {
+    FrameDecoder decoder;
+    const size_t total = 1 + rng.NextBounded(512);
+    std::string bytes(total, '\0');
+    for (char& byte : bytes) {
+      byte = static_cast<char>(rng.NextBounded(256));
+    }
+    size_t offset = 0;
+    bool dead = false;
+    while (offset < bytes.size() && !dead) {
+      const size_t chunk =
+          std::min(bytes.size() - offset, 1 + rng.NextBounded(64));
+      decoder.Feed(bytes.data() + offset, chunk);
+      offset += chunk;
+      Frame frame;
+      Status error;
+      for (;;) {
+        const FrameDecoder::Poll poll = decoder.Next(&frame, &error);
+        if (poll == FrameDecoder::Poll::kNeedMore) break;
+        if (poll == FrameDecoder::Poll::kError) {
+          // Typed error: the connection would close here.
+          EXPECT_FALSE(error.ok());
+          dead = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+// Fuzz 2: valid frames whose payloads are randomly corrupted. Message
+// decoders must return ok or InvalidArgument — nothing else, no crashes.
+TEST(NetWireTest, FuzzPayloadDecodersSurviveCorruption) {
+  Rng rng(4021);
+  ServiceRequest sr;
+  sr.sender = 31337;
+  sr.location = Point{1000, 2000};
+  sr.params = {{"poi", "rest"}, {"cat", "ital"}};
+  ServeResponseMsg resp;
+  resp.rid = 5;
+  resp.group_size = 50;
+  resp.pois = {{1, Point{2, 3}, "rest"}};
+  SnapshotAdvanceMsg adv;
+  adv.moves = {{3, Point{0, 0}, Point{9, 9}}};
+
+  const std::string seeds[] = {
+      EncodeServiceRequest(sr), EncodeServeResponse(resp),
+      EncodeSnapshotAdvance(adv), EncodeStatsResponse(StatsResponseMsg{}),
+      EncodeError(ErrorMsg{StatusCode::kUnavailable, 10, "x"})};
+  for (int round = 0; round < 500; ++round) {
+    std::string payload = seeds[rng.NextBounded(std::size(seeds))];
+    const size_t flips = 1 + rng.NextBounded(8);
+    for (size_t i = 0; i < flips && !payload.empty(); ++i) {
+      payload[rng.NextBounded(payload.size())] =
+          static_cast<char>(rng.NextBounded(256));
+    }
+    if (rng.NextBounded(4) == 0 && !payload.empty()) {
+      payload.resize(rng.NextBounded(payload.size()));
+    }
+    // Run every decoder over the corrupted payload: either a clean decode
+    // or a typed InvalidArgument.
+    const auto check = [](const auto& result) {
+      if (!result.ok()) {
+        EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+      }
+    };
+    check(DecodeServiceRequest(payload));
+    check(DecodeServeResponse(payload));
+    check(DecodeAnonymizeResponse(payload));
+    check(DecodeSnapshotAdvance(payload));
+    check(DecodeSnapshotReport(payload));
+    check(DecodeHealthResponse(payload));
+    check(DecodeStatsResponse(payload));
+    check(DecodeError(payload));
+  }
+}
+
+TEST(NetWireTest, KnownMsgTypeRange) {
+  EXPECT_FALSE(IsKnownMsgType(0));
+  for (uint8_t type = 1; type <= 13; ++type) {
+    EXPECT_TRUE(IsKnownMsgType(type)) << int{type};
+  }
+  EXPECT_FALSE(IsKnownMsgType(14));
+  EXPECT_FALSE(IsKnownMsgType(255));
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace pasa

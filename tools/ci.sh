@@ -56,12 +56,14 @@ if [[ "${PASA_CI_SKIP_TSAN:-0}" != "1" ]]; then
         -DPASA_SANITIZE=thread
   cmake --build "${prefix}-tsan" -j "${jobs}" \
         --target chaos_test parallel_test trace_sink_test \
-                 provenance_test window_test slo_test
+                 provenance_test window_test slo_test \
+                 net_wire_test net_server_test
   # The threaded suites: jurisdiction workers + fault injector (chaos),
-  # the worker pool itself (parallel), the concurrent trace ring, and the
-  # lock-light obs v3 primitives (provenance ring, windows, SLO tracker).
+  # the worker pool itself (parallel), the concurrent trace ring, the
+  # lock-light obs v3 primitives (provenance ring, windows, SLO tracker),
+  # and the network front end (event loop vs client threads).
   ctest --test-dir "${prefix}-tsan" --output-on-failure -j "${jobs}" \
-        -R 'Chaos|Parallel|TraceSink|Provenance|Window|Slo'
+        -R 'Chaos|Parallel|TraceSink|Provenance|Window|Slo|NetWire|NetServer'
 else
   step "tsan build skipped (PASA_CI_SKIP_TSAN=1)"
 fi
@@ -86,6 +88,31 @@ if [[ "${PASA_CI_SKIP_RELEASE:-0}" != "1" ]]; then
   "${prefix}-release/tools/pasa_benchstat" compare \
       --baseline "${prefix}-release/BENCH_smoke.json" \
       --candidate "${prefix}-release/BENCH_smoke.json"
+
+  step "net throughput benchstat (BENCH_net.json)"
+  # Real sockets on loopback: pasa_loadgen drives `pasa_cli serve --listen`
+  # and writes a latency-denominated snapshot (seconds per request, p99)
+  # that the benchstat gate can compare across builds. Self-compare here
+  # proves the gate wiring; a perf branch compares against a saved baseline.
+  net_port="${PASA_CI_NET_PORT:-19575}"
+  net_locs="${prefix}-release/tools/net_ci_locations.csv"
+  "${prefix}-release/tools/pasa_cli" generate --n 20000 --seed 7 \
+      --out "${net_locs}"
+  "${prefix}-release/tools/pasa_cli" serve --in "${net_locs}" --k 50 \
+      --listen "${net_port}" --listen-duration 120 &
+  serve_pid=$!
+  "${prefix}-release/tools/pasa_loadgen" --port "${net_port}" \
+      --in "${net_locs}" --k 50 --connections 4 --requests 100000 \
+      --wait-ready-seconds 30 --shutdown 1 \
+      --benchstat-out "${prefix}-release/BENCH_net.json"
+  wait "${serve_pid}"
+  "${prefix}-release/tools/pasa_benchstat" compare \
+      --baseline "${prefix}-release/BENCH_net.json" \
+      --candidate "${prefix}-release/BENCH_net.json"
+  # The in-process variant of the same measurement (no separate processes),
+  # for quick local iteration; also exercises the harness itself.
+  PASA_BENCH_SCALE="${overhead_scale}" \
+      "${prefix}-release/bench/bench_net_throughput"
 fi
 
 step "ci passed"

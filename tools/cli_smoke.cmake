@@ -158,6 +158,59 @@ require_fragment(watch_out "csp/window/serve_latency_seconds"
                  "serve --watch output")
 require_fragment(watch_out "fast_burn=" "serve --watch output")
 
+# SLO objectives from JSON: a valid config replaces the compiled-in
+# defaults (the custom objective must show up on the watch dashboard), a
+# malformed one is a usage error.
+set(SLO ${WORK_DIR}/cli_smoke_slo.json)
+file(WRITE ${SLO} "{\n"
+     "  \"objectives\": [\n"
+     "    {\"name\": \"custom/latency\", \"kind\": \"latency\","
+     " \"target\": 0.95, \"latency_threshold_seconds\": 0.5},\n"
+     "    {\"name\": \"custom/availability\", \"kind\": \"availability\","
+     " \"target\": 0.999}\n"
+     "  ]\n"
+     "}\n")
+run_capture(0 slo_out ${CLI} serve --in ${LOC} --k 20 --snapshots 2
+            --requests 300 --watch 2 --slo-config ${SLO})
+require_fragment(slo_out "custom/latency" "serve --slo-config watch output")
+require_fragment(slo_out "custom/availability"
+                 "serve --slo-config watch output")
+set(BAD_SLO ${WORK_DIR}/cli_smoke_bad_slo.json)
+file(WRITE ${BAD_SLO} "{\"objectives\": [{\"name\": \"x\","
+     " \"kind\": \"sideways\", \"target\": 0.9}]}\n")
+run_or_die(2 ${CLI} serve --in ${LOC} --k 20 --slo-config ${BAD_SLO})
+run_or_die(2 ${CLI} serve --in ${LOC} --k 20 --slo-config
+           ${WORK_DIR}/no_such_slo.json)
+
+# Streaming audit mode appends records to disk as they are made rather than
+# dumping the ring at exit; the file must carry the same record shape.
+set(STREAM_AUDIT ${WORK_DIR}/cli_smoke_out/audit_stream.jsonl)
+run_or_die(0 ${CLI} anonymize --in ${LOC} --k 20 --out ${OPT}
+           --audit-out ${STREAM_AUDIT} --audit-mode stream)
+if(NOT EXISTS ${STREAM_AUDIT})
+  message(FATAL_ERROR "--audit-mode stream did not write ${STREAM_AUDIT}")
+endif()
+file(READ ${STREAM_AUDIT} stream_jsonl)
+foreach(required_key "\"rid\":" "\"outcome\":\"served\"" "\"k\":20"
+        "\"group_size\":")
+  require_fragment(stream_jsonl "${required_key}" "streamed audit JSONL")
+endforeach()
+run_capture(0 stream_explain_out ${CLI} explain --audit ${STREAM_AUDIT}
+            --limit 1)
+require_fragment(stream_explain_out "cloak: [" "explain on streamed audit")
+# An unknown mode is a usage error, as is a mode without a destination.
+run_or_die(2 ${CLI} anonymize --in ${LOC} --k 20 --out ${OPT}
+           --audit-out ${STREAM_AUDIT} --audit-mode sideways)
+run_or_die(2 ${CLI} anonymize --in ${LOC} --k 20 --out ${OPT}
+           --audit-mode stream)
+
+# Bad --listen invocations are usage errors: out-of-range port, unknown
+# backend, nonsensical pending bound.
+run_or_die(2 ${CLI} serve --in ${LOC} --k 20 --listen 99999999)
+run_or_die(2 ${CLI} serve --in ${LOC} --k 20 --listen 18080
+           --net-backend sideways)
+run_or_die(2 ${CLI} serve --in ${LOC} --k 20 --listen 18080 --max-pending 0)
+
 # ...while the Casper baseline is expected to be flagged (exit code 3:
 # k-inside policies are not policy-aware k-anonymous in general).
 run_or_die(0 ${CLI} anonymize --in ${LOC} --k 20 --out ${CASPER}
@@ -170,4 +223,4 @@ run_or_die(2 ${CLI} anonymize --in ${LOC})
 run_or_die(1 ${CLI} anonymize --in /no/such.csv --k 5 --out ${OPT})
 
 file(REMOVE ${LOC} ${OPT} ${CASPER} ${METRICS} ${TRACE} ${PLAN} ${BAD_PLAN}
-     ${AUDIT})
+     ${AUDIT} ${SLO} ${BAD_SLO} ${STREAM_AUDIT})

@@ -7,6 +7,8 @@
 //   pasa_cli stats     --in locations.csv [--k 50]
 //   pasa_cli serve     --in locations.csv --k 50 [--snapshots N]
 //                      [--requests R] [--seed S] [--watch N]
+//                      [--listen PORT] [--listen-duration SECONDS]
+//                      [--max-pending N] [--net-backend epoll|poll]
 //   pasa_cli explain   --audit audit.jsonl [--rid N] [--limit N]
 //                      [--only served|degraded|failed|rejected|violations]
 //
@@ -20,6 +22,12 @@
 //                             windowed telemetry and SLO tracker) and write
 //                             one JSONL ProvenanceRecord per request on
 //                             exit; inspect with `pasa_cli explain`
+//   --audit-mode ring|stream  ring (default) writes the retained ring on
+//                             exit; stream appends each record to
+//                             --audit-out as it happens, so long runs keep
+//                             records the ring has already overwritten
+//   --slo-config FILE.json    replace the compiled-in SLO objectives with
+//                             the config file's (see docs/serving.md)
 //   --log-level LEVEL         runtime log filter (debug|info|warn|error|off)
 //   --fault-plan FILE.json    arm the deterministic fault injector with a
 //                             seeded fault schedule (see docs/robustness.md)
@@ -50,6 +58,7 @@
 #include "io/csv.h"
 #include "lbs/poi.h"
 #include "lbs/provider.h"
+#include "net/server.h"
 #include "obs/export.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -88,6 +97,8 @@ int Usage() {
       "  pasa_cli stats     --in F [--k K]\n"
       "  pasa_cli serve     --in F --k K [--snapshots N] [--requests R] "
       "[--seed S] [--watch N]\n"
+      "                     [--listen PORT] [--listen-duration SECONDS]\n"
+      "                     [--max-pending N] [--net-backend epoll|poll]\n"
       "  pasa_cli explain   --audit F.jsonl [--rid N] [--limit N]\n"
       "                     [--only served|degraded|failed|rejected|"
       "violations]\n"
@@ -96,6 +107,10 @@ int Usage() {
       "  --trace-out FILE.json    Chrome trace_event timeline "
       "(Perfetto-loadable)\n"
       "  --audit-out FILE.jsonl   per-request provenance audit log\n"
+      "  --audit-mode ring|stream write the ring on exit (default) or "
+      "append per record\n"
+      "  --slo-config FILE.json   load SLO objectives instead of the "
+      "compiled-in defaults\n"
       "  --log-level LEVEL        debug|info|warn|error|off\n"
       "  --fault-plan FILE.json   arm the deterministic fault injector\n"
       "  --fault-seed N           override the fault plan's seed\n");
@@ -395,6 +410,64 @@ void PrintWatchDashboard(int epoch) {
 // rebuild). With --fault-plan this is the CLI face of the chaos harness:
 // the printed report shows how much degradation the faults caused and that
 // the k-anonymity audit still passes.
+// Serves the wire protocol on a loopback socket until a client sends
+// kShutdownRequest or --listen-duration expires. The CspServer itself is
+// only ever touched from the NetServer's event loop.
+int RunListen(CspServer* csp, const Flags& flags, int k) {
+  net::NetServerOptions options;
+  options.port = static_cast<uint16_t>(flags.GetInt("listen", 0));
+  options.max_pending =
+      static_cast<size_t>(flags.GetInt("max-pending", 4096));
+  options.max_batch = static_cast<size_t>(flags.GetInt("max-batch", 256));
+  options.use_poll = flags.GetString("net-backend", "epoll") == "poll";
+  const double duration = flags.GetDouble("listen-duration", 30.0);
+  Result<std::unique_ptr<net::NetServer>> server =
+      net::NetServer::Start(csp, options);
+  if (!server.ok()) return Fail(server.status());
+  std::printf("listening on 127.0.0.1:%u for up to %.1f s\n",
+              unsigned{(*server)->port()}, duration);
+  std::fflush(stdout);
+  (*server)->WaitForShutdown(duration);
+  (*server)->Stop();
+  const net::NetServer::Stats net = (*server)->stats();
+  const CspServer::Stats& stats = csp->stats();
+  const bool anonymous = AuditPolicyAware(csp->policy()).Anonymous(k);
+  TablePrinter out({"metric", "value"});
+  out.AddRow({"connections accepted",
+              TablePrinter::Cell(
+                  static_cast<int64_t>(net.connections_accepted))});
+  out.AddRow({"frames decoded / rejected",
+              std::to_string(net.frames_decoded) + " / " +
+                  std::to_string(net.frames_rejected)});
+  out.AddRow({"requests served (responses written)",
+              TablePrinter::Cell(
+                  static_cast<int64_t>(net.requests_served))});
+  out.AddRow({"admission rejected (queue full)",
+              TablePrinter::Cell(
+                  static_cast<int64_t>(net.admission_rejected))});
+  out.AddRow({"net faults injected",
+              TablePrinter::Cell(
+                  static_cast<int64_t>(net.faults_injected))});
+  out.AddRow({"bytes read / written",
+              std::to_string(net.bytes_read) + " / " +
+                  std::to_string(net.bytes_written)});
+  out.AddRow({"csp requests served",
+              TablePrinter::Cell(
+                  static_cast<int64_t>(stats.requests_served))});
+  out.AddRow({"csp requests rejected",
+              TablePrinter::Cell(
+                  static_cast<int64_t>(stats.requests_rejected))});
+  out.AddRow({"snapshots advanced",
+              TablePrinter::Cell(
+                  static_cast<int64_t>(stats.snapshots_advanced))});
+  out.AddRow({"final policy k-anonymous (policy-aware, k=" +
+                  std::to_string(k) + ")",
+              anonymous ? "yes" : "NO"});
+  out.Print();
+  PrintMetricsDump();
+  return anonymous ? 0 : 3;
+}
+
 int RunServe(const Flags& flags) {
   if (!flags.Has("in")) return Usage();
   const int k = static_cast<int>(flags.GetInt("k", 50));
@@ -403,6 +476,17 @@ int RunServe(const Flags& flags) {
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 2010));
   const int watch = static_cast<int>(flags.GetInt("watch", 0));
   if (snapshots < 1 || per_epoch < 0 || watch < 0) return Usage();
+  if (flags.Has("listen")) {
+    const int64_t port = flags.GetInt("listen", 0);
+    if (port < 0 || port > 65535) return Usage();
+    const std::string backend = flags.GetString("net-backend", "epoll");
+    if (backend != "epoll" && backend != "poll") return Usage();
+    if (flags.GetDouble("listen-duration", 30.0) <= 0.0 ||
+        flags.GetInt("max-pending", 4096) < 1 ||
+        flags.GetInt("max-batch", 256) < 1) {
+      return Usage();
+    }
+  }
   // serve is the SLO-bearing path: always arm the windowed telemetry and
   // burn-rate tracker so the final report (and --watch) can show them.
   obs::WindowRegistry::Global().Enable();
@@ -436,6 +520,8 @@ int RunServe(const Flags& flags) {
                                            PoiDatabase(std::move(pois)),
                                            options);
   if (!csp.ok()) return Fail(csp.status());
+
+  if (flags.Has("listen")) return RunListen(&*csp, flags, k);
 
   RequestGenerator requests(seed + 1);
   MovementOptions movement;
@@ -552,18 +638,49 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: --fault-seed requires --fault-plan\n");
     return Usage();
   }
+  if (flags.Has("slo-config")) {
+    Result<std::vector<obs::SloObjective>> objectives =
+        obs::SloObjectivesFromJsonFile(flags.GetString("slo-config"));
+    if (!objectives.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   objectives.status().ToString().c_str());
+      return Usage();
+    }
+    obs::SloTracker::Global().Configure(*objectives);
+    obs::LogInfo("cli", "slo config loaded: %zu objective(s) from %s",
+                 objectives->size(), flags.GetString("slo-config").c_str());
+  }
+  const std::string audit_mode = flags.GetString("audit-mode", "ring");
+  if (audit_mode != "ring" && audit_mode != "stream") {
+    std::fprintf(stderr, "error: --audit-mode must be ring or stream\n");
+    return Usage();
+  }
   const bool tracing = flags.Has("trace-out");
   if (tracing) {
     obs::TraceEventSink::Global().SetCurrentThreadName("main");
     obs::TraceEventSink::Global().Start();
   }
   const bool auditing = flags.Has("audit-out");
+  if (!auditing && flags.Has("audit-mode")) {
+    std::fprintf(stderr, "error: --audit-mode requires --audit-out\n");
+    return Usage();
+  }
+  const bool audit_streaming = auditing && audit_mode == "stream";
   if (auditing) {
     obs::ProvenanceRing::Global().Enable();
     obs::WindowRegistry::Global().Enable();
     obs::SloTracker::Global().Enable();
-    obs::LogInfo("cli", "provenance ring armed (capacity %zu)",
-                 obs::ProvenanceRing::Global().capacity());
+    if (audit_streaming) {
+      const Status s =
+          obs::ProvenanceRing::Global().StreamTo(flags.GetString("audit-out"));
+      if (!s.ok()) {
+        std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+    obs::LogInfo("cli", "provenance ring armed (capacity %zu, %s mode)",
+                 obs::ProvenanceRing::Global().capacity(),
+                 audit_mode.c_str());
   }
   obs::LogDebug("cli", "running subcommand '%s'", command.c_str());
   int rc;
@@ -584,16 +701,25 @@ int main(int argc, char** argv) {
   }
   if (auditing) {
     obs::ProvenanceRing& ring = obs::ProvenanceRing::Global();
-    const Status s = ring.WriteJsonlFile(flags.GetString("audit-out"));
-    if (!s.ok()) {
-      Fail(s);
-      if (rc == 0) rc = 1;
-    } else {
-      obs::LogInfo("cli",
-                   "wrote %zu provenance record(s) (%llu overwritten) to %s",
-                   ring.size(),
-                   static_cast<unsigned long long>(ring.overwritten()),
+    if (audit_streaming) {
+      // Stream mode already wrote every record (including any the ring has
+      // overwritten); just flush and close.
+      ring.StopStreaming();
+      obs::LogInfo("cli", "streamed %llu provenance record(s) to %s",
+                   static_cast<unsigned long long>(ring.streamed()),
                    flags.GetString("audit-out").c_str());
+    } else {
+      const Status s = ring.WriteJsonlFile(flags.GetString("audit-out"));
+      if (!s.ok()) {
+        Fail(s);
+        if (rc == 0) rc = 1;
+      } else {
+        obs::LogInfo("cli",
+                     "wrote %zu provenance record(s) (%llu overwritten) to %s",
+                     ring.size(),
+                     static_cast<unsigned long long>(ring.overwritten()),
+                     flags.GetString("audit-out").c_str());
+      }
     }
   }
   if (flags.Has("metrics-out")) {

@@ -1,0 +1,283 @@
+// pasa_loadgen — socket load generator for `pasa_cli serve --listen`.
+//
+//   pasa_loadgen --port P --in locations.csv --k 50
+//                [--mode closed|open]       request pacing (default closed)
+//                [--connections C]          concurrent connections (default 4)
+//                [--requests N]             closed loop: total requests
+//                [--duration-seconds S]     open loop: run time (default 2)
+//                [--rate R]                 open loop: offered req/s total
+//                [--wait-ready-seconds S]   retry-connect budget (default 10)
+//                [--shutdown 1]             send kShutdownRequest at the end
+//                [--benchstat-out FILE]     write a BENCH_net.json snapshot
+//                [--name NAME]              snapshot name (default "net")
+//
+// Closed loop: each connection issues its next request as soon as the
+// previous response arrives — measures sustainable throughput. Open loop:
+// requests are issued on a fixed schedule regardless of responses and
+// latency is measured from the *scheduled* send time, so queueing delay is
+// charged to the server (no coordinated omission).
+//
+// Every response is verified: the cloak must contain the sender's true
+// location and group_size must be >= k — the load test doubles as an
+// end-to-end k-anonymity check. Exit code 1 on any verification failure.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.h"
+#include "geo/rect.h"
+#include "io/csv.h"
+#include "model/location_database.h"
+#include "net/client.h"
+#include "net/wire.h"
+#include "obs/benchstat.h"
+#include "tools/cli_flags.h"
+
+namespace {
+
+using namespace pasa;
+using tools::Flags;
+
+struct WorkerResult {
+  std::vector<double> latencies;  ///< seconds per request
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t rejected = 0;     ///< typed Error frames (e.g. admission)
+  uint64_t verify_failed = 0;
+  uint64_t transport_failed = 0;
+};
+
+struct Shared {
+  const LocationDatabase* db = nullptr;
+  uint16_t port = 0;
+  int k = 0;
+  double connect_timeout = 10.0;
+};
+
+// Issues one serve request for row `row` and verifies the response.
+void OneRequest(net::NetClient& client, const Shared& shared, size_t row,
+                WorkerResult* result, double scheduled_offset,
+                const WallTimer& epoch) {
+  const auto& entry = shared.db->row(row % shared.db->size());
+  const ServiceRequest sr{entry.user, entry.location, {{"poi", "rest"}}};
+  ++result->sent;
+  const double start = scheduled_offset >= 0.0 ? scheduled_offset
+                                               : epoch.ElapsedSeconds();
+  if (Status s = client.SendFrame(net::MsgType::kServeRequest,
+                                  net::EncodeServiceRequest(sr));
+      !s.ok()) {
+    ++result->transport_failed;
+    return;
+  }
+  Result<net::Frame> frame = client.ReadFrame(10.0);
+  const double latency = epoch.ElapsedSeconds() - start;
+  if (!frame.ok()) {
+    ++result->transport_failed;
+    return;
+  }
+  if (frame->type == net::MsgType::kError) {
+    ++result->rejected;
+    return;
+  }
+  Result<net::ServeResponseMsg> msg = net::DecodeServeResponse(frame->payload);
+  if (!msg.ok() || frame->type != net::MsgType::kServeResponse) {
+    ++result->verify_failed;
+    return;
+  }
+  // The end-to-end anonymity check: the answer must come from a cloak that
+  // masks the sender and is backed by at least k candidate senders.
+  const Rect cloak{msg->cloak_x1, msg->cloak_y1, msg->cloak_x2, msg->cloak_y2};
+  const bool masked = cloak.Contains(sr.location);
+  const bool anonymous =
+      msg->group_size >= static_cast<uint64_t>(shared.k);
+  if (!masked || !anonymous || msg->rid <= 0) {
+    ++result->verify_failed;
+    return;
+  }
+  ++result->ok;
+  result->latencies.push_back(latency);
+}
+
+void ClosedLoopWorker(const Shared& shared, size_t worker, size_t workers,
+                      uint64_t requests, WorkerResult* result) {
+  Result<net::NetClient> client =
+      net::NetClient::Connect(shared.port, shared.connect_timeout);
+  if (!client.ok()) {
+    result->transport_failed += requests;
+    result->sent += requests;
+    return;
+  }
+  WallTimer epoch;
+  for (uint64_t i = 0; i < requests; ++i) {
+    OneRequest(*client, shared, worker + i * workers, result, -1.0, epoch);
+  }
+}
+
+void OpenLoopWorker(const Shared& shared, size_t worker, size_t workers,
+                    double rate_per_conn, double duration,
+                    WorkerResult* result) {
+  Result<net::NetClient> client =
+      net::NetClient::Connect(shared.port, shared.connect_timeout);
+  if (!client.ok()) {
+    ++result->transport_failed;
+    return;
+  }
+  const double interval = rate_per_conn > 0.0 ? 1.0 / rate_per_conn : 0.0;
+  WallTimer epoch;
+  uint64_t i = 0;
+  while (true) {
+    // The request is *due* at i * interval; latency is charged from the
+    // schedule, not from when we got around to sending.
+    const double due = static_cast<double>(i) * interval;
+    if (due >= duration) break;
+    while (epoch.ElapsedSeconds() < due) {
+      std::this_thread::yield();
+    }
+    OneRequest(*client, shared, worker + i * workers, result, due, epoch);
+    ++i;
+  }
+}
+
+double Percentile(std::vector<double>* values, double q) {
+  if (values->empty()) return 0.0;
+  const size_t index = std::min(
+      values->size() - 1,
+      static_cast<size_t>(q * static_cast<double>(values->size())));
+  std::nth_element(values->begin(), values->begin() + index, values->end());
+  return (*values)[index];
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pasa_loadgen --port P --in F.csv --k K\n"
+               "  [--mode closed|open] [--connections C] [--requests N]\n"
+               "  [--duration-seconds S] [--rate R] [--wait-ready-seconds S]\n"
+               "  [--shutdown 1] [--benchstat-out F] [--name NAME]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv, 1);
+  if (!flags.Has("port") || !flags.Has("in")) return Usage();
+  const int64_t port = flags.GetInt("port", 0);
+  if (port < 1 || port > 65535) return Usage();
+  const std::string mode = flags.GetString("mode", "closed");
+  if (mode != "closed" && mode != "open") return Usage();
+  const size_t connections =
+      static_cast<size_t>(std::max<int64_t>(1, flags.GetInt("connections", 4)));
+  const uint64_t requests =
+      static_cast<uint64_t>(std::max<int64_t>(1, flags.GetInt("requests",
+                                                              10000)));
+  const double duration = flags.GetDouble("duration-seconds", 2.0);
+  const double rate = flags.GetDouble("rate", 20000.0);
+  if (duration <= 0.0 || rate <= 0.0) return Usage();
+
+  Result<LocationDatabase> db = LoadLocationDatabaseCsv(flags.GetString("in"));
+  if (!db.ok()) {
+    std::fprintf(stderr, "error: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  if (db->size() == 0) {
+    std::fprintf(stderr, "error: empty location database\n");
+    return 1;
+  }
+
+  Shared shared;
+  shared.db = &*db;
+  shared.port = static_cast<uint16_t>(port);
+  shared.k = static_cast<int>(flags.GetInt("k", 50));
+  shared.connect_timeout = flags.GetDouble("wait-ready-seconds", 10.0);
+
+  std::vector<WorkerResult> results(connections);
+  std::vector<std::thread> workers;
+  workers.reserve(connections);
+  WallTimer wall;
+  for (size_t w = 0; w < connections; ++w) {
+    if (mode == "closed") {
+      const uint64_t share = requests / connections +
+                             (w < requests % connections ? 1 : 0);
+      workers.emplace_back(ClosedLoopWorker, std::cref(shared), w,
+                           connections, share, &results[w]);
+    } else {
+      workers.emplace_back(OpenLoopWorker, std::cref(shared), w, connections,
+                           rate / static_cast<double>(connections), duration,
+                           &results[w]);
+    }
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed = wall.ElapsedSeconds();
+
+  WorkerResult total;
+  std::vector<double> latencies;
+  for (WorkerResult& r : results) {
+    total.sent += r.sent;
+    total.ok += r.ok;
+    total.rejected += r.rejected;
+    total.verify_failed += r.verify_failed;
+    total.transport_failed += r.transport_failed;
+    latencies.insert(latencies.end(), r.latencies.begin(), r.latencies.end());
+  }
+  double sum = 0.0;
+  for (const double v : latencies) sum += v;
+  const double mean = latencies.empty()
+                          ? 0.0
+                          : sum / static_cast<double>(latencies.size());
+  const double p50 = Percentile(&latencies, 0.50);
+  const double p95 = Percentile(&latencies, 0.95);
+  const double p99 = Percentile(&latencies, 0.99);
+  const double throughput =
+      elapsed > 0.0 ? static_cast<double>(total.ok) / elapsed : 0.0;
+
+  std::printf(
+      "%s loop, %zu connection(s): %llu sent, %llu ok, %llu rejected, "
+      "%llu transport errors, %llu VERIFY FAILURES in %.3f s\n",
+      mode.c_str(), connections,
+      static_cast<unsigned long long>(total.sent),
+      static_cast<unsigned long long>(total.ok),
+      static_cast<unsigned long long>(total.rejected),
+      static_cast<unsigned long long>(total.transport_failed),
+      static_cast<unsigned long long>(total.verify_failed), elapsed);
+  std::printf("throughput %.0f req/s; latency mean %.1f us, p50 %.1f us, "
+              "p95 %.1f us, p99 %.1f us\n",
+              throughput, mean * 1e6, p50 * 1e6, p95 * 1e6, p99 * 1e6);
+
+  if (flags.Has("shutdown")) {
+    Result<net::NetClient> client =
+        net::NetClient::Connect(shared.port, shared.connect_timeout);
+    if (client.ok()) {
+      client->Call(net::MsgType::kShutdownRequest, "", 5.0);
+    }
+  }
+
+  if (flags.Has("benchstat-out")) {
+    // Benchstat measurements are times (higher = regression), so record
+    // seconds-per-request rather than req/s.
+    std::map<std::string, double> run;
+    run["net/seconds_per_request"] =
+        throughput > 0.0 ? 1.0 / throughput : 1.0;
+    run["net/latency_mean_seconds"] = mean;
+    run["net/latency_p99_seconds"] = p99;
+    const obs::benchstat::Snapshot snapshot = obs::benchstat::Aggregate(
+        flags.GetString("name", "net"), {run});
+    const Status s = obs::benchstat::WriteSnapshotFile(
+        snapshot, flags.GetString("benchstat-out"));
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (total.verify_failed > 0) return 1;
+  if (total.ok == 0) {
+    std::fprintf(stderr, "error: no request succeeded\n");
+    return 1;
+  }
+  return 0;
+}
