@@ -13,11 +13,24 @@
 #include "obs/window.h"
 
 namespace pasa {
+namespace {
+
+// Counter for `path`, labeled {shard="<shard>"} when a shard is configured.
+obs::Counter& ShardCounter(const std::string& path, const std::string& shard) {
+  return obs::MetricsRegistry::Global().GetCounter(
+      shard.empty() ? path : obs::LabeledName(path, {{"shard", shard}}));
+}
+
+}  // namespace
 
 CspServer::CspServer(CspOptions options, MapExtent extent,
                      LocationDatabase snapshot, IncrementalAnonymizer engine,
                      ExtractedPolicy policy, PoiDatabase pois)
     : options_(options),
+      served_counter_(ShardCounter("csp/requests_served", options.shard)),
+      degraded_counter_(ShardCounter("csp/requests_degraded", options.shard)),
+      failed_counter_(ShardCounter("csp/requests_failed", options.shard)),
+      rejected_counter_(ShardCounter("csp/requests_rejected", options.shard)),
       extent_(extent),
       snapshot_(std::move(snapshot)),
       engine_(std::make_unique<IncrementalAnonymizer>(std::move(engine))),
@@ -106,14 +119,6 @@ Result<LbsAnswer> CspServer::HandleRequest(const ServiceRequest& sr,
 Result<LbsAnswer> CspServer::ServeRequest(const ServiceRequest& sr,
                                           obs::ProvenanceRecord* p,
                                           ServeDecision* decision) {
-  static obs::Counter& served =
-      obs::MetricsRegistry::Global().GetCounter("csp/requests_served");
-  static obs::Counter& degraded =
-      obs::MetricsRegistry::Global().GetCounter("csp/requests_degraded");
-  static obs::Counter& failed =
-      obs::MetricsRegistry::Global().GetCounter("csp/requests_failed");
-  static obs::Counter& rejected =
-      obs::MetricsRegistry::Global().GetCounter("csp/requests_rejected");
   obs::ScopedSpan span("csp/handle_request", obs::ScopedSpan::kRoot);
   WallTimer cloak_timer;
   const auto it = row_of_user_.find(sr.sender);
@@ -121,7 +126,7 @@ Result<LbsAnswer> CspServer::ServeRequest(const ServiceRequest& sr,
       snapshot_.row(it->second).location != sr.location) {
     decision->rejected = true;
     ++stats_.requests_rejected;
-    rejected.Increment();
+    rejected_counter_.Increment();
     obs::LogDebug("csp", "rejected request from user %lld (stale or unknown)",
                   static_cast<long long>(sr.sender));
     const Status status = Status::InvalidArgument(
@@ -172,7 +177,7 @@ Result<LbsAnswer> CspServer::ServeRequest(const ServiceRequest& sr,
     // Provider down and no cached fallback: the request is lost, but the
     // anonymization guarantee was never at stake — only the LBS hop failed.
     ++stats_.requests_failed;
-    failed.Increment();
+    failed_counter_.Increment();
     if (p != nullptr) {
       p->outcome = obs::RequestOutcome::kFailed;
       p->status = StatusCodeName(answer.status().code());
@@ -180,11 +185,11 @@ Result<LbsAnswer> CspServer::ServeRequest(const ServiceRequest& sr,
     return answer.status();
   }
   ++stats_.requests_served;
-  served.Increment();
+  served_counter_.Increment();
   if (answer->degraded) {
     decision->degraded = true;
     ++stats_.requests_degraded;
-    degraded.Increment();
+    degraded_counter_.Increment();
   }
   if (p != nullptr) {
     p->outcome = answer->degraded ? obs::RequestOutcome::kDegraded
@@ -201,7 +206,7 @@ Result<AnonymizedRequest> CspServer::Cloak(const ServiceRequest& sr,
   if (it == row_of_user_.end() ||
       snapshot_.row(it->second).location != sr.location) {
     ++stats_.requests_rejected;
-    rejected.Increment();
+    rejected_counter_.Increment();
     return Status::InvalidArgument(
         "service request is not valid w.r.t. the current snapshot");
   }

@@ -15,10 +15,16 @@
 #include <sys/epoll.h>
 #endif
 
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.h"
 #include "common/timer.h"
 #include "fault/injector.h"
+#include "obs/export.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/provenance.h"
 #include "obs/slo.h"
 #include "obs/window.h"
@@ -45,6 +51,48 @@ Status SetNonBlocking(int fd) {
 void SetNoDelay(int fd) {
   int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+// Creates a non-blocking loopback listener on `port` (0 picks a free one)
+// and reports the bound port through `bound_port`.
+Result<int> ListenOnLoopback(uint16_t port, int backlog,
+                             uint16_t* bound_port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status s = Status::Unavailable(std::string("bind to port ") +
+                                         std::to_string(port) + ": " +
+                                         std::strerror(errno));
+    close(fd);
+    return s;
+  }
+  if (listen(fd, backlog) < 0) {
+    const Status s =
+        Status::Internal(std::string("listen: ") + std::strerror(errno));
+    close(fd);
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const Status s = Status::Internal(std::string("getsockname: ") +
+                                      std::strerror(errno));
+    close(fd);
+    return s;
+  }
+  *bound_port = ntohs(addr.sin_port);
+  if (Status s = SetNonBlocking(fd); !s.ok()) {
+    close(fd);
+    return s;
+  }
+  return fd;
 }
 
 }  // namespace
@@ -182,33 +230,18 @@ Result<std::unique_ptr<NetServer>> NetServer::Start(
   }
   auto server = std::unique_ptr<NetServer>(new NetServer(csp, options));
 
-  server->listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
-  if (server->listen_fd_ < 0) {
-    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  Result<int> listen_fd =
+      ListenOnLoopback(options.port, options.backlog, &server->port_);
+  if (!listen_fd.ok()) return listen_fd.status();
+  server->listen_fd_ = *listen_fd;
+
+  if (options.admin_port >= 0) {
+    Result<int> admin_fd =
+        ListenOnLoopback(static_cast<uint16_t>(options.admin_port),
+                         options.backlog, &server->admin_port_);
+    if (!admin_fd.ok()) return admin_fd.status();
+    server->admin_listen_fd_ = *admin_fd;
   }
-  int one = 1;
-  setsockopt(server->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(options.port);
-  if (bind(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-           sizeof(addr)) < 0) {
-    return Status::Unavailable(std::string("bind to port ") +
-                               std::to_string(options.port) + ": " +
-                               std::strerror(errno));
-  }
-  if (listen(server->listen_fd_, options.backlog) < 0) {
-    return Status::Internal(std::string("listen: ") + std::strerror(errno));
-  }
-  socklen_t len = sizeof(addr);
-  if (getsockname(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-                  &len) < 0) {
-    return Status::Internal(std::string("getsockname: ") +
-                            std::strerror(errno));
-  }
-  server->port_ = ntohs(addr.sin_port);
-  if (Status s = SetNonBlocking(server->listen_fd_); !s.ok()) return s;
 
   if (pipe(server->wake_fds_) < 0) {
     return Status::Internal(std::string("pipe: ") + std::strerror(errno));
@@ -226,6 +259,11 @@ Result<std::unique_ptr<NetServer>> NetServer::Start(
     server->poller_ = std::make_unique<PollPoller>();
   }
   if (Status s = server->poller_->Add(server->listen_fd_); !s.ok()) return s;
+  if (server->admin_listen_fd_ >= 0) {
+    if (Status s = server->poller_->Add(server->admin_listen_fd_); !s.ok()) {
+      return s;
+    }
+  }
   if (Status s = server->poller_->Add(server->wake_fds_[0]); !s.ok()) {
     return s;
   }
@@ -240,12 +278,17 @@ Result<std::unique_ptr<NetServer>> NetServer::Start(
   obs::LogInfo("net", "listening on 127.0.0.1:%u (%s backend)",
                unsigned{server->port_},
                options.use_poll ? "poll" : "default");
+  if (server->admin_listen_fd_ >= 0) {
+    obs::LogInfo("net", "admin plane on http://127.0.0.1:%u",
+                 unsigned{server->admin_port_});
+  }
   return server;
 }
 
 NetServer::~NetServer() {
   Stop();
   if (listen_fd_ >= 0) close(listen_fd_);
+  if (admin_listen_fd_ >= 0) close(admin_listen_fd_);
   if (wake_fds_[0] >= 0) close(wake_fds_[0]);
   if (wake_fds_[1] >= 0) close(wake_fds_[1]);
 }
@@ -277,6 +320,8 @@ NetServer::Stats NetServer::stats() const {
   s.faults_injected = faults_injected_.load();
   s.bytes_read = bytes_read_.load();
   s.bytes_written = bytes_written_.load();
+  s.admin_connections = admin_connections_.load();
+  s.admin_requests = admin_requests_.load();
   return s;
 }
 
@@ -317,6 +362,10 @@ void NetServer::Loop() {
     for (const PollEvent& event : events) {
       if (event.fd == listen_fd_) {
         if (event.readable && !stopping_) HandleListener();
+        continue;
+      }
+      if (event.fd == admin_listen_fd_) {
+        if (event.readable && !stopping_) HandleAdminListener();
         continue;
       }
       if (event.fd == wake_fds_[0]) {
@@ -363,6 +412,7 @@ void NetServer::Loop() {
   for (auto& [fd, conn] : conns_) ids.push_back(conn.id);
   for (const uint64_t id : ids) CloseConn(id);
   poller_->Remove(listen_fd_);
+  if (admin_listen_fd_ >= 0) poller_->Remove(admin_listen_fd_);
   poller_->Remove(wake_fds_[0]);
   {
     std::lock_guard<std::mutex> lock(shutdown_mu_);
@@ -404,6 +454,35 @@ void NetServer::HandleListener() {
   }
 }
 
+void NetServer::HandleAdminListener() {
+  static obs::Counter& accepted =
+      obs::MetricsRegistry::Global().GetCounter("net/admin/connections");
+  while (true) {
+    const int fd = accept(admin_listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    // No max_connections check: the operator plane must stay reachable
+    // exactly when the serving plane is saturated.
+    if (!SetNonBlocking(fd).ok()) {
+      close(fd);
+      continue;
+    }
+    SetNoDelay(fd);
+    if (!poller_->Add(fd).ok()) {
+      close(fd);
+      continue;
+    }
+    Conn conn;
+    conn.id = next_conn_id_++;
+    conn.fd = fd;
+    conn.is_admin = true;
+    conn.http = std::make_unique<HttpParser>();
+    fd_of_conn_[conn.id] = fd;
+    conns_[fd] = std::move(conn);
+    ++admin_connections_;
+    accepted.Increment();
+  }
+}
+
 NetServer::Conn* NetServer::FindConn(uint64_t conn_id) {
   const auto id_it = fd_of_conn_.find(conn_id);
   if (id_it == fd_of_conn_.end()) return nullptr;
@@ -432,7 +511,8 @@ void NetServer::HandleReadable(Conn* conn) {
   const uint64_t conn_id = conn->id;
   while (true) {
     size_t want = sizeof(buf);
-    if (fault::FaultInjector::Global().ShouldInject(fault::kNetSlowRead)) {
+    if (!conn->is_admin &&
+        fault::FaultInjector::Global().ShouldInject(fault::kNetSlowRead)) {
       // A pathologically slow peer: deliver one byte this pass. The frame
       // decoder is torn-read tolerant by construction, so this only adds
       // latency.
@@ -443,9 +523,14 @@ void NetServer::HandleReadable(Conn* conn) {
     const ssize_t n = recv(conn->fd, buf, want, 0);
     if (n > 0) {
       bytes_read_ += static_cast<uint64_t>(n);
-      conn->decoder.Feed(buf, static_cast<size_t>(n));
-      DrainDecoder(conn);
-      if (FindConn(conn_id) == nullptr) return;  // decoder error closed it
+      if (conn->is_admin) {
+        conn->http->Feed(buf, static_cast<size_t>(n));
+        DrainHttp(conn);
+      } else {
+        conn->decoder.Feed(buf, static_cast<size_t>(n));
+        DrainDecoder(conn);
+      }
+      if (FindConn(conn_id) == nullptr) return;  // parse error closed it
       if (static_cast<size_t>(n) < want) return;  // drained the socket
       if (want == 1) return;  // slow read: one byte per tick
       continue;
@@ -569,6 +654,113 @@ void NetServer::DrainDecoder(Conn* conn) {
     }
     if (FindConn(conn_id) == nullptr) return;  // conn_drop during flush
   }
+}
+
+// ---------------------------------------------------------------------------
+// Admin plane.
+
+namespace {
+
+// Human burn-rate table for GET /slo: one row per objective with both
+// alerting windows, mirroring the CLI's end-of-run SLO report.
+std::string SloBurnTable() {
+  const obs::MetricsSnapshot snapshot = obs::FullSnapshot();
+  if (snapshot.slos.empty()) {
+    return "no SLO objectives armed (serve with --slo tracking enabled)\n";
+  }
+  TablePrinter table({"slo", "kind", "target", "fast_burn", "slow_burn",
+                      "alerting", "fired", "resolved"});
+  for (const obs::SloState& slo : snapshot.slos) {
+    char target[32], fast[32], slow[32];
+    std::snprintf(target, sizeof(target), "%.4f", slo.target);
+    std::snprintf(fast, sizeof(fast), "%.2f", slo.fast_burn);
+    std::snprintf(slow, sizeof(slow), "%.2f", slo.slow_burn);
+    table.AddRow({slo.name, obs::SloKindName(slo.kind), target, fast, slow,
+                  slo.alerting ? "ALERT" : "ok",
+                  std::to_string(slo.alerts_fired),
+                  std::to_string(slo.alerts_resolved)});
+  }
+  return table.ToString();
+}
+
+}  // namespace
+
+void NetServer::DrainHttp(Conn* conn) {
+  const uint64_t conn_id = conn->id;
+  while (true) {
+    HttpRequest request;
+    Status error;
+    const HttpParser::Poll poll = conn->http->Next(&request, &error);
+    if (poll == HttpParser::Poll::kNeedMore) return;
+    if (poll == HttpParser::Poll::kError) {
+      const int status =
+          conn->http->http_status() > 0 ? conn->http->http_status() : 400;
+      obs::LogWarn("net", "admin conn %llu: %s",
+                   static_cast<unsigned long long>(conn_id),
+                   error.ToString().c_str());
+      conn->outbuf += EncodeHttpResponse(status, "text/plain; charset=utf-8",
+                                         error.message() + "\n",
+                                         /*keep_alive=*/false);
+      conn->close_after_flush = true;
+      FlushConn(conn);
+      return;
+    }
+    HandleAdminRequest(conn, request);
+    if (FindConn(conn_id) == nullptr) return;  // flushed and closed
+  }
+}
+
+void NetServer::HandleAdminRequest(Conn* conn, const HttpRequest& request) {
+  static obs::Counter& admin_served =
+      obs::MetricsRegistry::Global().GetCounter("net/admin/requests");
+  ++admin_requests_;
+  admin_served.Increment();
+
+  const bool head_only = request.method == "HEAD";
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  if (request.method != "GET" && !head_only) {
+    status = 405;
+    body = "only GET and HEAD are served here\n";
+  } else if (request.path == "/metrics") {
+    // The Prometheus scrape target; version 0.0.4 is the text format tag.
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = obs::ExportPrometheus(obs::FullSnapshot());
+  } else if (request.path == "/healthz") {
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "ok queue=%zu/%zu connections=%zu\n", pending_.size(),
+                  options_.max_pending, conns_.size());
+    body = line;
+  } else if (request.path == "/vars") {
+    content_type = "application/json";
+    body = obs::ExportJson(obs::FullSnapshot());
+  } else if (request.path == "/slo") {
+    body = SloBurnTable();
+  } else if (request.path == "/profile") {
+    // Collapsed-stack folded text over the trailing ?seconds=N of the
+    // always-on profiler ring (everything retained when absent); reading
+    // back recorded samples, so the event loop never blocks here.
+    double seconds = 0.0;
+    const auto it = request.query.find("seconds");
+    if (it != request.query.end()) seconds = std::atof(it->second.c_str());
+    if (!obs::Profiler::Global().armed() &&
+        obs::Profiler::Global().samples_taken() == 0) {
+      status = 404;
+      body = "profiler is not armed (serve with --profile-hz > 0)\n";
+    } else {
+      body = obs::Profiler::Global().Collapsed(seconds);
+    }
+  } else {
+    status = 404;
+    body = "unknown admin path: try /metrics /healthz /slo /vars /profile\n";
+  }
+
+  conn->outbuf += EncodeHttpResponse(status, content_type, body,
+                                     request.keep_alive, head_only);
+  if (!request.keep_alive) conn->close_after_flush = true;
+  FlushConn(conn);
 }
 
 // ---------------------------------------------------------------------------
@@ -753,7 +945,7 @@ void NetServer::FlushConn(Conn* conn) {
       obs::MetricsRegistry::Global().GetCounter("net/fault/conn_drops");
   const uint64_t conn_id = conn->id;
 
-  if (conn->out_offset < conn->outbuf.size() &&
+  if (!conn->is_admin && conn->out_offset < conn->outbuf.size() &&
       fault::FaultInjector::Global().ShouldInject(fault::kNetConnDrop)) {
     // The peer vanishes right before its response: correctness must come
     // from the client retrying, never from weakened anonymity.
@@ -764,7 +956,7 @@ void NetServer::FlushConn(Conn* conn) {
   }
 
   size_t limit = conn->outbuf.size();
-  if (limit - conn->out_offset > 1 &&
+  if (!conn->is_admin && limit - conn->out_offset > 1 &&
       fault::FaultInjector::Global().ShouldInject(fault::kNetTornWrite)) {
     // Write only half of what is due; the remainder goes out next tick,
     // exercising every client's torn-frame tolerance.

@@ -14,6 +14,7 @@
 
 #include "common/status.h"
 #include "csp/server.h"
+#include "net/http.h"
 #include "net/wire.h"
 
 namespace pasa {
@@ -41,6 +42,15 @@ struct NetServerOptions {
   bool use_poll = false;
   /// Retry-after hint carried by admission-control rejections.
   uint64_t retry_after_micros = 1000;
+  /// Admin (operator) plane: when >= 0, a second loopback listener on this
+  /// port (0 picks a free one, read back via admin_port()) serves HTTP GETs
+  /// on the same event loop — /metrics, /healthz, /slo, /vars,
+  /// /profile?seconds=N. Admin traffic is operator plane throughout: its
+  /// connections do not count against max_connections, its requests are
+  /// answered inline (never queued behind admission control), and the
+  /// net/* fault injection points skip it, so telemetry stays reachable
+  /// exactly when the serving plane is overloaded or being tortured.
+  int admin_port = -1;
 };
 
 /// Single-threaded non-blocking network front end for CspServer: one event
@@ -55,6 +65,12 @@ struct NetServerOptions {
 /// when it is full, serve/anonymize/advance requests get a typed
 /// kUnavailable Error frame with a retry-after hint (admission control)
 /// while Health/Stats/Shutdown — the operator plane — bypass admission.
+///
+/// With NetServerOptions::admin_port set, the same event loop additionally
+/// serves a live HTTP telemetry plane (GET /metrics, /healthz, /slo,
+/// /vars, /profile?seconds=N) on a second loopback listener; admin traffic
+/// follows the operator-plane bypass rules (no max_connections cap, no
+/// admission queue, no net/* fault injection).
 ///
 /// Observability: per-connection/per-frame counters and latency histograms
 /// in the MetricsRegistry ("net/..."), a sliding-window latency histogram
@@ -79,6 +95,9 @@ class NetServer {
   /// The bound port (useful with options.port = 0).
   uint16_t port() const { return port_; }
 
+  /// The bound admin-plane port; 0 when no admin listener was requested.
+  uint16_t admin_port() const { return admin_port_; }
+
   /// Signals the loop to finish and joins it. Idempotent.
   void Stop();
 
@@ -98,6 +117,8 @@ class NetServer {
     uint64_t faults_injected = 0;      ///< net/* fault fires
     uint64_t bytes_read = 0;
     uint64_t bytes_written = 0;
+    uint64_t admin_connections = 0;    ///< admin-plane accepts
+    uint64_t admin_requests = 0;       ///< HTTP requests answered
   };
   Stats stats() const;
 
@@ -127,6 +148,10 @@ class NetServer {
     /// Set while net/torn_write holds back the tail of a frame; the
     /// remainder goes out on the next tick.
     bool torn = false;
+    /// Admin-plane connection: bytes go through `http` instead of
+    /// `decoder`, and the net/* fault injection points skip it.
+    bool is_admin = false;
+    std::unique_ptr<HttpParser> http;  ///< set iff is_admin
   };
 
   /// One admitted request waiting for a dispatch slot.
@@ -141,8 +166,17 @@ class NetServer {
 
   void Loop();
   void HandleListener();
+  /// Accepts admin-plane connections: never rejected for max_connections
+  /// (the operator plane must stay reachable under overload).
+  void HandleAdminListener();
   void HandleReadable(Conn* conn);
   void HandleWritable(Conn* conn);
+  /// Parses and answers as many HTTP requests as the admin connection's
+  /// buffer holds, inline on the loop thread (admission bypass).
+  void DrainHttp(Conn* conn);
+  /// Routes one parsed admin request (/metrics, /healthz, /slo, /vars,
+  /// /profile) and queues the response.
+  void HandleAdminRequest(Conn* conn, const HttpRequest& request);
   /// Decodes as many frames as the connection's buffer holds, admitting
   /// request frames and answering the operator plane inline.
   void DrainDecoder(Conn* conn);
@@ -160,6 +194,8 @@ class NetServer {
   const NetServerOptions options_;
   uint16_t port_ = 0;
   int listen_fd_ = -1;
+  uint16_t admin_port_ = 0;
+  int admin_listen_fd_ = -1;  ///< -1 when the admin plane is disabled
   int wake_fds_[2] = {-1, -1};  ///< self-pipe: Stop() wakes the poller
 
   std::unique_ptr<Poller> poller_;
@@ -186,6 +222,8 @@ class NetServer {
   std::atomic<uint64_t> faults_injected_{0};
   std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> admin_connections_{0};
+  std::atomic<uint64_t> admin_requests_{0};
 };
 
 }  // namespace net

@@ -3,8 +3,11 @@
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <set>
+#include <vector>
 
 #include "common/table.h"
 
@@ -73,6 +76,67 @@ void AppendF(std::string* out, const char* fmt, ...) {
   std::vsnprintf(buf, sizeof(buf), fmt, args);
   va_end(args);
   *out += buf;
+}
+
+// Escapes a # HELP docstring: only backslash and newline are special there.
+std::string PromHelpEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// Splits a registry key (see obs::LabeledName) at its first '{' into the
+// family path and the verbatim label block ("" when unlabeled).
+void SplitSeriesKey(const std::string& key, std::string* path,
+                    std::string* labels) {
+  const size_t brace = key.find('{');
+  if (brace == std::string::npos) {
+    *path = key;
+    labels->clear();
+  } else {
+    *path = key.substr(0, brace);
+    *labels = key.substr(brace);
+  }
+}
+
+// Inserts an extra `k="v"` pair into a (possibly empty) label block.
+std::string MergeLabels(const std::string& block, const std::string& extra) {
+  if (block.empty()) return "{" + extra + "}";
+  return block.substr(0, block.size() - 1) + "," + extra + "}";
+}
+
+// Emits the one # HELP + # TYPE header a metric family gets.
+void FamilyHeader(std::string* out, const std::string& prom, const char* type,
+                  const std::string& help) {
+  AppendF(out, "# HELP %s %s\n", prom.c_str(), PromHelpEscape(help).c_str());
+  AppendF(out, "# TYPE %s %s\n", prom.c_str(), type);
+}
+
+// Regroups snapshot map entries by family path so every series of a family
+// (labeled or not) is emitted contiguously under a single header, as the
+// exposition format requires — the snapshot map interleaves families
+// lexically ("foo2" sorts between "foo" and "foo{shard=...}").
+template <typename Value>
+std::map<std::string, std::vector<std::pair<std::string, const Value*>>>
+GroupFamilies(const std::map<std::string, Value>& series) {
+  std::map<std::string, std::vector<std::pair<std::string, const Value*>>>
+      families;
+  for (const auto& [key, value] : series) {
+    std::string path;
+    std::string labels;
+    SplitSeriesKey(key, &path, &labels);
+    families[path].emplace_back(std::move(labels), &value);
+  }
+  return families;
 }
 
 // Approximate quantile from cumulative bucket counts: the upper bound of the
@@ -208,114 +272,338 @@ std::string ExportJson(const MetricsSnapshot& snapshot) {
 
 std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
   std::string out;
-  for (const auto& [name, value] : snapshot.counters) {
-    const std::string prom = PromName(name);
-    AppendF(&out, "# TYPE %s counter\n", prom.c_str());
-    AppendF(&out, "%s %" PRIu64 "\n", prom.c_str(), value);
-  }
-  for (const auto& [name, value] : snapshot.gauges) {
-    const std::string prom = PromName(name);
-    AppendF(&out, "# TYPE %s gauge\n", prom.c_str());
-    AppendF(&out, "%s %s\n", prom.c_str(), JsonNumber(value).c_str());
-  }
-  for (const auto& [name, h] : snapshot.histograms) {
-    const std::string prom = PromName(name);
-    AppendF(&out, "# TYPE %s histogram\n", prom.c_str());
-    uint64_t cumulative = 0;
-    for (size_t i = 0; i < h.bucket_counts.size(); ++i) {
-      cumulative += h.bucket_counts[i];
-      if (i < h.upper_bounds.size()) {
-        AppendF(&out, "%s_bucket{le=\"%s\"} %" PRIu64 "\n", prom.c_str(),
-                JsonNumber(h.upper_bounds[i]).c_str(), cumulative);
-      } else {
-        AppendF(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", prom.c_str(),
-                cumulative);
-      }
+  for (const auto& [path, series] : GroupFamilies(snapshot.counters)) {
+    const std::string prom = PromName(path);
+    FamilyHeader(&out, prom, "counter", "pasa counter " + path);
+    for (const auto& [labels, value] : series) {
+      AppendF(&out, "%s%s %" PRIu64 "\n", prom.c_str(), labels.c_str(),
+              *value);
     }
-    AppendF(&out, "%s_sum %s\n", prom.c_str(), JsonNumber(h.sum).c_str());
-    AppendF(&out, "%s_count %" PRIu64 "\n", prom.c_str(), h.count);
+  }
+  for (const auto& [path, series] : GroupFamilies(snapshot.gauges)) {
+    const std::string prom = PromName(path);
+    FamilyHeader(&out, prom, "gauge", "pasa gauge " + path);
+    for (const auto& [labels, value] : series) {
+      AppendF(&out, "%s%s %s\n", prom.c_str(), labels.c_str(),
+              JsonNumber(*value).c_str());
+    }
+  }
+  for (const auto& [path, series] : GroupFamilies(snapshot.histograms)) {
+    const std::string prom = PromName(path);
+    FamilyHeader(&out, prom, "histogram", "pasa histogram " + path);
+    for (const auto& [labels, h] : series) {
+      uint64_t cumulative = 0;
+      for (size_t i = 0; i < h->bucket_counts.size(); ++i) {
+        cumulative += h->bucket_counts[i];
+        const std::string le =
+            i < h->upper_bounds.size()
+                ? "le=\"" + JsonNumber(h->upper_bounds[i]) + "\""
+                : std::string("le=\"+Inf\"");
+        AppendF(&out, "%s_bucket%s %" PRIu64 "\n", prom.c_str(),
+                MergeLabels(labels, le).c_str(), cumulative);
+      }
+      AppendF(&out, "%s_sum%s %s\n", prom.c_str(), labels.c_str(),
+              JsonNumber(h->sum).c_str());
+      AppendF(&out, "%s_count%s %" PRIu64 "\n", prom.c_str(), labels.c_str(),
+              h->count);
+    }
   }
   if (!snapshot.spans.empty()) {
-    out += "# TYPE pasa_span_seconds_total counter\n";
+    FamilyHeader(&out, "pasa_span_seconds_total", "counter",
+                 "total seconds spent in each instrumented span path");
     for (const auto& [name, s] : snapshot.spans) {
-      AppendF(&out, "pasa_span_seconds_total{span=\"%s\"} %s\n", name.c_str(),
+      AppendF(&out, "pasa_span_seconds_total{span=\"%s\"} %s\n",
+              PromLabelValueEscape(name).c_str(),
               JsonNumber(s.total_seconds).c_str());
     }
-    out += "# TYPE pasa_span_count counter\n";
+    FamilyHeader(&out, "pasa_span_count", "counter",
+                 "completed executions of each instrumented span path");
     for (const auto& [name, s] : snapshot.spans) {
-      AppendF(&out, "pasa_span_count{span=\"%s\"} %" PRIu64 "\n", name.c_str(),
-              s.count);
+      AppendF(&out, "pasa_span_count{span=\"%s\"} %" PRIu64 "\n",
+              PromLabelValueEscape(name).c_str(), s.count);
     }
   }
-  for (const auto& [name, w] : snapshot.windows.histograms) {
-    const std::string prom = PromName(name);
-    AppendF(&out, "# TYPE %s_p50 gauge\n%s_p50 %s\n", prom.c_str(),
-            prom.c_str(), JsonNumber(w.p50).c_str());
-    AppendF(&out, "# TYPE %s_p95 gauge\n%s_p95 %s\n", prom.c_str(),
-            prom.c_str(), JsonNumber(w.p95).c_str());
-    AppendF(&out, "# TYPE %s_p99 gauge\n%s_p99 %s\n", prom.c_str(),
-            prom.c_str(), JsonNumber(w.p99).c_str());
-    AppendF(&out, "# TYPE %s_window_count gauge\n%s_window_count %" PRIu64
-                  "\n",
-            prom.c_str(), prom.c_str(), w.count);
+  {
+    const auto window_families = GroupFamilies(snapshot.windows.histograms);
+    // Each windowed histogram fans out into four synthetic gauge families
+    // (_p50/_p95/_p99/_window_count); keep each family's series contiguous.
+    for (const char* suffix : {"_p50", "_p95", "_p99", "_window_count"}) {
+      for (const auto& [path, series] : window_families) {
+        const std::string prom = PromName(path) + suffix;
+        FamilyHeader(&out, prom, "gauge",
+                     "pasa sliding-window statistic " + path + suffix);
+        for (const auto& [labels, w] : series) {
+          if (std::string(suffix) == "_window_count") {
+            AppendF(&out, "%s%s %" PRIu64 "\n", prom.c_str(), labels.c_str(),
+                    w->count);
+          } else {
+            const double q = std::string(suffix) == "_p50"   ? w->p50
+                             : std::string(suffix) == "_p95" ? w->p95
+                                                             : w->p99;
+            AppendF(&out, "%s%s %s\n", prom.c_str(), labels.c_str(),
+                    JsonNumber(q).c_str());
+          }
+        }
+      }
+    }
   }
-  for (const auto& [name, r] : snapshot.windows.rates) {
-    const std::string prom = PromName(name);
-    AppendF(&out, "# TYPE %s gauge\n%s %s\n", prom.c_str(), prom.c_str(),
-            JsonNumber(r.rate).c_str());
-    AppendF(&out, "# TYPE %s_window_total gauge\n%s_window_total %" PRIu64
-                  "\n",
-            prom.c_str(), prom.c_str(), r.total);
+  for (const auto& [path, series] : GroupFamilies(snapshot.windows.rates)) {
+    const std::string prom = PromName(path);
+    FamilyHeader(&out, prom, "gauge", "pasa sliding-window rate " + path);
+    for (const auto& [labels, r] : series) {
+      AppendF(&out, "%s%s %s\n", prom.c_str(), labels.c_str(),
+              JsonNumber(r->rate).c_str());
+    }
+    FamilyHeader(&out, prom + "_window_total", "gauge",
+                 "pasa sliding-window sample count " + path);
+    for (const auto& [labels, r] : series) {
+      AppendF(&out, "%s_window_total%s %" PRIu64 "\n", prom.c_str(),
+              labels.c_str(), r->total);
+    }
   }
   if (!snapshot.slos.empty()) {
-    out += "# TYPE pasa_slo_alerting gauge\n";
+    FamilyHeader(&out, "pasa_slo_alerting", "gauge",
+                 "1 while the SLO's multi-window burn-rate alert is firing");
     for (const auto& slo : snapshot.slos) {
-      AppendF(&out, "pasa_slo_alerting{slo=\"%s\"} %d\n", slo.name.c_str(),
-              slo.alerting ? 1 : 0);
+      AppendF(&out, "pasa_slo_alerting{slo=\"%s\"} %d\n",
+              PromLabelValueEscape(slo.name).c_str(), slo.alerting ? 1 : 0);
     }
-    out += "# TYPE pasa_slo_fast_burn gauge\n";
+    FamilyHeader(&out, "pasa_slo_fast_burn", "gauge",
+                 "error budget burn rate over the fast window");
     for (const auto& slo : snapshot.slos) {
-      AppendF(&out, "pasa_slo_fast_burn{slo=\"%s\"} %s\n", slo.name.c_str(),
+      AppendF(&out, "pasa_slo_fast_burn{slo=\"%s\"} %s\n",
+              PromLabelValueEscape(slo.name).c_str(),
               JsonNumber(slo.fast_burn).c_str());
     }
-    out += "# TYPE pasa_slo_slow_burn gauge\n";
+    FamilyHeader(&out, "pasa_slo_slow_burn", "gauge",
+                 "error budget burn rate over the slow window");
     for (const auto& slo : snapshot.slos) {
-      AppendF(&out, "pasa_slo_slow_burn{slo=\"%s\"} %s\n", slo.name.c_str(),
+      AppendF(&out, "pasa_slo_slow_burn{slo=\"%s\"} %s\n",
+              PromLabelValueEscape(slo.name).c_str(),
               JsonNumber(slo.slow_burn).c_str());
     }
     // The same burn rates and window contents with explicit window labels,
     // the series shape external multi-window alerting rules consume. The
     // unlabeled pasa_slo_fast_burn/pasa_slo_slow_burn series above stay for
     // dashboard compatibility.
-    out += "# TYPE pasa_slo_burn_rate gauge\n";
+    FamilyHeader(&out, "pasa_slo_burn_rate", "gauge",
+                 "error budget burn rate per alerting window");
     for (const auto& slo : snapshot.slos) {
+      const std::string name = PromLabelValueEscape(slo.name);
       AppendF(&out, "pasa_slo_burn_rate{slo=\"%s\",window=\"fast\"} %s\n",
-              slo.name.c_str(), JsonNumber(slo.fast_burn).c_str());
+              name.c_str(), JsonNumber(slo.fast_burn).c_str());
       AppendF(&out, "pasa_slo_burn_rate{slo=\"%s\",window=\"slow\"} %s\n",
-              slo.name.c_str(), JsonNumber(slo.slow_burn).c_str());
+              name.c_str(), JsonNumber(slo.slow_burn).c_str());
     }
-    out += "# TYPE pasa_slo_window_good gauge\n";
+    FamilyHeader(&out, "pasa_slo_window_good", "gauge",
+                 "good events per alerting window");
     for (const auto& slo : snapshot.slos) {
+      const std::string name = PromLabelValueEscape(slo.name);
       AppendF(&out, "pasa_slo_window_good{slo=\"%s\",window=\"fast\"} %" PRIu64
                     "\n",
-              slo.name.c_str(), slo.fast_good);
+              name.c_str(), slo.fast_good);
       AppendF(&out, "pasa_slo_window_good{slo=\"%s\",window=\"slow\"} %" PRIu64
                     "\n",
-              slo.name.c_str(), slo.slow_good);
+              name.c_str(), slo.slow_good);
     }
-    out += "# TYPE pasa_slo_window_total gauge\n";
+    FamilyHeader(&out, "pasa_slo_window_total", "gauge",
+                 "total events per alerting window");
     for (const auto& slo : snapshot.slos) {
+      const std::string name = PromLabelValueEscape(slo.name);
       AppendF(&out,
               "pasa_slo_window_total{slo=\"%s\",window=\"fast\"} %" PRIu64
               "\n",
-              slo.name.c_str(), slo.fast_total);
+              name.c_str(), slo.fast_total);
       AppendF(&out,
               "pasa_slo_window_total{slo=\"%s\",window=\"slow\"} %" PRIu64
               "\n",
-              slo.name.c_str(), slo.slow_total);
+              name.c_str(), slo.slow_total);
     }
   }
   return out;
+}
+
+namespace {
+
+bool IsMetricNameStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+bool IsMetricNameChar(char c) {
+  return IsMetricNameStart(c) || (c >= '0' && c <= '9');
+}
+bool IsLabelNameStart(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool IsLabelNameChar(char c) {
+  return IsLabelNameStart(c) || (c >= '0' && c <= '9');
+}
+
+Status LineError(size_t line_no, const std::string& what) {
+  return Status::InvalidArgument("prometheus text line " +
+                                 std::to_string(line_no) + ": " + what);
+}
+
+// Parses `name{labels}` starting at *pos; advances *pos past it. Returns
+// false (with *error set) on malformed names, labels or escapes.
+bool ParseSampleName(const std::string& line, size_t line_no, size_t* pos,
+                     std::string* name, Status* error) {
+  size_t i = *pos;
+  if (i >= line.size() || !IsMetricNameStart(line[i])) {
+    *error = LineError(line_no, "sample does not start with a metric name");
+    return false;
+  }
+  const size_t name_begin = i;
+  while (i < line.size() && IsMetricNameChar(line[i])) ++i;
+  *name = line.substr(name_begin, i - name_begin);
+  if (i < line.size() && line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      if (!IsLabelNameStart(line[i])) {
+        *error = LineError(line_no, "bad label name in " + *name);
+        return false;
+      }
+      while (i < line.size() && IsLabelNameChar(line[i])) ++i;
+      if (i >= line.size() || line[i] != '=') {
+        *error = LineError(line_no, "label without '=' in " + *name);
+        return false;
+      }
+      ++i;
+      if (i >= line.size() || line[i] != '"') {
+        *error = LineError(line_no, "label value not quoted in " + *name);
+        return false;
+      }
+      ++i;
+      while (i < line.size() && line[i] != '"') {
+        if (line[i] == '\\') {
+          if (i + 1 >= line.size() ||
+              (line[i + 1] != '\\' && line[i + 1] != '"' &&
+               line[i + 1] != 'n')) {
+            *error = LineError(line_no, "bad escape in label value of " +
+                                            *name);
+            return false;
+          }
+          ++i;
+        }
+        ++i;
+      }
+      if (i >= line.size()) {
+        *error = LineError(line_no, "unterminated label value in " + *name);
+        return false;
+      }
+      ++i;  // closing quote
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size()) {
+      *error = LineError(line_no, "unterminated label block in " + *name);
+      return false;
+    }
+    ++i;  // closing brace
+  }
+  *pos = i;
+  return true;
+}
+
+}  // namespace
+
+Status CheckPrometheusText(const std::string& text) {
+  if (text.empty()) return Status::InvalidArgument("prometheus text is empty");
+  if (text.back() != '\n') {
+    return Status::InvalidArgument(
+        "prometheus text does not end with a newline");
+  }
+  std::map<std::string, std::string> declared_type;
+  // Grouping check: once another family's samples start, a family is closed
+  // and must not reappear.
+  std::string current_family;
+  std::set<std::string> closed;
+  // Maps a sample name to its family: histogram series land under the base
+  // name their # TYPE declared.
+  const auto family_of = [&declared_type](const std::string& name) {
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const size_t len = std::string(suffix).size();
+      if (name.size() > len &&
+          name.compare(name.size() - len, len, suffix) == 0) {
+        const std::string base = name.substr(0, name.size() - len);
+        const auto it = declared_type.find(base);
+        if (it != declared_type.end() && it->second == "histogram") {
+          return base;
+        }
+      }
+    }
+    return name;
+  };
+
+  size_t line_no = 0;
+  size_t begin = 0;
+  while (begin < text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(begin, end - begin);
+    begin = end + 1;
+    ++line_no;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# TYPE name type" / "# HELP name docstring"; other comments pass.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string rest = line.substr(7);
+        const size_t space = rest.find(' ');
+        const std::string name = rest.substr(0, space);
+        if (name.empty() || !IsMetricNameStart(name[0])) {
+          return LineError(line_no, "TYPE without a metric name");
+        }
+        const std::string type =
+            space == std::string::npos ? "" : rest.substr(space + 1);
+        if (type != "counter" && type != "gauge" && type != "histogram" &&
+            type != "summary" && type != "untyped") {
+          return LineError(line_no, "unknown TYPE '" + type + "'");
+        }
+        if (declared_type.count(name) != 0) {
+          return LineError(line_no, "duplicate TYPE for " + name);
+        }
+        if (closed.count(name) != 0 || current_family == name) {
+          return LineError(line_no, "TYPE for " + name + " after its samples");
+        }
+        declared_type[name] = type;
+      } else if (line.rfind("# HELP ", 0) == 0) {
+        const std::string rest = line.substr(7);
+        const size_t space = rest.find(' ');
+        const std::string name = rest.substr(0, space);
+        if (name.empty() || !IsMetricNameStart(name[0])) {
+          return LineError(line_no, "HELP without a metric name");
+        }
+      }
+      continue;
+    }
+    std::string name;
+    size_t pos = 0;
+    Status error = Status::Ok();
+    if (!ParseSampleName(line, line_no, &pos, &name, &error)) return error;
+    if (pos >= line.size() || (line[pos] != ' ' && line[pos] != '\t')) {
+      return LineError(line_no, "no value after sample name " + name);
+    }
+    while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+    // Value, then an optional integer timestamp.
+    const size_t value_end = line.find_first_of(" \t", pos);
+    const std::string value = line.substr(
+        pos, value_end == std::string::npos ? std::string::npos
+                                            : value_end - pos);
+    char* parse_end = nullptr;
+    std::strtod(value.c_str(), &parse_end);
+    if (value.empty() || parse_end != value.c_str() + value.size()) {
+      return LineError(line_no, "unparseable value '" + value + "'");
+    }
+    const std::string family = family_of(name);
+    if (family != current_family) {
+      if (closed.count(family) != 0) {
+        return LineError(line_no,
+                         "samples for " + family + " are not contiguous");
+      }
+      if (!current_family.empty()) closed.insert(current_family);
+      current_family = family;
+    }
+  }
+  return Status::Ok();
 }
 
 Status WriteTextFile(const std::string& path, const std::string& content) {

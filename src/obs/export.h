@@ -44,8 +44,22 @@ std::string ExportJson(const MetricsSnapshot& snapshot);
 /// paths are sanitized ('/' and other non-[a-zA-Z0-9_] become '_') and
 /// prefixed with "pasa_"; histograms emit cumulative _bucket/_sum/_count
 /// series, spans emit _seconds_total and _count series with the original
-/// path as a {span="..."} label.
+/// path as a {span="..."} label. Registry keys produced by LabeledName
+/// ("name{k=\"v\"}") become labeled series of one family: every series of a
+/// family is emitted contiguously under a single # HELP/# TYPE header, and
+/// label values (span paths, SLO names, LabeledName values) are escaped per
+/// the exposition format. Output passes CheckPrometheusText.
 std::string ExportPrometheus(const MetricsSnapshot& snapshot);
+
+/// Validates `text` against the Prometheus text exposition format: every
+/// line must be a #-comment (with well-formed `# TYPE` / `# HELP` shapes), a
+/// blank line, or a `name{labels} value [timestamp]` sample with legal
+/// metric/label names, only `\\` `\"` `\n` escapes in label values, and a
+/// parseable value; each family gets at most one TYPE, declared before its
+/// samples, with all its samples contiguous; the text ends with a newline.
+/// Returns InvalidArgument naming the first offending line otherwise. Used
+/// by `pasa_cli scrape --check` and the CI exposition-format gate.
+Status CheckPrometheusText(const std::string& text);
 
 /// Snapshot of the global MetricsRegistry augmented with the global
 /// window registry and SLO tracker (evaluated at the SimClock's current

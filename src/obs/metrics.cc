@@ -107,6 +107,52 @@ const std::vector<double>& DefaultLatencyBuckets() {
   return kBuckets;
 }
 
+std::string PromLabelValueEscape(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string LabeledName(const std::string& name,
+                        const std::map<std::string, std::string>& labels) {
+  if (labels.empty()) return name;
+  std::string out = name;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    // Prometheus label names: [a-zA-Z_][a-zA-Z0-9_]*.
+    for (size_t i = 0; i < key.size(); ++i) {
+      const char c = key[i];
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      c == '_' || (i > 0 && c >= '0' && c <= '9');
+      out += ok ? c : '_';
+    }
+    if (key.empty()) out += '_';
+    out += "=\"";
+    out += PromLabelValueEscape(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
   static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;

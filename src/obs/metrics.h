@@ -116,6 +116,27 @@ class SpanStats {
 /// from 1 microsecond to 10 seconds.
 const std::vector<double>& DefaultLatencyBuckets();
 
+/// Escapes a Prometheus label value per the text exposition format:
+/// `\` → `\\`, `"` → `\"`, newline → `\n`.
+std::string PromLabelValueEscape(const std::string& value);
+
+/// Canonical registry key for a labeled series: `name{k="v",...}` with label
+/// keys sanitized to the Prometheus label charset ([a-zA-Z_][a-zA-Z0-9_]*,
+/// other bytes become '_'), emitted in sorted key order, and values escaped
+/// with PromLabelValueEscape. With no labels, returns `name` unchanged.
+///
+/// This is how per-jurisdiction / per-worker / per-shard series are named:
+///
+///   registry.GetCounter(LabeledName("csp/requests_served",
+///                                   {{"shard", "j3"}})).Increment();
+///
+/// The Prometheus exporter splits such keys at the first '{', groups every
+/// series of the family under one # HELP/# TYPE header, and passes the label
+/// block through verbatim; the JSON exporter keeps the whole key as the map
+/// key. Distinct label sets are distinct metrics (distinct registrations).
+std::string LabeledName(const std::string& name,
+                        const std::map<std::string, std::string>& labels);
+
 /// Immutable copy of every registered metric, taken under the registry lock;
 /// what the exporters consume.
 struct MetricsSnapshot {

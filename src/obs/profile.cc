@@ -1,0 +1,313 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace pasa {
+namespace obs {
+namespace {
+
+// Folds a '/'-joined span path into ';'-joined flamegraph frames.
+std::string FoldPath(const std::string& path) {
+  std::string folded = path;
+  std::replace(folded.begin(), folded.end(), '/', ';');
+  return folded;
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min<size_t>(static_cast<size_t>(n), sizeof(buf) - 1));
+}
+
+}  // namespace
+
+// Owns this thread's registration: created lazily by the first armed span
+// transition on the thread, retired (so the sampler stops seeing a stale
+// path) when the thread exits.
+class ProfilerThreadHook {
+ public:
+  ~ProfilerThreadHook() {
+    if (slot_ != nullptr) Profiler::Global().UnregisterThread(slot_);
+  }
+
+  Profiler::Slot* slot() {
+    if (slot_ == nullptr) slot_ = Profiler::Global().RegisterThread();
+    return slot_;
+  }
+
+ private:
+  Profiler::Slot* slot_ = nullptr;
+};
+
+namespace {
+thread_local ProfilerThreadHook tls_profiler_hook;
+}  // namespace
+
+Profiler& Profiler::Global() {
+  // Leaked on purpose: thread_local ProfilerThreadHook destructors (which
+  // call UnregisterThread) may run during process teardown, after
+  // function-local statics would have been destroyed.
+  static Profiler* profiler = new Profiler();
+  return *profiler;
+}
+
+uint64_t Profiler::NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Status Profiler::Start(const ProfilerOptions& options) {
+  if (armed_.load(std::memory_order_relaxed)) {
+    return Status::InvalidArgument("profiler already armed");
+  }
+  if (options.capacity == 0) {
+    return Status::InvalidArgument("profiler capacity must be positive");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_capacity_ != options.capacity) {
+      // Keep as many of the most recent retained samples as still fit.
+      std::vector<Sample> kept;
+      kept.reserve(std::min(options.capacity, ring_.size()));
+      SnapshotLocked(&kept);
+      if (kept.size() > options.capacity) {
+        kept.erase(kept.begin(),
+                   kept.begin() +
+                       static_cast<long>(kept.size() - options.capacity));
+      }
+      ring_ = std::move(kept);
+      ring_capacity_ = options.capacity;
+      ring_wrapped_ = ring_.size() == ring_capacity_;
+      ring_next_ = ring_wrapped_ ? 0 : ring_.size();
+      ring_.reserve(ring_capacity_);
+    }
+  }
+  hz_ = options.hz;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_ = false;
+  }
+  armed_.store(true, std::memory_order_relaxed);
+  if (hz_ > 0) sampler_ = std::thread([this] { SamplerLoop(); });
+  return Status::Ok();
+}
+
+void Profiler::Stop() {
+  if (!armed_.load(std::memory_order_relaxed)) return;
+  armed_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stop_requested_ = true;
+  }
+  stop_cv_.notify_all();
+  if (sampler_.joinable()) sampler_.join();
+}
+
+void Profiler::SamplerLoop() {
+  const auto period = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(1.0 / hz_));
+  auto next = std::chrono::steady_clock::now() + period;
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  while (!stop_requested_) {
+    if (stop_cv_.wait_until(lock, next, [this] { return stop_requested_; })) {
+      break;
+    }
+    next += period;
+    lock.unlock();
+    SampleOnce(NowMicros());
+    lock.lock();
+  }
+}
+
+Profiler::Slot* Profiler::RegisterThread() {
+  auto slot = std::make_shared<Slot>();
+  Slot* raw = slot.get();
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.push_back(std::move(slot));
+  return raw;
+}
+
+void Profiler::UnregisterThread(Slot* slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].get() == slot) {
+      slots_.erase(slots_.begin() + static_cast<long>(i));
+      return;
+    }
+  }
+}
+
+size_t Profiler::SampleOnce(uint64_t now_micros) {
+  size_t recorded = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_capacity_ == 0) {
+      ring_capacity_ = ProfilerOptions{}.capacity;
+      ring_.reserve(ring_capacity_);
+    }
+    for (const auto& slot : slots_) {
+      std::string path;
+      {
+        std::lock_guard<std::mutex> slot_lock(slot->mu);
+        path = slot->path;
+      }
+      if (path.empty()) continue;
+      Sample sample{now_micros, std::move(path)};
+      if (ring_.size() < ring_capacity_) {
+        ring_.push_back(std::move(sample));
+        ring_next_ = ring_.size() % ring_capacity_;
+      } else {
+        ring_[ring_next_] = std::move(sample);
+        ring_next_ = (ring_next_ + 1) % ring_capacity_;
+        ring_wrapped_ = true;
+      }
+      ++recorded;
+    }
+  }
+  if (recorded > 0) {
+    samples_taken_.fetch_add(recorded, std::memory_order_relaxed);
+    if (Enabled()) {
+      MetricsRegistry::Global()
+          .GetCounter("obs/profiler/samples")
+          .Increment(recorded);
+    }
+  }
+  return recorded;
+}
+
+void Profiler::SnapshotLocked(std::vector<Sample>* out) const {
+  // Oldest-first: the wrapped region starts at ring_next_.
+  if (ring_wrapped_) {
+    for (size_t i = ring_next_; i < ring_.size(); ++i) out->push_back(ring_[i]);
+    for (size_t i = 0; i < ring_next_; ++i) out->push_back(ring_[i]);
+  } else {
+    for (const Sample& sample : ring_) out->push_back(sample);
+  }
+}
+
+size_t Profiler::retained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void Profiler::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  ring_next_ = 0;
+  ring_wrapped_ = false;
+}
+
+std::string Profiler::CollapsedSince(uint64_t min_micros) const {
+  std::vector<Sample> samples;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples.reserve(ring_.size());
+    SnapshotLocked(&samples);
+  }
+  std::map<std::string, uint64_t> stacks;
+  for (const Sample& sample : samples) {
+    if (sample.micros < min_micros) continue;
+    ++stacks[FoldPath(sample.path)];
+  }
+  std::string out;
+  for (const auto& [stack, count] : stacks) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Profiler::Collapsed(double seconds) const {
+  if (seconds <= 0) return CollapsedSince(0);
+  const uint64_t now = NowMicros();
+  const uint64_t span = static_cast<uint64_t>(seconds * 1e6);
+  return CollapsedSince(span >= now ? 0 : now - span);
+}
+
+std::string Profiler::SelfTimeTableSince(uint64_t min_micros) const {
+  std::vector<Sample> samples;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples.reserve(ring_.size());
+    SnapshotLocked(&samples);
+  }
+  struct FrameStats {
+    uint64_t self = 0;
+    uint64_t total = 0;
+  };
+  std::map<std::string, FrameStats> frames;
+  uint64_t considered = 0;
+  for (const Sample& sample : samples) {
+    if (sample.micros < min_micros) continue;
+    ++considered;
+    // Each distinct frame on the stack gets one `total` tick; the
+    // innermost frame also gets the `self` tick.
+    std::set<std::string> on_stack;
+    size_t begin = 0;
+    std::string last;
+    while (begin <= sample.path.size()) {
+      size_t end = sample.path.find('/', begin);
+      if (end == std::string::npos) end = sample.path.size();
+      last = sample.path.substr(begin, end - begin);
+      if (!last.empty()) on_stack.insert(last);
+      begin = end + 1;
+    }
+    for (const std::string& frame : on_stack) ++frames[frame].total;
+    if (!last.empty()) ++frames[last].self;
+  }
+  std::vector<std::pair<std::string, FrameStats>> rows(frames.begin(),
+                                                       frames.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.self != b.second.self) return a.second.self > b.second.self;
+    return a.first < b.first;
+  });
+  std::string out;
+  AppendF(&out, "profile: %llu samples\n",
+          static_cast<unsigned long long>(considered));
+  AppendF(&out, "%-40s %10s %10s %8s\n", "frame", "self", "total", "self%");
+  for (const auto& [frame, stats] : rows) {
+    const double pct =
+        considered == 0 ? 0.0
+                        : 100.0 * static_cast<double>(stats.self) /
+                              static_cast<double>(considered);
+    AppendF(&out, "%-40s %10llu %10llu %7.1f%%\n", frame.c_str(),
+            static_cast<unsigned long long>(stats.self),
+            static_cast<unsigned long long>(stats.total), pct);
+  }
+  return out;
+}
+
+std::string Profiler::SelfTimeTable(double seconds) const {
+  if (seconds <= 0) return SelfTimeTableSince(0);
+  const uint64_t now = NowMicros();
+  const uint64_t span = static_cast<uint64_t>(seconds * 1e6);
+  return SelfTimeTableSince(span >= now ? 0 : now - span);
+}
+
+void ProfilerPublishPath(const std::string& path) {
+  Profiler::Slot* slot = tls_profiler_hook.slot();
+  std::lock_guard<std::mutex> lock(slot->mu);
+  slot->path = path;
+}
+
+}  // namespace obs
+}  // namespace pasa

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/profile.h"
 #include "obs/trace_sink.h"
 
 namespace pasa {
@@ -26,6 +27,8 @@ ScopedSpan::ScopedSpan(std::string_view name, Anchor anchor) {
     path_ = std::string(name);
   }
   tls_span_stack.push_back(path_);
+  // One relaxed load while the profiler is disarmed (the common case).
+  if (ProfilerArmed()) ProfilerPublishPath(path_);
   TraceEventSink& sink = TraceEventSink::Global();
   if (sink.active()) sink.Record(TraceEvent::Type::kBegin, path_);
   start_ = std::chrono::steady_clock::now();
@@ -39,6 +42,10 @@ ScopedSpan::~ScopedSpan() {
   TraceEventSink& sink = TraceEventSink::Global();
   if (sink.active()) sink.Record(TraceEvent::Type::kEnd, path_);
   tls_span_stack.pop_back();
+  if (ProfilerArmed()) {
+    ProfilerPublishPath(tls_span_stack.empty() ? kEmptyPath
+                                               : tls_span_stack.back());
+  }
   // Record directly (not via RecordSpan) so a span that was open when the
   // layer got disabled still reports its measured time.
   MetricsRegistry::Global().GetSpanStats(path_).Record(seconds);

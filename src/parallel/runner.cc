@@ -227,6 +227,23 @@ Result<ParallelRunReport> RunPartitioned(const LocationDatabase& db,
         .Set(report.parallel_seconds);
     registry.GetGauge("parallel/last_total_cpu_seconds")
         .Set(report.total_cpu_seconds);
+    // Per-jurisdiction series (obs::LabeledName): one labeled gauge family
+    // per dimension, the per-shard dashboard shape the sharded reactors
+    // will reuse.
+    for (size_t j = 0; j < report.jurisdictions.size(); ++j) {
+      const JurisdictionResult& r = report.jurisdictions[j];
+      const std::map<std::string, std::string> labels = {
+          {"jurisdiction", std::to_string(j)}};
+      registry
+          .GetGauge(obs::LabeledName("parallel/jurisdiction/users", labels))
+          .Set(static_cast<double>(r.jurisdiction.users));
+      registry
+          .GetGauge(obs::LabeledName("parallel/jurisdiction/seconds", labels))
+          .Set(r.seconds);
+      registry
+          .GetGauge(obs::LabeledName("parallel/jurisdiction/cost", labels))
+          .Set(static_cast<double>(r.cost));
+    }
   }
   obs::LogDebug("parallel",
                 "anonymized %zu users across %zu jurisdictions: wall %.3f s, "

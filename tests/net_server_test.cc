@@ -19,9 +19,13 @@
 #include "csp/server.h"
 #include "fault/injector.h"
 #include "net/client.h"
+#include "net/http.h"
 #include "net/wire.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/slo.h"
+#include "obs/trace.h"
 #include "workload/bay_area.h"
 #include "workload/movement.h"
 
@@ -385,6 +389,149 @@ TEST(NetServerTest, NetFaultsNeverWeakenAnonymity) {
   EXPECT_GT(served.load(), 0);  // the server still makes progress
   EXPECT_GT(fx.server->stats().faults_injected, 0u);
   EXPECT_TRUE(AuditPolicyAware(fx.csp->policy()).Anonymous(k));
+  fx.server->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Admin plane: the HTTP telemetry listener sharing the event loop.
+
+NetServerOptions WithAdminPlane() {
+  NetServerOptions options;
+  options.admin_port = 0;  // pick a free port
+  return options;
+}
+
+TEST(NetServerAdminTest, MetricsEndpointServesValidPrometheusText) {
+  Fixture fx(/*k=*/10, WithAdminPlane());
+  ASSERT_GT(fx.server->admin_port(), 0);
+
+  // Put some traffic through the data plane first so the scrape has
+  // something to report.
+  std::atomic<int> failures{0};
+  ServeAndVerify(fx.server->port(), fx.db, 10, 0, 25, &failures);
+  ASSERT_EQ(failures.load(), 0);
+
+  Result<HttpResponse> response = HttpGet(fx.server->admin_port(), "/metrics");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->headers.at("content-type"),
+            "text/plain; version=0.0.4; charset=utf-8");
+  // The registry is process-global (other tests in this binary also serve
+  // requests), so assert the family exists rather than an exact value.
+  EXPECT_NE(response->body.find("pasa_net_requests_served"),
+            std::string::npos);
+  EXPECT_NE(response->body.find("# TYPE pasa_net_requests_served counter"),
+            std::string::npos);
+  const Status format = obs::CheckPrometheusText(response->body);
+  EXPECT_TRUE(format.ok()) << format.ToString();
+  fx.server->Stop();
+}
+
+TEST(NetServerAdminTest, HealthzSloAndVarsAnswer) {
+  Fixture fx(/*k=*/10, WithAdminPlane());
+  const uint16_t admin = fx.server->admin_port();
+
+  Result<HttpResponse> health = HttpGet(admin, "/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->status, 200);
+  EXPECT_EQ(health->body.rfind("ok ", 0), 0u) << health->body;
+
+  Result<HttpResponse> slo = HttpGet(admin, "/slo");
+  ASSERT_TRUE(slo.ok());
+  EXPECT_EQ(slo->status, 200);
+  EXPECT_FALSE(slo->body.empty());
+
+  Result<HttpResponse> vars = HttpGet(admin, "/vars");
+  ASSERT_TRUE(vars.ok());
+  EXPECT_EQ(vars->status, 200);
+  EXPECT_EQ(vars->headers.at("content-type"), "application/json");
+  EXPECT_EQ(vars->body.front(), '{');
+
+  const NetServer::Stats stats = fx.server->stats();
+  EXPECT_GE(stats.admin_connections, 3u);
+  EXPECT_GE(stats.admin_requests, 3u);
+  fx.server->Stop();
+}
+
+TEST(NetServerAdminTest, ProfileEndpointReportsArmedStateAndStacks) {
+  Fixture fx(/*k=*/10, WithAdminPlane());
+  const uint16_t admin = fx.server->admin_port();
+
+  // Disarmed and never sampled: a clear 404, not an empty 200.
+  ASSERT_FALSE(obs::Profiler::Global().armed());
+  obs::Profiler::Global().Reset();
+  if (obs::Profiler::Global().samples_taken() == 0) {
+    Result<HttpResponse> cold = HttpGet(admin, "/profile");
+    ASSERT_TRUE(cold.ok());
+    EXPECT_EQ(cold->status, 404);
+    EXPECT_NE(cold->body.find("not armed"), std::string::npos);
+  }
+
+  // Armed without a sampler thread: drive one deterministic sample from
+  // this thread's span stack; /profile must fold it.
+  obs::ProfilerOptions options;
+  options.hz = 0.0;
+  ASSERT_TRUE(obs::Profiler::Global().Start(options).ok());
+  {
+    obs::ScopedSpan span("admin_test/work", obs::ScopedSpan::kRoot);
+    ASSERT_GE(obs::Profiler::Global().SampleOnce(1), 1u);
+  }
+  Result<HttpResponse> hot = HttpGet(admin, "/profile");
+  ASSERT_TRUE(hot.ok());
+  EXPECT_EQ(hot->status, 200);
+  EXPECT_NE(hot->body.find("admin_test;work"), std::string::npos)
+      << hot->body;
+  obs::Profiler::Global().Stop();
+  obs::Profiler::Global().Reset();
+  fx.server->Stop();
+}
+
+TEST(NetServerAdminTest, UnknownPathBadMethodAndGarbageGetHttpErrors) {
+  Fixture fx(/*k=*/10, WithAdminPlane());
+  const uint16_t admin = fx.server->admin_port();
+
+  Result<HttpResponse> missing = HttpGet(admin, "/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+
+  Result<HttpResponse> post = HttpTransact(
+      admin, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  ASSERT_TRUE(post.ok());
+  EXPECT_EQ(post->status, 405);
+
+  Result<HttpResponse> garbage =
+      HttpTransact(admin, "\xFF\xFE not http at all\r\n\r\n");
+  ASSERT_TRUE(garbage.ok());
+  EXPECT_EQ(garbage->status, 400);
+
+  // HEAD answers with headers only but a truthful Content-Length.
+  Result<HttpResponse> head = HttpTransact(
+      admin, "HEAD /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(head->status, 200);
+  EXPECT_GT(std::stoul(head->headers.at("content-length")), 0u);
+  fx.server->Stop();
+}
+
+TEST(NetServerAdminTest, AdminPlaneBypassesConnectionCapUnderOverload) {
+  // max_connections = 0: every data-plane connection is rejected outright.
+  NetServerOptions options = WithAdminPlane();
+  options.max_connections = 0;
+  Fixture fx(/*k=*/10, options);
+
+  // A data-plane client is accepted and immediately closed: its call can
+  // never succeed.
+  Result<NetClient> client = NetClient::Connect(fx.server->port(), 5.0);
+  if (client.ok()) {
+    Result<Frame> frame = client->Call(MsgType::kHealthRequest, "", 5.0);
+    EXPECT_FALSE(frame.ok());
+  }
+
+  // The operator plane must stay reachable exactly when the serving plane
+  // is saturated.
+  Result<HttpResponse> health = HttpGet(fx.server->admin_port(), "/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->status, 200);
   fx.server->Stop();
 }
 

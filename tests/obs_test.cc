@@ -240,6 +240,104 @@ TEST_F(ObsTest, PrometheusExportSanitizesAndCumulates) {
             std::string::npos);
 }
 
+TEST_F(ObsTest, PrometheusExportEmitsHelpLinesAndPassesTheChecker) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("obs_test/hits").Increment(3);
+  registry.GetGauge("obs_test/load").Set(0.5);
+  registry.GetHistogram("obs_test/lat_seconds", {0.1, 1.0}).Observe(0.05);
+  registry.RecordSpan("obs_test/phase", 2.0);
+
+  const std::string text = ExportPrometheus(registry.Snapshot());
+  EXPECT_NE(text.find("# HELP pasa_obs_test_hits "), std::string::npos);
+  EXPECT_NE(text.find("# HELP pasa_obs_test_load "), std::string::npos);
+  EXPECT_NE(text.find("# HELP pasa_obs_test_lat_seconds "), std::string::npos);
+  const Status format = CheckPrometheusText(text);
+  EXPECT_TRUE(format.ok()) << format.ToString() << "\n" << text;
+}
+
+TEST_F(ObsTest, PrometheusEscapesHostileSpanNames) {
+  auto& registry = MetricsRegistry::Global();
+  // A span name with every character the text format must escape: quote,
+  // backslash, newline.
+  const std::string hostile = "evil\"span\\with\nnewline";
+  registry.RecordSpan(hostile, 1.0);
+  registry.RecordSpan("ok_span", 2.0);
+
+  const std::string text = ExportPrometheus(registry.Snapshot());
+  // The escaped label value appears...
+  EXPECT_NE(text.find("span=\"evil\\\"span\\\\with\\nnewline\""),
+            std::string::npos)
+      << text;
+  // ...and no raw newline leaked into the middle of a sample line: the
+  // whole exposition still parses.
+  const Status format = CheckPrometheusText(text);
+  EXPECT_TRUE(format.ok()) << format.ToString() << "\n" << text;
+}
+
+TEST_F(ObsTest, LabeledNameBuildsCanonicalSeriesKeys) {
+  EXPECT_EQ(LabeledName("csp/requests", {}), "csp/requests");
+  // Labels sort by key; values get escaped.
+  EXPECT_EQ(LabeledName("csp/requests",
+                        {{"zone", "west"}, {"shard", "a\"b"}}),
+            "csp/requests{shard=\"a\\\"b\",zone=\"west\"}");
+  // Label keys are sanitized to the Prometheus label-name charset.
+  EXPECT_EQ(LabeledName("x", {{"bad key!", "v"}}), "x{bad_key_=\"v\"}");
+  EXPECT_EQ(PromLabelValueEscape("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+}
+
+TEST_F(ObsTest, LabeledFamiliesStayContiguousInTheExport) {
+  auto& registry = MetricsRegistry::Global();
+  // "obs_test/reqs2" sorts lexically BETWEEN "obs_test/reqs" and
+  // "obs_test/reqs{...}", so naive map-order emission would interleave the
+  // family and break Prometheus ingestion.
+  registry.GetCounter(LabeledName("obs_test/reqs", {{"shard", "a"}}))
+      .Increment(1);
+  registry.GetCounter(LabeledName("obs_test/reqs", {{"shard", "b"}}))
+      .Increment(2);
+  registry.GetCounter("obs_test/reqs2").Increment(3);
+
+  const std::string text = ExportPrometheus(registry.Snapshot());
+  EXPECT_NE(text.find("pasa_obs_test_reqs{shard=\"a\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("pasa_obs_test_reqs{shard=\"b\"} 2"), std::string::npos);
+  // Exactly one TYPE header for the labeled family.
+  const std::string header = "# TYPE pasa_obs_test_reqs counter";
+  const size_t first = text.find(header);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find(header, first + 1), std::string::npos);
+  const Status format = CheckPrometheusText(text);
+  EXPECT_TRUE(format.ok()) << format.ToString() << "\n" << text;
+}
+
+TEST_F(ObsTest, CheckPrometheusTextAcceptsWellFormedExposition) {
+  EXPECT_TRUE(CheckPrometheusText("# HELP m help text\n"
+                                  "# TYPE m counter\n"
+                                  "m 1\n"
+                                  "m2{l=\"a b\"} 2.5\n")
+                  .ok());
+}
+
+TEST_F(ObsTest, CheckPrometheusTextRejectsMalformedExposition) {
+  // Empty / missing trailing newline.
+  EXPECT_FALSE(CheckPrometheusText("").ok());
+  EXPECT_FALSE(CheckPrometheusText("m 1").ok());
+  // Bad metric name (leading digit) and bad value.
+  EXPECT_FALSE(CheckPrometheusText("2bad 1\n").ok());
+  EXPECT_FALSE(CheckPrometheusText("m notanumber\n").ok());
+  // Unknown TYPE and duplicate TYPE.
+  EXPECT_FALSE(CheckPrometheusText("# TYPE m flavor\nm 1\n").ok());
+  EXPECT_FALSE(
+      CheckPrometheusText("# TYPE m counter\n# TYPE m counter\nm 1\n").ok());
+  // Unescaped quote / invalid escape inside a label value.
+  EXPECT_FALSE(CheckPrometheusText("m{l=\"a\\q\"} 1\n").ok());
+  // Interleaved families: 'a' reopened after 'b' started.
+  EXPECT_FALSE(CheckPrometheusText("# TYPE a counter\n"
+                                   "a 1\n"
+                                   "# TYPE b counter\n"
+                                   "b 1\n"
+                                   "a 2\n")
+                   .ok());
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace pasa

@@ -1,0 +1,188 @@
+// Tests for the span-sampling profiler. Determinism matters most: armed
+// with hz <= 0 the profiler has no background thread, so a fixed schedule
+// of SampleOnce() calls against a fixed span stack must always aggregate
+// to the same folded output. Also covered: ring overwrite, the trailing
+// time window, the disarmed hook being inert, and the background sampler
+// as a smoke test.
+
+#include "obs/profile.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace pasa {
+namespace obs {
+namespace {
+
+// Arms the global profiler without the sampler thread (hz = 0) so tests
+// control the sample schedule, and guarantees disarm + sample reset on the
+// way out — the Profiler is process-global state shared between tests.
+class ManualProfiler {
+ public:
+  explicit ManualProfiler(size_t capacity = 1024) {
+    ProfilerOptions options;
+    options.hz = 0.0;
+    options.capacity = capacity;
+    const Status s = Profiler::Global().Start(options);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+  ~ManualProfiler() {
+    Profiler::Global().Stop();
+    Profiler::Global().Reset();
+  }
+};
+
+TEST(ProfilerTest, FixedScheduleProducesStableFoldedAggregate) {
+  std::string first;
+  std::string second;
+  for (std::string* out : {&first, &second}) {
+    ManualProfiler profiler;
+    {
+      ScopedSpan outer("bulk_dp", ScopedSpan::kRoot);
+      for (uint64_t t = 0; t < 3; ++t) {
+        Profiler::Global().SampleOnce(1000 + t);
+      }
+      {
+        ScopedSpan inner("leaf_init");
+        for (uint64_t t = 0; t < 2; ++t) {
+          Profiler::Global().SampleOnce(2000 + t);
+        }
+      }
+      Profiler::Global().SampleOnce(3000);
+    }
+    *out = Profiler::Global().CollapsedSince(0);
+  }
+  // Identical schedule, identical spans: byte-identical folded output.
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first,
+            "bulk_dp 4\n"
+            "bulk_dp;leaf_init 2\n");
+}
+
+TEST(ProfilerTest, NestedPathSplitsIntoFoldedFrames) {
+  ManualProfiler profiler;
+  ScopedSpan a("csp", ScopedSpan::kRoot);
+  ScopedSpan b("handle_request");
+  ScopedSpan c("cache_miss");
+  ASSERT_EQ(Profiler::Global().SampleOnce(1), 1u);
+  EXPECT_EQ(Profiler::Global().CollapsedSince(0),
+            "csp;handle_request;cache_miss 1\n");
+}
+
+TEST(ProfilerTest, ThreadsWithNoOpenSpanContributeNothing) {
+  ManualProfiler profiler;
+  // This thread has published "" (or nothing): no samples recorded.
+  EXPECT_EQ(Profiler::Global().SampleOnce(1), 0u);
+  EXPECT_EQ(Profiler::Global().CollapsedSince(0), "");
+  EXPECT_EQ(Profiler::Global().retained(), 0u);
+}
+
+TEST(ProfilerTest, SinceFilterDropsOldSamples) {
+  ManualProfiler profiler;
+  ScopedSpan span("serve", ScopedSpan::kRoot);
+  Profiler::Global().SampleOnce(100);
+  Profiler::Global().SampleOnce(200);
+  Profiler::Global().SampleOnce(300);
+  EXPECT_EQ(Profiler::Global().CollapsedSince(0), "serve 3\n");
+  EXPECT_EQ(Profiler::Global().CollapsedSince(200), "serve 2\n");
+  EXPECT_EQ(Profiler::Global().CollapsedSince(301), "");
+}
+
+TEST(ProfilerTest, RingOverwritesOldestSamples) {
+  ManualProfiler profiler(/*capacity=*/4);
+  const uint64_t taken_before = Profiler::Global().samples_taken();
+  {
+    ScopedSpan old_span("old", ScopedSpan::kRoot);
+    for (uint64_t t = 0; t < 3; ++t) Profiler::Global().SampleOnce(t);
+  }
+  {
+    ScopedSpan new_span("new", ScopedSpan::kRoot);
+    for (uint64_t t = 10; t < 13; ++t) Profiler::Global().SampleOnce(t);
+  }
+  // 6 samples into a 4-slot ring: the two oldest "old" samples are gone.
+  EXPECT_EQ(Profiler::Global().retained(), 4u);
+  EXPECT_EQ(Profiler::Global().samples_taken(), taken_before + 6);
+  EXPECT_EQ(Profiler::Global().CollapsedSince(0),
+            "new 3\n"
+            "old 1\n");
+}
+
+TEST(ProfilerTest, SelfTimeTableSeparatesSelfFromTotal) {
+  ManualProfiler profiler;
+  {
+    ScopedSpan outer("outer", ScopedSpan::kRoot);
+    Profiler::Global().SampleOnce(1);  // outer is innermost: self time
+    ScopedSpan inner("inner");
+    Profiler::Global().SampleOnce(2);  // inner self, outer total only
+    Profiler::Global().SampleOnce(3);
+  }
+  const std::string table = Profiler::Global().SelfTimeTableSince(0);
+  // inner: self 2 of 2 on-stack; outer: self 1 of 3 on-stack.
+  EXPECT_NE(table.find("inner"), std::string::npos);
+  EXPECT_NE(table.find("outer"), std::string::npos);
+  const size_t inner_pos = table.find("inner");
+  const size_t outer_pos = table.find("outer");
+  // Sorted by self samples descending: inner (2) before outer (1).
+  EXPECT_LT(inner_pos, outer_pos);
+}
+
+TEST(ProfilerTest, StartWhileArmedFailsAndZeroCapacityFails) {
+  ManualProfiler profiler;
+  ProfilerOptions again;
+  again.hz = 0.0;
+  EXPECT_FALSE(Profiler::Global().Start(again).ok());
+  Profiler::Global().Stop();
+  ProfilerOptions zero;
+  zero.capacity = 0;
+  EXPECT_FALSE(Profiler::Global().Start(zero).ok());
+}
+
+TEST(ProfilerTest, DisarmedHookIsInert) {
+  ASSERT_FALSE(Profiler::Global().armed());
+  const uint64_t before = Profiler::Global().samples_taken();
+  {
+    // Spans open and close without the profiler noticing.
+    ScopedSpan span("invisible", ScopedSpan::kRoot);
+  }
+  EXPECT_EQ(Profiler::Global().SampleOnce(1), 0u)
+      << "a path published while disarmed leaked into the profiler";
+  EXPECT_EQ(Profiler::Global().samples_taken(), before);
+}
+
+TEST(ProfilerTest, SamplesSurviveStopAndResetDropsThem) {
+  {
+    ManualProfiler profiler;
+    ScopedSpan span("kept", ScopedSpan::kRoot);
+    Profiler::Global().SampleOnce(1);
+    Profiler::Global().Stop();
+    // Readable after disarm (the /profile endpoint reads a stopped ring).
+    EXPECT_EQ(Profiler::Global().CollapsedSince(0), "kept 1\n");
+  }  // ~ManualProfiler: Stop (idempotent) + Reset
+  EXPECT_EQ(Profiler::Global().retained(), 0u);
+  EXPECT_EQ(Profiler::Global().CollapsedSince(0), "");
+}
+
+TEST(ProfilerTest, BackgroundSamplerSmokeTest) {
+  ProfilerOptions options;
+  options.hz = 500.0;
+  ASSERT_TRUE(Profiler::Global().Start(options).ok());
+  {
+    ScopedSpan span("busy_loop", ScopedSpan::kRoot);
+    // Spin until the sampler has provably seen this thread.
+    const uint64_t deadline = Profiler::NowMicros() + 5 * 1000 * 1000;
+    while (Profiler::Global().retained() == 0 &&
+           Profiler::NowMicros() < deadline) {
+    }
+  }
+  Profiler::Global().Stop();
+  const std::string folded = Profiler::Global().CollapsedSince(0);
+  EXPECT_NE(folded.find("busy_loop"), std::string::npos) << folded;
+  Profiler::Global().Reset();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pasa

@@ -2,10 +2,12 @@
 # Tier-1 CI driver: release build + full ctest, an AddressSanitizer
 # build + full ctest, a ThreadSanitizer build running the concurrency
 # suites (chaos + parallel + the obs v3 primitives), the overhead gates
-# (disarmed obs / fault / provenance instrumentation must stay near-free),
-# and a smoke pasa_benchstat run that proves the perf-regression gate works
-# end to end (writes BENCH_smoke.json and self-compares it, which must
-# pass).
+# (disarmed obs / fault / provenance / profiler instrumentation must stay
+# near-free), and a smoke pasa_benchstat run that proves the perf-regression
+# gate works end to end (writes BENCH_smoke.json and self-compares it, which
+# must pass). The net leg additionally smoke-tests the HTTP admin plane:
+# /metrics is format-checked and cross-checked against loadgen's client-side
+# count, and /profile must name the Bulk_dp spans sampled at startup.
 #
 # Usage: tools/ci.sh [build-dir-prefix]
 #
@@ -57,13 +59,14 @@ if [[ "${PASA_CI_SKIP_TSAN:-0}" != "1" ]]; then
   cmake --build "${prefix}-tsan" -j "${jobs}" \
         --target chaos_test parallel_test trace_sink_test \
                  provenance_test window_test slo_test \
-                 net_wire_test net_server_test
+                 net_wire_test net_server_test profile_test
   # The threaded suites: jurisdiction workers + fault injector (chaos),
   # the worker pool itself (parallel), the concurrent trace ring, the
   # lock-light obs v3 primitives (provenance ring, windows, SLO tracker),
-  # and the network front end (event loop vs client threads).
+  # the network front end (event loop vs client threads), and the
+  # span-sampling profiler (sampler thread vs instrumented threads).
   ctest --test-dir "${prefix}-tsan" --output-on-failure -j "${jobs}" \
-        -R 'Chaos|Parallel|TraceSink|Provenance|Window|Slo|NetWire|NetServer'
+        -R 'Chaos|Parallel|TraceSink|Provenance|Window|Slo|NetWire|NetServer|Profiler'
 else
   step "tsan build skipped (PASA_CI_SKIP_TSAN=1)"
 fi
@@ -71,10 +74,11 @@ fi
 if [[ "${PASA_CI_SKIP_RELEASE:-0}" != "1" ]]; then
   step "overhead gates (scale ${overhead_scale})"
   # Each binary exits non-zero when its disarmed instrumentation costs more
-  # than 5% on the hot path (obs metrics, fault injection points, and the
-  # provenance/window/SLO stack respectively).
+  # than 5% on the hot path (obs metrics, fault injection points, the
+  # provenance/window/SLO stack, and the span-sampling profiler hook
+  # respectively).
   for gate in bench_obs_overhead bench_fault_overhead \
-              bench_provenance_overhead; do
+              bench_provenance_overhead bench_profile_overhead; do
     PASA_BENCH_SCALE="${overhead_scale}" "${prefix}-release/bench/${gate}"
   done
 
@@ -89,22 +93,45 @@ if [[ "${PASA_CI_SKIP_RELEASE:-0}" != "1" ]]; then
       --baseline "${prefix}-release/BENCH_smoke.json" \
       --candidate "${prefix}-release/BENCH_smoke.json"
 
-  step "net throughput benchstat (BENCH_net.json)"
+  step "net throughput benchstat (BENCH_net.json) + admin-plane smoke"
   # Real sockets on loopback: pasa_loadgen drives `pasa_cli serve --listen`
   # and writes a latency-denominated snapshot (seconds per request, p99)
   # that the benchstat gate can compare across builds. Self-compare here
   # proves the gate wiring; a perf branch compares against a saved baseline.
+  # The serve process also opens the HTTP admin plane and arms the profiler
+  # (1997 Hz: fast enough to catch the ~10ms Bulk_dp build), so the same
+  # run verifies the telemetry endpoints against live traffic.
   net_port="${PASA_CI_NET_PORT:-19575}"
+  admin_port="${PASA_CI_ADMIN_PORT:-19576}"
   net_locs="${prefix}-release/tools/net_ci_locations.csv"
   "${prefix}-release/tools/pasa_cli" generate --n 20000 --seed 7 \
       --out "${net_locs}"
   "${prefix}-release/tools/pasa_cli" serve --in "${net_locs}" --k 50 \
-      --listen "${net_port}" --listen-duration 120 &
+      --listen "${net_port}" --listen-duration 120 \
+      --admin-port "${admin_port}" --profile-hz 1997 &
   serve_pid=$!
+  # The main run keeps the server alive (no --shutdown) and cross-checks its
+  # client-side dispatched count against the scraped pasa_net_requests_served
+  # counter; a mismatch exits non-zero.
   "${prefix}-release/tools/pasa_loadgen" --port "${net_port}" \
       --in "${net_locs}" --k 50 --connections 4 --requests 100000 \
-      --wait-ready-seconds 30 --shutdown 1 \
+      --wait-ready-seconds 30 --admin-port "${admin_port}" \
       --benchstat-out "${prefix}-release/BENCH_net.json"
+  # /metrics must be valid Prometheus exposition text, /healthz must answer,
+  # and /profile must contain folded stacks naming the Bulk_dp phase spans
+  # sampled during the policy build.
+  "${prefix}-release/tools/pasa_cli" scrape --port "${admin_port}" \
+      --path /metrics --check 1 > /dev/null
+  "${prefix}-release/tools/pasa_cli" scrape --port "${admin_port}" \
+      --path /healthz | grep -q '^ok'
+  "${prefix}-release/tools/pasa_cli" scrape --port "${admin_port}" \
+      --path /profile | grep -q 'bulk_dp'
+  # A final small run shuts the server down cleanly. No --admin-port here:
+  # the cross-check compares a single run's client count against the
+  # server's cumulative counter, which by now also holds the main run.
+  "${prefix}-release/tools/pasa_loadgen" --port "${net_port}" \
+      --in "${net_locs}" --k 50 --connections 1 --requests 100 \
+      --shutdown 1
   wait "${serve_pid}"
   "${prefix}-release/tools/pasa_benchstat" compare \
       --baseline "${prefix}-release/BENCH_net.json" \

@@ -22,12 +22,17 @@ endif()
 # first in the pipeline so its stdout drains into the still-running server
 # (which ignores stdin) rather than into a closed pipe; the server's final
 # stats table is what OUTPUT_VARIABLE captures. The loadgen's verification
-# verdict is its exit code (1 on any non-k-anonymous answer).
+# verdict is its exit code (1 on any non-k-anonymous answer, or on a
+# /metrics cross-check mismatch against the admin plane: with --admin-port
+# it scrapes pasa_net_requests_served before sending the shutdown and
+# requires it to equal its own dispatched-request count).
+math(EXPR ADMIN_PORT "${PORT} + 2")
 execute_process(
   COMMAND ${LOADGEN} --port ${PORT} --in ${LOC} --k 20 --connections 4
           --requests 5000 --wait-ready-seconds 30 --shutdown 1
+          --admin-port ${ADMIN_PORT}
   COMMAND ${CLI} serve --in ${LOC} --k 20 --listen ${PORT}
-          --listen-duration 60
+          --listen-duration 60 --admin-port ${ADMIN_PORT}
   RESULTS_VARIABLE rcs OUTPUT_VARIABLE serve_out ERROR_VARIABLE err)
 list(GET rcs 0 loadgen_rc)
 list(GET rcs 1 serve_rc)
@@ -37,7 +42,7 @@ if(NOT serve_rc EQUAL 0 OR NOT loadgen_rc EQUAL 0)
 endif()
 foreach(required_fragment
         "final policy k-anonymous" "| yes" "requests served"
-        "admission rejected")
+        "admission rejected" "admin connections / http requests")
   string(FIND "${serve_out}" "${required_fragment}" fragment_at)
   if(fragment_at EQUAL -1)
     message(FATAL_ERROR "serve output is missing '${required_fragment}':\n"

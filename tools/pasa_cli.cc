@@ -9,6 +9,8 @@
 //                      [--requests R] [--seed S] [--watch N]
 //                      [--listen PORT] [--listen-duration SECONDS]
 //                      [--max-pending N] [--net-backend epoll|poll]
+//                      [--admin-port P]
+//   pasa_cli scrape    --port P [--path /metrics] [--check 1]
 //   pasa_cli explain   --audit audit.jsonl [--rid N] [--limit N]
 //                      [--only served|degraded|failed|rejected|violations]
 //
@@ -33,6 +35,17 @@
 //                             seeded fault schedule (see docs/robustness.md)
 //   --fault-seed N            override the plan's seed for replaying a
 //                             specific chaos schedule
+//   --profile-hz HZ           arm the always-on span-sampling profiler at
+//                             HZ samples/s before the subcommand runs
+//   --profile-out FILE        write the profiler's collapsed stacks
+//                             (flamegraph.pl/speedscope folded format) and
+//                             self-time table on exit; implies --profile-hz
+//                             97 when not given
+// serve with --listen additionally accepts --admin-port P: a second
+// loopback listener serving live HTTP telemetry (GET /metrics, /healthz,
+// /slo, /vars, /profile?seconds=N) on the same event loop; 0 picks a free
+// port. `pasa_cli scrape --port P` fetches one admin target and --check 1
+// validates /metrics against the Prometheus text format.
 // serve always arms the windowed telemetry and SLO burn-rate tracker;
 // `--watch N` renders their dashboard every N epochs. anonymize and audit
 // also print a human-readable metrics dump. See docs/observability.md and
@@ -60,8 +73,10 @@
 #include "lbs/provider.h"
 #include "net/server.h"
 #include "obs/export.h"
+#include "net/http.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/provenance.h"
 #include "obs/slo.h"
 #include "obs/trace.h"
@@ -99,6 +114,8 @@ int Usage() {
       "[--seed S] [--watch N]\n"
       "                     [--listen PORT] [--listen-duration SECONDS]\n"
       "                     [--max-pending N] [--net-backend epoll|poll]\n"
+      "                     [--admin-port P]\n"
+      "  pasa_cli scrape    --port P [--path /metrics] [--check 1]\n"
       "  pasa_cli explain   --audit F.jsonl [--rid N] [--limit N]\n"
       "                     [--only served|degraded|failed|rejected|"
       "violations]\n"
@@ -113,7 +130,10 @@ int Usage() {
       "compiled-in defaults\n"
       "  --log-level LEVEL        debug|info|warn|error|off\n"
       "  --fault-plan FILE.json   arm the deterministic fault injector\n"
-      "  --fault-seed N           override the fault plan's seed\n");
+      "  --fault-seed N           override the fault plan's seed\n"
+      "  --profile-hz HZ          arm the span-sampling profiler at HZ/s\n"
+      "  --profile-out FILE       write collapsed stacks + self-time table "
+      "on exit\n");
   return 2;
 }
 
@@ -420,12 +440,20 @@ int RunListen(CspServer* csp, const Flags& flags, int k) {
       static_cast<size_t>(flags.GetInt("max-pending", 4096));
   options.max_batch = static_cast<size_t>(flags.GetInt("max-batch", 256));
   options.use_poll = flags.GetString("net-backend", "epoll") == "poll";
+  if (flags.Has("admin-port")) {
+    options.admin_port = static_cast<int>(flags.GetInt("admin-port", -1));
+  }
   const double duration = flags.GetDouble("listen-duration", 30.0);
   Result<std::unique_ptr<net::NetServer>> server =
       net::NetServer::Start(csp, options);
   if (!server.ok()) return Fail(server.status());
   std::printf("listening on 127.0.0.1:%u for up to %.1f s\n",
               unsigned{(*server)->port()}, duration);
+  if ((*server)->admin_port() != 0) {
+    std::printf("admin plane on http://127.0.0.1:%u "
+                "(/metrics /healthz /slo /vars /profile)\n",
+                unsigned{(*server)->admin_port()});
+  }
   std::fflush(stdout);
   (*server)->WaitForShutdown(duration);
   (*server)->Stop();
@@ -451,6 +479,11 @@ int RunListen(CspServer* csp, const Flags& flags, int k) {
   out.AddRow({"bytes read / written",
               std::to_string(net.bytes_read) + " / " +
                   std::to_string(net.bytes_written)});
+  if ((*server)->admin_port() != 0) {
+    out.AddRow({"admin connections / http requests",
+                std::to_string(net.admin_connections) + " / " +
+                    std::to_string(net.admin_requests)});
+  }
   out.AddRow({"csp requests served",
               TablePrinter::Cell(
                   static_cast<int64_t>(stats.requests_served))});
@@ -483,7 +516,9 @@ int RunServe(const Flags& flags) {
     if (backend != "epoll" && backend != "poll") return Usage();
     if (flags.GetDouble("listen-duration", 30.0) <= 0.0 ||
         flags.GetInt("max-pending", 4096) < 1 ||
-        flags.GetInt("max-batch", 256) < 1) {
+        flags.GetInt("max-batch", 256) < 1 ||
+        flags.GetInt("admin-port", 0) < 0 ||
+        flags.GetInt("admin-port", 0) > 65535) {
       return Usage();
     }
   }
@@ -577,6 +612,32 @@ int RunServe(const Flags& flags) {
   return anonymous ? 0 : 3;
 }
 
+// Fetches one admin-plane target over HTTP and prints the body; with
+// --check 1 the body must additionally pass the Prometheus text-format
+// checker (how CI validates /metrics without a real Prometheus server).
+int RunScrape(const Flags& flags) {
+  const int64_t port = flags.GetInt("port", 0);
+  if (port <= 0 || port > 65535) return Usage();
+  const std::string target = flags.GetString("path", "/metrics");
+  Result<net::HttpResponse> response = net::HttpGet(
+      static_cast<uint16_t>(port), target, flags.GetDouble("timeout", 5.0));
+  if (!response.ok()) return Fail(response.status());
+  std::fwrite(response->body.data(), 1, response->body.size(), stdout);
+  std::fflush(stdout);
+  if (response->status != 200) {
+    obs::LogError("cli", "GET %s -> HTTP %d", target.c_str(),
+                  response->status);
+    return 1;
+  }
+  if (flags.GetInt("check", 0) != 0) {
+    const Status s = obs::CheckPrometheusText(response->body);
+    if (!s.ok()) return Fail(s);
+    std::fprintf(stderr, "prometheus text format: ok (%zu bytes)\n",
+                 response->body.size());
+  }
+  return 0;
+}
+
 int RunStats(const Flags& flags) {
   if (!flags.Has("in")) return Usage();
   const int k = static_cast<int>(flags.GetInt("k", 50));
@@ -650,6 +711,24 @@ int main(int argc, char** argv) {
     obs::LogInfo("cli", "slo config loaded: %zu objective(s) from %s",
                  objectives->size(), flags.GetString("slo-config").c_str());
   }
+  // Arm the profiler before the subcommand runs so even the startup phases
+  // (serve's initial Bulk_dp policy build) get sampled.
+  const bool profiling =
+      flags.Has("profile-hz") || flags.Has("profile-out");
+  if (profiling) {
+    obs::ProfilerOptions profile_options;
+    profile_options.hz = flags.GetDouble("profile-hz", 97.0);
+    if (profile_options.hz <= 0.0) {
+      std::fprintf(stderr, "error: --profile-hz must be > 0\n");
+      return Usage();
+    }
+    const Status s = obs::Profiler::Global().Start(profile_options);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    obs::LogInfo("cli", "profiler armed at %.1f Hz", profile_options.hz);
+  }
   const std::string audit_mode = flags.GetString("audit-mode", "ring");
   if (audit_mode != "ring" && audit_mode != "stream") {
     std::fprintf(stderr, "error: --audit-mode must be ring or stream\n");
@@ -694,10 +773,34 @@ int main(int argc, char** argv) {
     rc = RunStats(flags);
   } else if (command == "serve") {
     rc = RunServe(flags);
+  } else if (command == "scrape") {
+    rc = RunScrape(flags);
   } else if (command == "explain") {
     rc = RunExplain(flags);
   } else {
     return Usage();
+  }
+  if (profiling) {
+    obs::Profiler& profiler = obs::Profiler::Global();
+    profiler.Stop();
+    if (flags.Has("profile-out")) {
+      const std::string path = flags.GetString("profile-out");
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr) {
+        Fail(Status::Internal("cannot write profile to " + path));
+        if (rc == 0) rc = 1;
+      } else {
+        const std::string folded = profiler.CollapsedSince(0);
+        std::fwrite(folded.data(), 1, folded.size(), f);
+        std::fclose(f);
+        obs::LogInfo(
+            "cli", "wrote %llu profile sample(s) to %s",
+            static_cast<unsigned long long>(profiler.samples_taken()),
+            path.c_str());
+      }
+    }
+    std::printf("\nprofile self-time (sampled spans):\n%s",
+                profiler.SelfTimeTableSince(0).c_str());
   }
   if (auditing) {
     obs::ProvenanceRing& ring = obs::ProvenanceRing::Global();

@@ -10,6 +10,8 @@
 //                [--shutdown 1]             send kShutdownRequest at the end
 //                [--benchstat-out FILE]     write a BENCH_net.json snapshot
 //                [--name NAME]              snapshot name (default "net")
+//                [--admin-port P]           cross-check the run against the
+//                                           server's /metrics endpoint
 //
 // Closed loop: each connection issues its next request as soon as the
 // previous response arrives — measures sustainable throughput. Open loop:
@@ -20,6 +22,15 @@
 // Every response is verified: the cloak must contain the sender's true
 // location and group_size must be >= k — the load test doubles as an
 // end-to-end k-anonymity check. Exit code 1 on any verification failure.
+//
+// With --admin-port the end of the run scrapes GET /metrics from the
+// server's admin plane and asserts that the server-side dispatched-request
+// counter (pasa_net_requests_served) equals the client-side count of
+// responses that went through dispatch — ok + verify failures + typed
+// errors without a retry-after hint. Admission-control rejects carry
+// retry_after_micros > 0 and never reach dispatch, so they are excluded;
+// the check is skipped with a warning when transport errors make the
+// client-side count unreliable.
 
 #include <algorithm>
 #include <atomic>
@@ -34,6 +45,7 @@
 #include "io/csv.h"
 #include "model/location_database.h"
 #include "net/client.h"
+#include "net/http.h"
 #include "net/wire.h"
 #include "obs/benchstat.h"
 #include "tools/cli_flags.h"
@@ -48,6 +60,10 @@ struct WorkerResult {
   uint64_t sent = 0;
   uint64_t ok = 0;
   uint64_t rejected = 0;     ///< typed Error frames (e.g. admission)
+  /// Subset of `rejected` carrying retry_after_micros > 0: admission-control
+  /// rejects, answered before dispatch (excluded from the /metrics
+  /// cross-check).
+  uint64_t rejected_admission = 0;
   uint64_t verify_failed = 0;
   uint64_t transport_failed = 0;
 };
@@ -82,6 +98,10 @@ void OneRequest(net::NetClient& client, const Shared& shared, size_t row,
   }
   if (frame->type == net::MsgType::kError) {
     ++result->rejected;
+    Result<net::ErrorMsg> err = net::DecodeError(frame->payload);
+    if (err.ok() && err->retry_after_micros > 0) {
+      ++result->rejected_admission;
+    }
     return;
   }
   Result<net::ServeResponseMsg> msg = net::DecodeServeResponse(frame->payload);
@@ -157,8 +177,85 @@ int Usage() {
                "usage: pasa_loadgen --port P --in F.csv --k K\n"
                "  [--mode closed|open] [--connections C] [--requests N]\n"
                "  [--duration-seconds S] [--rate R] [--wait-ready-seconds S]\n"
-               "  [--shutdown 1] [--benchstat-out F] [--name NAME]\n");
+               "  [--shutdown 1] [--benchstat-out F] [--name NAME]\n"
+               "  [--admin-port P2]\n");
   return 2;
+}
+
+// Pulls one unlabeled sample value out of a Prometheus text body.
+bool FindMetricValue(const std::string& body, const std::string& name,
+                     double* value) {
+  const std::string prefix = name + " ";
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    if (body.compare(pos, prefix.size(), prefix) == 0) {
+      *value = std::atof(body.c_str() + pos + prefix.size());
+      return true;
+    }
+    pos = eol + 1;
+  }
+  return false;
+}
+
+// The --admin-port end-of-run cross-check: server-side dispatched count
+// (pasa_net_requests_served) must equal the client-side count of responses
+// that went through dispatch. Returns 0 on match or skip, 1 on mismatch or
+// scrape failure.
+int CrossCheckAgainstMetrics(uint16_t admin_port, const WorkerResult& total,
+                             double timeout) {
+  Result<net::HttpResponse> metrics =
+      net::HttpGet(admin_port, "/metrics", timeout);
+  if (!metrics.ok()) {
+    std::fprintf(stderr, "error: admin /metrics scrape failed: %s\n",
+                 metrics.status().ToString().c_str());
+    return 1;
+  }
+  if (metrics->status != 200) {
+    std::fprintf(stderr, "error: admin /metrics returned HTTP %d\n",
+                 metrics->status);
+    return 1;
+  }
+  double served = 0.0;
+  if (!FindMetricValue(metrics->body, "pasa_net_requests_served", &served)) {
+    std::fprintf(stderr,
+                 "error: pasa_net_requests_served missing from /metrics "
+                 "(%zu bytes)\n",
+                 metrics->body.size());
+    return 1;
+  }
+  if (total.transport_failed > 0) {
+    // A transport error leaves the fate of the in-flight request unknown
+    // (the server may or may not have dispatched it), so equality cannot
+    // be asserted.
+    std::fprintf(stderr,
+                 "warning: skipping /metrics cross-check (%llu transport "
+                 "error(s) make the client-side count unreliable)\n",
+                 static_cast<unsigned long long>(total.transport_failed));
+    return 0;
+  }
+  const uint64_t dispatched_errors = total.rejected - total.rejected_admission;
+  const uint64_t expected = total.ok + total.verify_failed + dispatched_errors;
+  const uint64_t server_side = static_cast<uint64_t>(served + 0.5);
+  if (server_side != expected) {
+    std::fprintf(stderr,
+                 "error: /metrics cross-check FAILED: server dispatched "
+                 "%llu, client saw %llu (%llu ok + %llu verify-failed + "
+                 "%llu dispatched errors; %llu admission rejects excluded)\n",
+                 static_cast<unsigned long long>(server_side),
+                 static_cast<unsigned long long>(expected),
+                 static_cast<unsigned long long>(total.ok),
+                 static_cast<unsigned long long>(total.verify_failed),
+                 static_cast<unsigned long long>(dispatched_errors),
+                 static_cast<unsigned long long>(total.rejected_admission));
+    return 1;
+  }
+  std::printf("/metrics cross-check ok: server dispatched %llu == client "
+              "count (%llu admission reject(s) excluded)\n",
+              static_cast<unsigned long long>(server_side),
+              static_cast<unsigned long long>(total.rejected_admission));
+  return 0;
 }
 
 }  // namespace
@@ -220,6 +317,7 @@ int main(int argc, char** argv) {
     total.sent += r.sent;
     total.ok += r.ok;
     total.rejected += r.rejected;
+    total.rejected_admission += r.rejected_admission;
     total.verify_failed += r.verify_failed;
     total.transport_failed += r.transport_failed;
     latencies.insert(latencies.end(), r.latencies.begin(), r.latencies.end());
@@ -247,6 +345,15 @@ int main(int argc, char** argv) {
   std::printf("throughput %.0f req/s; latency mean %.1f us, p50 %.1f us, "
               "p95 %.1f us, p99 %.1f us\n",
               throughput, mean * 1e6, p50 * 1e6, p95 * 1e6, p99 * 1e6);
+
+  int cross_check_rc = 0;
+  if (flags.Has("admin-port")) {
+    const int64_t admin_port = flags.GetInt("admin-port", 0);
+    if (admin_port < 1 || admin_port > 65535) return Usage();
+    // Scrape before --shutdown so the admin plane is still answering.
+    cross_check_rc = CrossCheckAgainstMetrics(
+        static_cast<uint16_t>(admin_port), total, shared.connect_timeout);
+  }
 
   if (flags.Has("shutdown")) {
     Result<net::NetClient> client =
@@ -279,5 +386,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: no request succeeded\n");
     return 1;
   }
-  return 0;
+  return cross_check_rc;
 }
