@@ -46,6 +46,10 @@ Result<LbsAnswer> CachingLbsFrontend::Serve(const AnonymizedRequest& ar) {
       .GetCounter("lbs/answer_cache/stale_serves");
   static obs::Counter& unserved =
       obs::MetricsRegistry::Global().GetCounter("lbs/unserved_requests");
+  // The LBS hop's span: in a traced request it parents under the caller's
+  // span (csp/handle_request), so the hop shows up in tail traces and the
+  // merged Perfetto timeline.
+  obs::ScopedSpan serve_span("lbs/serve", obs::ScopedSpan::kRoot);
   obs::ScopedHistogramTimer timer(latency);
   obs::ProvenanceRecord* p = obs::CurrentProvenance();
   WallTimer lbs_timer;
@@ -60,7 +64,7 @@ Result<LbsAnswer> CachingLbsFrontend::Serve(const AnonymizedRequest& ar) {
   }
   RecordCacheHitWindow(false);
   Result<std::vector<PointOfInterest>> fetched = [&] {
-    // Nests under csp/handle_request when reached through the CSP.
+    // Records as lbs/serve/cache_miss.
     obs::ScopedSpan miss_span("cache_miss");
     return client_.Fetch(ar);
   }();

@@ -70,12 +70,12 @@ void NetClient::Close() {
   }
 }
 
-Status NetClient::SendFrame(MsgType type, std::string_view payload) {
-  if (fd_ < 0) return Status::Unavailable("client is closed");
-  const std::string frame = EncodeFrame(type, payload);
+namespace {
+
+Status WriteAll(int fd, const std::string& frame) {
   size_t written = 0;
   while (written < frame.size()) {
-    const ssize_t n = send(fd_, frame.data() + written,
+    const ssize_t n = send(fd, frame.data() + written,
                            frame.size() - written, MSG_NOSIGNAL);
     if (n > 0) {
       written += static_cast<size_t>(n);
@@ -85,6 +85,19 @@ Status NetClient::SendFrame(MsgType type, std::string_view payload) {
     return Status::Unavailable(std::string("send: ") + std::strerror(errno));
   }
   return Status::Ok();
+}
+
+}  // namespace
+
+Status NetClient::SendFrame(MsgType type, std::string_view payload) {
+  if (fd_ < 0) return Status::Unavailable("client is closed");
+  return WriteAll(fd_, EncodeFrame(type, payload));
+}
+
+Status NetClient::SendFrame(MsgType type, std::string_view payload,
+                            const WireTraceContext& trace) {
+  if (fd_ < 0) return Status::Unavailable("client is closed");
+  return WriteAll(fd_, EncodeFrame(type, payload, trace));
 }
 
 Result<Frame> NetClient::ReadFrame(double timeout_seconds) {
@@ -128,6 +141,13 @@ Result<Frame> NetClient::ReadFrame(double timeout_seconds) {
 Result<Frame> NetClient::Call(MsgType type, std::string_view payload,
                               double timeout_seconds) {
   if (Status s = SendFrame(type, payload); !s.ok()) return s;
+  return ReadFrame(timeout_seconds);
+}
+
+Result<Frame> NetClient::Call(MsgType type, std::string_view payload,
+                              const WireTraceContext& trace,
+                              double timeout_seconds) {
+  if (Status s = SendFrame(type, payload, trace); !s.ok()) return s;
   return ReadFrame(timeout_seconds);
 }
 

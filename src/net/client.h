@@ -30,12 +30,23 @@ class NetClient {
   /// Writes one frame, blocking until it is fully on the wire.
   Status SendFrame(MsgType type, std::string_view payload);
 
+  /// Writes one frame carrying the v2 trace-context extension, so the
+  /// server adopts `trace` for its serving spans. A zero trace id sends a
+  /// plain frame.
+  Status SendFrame(MsgType type, std::string_view payload,
+                   const WireTraceContext& trace);
+
   /// Reads the next complete frame, waiting at most `timeout_seconds`
   /// (DeadlineExceeded on expiry, Unavailable when the peer closed).
   Result<Frame> ReadFrame(double timeout_seconds = 5.0);
 
   /// SendFrame + ReadFrame.
   Result<Frame> Call(MsgType type, std::string_view payload,
+                     double timeout_seconds = 5.0);
+
+  /// Traced SendFrame + ReadFrame.
+  Result<Frame> Call(MsgType type, std::string_view payload,
+                     const WireTraceContext& trace,
                      double timeout_seconds = 5.0);
 
   int fd() const { return fd_; }

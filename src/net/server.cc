@@ -27,7 +27,13 @@
 #include "obs/profile.h"
 #include "obs/provenance.h"
 #include "obs/slo.h"
+#include "obs/tail_trace.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
+#include "obs/trace_sink.h"
 #include "obs/window.h"
+
+#include <optional>
 
 #ifndef MSG_NOSIGNAL
 #define MSG_NOSIGNAL 0
@@ -273,6 +279,13 @@ Result<std::unique_ptr<NetServer>> NetServer::Start(
        .kind = obs::SloObjective::Kind::kLatency,
        .target = 0.99,
        .latency_threshold_seconds = 0.010});
+
+  if (options.tail_traces) {
+    obs::TailTraceRing::Options ring;
+    ring.slowest_capacity = options.tail_slowest;
+    ring.window_seconds = options.tail_window_seconds;
+    obs::TailTraceRing::Global().Enable(ring);
+  }
 
   server->loop_ = std::thread(&NetServer::Loop, server.get());
   obs::LogInfo("net", "listening on 127.0.0.1:%u (%s backend)",
@@ -726,7 +739,7 @@ void NetServer::HandleAdminRequest(Conn* conn, const HttpRequest& request) {
   } else if (request.path == "/metrics") {
     // The Prometheus scrape target; version 0.0.4 is the text format tag.
     content_type = "text/plain; version=0.0.4; charset=utf-8";
-    body = obs::ExportPrometheus(obs::FullSnapshot());
+    body = obs::ExportPrometheus(obs::FullSnapshot(), options_.exemplars);
   } else if (request.path == "/healthz") {
     char line[160];
     std::snprintf(line, sizeof(line),
@@ -738,6 +751,11 @@ void NetServer::HandleAdminRequest(Conn* conn, const HttpRequest& request) {
     body = obs::ExportJson(obs::FullSnapshot());
   } else if (request.path == "/slo") {
     body = SloBurnTable();
+  } else if (request.path == "/trace") {
+    // Span trees of the slowest (and all anomalous) requests in the tail
+    // ring's sliding window; also consumed by `pasa_cli slowest`.
+    content_type = "application/json";
+    body = obs::TailTraceRing::Global().ExportJson();
   } else if (request.path == "/profile") {
     // Collapsed-stack folded text over the trailing ?seconds=N of the
     // always-on profiler ring (everything retained when absent); reading
@@ -754,7 +772,8 @@ void NetServer::HandleAdminRequest(Conn* conn, const HttpRequest& request) {
     }
   } else {
     status = 404;
-    body = "unknown admin path: try /metrics /healthz /slo /vars /profile\n";
+    body = "unknown admin path: try /metrics /healthz /slo /vars /trace "
+           "/profile\n";
   }
 
   conn->outbuf += EncodeHttpResponse(status, content_type, body,
@@ -788,6 +807,29 @@ void NetServer::Dispatch(const Pending& pending) {
                                     pending.enqueued)
           .count();
 
+  // Distributed tracing: adopt the frame's wire context when the client
+  // sent one, otherwise originate a trace locally while a trace consumer
+  // (tail ring or timeline sink) is armed. With neither, the request stays
+  // untraced and the extra cost here is two relaxed loads.
+  obs::TailTraceRing& tail_ring = obs::TailTraceRing::Global();
+  obs::TraceContext ctx;
+  if (pending.frame.has_trace) {
+    ctx.trace_id = pending.frame.trace_id;
+    ctx.span_id = pending.frame.parent_span_id;
+    ctx.sampled = pending.frame.trace_sampled;
+    ctx.remote = true;
+  } else if (tail_ring.enabled() || obs::TraceEventSink::Global().active()) {
+    ctx.trace_id = obs::NewTraceId();
+    ctx.sampled = true;
+  }
+  std::optional<obs::ScopedTraceContext> trace_scope;
+  obs::SpanCollector collector;
+  std::optional<obs::ScopedSpanCollector> collector_scope;
+  if (ctx.valid()) {
+    trace_scope.emplace(ctx);
+    if (tail_ring.enabled()) collector_scope.emplace(&collector);
+  }
+
   // The provenance scope spans decode -> serve -> encode; CspServer's
   // nested scope is inert and annotates this record via
   // CurrentProvenance().
@@ -795,98 +837,118 @@ void NetServer::Dispatch(const Pending& pending) {
   if (obs::ProvenanceRecord* p = prov.get()) {
     p->net_decode_seconds = pending.decode_seconds;
     p->net_queue_seconds = queue_seconds;
+    p->trace_id = ctx.trace_id;
   }
   WallTimer serve_timer;
 
   std::string payload;
   MsgType response_type = MsgType::kError;
   Status failure;
+  int64_t rid = 0;
+  bool degraded = false;
+  double serve_seconds = 0.0;
+  double encode_seconds = 0.0;
 
-  switch (pending.frame.type) {
-    case MsgType::kServeRequest: {
-      Result<ServiceRequest> sr = DecodeServiceRequest(pending.frame.payload);
-      if (!sr.ok()) {
-        failure = sr.status();
-        break;
-      }
-      CspServer::ServeReceipt receipt;
-      Result<LbsAnswer> answer = csp_->HandleRequest(*sr, &receipt);
-      if (!answer.ok()) {
-        failure = answer.status();
-        break;
-      }
-      ServeResponseMsg msg;
-      msg.rid = receipt.rid;
-      msg.group_size = receipt.group_size;
-      msg.degraded = answer->degraded;
-      msg.cloak_x1 = receipt.cloak.x1;
-      msg.cloak_y1 = receipt.cloak.y1;
-      msg.cloak_x2 = receipt.cloak.x2;
-      msg.cloak_y2 = receipt.cloak.y2;
-      msg.pois = answer->pois;
-      response_type = MsgType::kServeResponse;
-      payload = EncodeServeResponse(msg);
-      break;
+  {
+    // The server-side request span: everything below nests under it (the
+    // cloak span in CspServer, the LBS span in the frontend), and its close
+    // lands the span tree in `collector` for the tail ring.
+    std::optional<obs::ScopedSpan> dispatch_span;
+    if (ctx.valid()) {
+      dispatch_span.emplace("net/dispatch", obs::ScopedSpan::kRoot);
     }
-    case MsgType::kAnonymizeRequest: {
-      Result<ServiceRequest> sr = DecodeServiceRequest(pending.frame.payload);
-      if (!sr.ok()) {
-        failure = sr.status();
-        break;
-      }
-      uint64_t group_size = 0;
-      Result<AnonymizedRequest> ar = csp_->Cloak(*sr, &group_size);
-      if (!ar.ok()) {
-        failure = ar.status();
-        break;
-      }
-      AnonymizeResponseMsg msg;
-      msg.rid = ar->rid;
-      msg.group_size = group_size;
-      msg.cloak_x1 = ar->cloak.x1;
-      msg.cloak_y1 = ar->cloak.y1;
-      msg.cloak_x2 = ar->cloak.x2;
-      msg.cloak_y2 = ar->cloak.y2;
-      response_type = MsgType::kAnonymizeResponse;
-      payload = EncodeAnonymizeResponse(msg);
-      break;
-    }
-    case MsgType::kSnapshotAdvance: {
-      Result<SnapshotAdvanceMsg> msg =
-          DecodeSnapshotAdvance(pending.frame.payload);
-      if (!msg.ok()) {
-        failure = msg.status();
-        break;
-      }
-      Result<SnapshotReport> report = csp_->AdvanceSnapshot(msg->moves);
-      if (!report.ok()) {
-        failure = report.status();
-        break;
-      }
-      SnapshotReportMsg out;
-      out.moves_applied = report->moves_applied;
-      out.moves_quarantined = report->moves_quarantined;
-      out.rebuilt = report->rebuilt;
-      out.repair_fell_back_to_rebuild = report->repair_fell_back_to_rebuild;
-      out.dp_rows_repaired = report->dp_rows_repaired;
-      out.policy_cost = report->policy_cost;
-      response_type = MsgType::kSnapshotReport;
-      payload = EncodeSnapshotReport(out);
-      break;
-    }
-    default:
-      failure = Status::Internal("unroutable frame type reached dispatch");
-      break;
-  }
 
-  const double serve_seconds = serve_timer.ElapsedSeconds();
-  WallTimer encode_timer;
-  if (failure.ok()) {
-    QueueResponse(conn, response_type, payload);
-  } else {
-    QueueError(conn, failure, 0);
+    switch (pending.frame.type) {
+      case MsgType::kServeRequest: {
+        Result<ServiceRequest> sr =
+            DecodeServiceRequest(pending.frame.payload);
+        if (!sr.ok()) {
+          failure = sr.status();
+          break;
+        }
+        CspServer::ServeReceipt receipt;
+        Result<LbsAnswer> answer = csp_->HandleRequest(*sr, &receipt);
+        if (!answer.ok()) {
+          failure = answer.status();
+          break;
+        }
+        ServeResponseMsg msg;
+        msg.rid = receipt.rid;
+        msg.group_size = receipt.group_size;
+        msg.degraded = answer->degraded;
+        msg.cloak_x1 = receipt.cloak.x1;
+        msg.cloak_y1 = receipt.cloak.y1;
+        msg.cloak_x2 = receipt.cloak.x2;
+        msg.cloak_y2 = receipt.cloak.y2;
+        msg.pois = answer->pois;
+        rid = receipt.rid;
+        degraded = answer->degraded;
+        response_type = MsgType::kServeResponse;
+        payload = EncodeServeResponse(msg);
+        break;
+      }
+      case MsgType::kAnonymizeRequest: {
+        Result<ServiceRequest> sr =
+            DecodeServiceRequest(pending.frame.payload);
+        if (!sr.ok()) {
+          failure = sr.status();
+          break;
+        }
+        uint64_t group_size = 0;
+        Result<AnonymizedRequest> ar = csp_->Cloak(*sr, &group_size);
+        if (!ar.ok()) {
+          failure = ar.status();
+          break;
+        }
+        AnonymizeResponseMsg msg;
+        msg.rid = ar->rid;
+        msg.group_size = group_size;
+        msg.cloak_x1 = ar->cloak.x1;
+        msg.cloak_y1 = ar->cloak.y1;
+        msg.cloak_x2 = ar->cloak.x2;
+        msg.cloak_y2 = ar->cloak.y2;
+        rid = ar->rid;
+        response_type = MsgType::kAnonymizeResponse;
+        payload = EncodeAnonymizeResponse(msg);
+        break;
+      }
+      case MsgType::kSnapshotAdvance: {
+        Result<SnapshotAdvanceMsg> msg =
+            DecodeSnapshotAdvance(pending.frame.payload);
+        if (!msg.ok()) {
+          failure = msg.status();
+          break;
+        }
+        Result<SnapshotReport> report = csp_->AdvanceSnapshot(msg->moves);
+        if (!report.ok()) {
+          failure = report.status();
+          break;
+        }
+        SnapshotReportMsg out;
+        out.moves_applied = report->moves_applied;
+        out.moves_quarantined = report->moves_quarantined;
+        out.rebuilt = report->rebuilt;
+        out.repair_fell_back_to_rebuild = report->repair_fell_back_to_rebuild;
+        out.dp_rows_repaired = report->dp_rows_repaired;
+        out.policy_cost = report->policy_cost;
+        response_type = MsgType::kSnapshotReport;
+        payload = EncodeSnapshotReport(out);
+        break;
+      }
+      default:
+        failure = Status::Internal("unroutable frame type reached dispatch");
+        break;
+    }
+
+    serve_seconds = serve_timer.ElapsedSeconds();
+    WallTimer encode_timer;
+    if (failure.ok()) {
+      QueueResponse(conn, response_type, payload);
+    } else {
+      QueueError(conn, failure, 0);
+    }
+    encode_seconds = encode_timer.ElapsedSeconds();
   }
-  const double encode_seconds = encode_timer.ElapsedSeconds();
   if (obs::ProvenanceRecord* p = prov.get()) {
     p->net_encode_seconds = encode_seconds;
   }
@@ -894,10 +956,28 @@ void NetServer::Dispatch(const Pending& pending) {
   served.Increment();
 
   // The latency a remote client experiences: queued + served + encoded
-  // (decode happened before enqueue and is carried separately).
+  // (decode happened before enqueue and is carried separately). A traced
+  // request also offers itself as its latency bucket's exemplar.
   const double total =
       pending.decode_seconds + queue_seconds + serve_seconds + encode_seconds;
-  latency.Observe(total);
+  latency.Observe(total, ctx.trace_id);
+
+  if (ctx.valid() && tail_ring.enabled()) {
+    obs::TailTrace trace;
+    trace.trace_id = ctx.trace_id;
+    trace.rid = rid;
+    trace.outcome = "served";
+    if (!failure.ok()) {
+      const bool client_error = failure.code() == StatusCode::kInvalidArgument ||
+                                failure.code() == StatusCode::kNotFound;
+      trace.outcome = client_error ? "rejected" : "failed";
+    } else if (degraded) {
+      trace.outcome = "degraded";
+    }
+    trace.total_seconds = total;
+    trace.spans = std::move(collector.spans);
+    tail_ring.Offer(std::move(trace));
+  }
   const bool windows_on = obs::WindowRegistry::Global().enabled();
   const bool slos_on = obs::SloTracker::Global().enabled();
   if (windows_on || slos_on) {

@@ -42,9 +42,21 @@ struct NetServerOptions {
   bool use_poll = false;
   /// Retry-after hint carried by admission-control rejections.
   uint64_t retry_after_micros = 1000;
+  /// Always-on tail-trace capture: arms the global obs::TailTraceRing so
+  /// every dispatched request is traced (adopting the client's wire context
+  /// when present, originating one otherwise) and its complete span tree
+  /// competes for the slowest-N sliding window, served at GET /trace and by
+  /// `pasa_cli slowest`. Anomalous (non-served) requests are always kept.
+  bool tail_traces = true;
+  /// N slowest requests retained per window.
+  size_t tail_slowest = 8;
+  double tail_window_seconds = 60.0;
+  /// Emits OpenMetrics exemplars on /metrics histogram buckets, pointing at
+  /// the trace id of each bucket's slowest traced request.
+  bool exemplars = false;
   /// Admin (operator) plane: when >= 0, a second loopback listener on this
   /// port (0 picks a free one, read back via admin_port()) serves HTTP GETs
-  /// on the same event loop — /metrics, /healthz, /slo, /vars,
+  /// on the same event loop — /metrics, /healthz, /slo, /vars, /trace,
   /// /profile?seconds=N. Admin traffic is operator plane throughout: its
   /// connections do not count against max_connections, its requests are
   /// answered inline (never queued behind admission control), and the
@@ -68,7 +80,8 @@ struct NetServerOptions {
 ///
 /// With NetServerOptions::admin_port set, the same event loop additionally
 /// serves a live HTTP telemetry plane (GET /metrics, /healthz, /slo,
-/// /vars, /profile?seconds=N) on a second loopback listener; admin traffic
+/// /vars, /trace, /profile?seconds=N) on a second loopback listener; admin
+/// traffic
 /// follows the operator-plane bypass rules (no max_connections cap, no
 /// admission queue, no net/* fault injection).
 ///
@@ -175,7 +188,7 @@ class NetServer {
   /// buffer holds, inline on the loop thread (admission bypass).
   void DrainHttp(Conn* conn);
   /// Routes one parsed admin request (/metrics, /healthz, /slo, /vars,
-  /// /profile) and queues the response.
+  /// /trace, /profile) and queues the response.
   void HandleAdminRequest(Conn* conn, const HttpRequest& request);
   /// Decodes as many frames as the connection's buffer holds, admitting
   /// request frames and answering the operator plane inline.

@@ -246,8 +246,27 @@ std::string EncodeFrame(MsgType type, std::string_view payload) {
   PutU32(&out, kWireMagic);
   PutU8(&out, kWireVersion);
   PutU8(&out, static_cast<uint8_t>(type));
-  PutU16(&out, 0);  // reserved
+  PutU16(&out, 0);  // flags
   PutU32(&out, static_cast<uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+std::string EncodeFrame(MsgType type, std::string_view payload,
+                        const WireTraceContext& trace) {
+  if (trace.trace_id == 0) return EncodeFrame(type, payload);
+  std::string out;
+  out.reserve(kFrameHeaderBytes + kTraceContextBytes + payload.size());
+  PutU32(&out, kWireMagic);
+  PutU8(&out, kWireVersion);
+  PutU8(&out, static_cast<uint8_t>(type));
+  PutU16(&out, kFrameFlagTraceContext);
+  // The length prefix counts payload bytes only; the fixed-width extension
+  // rides between header and payload.
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU64(&out, trace.trace_id);
+  PutU64(&out, trace.parent_span_id);
+  PutBool(&out, trace.sampled);
   out.append(payload);
   return out;
 }
@@ -422,22 +441,24 @@ FrameDecoder::Poll FrameDecoder::Next(Frame* frame, Status* error) {
   Reader r(pending);
   uint32_t magic = 0, length = 0;
   uint8_t version = 0, type = 0;
-  uint16_t reserved = 0;
+  uint16_t flags = 0;
   r.GetU32(&magic);
   r.GetU8(&version);
   r.GetU8(&type);
-  r.GetU16(&reserved);
+  r.GetU16(&flags);
   r.GetU32(&length);
   if (magic != kWireMagic) {
     *error = Status::InvalidArgument("wire: bad frame magic");
     return Poll::kError;
   }
-  if (version != kWireVersion) {
+  if (version < kWireMinVersion || version > kWireVersion) {
     *error = Status::InvalidArgument("wire: unsupported protocol version " +
                                      std::to_string(version));
     return Poll::kError;
   }
-  if (reserved != 0) {
+  // v1 called these bytes "reserved, must be zero"; only v2 defines flags.
+  // Unknown v2 flag bits are tolerated so minor extensions stay compatible.
+  if (version == 1 && flags != 0) {
     *error = Status::InvalidArgument("wire: non-zero reserved header bits");
     return Poll::kError;
   }
@@ -451,11 +472,28 @@ FrameDecoder::Poll FrameDecoder::Next(Frame* frame, Status* error) {
                                      std::to_string(length) + " bytes)");
     return Poll::kError;
   }
-  if (pending.size() < kFrameHeaderBytes + length) return Poll::kNeedMore;
+  const bool has_trace =
+      version >= 2 && (flags & kFrameFlagTraceContext) != 0;
+  const size_t extension = has_trace ? kTraceContextBytes : 0;
+  if (pending.size() < kFrameHeaderBytes + extension + length) {
+    return Poll::kNeedMore;
+  }
 
   frame->type = static_cast<MsgType>(type);
-  frame->payload.assign(pending.data() + kFrameHeaderBytes, length);
-  consumed_ += kFrameHeaderBytes + length;
+  frame->has_trace = has_trace;
+  frame->trace_id = 0;
+  frame->parent_span_id = 0;
+  frame->trace_sampled = false;
+  if (has_trace) {
+    r.GetU64(&frame->trace_id);
+    r.GetU64(&frame->parent_span_id);
+    r.GetBool(&frame->trace_sampled);
+    // A zero trace id in the extension means "not actually traced".
+    if (frame->trace_id == 0) frame->has_trace = false;
+  }
+  frame->payload.assign(pending.data() + kFrameHeaderBytes + extension,
+                        length);
+  consumed_ += kFrameHeaderBytes + extension + length;
   return Poll::kFrame;
 }
 

@@ -14,24 +14,41 @@
 namespace pasa {
 namespace net {
 
-/// The pasa wire protocol, version 1: length-prefixed binary frames over a
+/// The pasa wire protocol, version 2: length-prefixed binary frames over a
 /// byte stream (TCP). Every frame is
 ///
 ///   offset  size  field
 ///        0     4  magic      0x6E736170 ("pasn", little-endian)
-///        4     1  version    kWireVersion
+///        4     1  version    1 or 2 (kWireVersion is what we emit)
 ///        5     1  type       MsgType
-///        6     2  reserved   must be zero
-///        8     4  payload length (little-endian, <= kMaxPayloadBytes)
-///       12     n  payload    fixed-width little-endian fields
+///        6     2  flags      v1: must be zero. v2: bit 0 = trace-context
+///                            extension present; other bits are reserved
+///                            and MUST be ignored by decoders.
+///        8     4  payload length (little-endian, <= kMaxPayloadBytes;
+///                            counts payload bytes only, never extensions)
+///       12    17  trace-context extension, only when flags bit 0 is set:
+///                            u64 trace id, u64 parent span id, u8 sampled
+///    12[+17]    n  payload   fixed-width little-endian fields
 ///
 /// All integers are fixed-width little-endian regardless of host byte
 /// order (no varints). Strings are a u16 byte length followed by raw
 /// bytes; vectors are a u32 element count followed by the elements.
-/// See docs/serving.md for the payload layout of every message.
+///
+/// Compatibility: a v2 decoder accepts v1 frames (zero flags, no
+/// extensions) unchanged, tolerates v2 frames with unknown flag bits set,
+/// and rejects version 0 and version >= 3 with a typed error — so a v1
+/// client keeps working against a v2 server, and a future v3 fails loudly
+/// instead of being misparsed. See docs/serving.md for the payload layout
+/// of every message.
 inline constexpr uint32_t kWireMagic = 0x6E736170;  // "pasn"
-inline constexpr uint8_t kWireVersion = 1;
+inline constexpr uint8_t kWireVersion = 2;
+/// Oldest version this decoder still accepts.
+inline constexpr uint8_t kWireMinVersion = 1;
 inline constexpr size_t kFrameHeaderBytes = 12;
+/// Header flag bits (v2+). Unknown bits are ignored on decode.
+inline constexpr uint16_t kFrameFlagTraceContext = 1u << 0;
+/// Size of the trace-context extension: trace id + parent span id + sampled.
+inline constexpr size_t kTraceContextBytes = 8 + 8 + 1;
 /// Upper bound on one frame's payload; larger length prefixes are rejected
 /// before any allocation (a garbage or hostile length cannot balloon
 /// memory).
@@ -61,12 +78,27 @@ enum class MsgType : uint8_t {
 /// True for the types a well-formed frame may carry.
 bool IsKnownMsgType(uint8_t type);
 
-/// One decoded frame: its type plus the raw payload bytes.
+/// One decoded frame: its type plus the raw payload bytes, and — when the
+/// frame carried the v2 trace-context extension — the request's distributed
+/// trace identity (see obs/trace_context.h for the id scheme).
 struct Frame {
   MsgType type = MsgType::kError;
   std::string payload;
+  bool has_trace = false;
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  bool trace_sampled = false;
 
   friend bool operator==(const Frame& a, const Frame& b) = default;
+};
+
+/// Trace identity to stamp onto an outgoing frame (the v2 trace-context
+/// extension). `parent_span_id` is the sender's span at send time, so the
+/// receiver's spans parent correctly across the process boundary.
+struct WireTraceContext {
+  uint64_t trace_id = 0;
+  uint64_t parent_span_id = 0;
+  bool sampled = true;
 };
 
 // ---------------------------------------------------------------------------
@@ -179,6 +211,12 @@ std::string EncodeError(const ErrorMsg& msg);
 /// socket.
 std::string EncodeFrame(MsgType type, std::string_view payload);
 
+/// Same, but stamps the v2 trace-context extension (flags bit 0) so the
+/// receiver can adopt the sender's trace. A zero `trace.trace_id` encodes a
+/// plain frame with no extension.
+std::string EncodeFrame(MsgType type, std::string_view payload,
+                        const WireTraceContext& trace);
+
 // ---------------------------------------------------------------------------
 // Decoding. Every decoder consumes the exact payload and returns
 // InvalidArgument on truncation, trailing bytes, or out-of-bounds counts —
@@ -198,9 +236,10 @@ Result<ErrorMsg> DecodeError(std::string_view payload);
 /// simply waits for more), then poll Next() until it reports kNeedMore.
 ///
 /// A header that can never become a valid frame (bad magic, unsupported
-/// version, non-zero reserved bits, unknown type, oversized length) is a
+/// version, non-zero v1 reserved bits, unknown type, oversized length) is a
 /// kError with a typed InvalidArgument status; the stream is then
-/// desynchronized beyond repair and the connection should be closed.
+/// desynchronized beyond repair and the connection should be closed. v1 and
+/// v2 frames both decode; v2 frames with unknown flag bits are tolerated.
 class FrameDecoder {
  public:
   enum class Poll {

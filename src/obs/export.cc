@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "common/table.h"
+#include "obs/trace_context.h"
+#include "obs/trace_sink.h"
 
 namespace pasa {
 namespace obs {
@@ -270,7 +272,8 @@ std::string ExportJson(const MetricsSnapshot& snapshot) {
   return out;
 }
 
-std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
+std::string ExportPrometheus(const MetricsSnapshot& snapshot,
+                             bool include_exemplars) {
   std::string out;
   for (const auto& [path, series] : GroupFamilies(snapshot.counters)) {
     const std::string prom = PromName(path);
@@ -299,8 +302,15 @@ std::string ExportPrometheus(const MetricsSnapshot& snapshot) {
             i < h->upper_bounds.size()
                 ? "le=\"" + JsonNumber(h->upper_bounds[i]) + "\""
                 : std::string("le=\"+Inf\"");
-        AppendF(&out, "%s_bucket%s %" PRIu64 "\n", prom.c_str(),
+        AppendF(&out, "%s_bucket%s %" PRIu64, prom.c_str(),
                 MergeLabels(labels, le).c_str(), cumulative);
+        if (include_exemplars && i < h->exemplar_trace_ids.size() &&
+            h->exemplar_trace_ids[i] != 0) {
+          AppendF(&out, " # {trace_id=\"%s\"} %s",
+                  TraceIdHex(h->exemplar_trace_ids[i]).c_str(),
+                  JsonNumber(h->exemplar_values[i]).c_str());
+        }
+        out += '\n';
       }
       AppendF(&out, "%s_sum%s %s\n", prom.c_str(), labels.c_str(),
               JsonNumber(h->sum).c_str());
@@ -444,6 +454,57 @@ Status LineError(size_t line_no, const std::string& what) {
                                  std::to_string(line_no) + ": " + what);
 }
 
+// Parses a `{k="v",...}` label block starting at the '{' at *pos; advances
+// *pos past the closing brace. Returns false (with *error set) on malformed
+// label names, quoting or escapes. `name` is only used in error messages.
+bool ParseLabelBlock(const std::string& line, size_t line_no, size_t* pos,
+                     const std::string& name, Status* error) {
+  size_t i = *pos;
+  ++i;  // opening brace
+  while (i < line.size() && line[i] != '}') {
+    if (!IsLabelNameStart(line[i])) {
+      *error = LineError(line_no, "bad label name in " + name);
+      return false;
+    }
+    while (i < line.size() && IsLabelNameChar(line[i])) ++i;
+    if (i >= line.size() || line[i] != '=') {
+      *error = LineError(line_no, "label without '=' in " + name);
+      return false;
+    }
+    ++i;
+    if (i >= line.size() || line[i] != '"') {
+      *error = LineError(line_no, "label value not quoted in " + name);
+      return false;
+    }
+    ++i;
+    while (i < line.size() && line[i] != '"') {
+      if (line[i] == '\\') {
+        if (i + 1 >= line.size() ||
+            (line[i + 1] != '\\' && line[i + 1] != '"' &&
+             line[i + 1] != 'n')) {
+          *error = LineError(line_no, "bad escape in label value of " + name);
+          return false;
+        }
+        ++i;
+      }
+      ++i;
+    }
+    if (i >= line.size()) {
+      *error = LineError(line_no, "unterminated label value in " + name);
+      return false;
+    }
+    ++i;  // closing quote
+    if (i < line.size() && line[i] == ',') ++i;
+  }
+  if (i >= line.size()) {
+    *error = LineError(line_no, "unterminated label block in " + name);
+    return false;
+  }
+  ++i;  // closing brace
+  *pos = i;
+  return true;
+}
+
 // Parses `name{labels}` starting at *pos; advances *pos past it. Returns
 // false (with *error set) on malformed names, labels or escapes.
 bool ParseSampleName(const std::string& line, size_t line_no, size_t* pos,
@@ -457,48 +518,7 @@ bool ParseSampleName(const std::string& line, size_t line_no, size_t* pos,
   while (i < line.size() && IsMetricNameChar(line[i])) ++i;
   *name = line.substr(name_begin, i - name_begin);
   if (i < line.size() && line[i] == '{') {
-    ++i;
-    while (i < line.size() && line[i] != '}') {
-      if (!IsLabelNameStart(line[i])) {
-        *error = LineError(line_no, "bad label name in " + *name);
-        return false;
-      }
-      while (i < line.size() && IsLabelNameChar(line[i])) ++i;
-      if (i >= line.size() || line[i] != '=') {
-        *error = LineError(line_no, "label without '=' in " + *name);
-        return false;
-      }
-      ++i;
-      if (i >= line.size() || line[i] != '"') {
-        *error = LineError(line_no, "label value not quoted in " + *name);
-        return false;
-      }
-      ++i;
-      while (i < line.size() && line[i] != '"') {
-        if (line[i] == '\\') {
-          if (i + 1 >= line.size() ||
-              (line[i + 1] != '\\' && line[i + 1] != '"' &&
-               line[i + 1] != 'n')) {
-            *error = LineError(line_no, "bad escape in label value of " +
-                                            *name);
-            return false;
-          }
-          ++i;
-        }
-        ++i;
-      }
-      if (i >= line.size()) {
-        *error = LineError(line_no, "unterminated label value in " + *name);
-        return false;
-      }
-      ++i;  // closing quote
-      if (i < line.size() && line[i] == ',') ++i;
-    }
-    if (i >= line.size()) {
-      *error = LineError(line_no, "unterminated label block in " + *name);
-      return false;
-    }
-    ++i;  // closing brace
+    if (!ParseLabelBlock(line, line_no, &i, *name, error)) return false;
   }
   *pos = i;
   return true;
@@ -593,6 +613,42 @@ Status CheckPrometheusText(const std::string& text) {
     if (value.empty() || parse_end != value.c_str() + value.size()) {
       return LineError(line_no, "unparseable value '" + value + "'");
     }
+    // Remainder after the value: either an (ignored) integer timestamp or
+    // an OpenMetrics exemplar suffix `# {label="v",...} value`, which is
+    // only legal on histogram _bucket samples.
+    size_t rest = value_end == std::string::npos ? line.size() : value_end;
+    while (rest < line.size() && (line[rest] == ' ' || line[rest] == '\t')) {
+      ++rest;
+    }
+    if (rest < line.size() && line[rest] == '#') {
+      const std::string kBucket = "_bucket";
+      if (name.size() <= kBucket.size() ||
+          name.compare(name.size() - kBucket.size(), kBucket.size(),
+                       kBucket) != 0) {
+        return LineError(line_no,
+                         "exemplar on non-_bucket sample " + name);
+      }
+      ++rest;
+      while (rest < line.size() && line[rest] == ' ') ++rest;
+      if (rest >= line.size() || line[rest] != '{') {
+        return LineError(line_no, "exemplar without a label block on " + name);
+      }
+      Status ex_error = Status::Ok();
+      if (!ParseLabelBlock(line, line_no, &rest, name + " exemplar",
+                           &ex_error)) {
+        return ex_error;
+      }
+      while (rest < line.size() && (line[rest] == ' ' || line[rest] == '\t')) {
+        ++rest;
+      }
+      const std::string ex_value = line.substr(rest);
+      char* ex_end = nullptr;
+      std::strtod(ex_value.c_str(), &ex_end);
+      if (ex_value.empty() || ex_end != ex_value.c_str() + ex_value.size()) {
+        return LineError(line_no, "unparseable exemplar value '" + ex_value +
+                                      "' on " + name);
+      }
+    }
     const std::string family = family_of(name);
     if (family != current_family) {
       if (closed.count(family) != 0) {
@@ -638,6 +694,13 @@ void Augment(MetricsSnapshot* snapshot) {
   }
   if (SloTracker::Global().enabled()) {
     snapshot->slos = SloTracker::Global().Evaluate(now);
+  }
+  // Surface timeline-event loss: once the span-sampling ring has been armed
+  // (or has ever overflowed), /vars and /metrics report how many events the
+  // fixed-capacity TraceEventSink ring could not hold.
+  const TraceEventSink& sink = TraceEventSink::Global();
+  if (sink.active() || sink.dropped() > 0) {
+    snapshot->counters["obs/trace_dropped_events"] = sink.dropped();
   }
 }
 

@@ -49,7 +49,18 @@ std::string ExportJson(const MetricsSnapshot& snapshot);
 /// family is emitted contiguously under a single # HELP/# TYPE header, and
 /// label values (span paths, SLO names, LabeledName values) are escaped per
 /// the exposition format. Output passes CheckPrometheusText.
-std::string ExportPrometheus(const MetricsSnapshot& snapshot);
+///
+/// With `include_exemplars`, histogram `_bucket` lines whose bucket holds a
+/// traced observation (see Histogram::Observe(value, trace_id)) gain an
+/// OpenMetrics exemplar suffix:
+///
+///   pasa_net_serve_latency_seconds_bucket{le="0.005"} 17 # {trace_id="b3e1..."} 0.0042
+///
+/// Exemplars are max-per-bucket, so the highest non-empty bucket's exemplar
+/// references the globally slowest traced request — what `tools/ci.sh`
+/// cross-checks against /trace and the merged Perfetto timeline.
+std::string ExportPrometheus(const MetricsSnapshot& snapshot,
+                             bool include_exemplars = false);
 
 /// Validates `text` against the Prometheus text exposition format: every
 /// line must be a #-comment (with well-formed `# TYPE` / `# HELP` shapes), a
@@ -57,6 +68,8 @@ std::string ExportPrometheus(const MetricsSnapshot& snapshot);
 /// metric/label names, only `\\` `\"` `\n` escapes in label values, and a
 /// parseable value; each family gets at most one TYPE, declared before its
 /// samples, with all its samples contiguous; the text ends with a newline.
+/// An OpenMetrics exemplar suffix (`# {label="v",...} value`) is accepted —
+/// and fully validated — on histogram `_bucket` samples only.
 /// Returns InvalidArgument naming the first offending line otherwise. Used
 /// by `pasa_cli scrape --check` and the CI exposition-format gate.
 Status CheckPrometheusText(const std::string& text);

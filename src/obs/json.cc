@@ -1,6 +1,8 @@
 #include "obs/json.h"
 
 #include <cctype>
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 
 namespace pasa {
@@ -270,6 +272,101 @@ const Value* Value::Find(const std::string& key) const {
 
 Result<Value> Parse(std::string_view text) {
   return Parser(text).ParseDocument();
+}
+
+namespace {
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  *out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+void AppendNumber(double n, std::string* out) {
+  if (!(n == n) || n - n != 0.0) {  // NaN or +/-Inf
+    *out += '0';
+    return;
+  }
+  const double rounded = n < 0 ? -static_cast<double>(
+      static_cast<uint64_t>(-n)) : static_cast<double>(
+      static_cast<uint64_t>(n));
+  if (rounded == n && n < 9007199254740992.0 && n > -9007199254740992.0) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(n));
+    *out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", n);
+  *out += buf;
+}
+
+void SerializeInto(const Value& value, std::string* out) {
+  switch (value.type()) {
+    case Value::Type::kNull:
+      *out += "null";
+      break;
+    case Value::Type::kBool:
+      *out += value.boolean() ? "true" : "false";
+      break;
+    case Value::Type::kNumber:
+      AppendNumber(value.number(), out);
+      break;
+    case Value::Type::kString:
+      AppendEscaped(value.str(), out);
+      break;
+    case Value::Type::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const Value& item : value.array()) {
+        if (!first) *out += ',';
+        first = false;
+        SerializeInto(item, out);
+      }
+      *out += ']';
+      break;
+    }
+    case Value::Type::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [key, member] : value.object()) {
+        if (!first) *out += ',';
+        first = false;
+        AppendEscaped(key, out);
+        *out += ':';
+        SerializeInto(member, out);
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Serialize(const Value& value) {
+  std::string out;
+  SerializeInto(value, &out);
+  return out;
 }
 
 }  // namespace json

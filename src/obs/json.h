@@ -63,6 +63,13 @@ class Value {
 /// only: no comments, no trailing commas, no bare NaN/Infinity.
 Result<Value> Parse(std::string_view text);
 
+/// Serializes a Value back to compact JSON (no insignificant whitespace).
+/// Object keys come out in sorted order (the map's), so
+/// Serialize(Parse(x)) is deterministic. Integral numbers within 2^53
+/// print without a decimal point; NaN/Infinity degrade to 0 (JSON has no
+/// spelling for them).
+std::string Serialize(const Value& value);
+
 }  // namespace json
 }  // namespace obs
 }  // namespace pasa

@@ -52,6 +52,29 @@ void Histogram::Observe(double value) {
   sum_.fetch_add(value, std::memory_order_relaxed);
 }
 
+void Histogram::Observe(double value, uint64_t exemplar_trace_id) {
+  if (!Enabled()) return;
+  Observe(value);
+  if (exemplar_trace_id == 0) return;
+  const size_t idx = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  if (exemplars_.empty()) exemplars_.resize(buckets_.size());
+  Exemplar& slot = exemplars_[idx];
+  // Max-value-wins keeps the exemplar deterministic under replays: the
+  // bucket always points at its slowest traced observation.
+  if (slot.trace_id == 0 || value > slot.value) {
+    slot.value = value;
+    slot.trace_id = exemplar_trace_id;
+  }
+}
+
+std::vector<Histogram::Exemplar> Histogram::exemplars() const {
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  return exemplars_;
+}
+
 std::vector<uint64_t> Histogram::bucket_counts() const {
   std::vector<uint64_t> counts(buckets_.size());
   for (size_t i = 0; i < buckets_.size(); ++i) {
@@ -64,6 +87,8 @@ void Histogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  exemplars_.clear();
 }
 
 void SpanStats::Record(double seconds, uint64_t count) {
@@ -233,6 +258,15 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     data.bucket_counts = h->bucket_counts();
     data.count = h->count();
     data.sum = h->sum();
+    const std::vector<Histogram::Exemplar> exemplars = h->exemplars();
+    if (!exemplars.empty()) {
+      data.exemplar_values.reserve(exemplars.size());
+      data.exemplar_trace_ids.reserve(exemplars.size());
+      for (const Histogram::Exemplar& e : exemplars) {
+        data.exemplar_values.push_back(e.value);
+        data.exemplar_trace_ids.push_back(e.trace_id);
+      }
+    }
     snapshot.histograms[name] = std::move(data);
   }
   for (const auto& [name, s] : spans_) {

@@ -69,16 +69,34 @@ class Gauge {
 /// passes different ones.
 class Histogram {
  public:
+  /// A sampled observation attached to one bucket, pointing back at the
+  /// distributed trace that produced it (see obs/trace_context.h). Each
+  /// bucket keeps its *largest* exemplar since the last Reset, so the
+  /// highest non-empty bucket's exemplar is always the globally slowest
+  /// traced observation — deterministic, which lets CI assert on it.
+  struct Exemplar {
+    double value = 0.0;
+    uint64_t trace_id = 0;  ///< 0 = bucket has no exemplar
+  };
+
   explicit Histogram(std::vector<double> upper_bounds);
 
   /// Records one observation (lock-free: a relaxed fetch_add per field).
   void Observe(double value);
+
+  /// Records one observation and, when `exemplar_trace_id` is non-zero,
+  /// offers it as the bucket's exemplar (max-value-wins, under a mutex the
+  /// trace-id-free Observe never touches).
+  void Observe(double value, uint64_t exemplar_trace_id);
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   const std::vector<double>& upper_bounds() const { return bounds_; }
   /// Per-bucket (non-cumulative) counts; index bounds_.size() is +Inf.
   std::vector<uint64_t> bucket_counts() const;
+  /// Per-bucket exemplars (same indexing as bucket_counts); empty if no
+  /// traced observation was ever recorded.
+  std::vector<Exemplar> exemplars() const;
   void Reset();
 
  private:
@@ -86,6 +104,8 @@ class Histogram {
   std::vector<std::atomic<uint64_t>> buckets_;  ///< bounds_.size() + 1
   std::atomic<uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  mutable std::mutex exemplar_mu_;
+  std::vector<Exemplar> exemplars_;  ///< lazily sized buckets_.size()
 };
 
 /// Aggregate of every completed span (or recorded phase) with one path,
@@ -145,6 +165,10 @@ struct MetricsSnapshot {
     std::vector<uint64_t> bucket_counts;  ///< per-bucket; last is +Inf
     uint64_t count = 0;
     double sum = 0.0;
+    /// Per-bucket exemplars (parallel to bucket_counts; trace id 0 = none).
+    /// Empty vectors when the histogram never saw a traced observation.
+    std::vector<double> exemplar_values;
+    std::vector<uint64_t> exemplar_trace_ids;
   };
   struct SpanData {
     uint64_t count = 0;

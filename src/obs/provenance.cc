@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "obs/export.h"
+#include "obs/trace_context.h"
 
 namespace pasa {
 namespace obs {
@@ -121,6 +122,9 @@ std::string ProvenanceToJsonl(const ProvenanceRecord& r) {
   AppendField(&out, "outcome", RequestOutcomeName(r.outcome),
               /*quoted=*/true);
   AppendField(&out, "status", r.status, /*quoted=*/true);
+  if (r.trace_id != 0) {
+    AppendField(&out, "trace_id", TraceIdHex(r.trace_id), /*quoted=*/true);
+  }
   AppendInt(&out, "k", r.k);
   AppendInt(&out, "cloak_x1", r.cloak_x1);
   AppendInt(&out, "cloak_y1", r.cloak_y1);
@@ -171,6 +175,7 @@ Result<ProvenanceRecord> ProvenanceFromJson(const json::Value& value) {
   r.rid = static_cast<int64_t>(NumberOr(value, "rid", 0));
   r.sender = static_cast<int64_t>(NumberOr(value, "sender", 0));
   r.status = StringOr(value, "status", "OK");
+  r.trace_id = TraceIdFromHex(StringOr(value, "trace_id", ""));
   r.k = static_cast<int32_t>(NumberOr(value, "k", 0));
   r.cloak_x1 = static_cast<int64_t>(NumberOr(value, "cloak_x1", 0));
   r.cloak_y1 = static_cast<int64_t>(NumberOr(value, "cloak_y1", 0));

@@ -48,6 +48,11 @@ struct ProvenanceRecord {
   int64_t sender = 0;
   RequestOutcome outcome = RequestOutcome::kRejected;
   std::string status = "OK";  ///< final StatusCode name
+  /// Distributed trace id of the request (see obs/trace_context.h); 0 when
+  /// the request was not traced. Serialized as a 16-char lowercase hex
+  /// string in JSONL so offline joins against the loadgen latency log and
+  /// the merged Perfetto timeline need no 64-bit-precision JSON parsing.
+  uint64_t trace_id = 0;
 
   // The cloak decision. The cloak rectangle is stored as raw coordinates so
   // pasa_obs stays dependency-free; callers copy from geo::Rect.

@@ -1,0 +1,138 @@
+#include "obs/tail_trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/export.h"
+
+namespace pasa {
+namespace obs {
+namespace {
+
+uint64_t WallMicrosNow() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+void AppendTrace(std::string* out, const TailTrace& trace) {
+  *out += "{\"trace_id\": \"" + TraceIdHex(trace.trace_id) + "\"";
+  *out += ", \"rid\": " + std::to_string(trace.rid);
+  *out += ", \"outcome\": \"" + JsonEscape(trace.outcome) + "\"";
+  *out += ", \"total_seconds\": " + JsonNumber(trace.total_seconds);
+  *out += ", \"completed_wall_micros\": " +
+          std::to_string(trace.completed_wall_micros);
+  *out += ", \"spans\": [";
+  bool first = true;
+  for (const CollectedSpan& span : trace.spans) {
+    if (!first) *out += ", ";
+    first = false;
+    *out += "{\"span_id\": \"" + TraceIdHex(span.span_id) + "\"";
+    *out += ", \"parent_span_id\": \"" + TraceIdHex(span.parent_span_id) +
+            "\"";
+    *out += ", \"path\": \"" + JsonEscape(span.path) + "\"";
+    *out += ", \"start_micros\": " + JsonNumber(span.start_micros);
+    *out += ", \"duration_micros\": " + JsonNumber(span.duration_micros);
+    *out += "}";
+  }
+  *out += "]}";
+}
+
+}  // namespace
+
+TailTraceRing& TailTraceRing::Global() {
+  static TailTraceRing* ring = new TailTraceRing();
+  return *ring;
+}
+
+void TailTraceRing::Enable(const Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  if (options_.slowest_capacity == 0) options_.slowest_capacity = 1;
+  if (options_.anomaly_capacity == 0) options_.anomaly_capacity = 1;
+  if (options_.window_seconds <= 0.0) options_.window_seconds = 60.0;
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TailTraceRing::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void TailTraceRing::EvictExpiredLocked(uint64_t now_micros) {
+  const uint64_t window_micros =
+      static_cast<uint64_t>(options_.window_seconds * 1e6);
+  const uint64_t horizon =
+      now_micros > window_micros ? now_micros - window_micros : 0;
+  slowest_.erase(
+      std::remove_if(slowest_.begin(), slowest_.end(),
+                     [horizon](const TailTrace& t) {
+                       return t.completed_wall_micros < horizon;
+                     }),
+      slowest_.end());
+}
+
+void TailTraceRing::Offer(TailTrace trace) {
+  if (!enabled()) return;
+  if (trace.completed_wall_micros == 0) {
+    trace.completed_wall_micros = WallMicrosNow();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  EvictExpiredLocked(trace.completed_wall_micros);
+  if (trace.outcome != "served") {
+    anomalies_.push_back(trace);
+    while (anomalies_.size() > options_.anomaly_capacity) {
+      anomalies_.pop_front();
+    }
+  }
+  if (slowest_.size() < options_.slowest_capacity ||
+      trace.total_seconds > slowest_.back().total_seconds) {
+    // Insert keeping the vector sorted slowest-first, then trim.
+    const auto pos = std::upper_bound(
+        slowest_.begin(), slowest_.end(), trace.total_seconds,
+        [](double v, const TailTrace& t) { return v > t.total_seconds; });
+    slowest_.insert(pos, std::move(trace));
+    if (slowest_.size() > options_.slowest_capacity) slowest_.pop_back();
+  }
+}
+
+std::string TailTraceRing::ExportJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"window_seconds\": " +
+                    JsonNumber(options_.window_seconds) + ",\n\"slowest\": [";
+  bool first = true;
+  for (const TailTrace& trace : slowest_) {
+    out += first ? "\n " : ",\n ";
+    first = false;
+    AppendTrace(&out, trace);
+  }
+  out += "\n],\n\"anomalies\": [";
+  first = true;
+  // Newest anomaly first: the interesting one when debugging live.
+  for (auto it = anomalies_.rbegin(); it != anomalies_.rend(); ++it) {
+    out += first ? "\n " : ",\n ";
+    first = false;
+    AppendTrace(&out, *it);
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+size_t TailTraceRing::slowest_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slowest_.size();
+}
+
+size_t TailTraceRing::anomaly_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return anomalies_.size();
+}
+
+void TailTraceRing::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slowest_.clear();
+  anomalies_.clear();
+}
+
+}  // namespace obs
+}  // namespace pasa

@@ -1,0 +1,83 @@
+#ifndef PASA_OBS_TAIL_TRACE_H_
+#define PASA_OBS_TAIL_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace_context.h"
+
+namespace pasa {
+namespace obs {
+
+/// The complete span tree of one finished request, as kept by the
+/// TailTraceRing for after-the-fact inspection of outliers.
+struct TailTrace {
+  uint64_t trace_id = 0;
+  int64_t rid = 0;
+  std::string outcome;  ///< served | degraded | failed | rejected
+  double total_seconds = 0.0;
+  /// Wall-clock (system_clock) micros at completion; stamped by Offer when
+  /// left 0. Drives the sliding-window eviction.
+  uint64_t completed_wall_micros = 0;
+  std::vector<CollectedSpan> spans;
+};
+
+/// Always-on tail-trace capture: a fixed-capacity store of the N slowest
+/// requests inside a sliding wall-clock window, plus a bounded ring of
+/// every anomalous (non-served) request. Fed by the serving path on every
+/// request, served at GET /trace on the admin plane and by
+/// `pasa_cli slowest`.
+///
+/// The disarmed check (`enabled()`) is a single relaxed atomic load; the
+/// armed path takes a mutex, which is fine on the single-threaded serving
+/// loop and still cheap elsewhere.
+class TailTraceRing {
+ public:
+  struct Options {
+    size_t slowest_capacity = 8;  ///< N slowest kept per window
+    size_t anomaly_capacity = 32;
+    double window_seconds = 60.0;
+  };
+
+  static TailTraceRing& Global();
+
+  TailTraceRing() = default;
+  TailTraceRing(const TailTraceRing&) = delete;
+  TailTraceRing& operator=(const TailTraceRing&) = delete;
+
+  void Enable(const Options& options);
+  void Enable() { Enable(Options()); }
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Offers one finished request. Kept if it is among the window's slowest
+  /// or is anomalous (outcome != "served"); otherwise discarded. No-op when
+  /// disabled.
+  void Offer(TailTrace trace);
+
+  /// {"window_seconds":…, "slowest":[…], "anomalies":[…]} — slowest first.
+  /// Each trace carries its hex trace id and full span tree.
+  std::string ExportJson() const;
+
+  size_t slowest_size() const;
+  size_t anomaly_size() const;
+  void Reset();
+
+ private:
+  void EvictExpiredLocked(uint64_t now_micros);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  Options options_;
+  std::vector<TailTrace> slowest_;   ///< sorted, slowest first
+  std::deque<TailTrace> anomalies_;  ///< newest last
+};
+
+}  // namespace obs
+}  // namespace pasa
+
+#endif  // PASA_OBS_TAIL_TRACE_H_

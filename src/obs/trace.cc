@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "obs/profile.h"
+#include "obs/trace_context.h"
 #include "obs/trace_sink.h"
 
 namespace pasa {
@@ -29,8 +30,25 @@ ScopedSpan::ScopedSpan(std::string_view name, Anchor anchor) {
   tls_span_stack.push_back(path_);
   // One relaxed load while the profiler is disarmed (the common case).
   if (ProfilerArmed()) ProfilerPublishPath(path_);
+  // One thread-local read while no distributed trace is active (the common
+  // case); with a context, take over as the innermost span.
+  if (TraceContext* ctx = MutableCurrentTraceContext()) {
+    trace_id_ = ctx->trace_id;
+    parent_span_id_ = ctx->span_id;
+    span_id_ = NewSpanId();
+    flow_in_ = ctx->remote;
+    ctx->remote = false;
+    ctx->span_id = span_id_;
+  }
   TraceEventSink& sink = TraceEventSink::Global();
-  if (sink.active()) sink.Record(TraceEvent::Type::kBegin, path_);
+  if (sink.active()) {
+    if (trace_id_ != 0) {
+      sink.RecordSpanEvent(TraceEvent::Type::kBegin, path_, trace_id_,
+                           span_id_, parent_span_id_, flow_in_);
+    } else {
+      sink.Record(TraceEvent::Type::kBegin, path_);
+    }
+  }
   start_ = std::chrono::steady_clock::now();
 }
 
@@ -40,11 +58,30 @@ ScopedSpan::~ScopedSpan() {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
   TraceEventSink& sink = TraceEventSink::Global();
-  if (sink.active()) sink.Record(TraceEvent::Type::kEnd, path_);
+  if (sink.active()) {
+    if (trace_id_ != 0) {
+      sink.RecordSpanEvent(TraceEvent::Type::kEnd, path_, trace_id_,
+                           span_id_, parent_span_id_, false);
+    } else {
+      sink.Record(TraceEvent::Type::kEnd, path_);
+    }
+  }
   tls_span_stack.pop_back();
   if (ProfilerArmed()) {
     ProfilerPublishPath(tls_span_stack.empty() ? kEmptyPath
                                                : tls_span_stack.back());
+  }
+  if (trace_id_ != 0) {
+    if (TraceContext* ctx = MutableCurrentTraceContext()) {
+      ctx->span_id = parent_span_id_;
+    }
+    if (SpanCollector* collector = CurrentSpanCollector()) {
+      collector->spans.push_back(CollectedSpan{
+          span_id_, parent_span_id_, path_,
+          std::chrono::duration<double, std::micro>(start_ - collector->base)
+              .count(),
+          seconds * 1e6});
+    }
   }
   // Record directly (not via RecordSpan) so a span that was open when the
   // layer got disabled still reports its measured time.

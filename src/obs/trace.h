@@ -28,6 +28,13 @@ namespace obs {
 /// span additionally emits paired begin/end timeline events, so the same
 /// instrumentation feeds both the aggregate SpanStats and the Chrome
 /// trace_event export.
+///
+/// When a distributed TraceContext is active on the thread (see
+/// obs/trace_context.h), the span also allocates a span id, parents itself
+/// under the context's current span, stamps its trace identity onto the
+/// emitted timeline events, and reports itself to the armed SpanCollector
+/// (if any) on close. With no context active this costs one thread-local
+/// read.
 class ScopedSpan {
  public:
   enum Anchor { kNested, kRoot };
@@ -41,10 +48,18 @@ class ScopedSpan {
   /// Full '/'-joined path this span records under (empty when inert).
   const std::string& path() const { return path_; }
 
+  /// Distributed-trace identity (0 when no context was active).
+  uint64_t span_id() const { return span_id_; }
+  uint64_t trace_id() const { return trace_id_; }
+
  private:
   bool active_ = false;
+  bool flow_in_ = false;
   std::string path_;
   std::chrono::steady_clock::time_point start_;
+  uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
 };
 
 /// RAII latency sampler: observes its own lifetime (in seconds) into a

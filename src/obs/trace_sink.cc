@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "obs/export.h"
+#include "obs/trace_context.h"
 
 namespace pasa {
 namespace obs {
@@ -50,6 +51,10 @@ void TraceEventSink::Start(size_t capacity) {
   next_.store(0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);
   base_ = std::chrono::steady_clock::now();
+  wall_base_micros_ = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
   active_.store(true, std::memory_order_release);
 }
 
@@ -57,13 +62,12 @@ void TraceEventSink::Stop() {
   active_.store(false, std::memory_order_relaxed);
 }
 
-void TraceEventSink::Record(TraceEvent::Type type, std::string_view name,
-                            double value) {
-  if (!active()) return;
+TraceEventSink::Slot* TraceEventSink::ClaimSlot(TraceEvent::Type type,
+                                                std::string_view name) {
   const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
   if (seq >= slots_.size()) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
-    return;
+    return nullptr;
   }
   Slot& slot = slots_[seq];
   slot.event.type = type;
@@ -73,8 +77,35 @@ void TraceEventSink::Record(TraceEvent::Type type, std::string_view name,
           std::chrono::steady_clock::now() - base_)
           .count();
   slot.event.name.assign(name.data(), name.size());
-  slot.event.value = value;
-  slot.ready.store(true, std::memory_order_release);
+  slot.event.value = 0.0;
+  slot.event.trace_id = 0;
+  slot.event.span_id = 0;
+  slot.event.parent_span_id = 0;
+  slot.event.flow_in = false;
+  return &slot;
+}
+
+void TraceEventSink::Record(TraceEvent::Type type, std::string_view name,
+                            double value) {
+  if (!active()) return;
+  Slot* slot = ClaimSlot(type, name);
+  if (slot == nullptr) return;
+  slot->event.value = value;
+  slot->ready.store(true, std::memory_order_release);
+}
+
+void TraceEventSink::RecordSpanEvent(TraceEvent::Type type,
+                                     std::string_view name, uint64_t trace_id,
+                                     uint64_t span_id,
+                                     uint64_t parent_span_id, bool flow_in) {
+  if (!active()) return;
+  Slot* slot = ClaimSlot(type, name);
+  if (slot == nullptr) return;
+  slot->event.trace_id = trace_id;
+  slot->event.span_id = span_id;
+  slot->event.parent_span_id = parent_span_id;
+  slot->event.flow_in = flow_in;
+  slot->ready.store(true, std::memory_order_release);
 }
 
 size_t TraceEventSink::size() const {
@@ -103,9 +134,14 @@ std::vector<TraceEvent> TraceEventSink::Events() const {
 
 std::string TraceEventSink::ExportChromeTrace() const {
   std::string out = "{\"displayTimeUnit\": \"ms\",\n";
-  char buf[160];
+  char buf[256];
   std::snprintf(buf, sizeof(buf), "\"droppedEventCount\": %" PRIu64 ",\n",
                 dropped());
+  out += buf;
+  // Wall-clock anchor of ts == 0, so trace-merge can align traces recorded
+  // by different processes. Ignored by Perfetto itself.
+  std::snprintf(buf, sizeof(buf), "\"wallClockBaseMicros\": %" PRIu64 ",\n",
+                wall_base_micros_);
   out += buf;
   out += "\"traceEvents\": [";
   bool first = true;
@@ -137,9 +173,34 @@ std::string TraceEventSink::ExportChromeTrace() const {
       std::snprintf(buf, sizeof(buf), ", \"args\": {\"value\": %s}",
                     JsonNumber(event.value).c_str());
       out += buf;
+    } else if (event.type == TraceEvent::Type::kBegin &&
+               event.trace_id != 0) {
+      std::snprintf(buf, sizeof(buf),
+                    ", \"args\": {\"trace_id\": \"%s\", \"span_id\": \"%s\", "
+                    "\"parent_span_id\": \"%s\"}",
+                    TraceIdHex(event.trace_id).c_str(),
+                    TraceIdHex(event.span_id).c_str(),
+                    TraceIdHex(event.parent_span_id).c_str());
+      out += buf;
     }
     out += '}';
     first = false;
+    // Flow events knit the cross-process request together: the locally
+    // originated root span starts the arrow ("s"), the first span opened
+    // under a remotely adopted context finishes it ("f", enclosing-slice
+    // binding). Both sides key on the shared trace id.
+    if (event.type == TraceEvent::Type::kBegin && event.trace_id != 0 &&
+        (event.flow_in || event.parent_span_id == 0)) {
+      std::snprintf(buf, sizeof(buf),
+                    ",\n {\"ph\": \"%s\", %s\"id\": \"%s\", \"pid\": 1, "
+                    "\"tid\": %u, \"ts\": %.3f, \"cat\": \"pasa\", "
+                    "\"name\": \"request\"}",
+                    event.flow_in ? "f" : "s",
+                    event.flow_in ? "\"bp\": \"e\", " : "",
+                    TraceIdHex(event.trace_id).c_str(), event.tid,
+                    event.ts_micros);
+      out += buf;
+    }
   }
   out += "\n]}\n";
   return out;

@@ -25,6 +25,17 @@ struct TraceEvent {
   double ts_micros = 0.0;
   std::string name;
   double value = 0.0;  ///< counter events only
+  /// Distributed-trace identity (0 when the span ran without a trace
+  /// context). Begin events carrying a trace id get args in the Chrome
+  /// export; root spans additionally emit flow events (see
+  /// ExportChromeTrace) so merged multi-process traces draw arrows across
+  /// the socket.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  /// This span adopted its context from a remote peer: its begin event is
+  /// the flow-finish end of the cross-process arrow.
+  bool flow_in = false;
 };
 
 /// Lock-light, fixed-capacity timeline recorder behind every ScopedSpan
@@ -63,6 +74,18 @@ class TraceEventSink {
   /// Records one event (no-op unless active). Thread-safe.
   void Record(TraceEvent::Type type, std::string_view name,
               double value = 0.0);
+
+  /// Records a span begin/end stamped with its distributed-trace identity.
+  /// Same cost profile as Record.
+  void RecordSpanEvent(TraceEvent::Type type, std::string_view name,
+                       uint64_t trace_id, uint64_t span_id,
+                       uint64_t parent_span_id, bool flow_in);
+
+  /// Wall-clock (system_clock) microseconds corresponding to ts_micros == 0,
+  /// captured at Start(). Exported as "wallClockBaseMicros" so
+  /// `pasa_cli trace-merge` can align traces from different processes onto
+  /// one timeline. 0 until the sink has been started.
+  uint64_t wall_base_micros() const { return wall_base_micros_; }
 
   /// Events discarded because the buffer was full.
   uint64_t dropped() const {
@@ -108,6 +131,10 @@ class TraceEventSink {
   };
 
   uint32_t CurrentThreadId();
+  /// Claims and pre-fills the next slot (type/tid/ts/name, identity fields
+  /// zeroed); nullptr when the buffer is full (the drop was counted). The
+  /// caller fills the rest and publishes via slot->ready.
+  Slot* ClaimSlot(TraceEvent::Type type, std::string_view name);
 
   std::atomic<bool> active_{false};
   std::atomic<uint64_t> next_{0};
@@ -115,6 +142,7 @@ class TraceEventSink {
   std::atomic<uint32_t> next_tid_{0};
   std::vector<Slot> slots_;
   std::chrono::steady_clock::time_point base_;
+  uint64_t wall_base_micros_ = 0;
   mutable std::mutex names_mu_;
   std::map<uint32_t, std::string> thread_names_;
 };

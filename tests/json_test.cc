@@ -71,6 +71,32 @@ TEST(JsonTest, WrongTypeAccessorsReturnZeroValues) {
   EXPECT_EQ(v->Find("missing"), nullptr);
 }
 
+TEST(JsonTest, SerializeIsCompactAndSortsKeys) {
+  Result<Value> v = Parse("{\"b\": [1, 2.5, \"x\", null, true], \"a\": {}}");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(Serialize(*v), "{\"a\":{},\"b\":[1,2.5,\"x\",null,true]}");
+}
+
+TEST(JsonTest, SerializeParseRoundTripIsStable) {
+  const std::string text =
+      "{\"name\":\"trace\",\"ts\":1754640000123456,\"values\":[0.001,-3,"
+      "\"a\\\"b\\\\c\\nd\"]}";
+  Result<Value> v = Parse(text);
+  ASSERT_TRUE(v.ok());
+  const std::string once = Serialize(*v);
+  Result<Value> again = Parse(once);
+  ASSERT_TRUE(again.ok()) << once;
+  // A second round trip is byte-identical: the format is a fixed point.
+  EXPECT_EQ(Serialize(*again), once);
+  // Large integral timestamps survive without scientific notation.
+  EXPECT_NE(once.find("1754640000123456"), std::string::npos) << once;
+}
+
+TEST(JsonTest, SerializeEscapesControlCharacters) {
+  const Value v = Value::MakeString(std::string("tab\there\x01") + '\n');
+  EXPECT_EQ(Serialize(v), "\"tab\\there\\u0001\\n\"");
+}
+
 }  // namespace
 }  // namespace json
 }  // namespace obs

@@ -22,10 +22,13 @@
 #include "net/http.h"
 #include "net/wire.h"
 #include "obs/export.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/slo.h"
+#include "obs/tail_trace.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 #include "workload/bay_area.h"
 #include "workload/movement.h"
 
@@ -532,6 +535,165 @@ TEST(NetServerAdminTest, AdminPlaneBypassesConnectionCapUnderOverload) {
   Result<HttpResponse> health = HttpGet(fx.server->admin_port(), "/healthz");
   ASSERT_TRUE(health.ok()) << health.status().ToString();
   EXPECT_EQ(health->status, 200);
+  fx.server->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Distributed tracing: wire v2 compatibility, trace adoption, /trace, and
+// Prometheus exemplars.
+
+// A v1 client (no flags word, no trace extension) must round-trip against
+// a v2 server unchanged.
+TEST(NetServerTraceTest, Version1ClientServedByVersion2Server) {
+  Fixture fx(/*k=*/10);
+  Result<NetClient> client = NetClient::Connect(fx.server->port());
+  ASSERT_TRUE(client.ok());
+
+  const auto& row = fx.db.row(2);
+  const ServiceRequest sr{row.user, row.location, {{"poi", "rest"}}};
+  std::string frame =
+      EncodeFrame(MsgType::kServeRequest, EncodeServiceRequest(sr));
+  frame[4] = 0x01;  // rewrite the version byte: a legacy v1 sender
+  const ssize_t wrote = ::send(client->fd(), frame.data(), frame.size(), 0);
+  ASSERT_EQ(wrote, static_cast<ssize_t>(frame.size()));
+
+  Result<Frame> reply = client->ReadFrame(10.0);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->type, MsgType::kServeResponse);
+  Result<ServeResponseMsg> msg = DecodeServeResponse(reply->payload);
+  ASSERT_TRUE(msg.ok());
+  EXPECT_GE(msg->group_size, 10u);
+  fx.server->Stop();
+}
+
+// A wire-propagated trace context is adopted by the server: the /trace
+// endpoint reports the client-chosen trace id with the server's span tree.
+TEST(NetServerTraceTest, TraceEndpointReportsAdoptedTraceWithSpans) {
+  Fixture fx(/*k=*/10, WithAdminPlane());
+  obs::TailTraceRing::Global().Reset();
+  Result<NetClient> client = NetClient::Connect(fx.server->port());
+  ASSERT_TRUE(client.ok());
+
+  const uint64_t trace_id = obs::NewTraceId();
+  const WireTraceContext wire{trace_id, /*parent_span_id=*/77, true};
+  const auto& row = fx.db.row(5);
+  const ServiceRequest sr{row.user, row.location, {{"poi", "rest"}}};
+  Result<Frame> reply = client->Call(MsgType::kServeRequest,
+                                     EncodeServiceRequest(sr), wire, 10.0);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_EQ(reply->type, MsgType::kServeResponse);
+
+  Result<HttpResponse> response = HttpGet(fx.server->admin_port(), "/trace");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->headers.at("content-type"), "application/json");
+  Result<obs::json::Value> doc = obs::json::Parse(response->body);
+  ASSERT_TRUE(doc.ok()) << response->body;
+  const obs::json::Value* slowest = doc->Find("slowest");
+  ASSERT_NE(slowest, nullptr);
+  const obs::json::Value* ours = nullptr;
+  for (const obs::json::Value& trace : slowest->array()) {
+    if (trace.Find("trace_id")->str() == obs::TraceIdHex(trace_id)) {
+      ours = &trace;
+    }
+  }
+  ASSERT_NE(ours, nullptr) << response->body;
+  EXPECT_EQ(ours->Find("outcome")->str(), "served");
+  EXPECT_GT(ours->Find("total_seconds")->number(), 0.0);
+  // The span tree must contain the dispatch root parented under the
+  // wire-carried span, and the downstream cloak/LBS hops.
+  const obs::json::Value* spans = ours->Find("spans");
+  ASSERT_NE(spans, nullptr);
+  bool saw_dispatch = false, saw_csp = false, saw_lbs = false;
+  for (const obs::json::Value& span : spans->array()) {
+    const std::string& path = span.Find("path")->str();
+    if (path == "net/dispatch") {
+      EXPECT_EQ(span.Find("parent_span_id")->str(), obs::TraceIdHex(77));
+      saw_dispatch = true;
+    }
+    if (path.find("csp/handle_request") != std::string::npos) saw_csp = true;
+    if (path.find("lbs/serve") != std::string::npos) saw_lbs = true;
+  }
+  EXPECT_TRUE(saw_dispatch) << response->body;
+  EXPECT_TRUE(saw_csp) << response->body;
+  EXPECT_TRUE(saw_lbs) << response->body;
+  fx.server->Stop();
+}
+
+// Untraced requests still land in the tail ring: the server originates a
+// trace id of its own when the ring is armed.
+TEST(NetServerTraceTest, ServerOriginatesTraceForUntracedRequests) {
+  Fixture fx(/*k=*/10, WithAdminPlane());
+  obs::TailTraceRing::Global().Reset();
+  std::atomic<int> failures{0};
+  ServeAndVerify(fx.server->port(), fx.db, 10, 0, 3, &failures);
+  ASSERT_EQ(failures.load(), 0);
+
+  Result<HttpResponse> response = HttpGet(fx.server->admin_port(), "/trace");
+  ASSERT_TRUE(response.ok());
+  Result<obs::json::Value> doc = obs::json::Parse(response->body);
+  ASSERT_TRUE(doc.ok());
+  const obs::json::Value* slowest = doc->Find("slowest");
+  ASSERT_NE(slowest, nullptr);
+  ASSERT_FALSE(slowest->array().empty()) << response->body;
+  EXPECT_NE(slowest->array()[0].Find("trace_id")->str(),
+            obs::TraceIdHex(0));
+  fx.server->Stop();
+}
+
+// With --exemplars the Prometheus scrape carries OpenMetrics-style
+// exemplars on histogram buckets, and stays format-conformant.
+TEST(NetServerTraceTest, MetricsCarryExemplarsWhenEnabled) {
+  NetServerOptions options = WithAdminPlane();
+  options.exemplars = true;
+  Fixture fx(/*k=*/10, options);
+  // The registry is process-global and exemplars keep the largest value
+  // per bucket: clear earlier tests' observations so ours wins its bucket.
+  obs::MetricsRegistry::Global().Reset();
+  Result<NetClient> client = NetClient::Connect(fx.server->port());
+  ASSERT_TRUE(client.ok());
+
+  const uint64_t trace_id = obs::NewTraceId();
+  const WireTraceContext wire{trace_id, 0, true};
+  const auto& row = fx.db.row(7);
+  const ServiceRequest sr{row.user, row.location, {{"poi", "rest"}}};
+  ASSERT_TRUE(client
+                  ->Call(MsgType::kServeRequest, EncodeServiceRequest(sr),
+                         wire, 10.0)
+                  .ok());
+
+  Result<HttpResponse> response = HttpGet(fx.server->admin_port(), "/metrics");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+  const std::string needle =
+      "# {trace_id=\"" + obs::TraceIdHex(trace_id) + "\"}";
+  EXPECT_NE(response->body.find(needle), std::string::npos);
+  const Status format = obs::CheckPrometheusText(response->body);
+  EXPECT_TRUE(format.ok()) << format.ToString();
+  fx.server->Stop();
+}
+
+// Disabling tail capture turns /trace into an empty (but well-formed)
+// report and skips per-request collection entirely.
+TEST(NetServerTraceTest, TailCaptureCanBeDisabled) {
+  NetServerOptions options = WithAdminPlane();
+  options.tail_traces = false;
+  Fixture fx(/*k=*/10, options);
+  // The ring is process-global: an earlier test's server may have armed it.
+  obs::TailTraceRing::Global().Disable();
+  obs::TailTraceRing::Global().Reset();
+  std::atomic<int> failures{0};
+  ServeAndVerify(fx.server->port(), fx.db, 10, 0, 3, &failures);
+  ASSERT_EQ(failures.load(), 0);
+
+  Result<HttpResponse> response = HttpGet(fx.server->admin_port(), "/trace");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+  Result<obs::json::Value> doc = obs::json::Parse(response->body);
+  ASSERT_TRUE(doc.ok());
+  const obs::json::Value* slowest = doc->Find("slowest");
+  ASSERT_NE(slowest, nullptr);
+  EXPECT_TRUE(slowest->array().empty()) << response->body;
   fx.server->Stop();
 }
 

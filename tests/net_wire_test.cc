@@ -129,12 +129,54 @@ TEST(NetWireTest, GoldenFrameBytes) {
   ASSERT_EQ(frame.size(), kFrameHeaderBytes + 2);
   const unsigned char expected[14] = {
       0x70, 0x61, 0x73, 0x6E,  // magic "pasn" little-endian
-      0x01,                    // version
+      0x02,                    // version
       0x07,                    // type kHealthRequest
-      0x00, 0x00,              // reserved
+      0x00, 0x00,              // flags: none
       0x02, 0x00, 0x00, 0x00,  // payload length 2
       'a',  'b'};
   EXPECT_EQ(std::memcmp(frame.data(), expected, sizeof(expected)), 0);
+}
+
+// A traced frame carries the 17-byte trace-context extension between the
+// header and the payload; the length field still counts payload only.
+TEST(NetWireTest, GoldenTracedFrameBytes) {
+  const WireTraceContext trace{0x0123456789abcdefULL, 0x1122334455667788ULL,
+                               true};
+  const std::string frame = EncodeFrame(MsgType::kHealthRequest, "ab", trace);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + kTraceContextBytes + 2);
+  const unsigned char expected[31] = {
+      0x70, 0x61, 0x73, 0x6E,                          // magic
+      0x02,                                            // version
+      0x07,                                            // type kHealthRequest
+      0x01, 0x00,                                      // flags: trace context
+      0x02, 0x00, 0x00, 0x00,                          // payload length 2
+      0xef, 0xcd, 0xab, 0x89, 0x67, 0x45, 0x23, 0x01,  // trace id LE
+      0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11,  // parent span id LE
+      0x01,                                            // sampled
+      'a',  'b'};
+  EXPECT_EQ(std::memcmp(frame.data(), expected, sizeof(expected)), 0);
+}
+
+TEST(NetWireTest, TracedFrameRoundTrip) {
+  const WireTraceContext trace{0xdeadbeefcafef00dULL, 0x42ULL, true};
+  FrameDecoder decoder;
+  decoder.Feed(EncodeFrame(MsgType::kServeRequest, "payload", trace));
+  Frame frame;
+  Status error;
+  ASSERT_EQ(decoder.Next(&frame, &error), FrameDecoder::Poll::kFrame);
+  EXPECT_TRUE(frame.has_trace);
+  EXPECT_EQ(frame.trace_id, trace.trace_id);
+  EXPECT_EQ(frame.parent_span_id, trace.parent_span_id);
+  EXPECT_TRUE(frame.trace_sampled);
+  EXPECT_EQ(frame.payload, "payload");
+}
+
+// A zero trace id downgrades to a plain untraced frame — callers can pass
+// an unconditional WireTraceContext without paying the extension.
+TEST(NetWireTest, ZeroTraceIdEncodesPlainFrame) {
+  const std::string traced =
+      EncodeFrame(MsgType::kHealthRequest, "ab", WireTraceContext{});
+  EXPECT_EQ(traced, EncodeFrame(MsgType::kHealthRequest, "ab"));
 }
 
 TEST(NetWireTest, GoldenServiceRequestBytes) {
@@ -236,6 +278,48 @@ TEST(NetWireTest, FrameDecoderRejectsBadVersion) {
   EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Poll::kError);
 }
 
+// A v1 frame (no flags, no extension) must still decode against today's
+// decoder: old clients keep working against a v2 server.
+TEST(NetWireTest, FrameDecoderAcceptsVersion1) {
+  std::string bytes = EncodeFrame(MsgType::kHealthRequest, "old");
+  bytes[4] = 1;
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  Frame frame;
+  Status error;
+  ASSERT_EQ(decoder.Next(&frame, &error), FrameDecoder::Poll::kFrame);
+  EXPECT_EQ(frame.type, MsgType::kHealthRequest);
+  EXPECT_EQ(frame.payload, "old");
+  EXPECT_FALSE(frame.has_trace);
+}
+
+// Future versions get a typed error naming the version, so a mismatched
+// peer produces a debuggable close instead of a silent hang.
+TEST(NetWireTest, FrameDecoderRejectsVersion3) {
+  std::string bytes = EncodeFrame(MsgType::kHealthRequest, "");
+  bytes[4] = 3;
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  Frame frame;
+  Status error;
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Poll::kError);
+  EXPECT_EQ(error.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(error.ToString().find("unsupported protocol version 3"),
+            std::string::npos)
+      << error.ToString();
+}
+
+TEST(NetWireTest, FrameDecoderRejectsVersion0) {
+  std::string bytes = EncodeFrame(MsgType::kHealthRequest, "");
+  bytes[4] = 0;
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  Frame frame;
+  Status error;
+  EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Poll::kError);
+  EXPECT_EQ(error.code(), StatusCode::kInvalidArgument);
+}
+
 TEST(NetWireTest, FrameDecoderRejectsUnknownType) {
   std::string bytes = EncodeFrame(MsgType::kHealthRequest, "");
   bytes[5] = 0;  // 0 is not a known type
@@ -246,14 +330,73 @@ TEST(NetWireTest, FrameDecoderRejectsUnknownType) {
   EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Poll::kError);
 }
 
-TEST(NetWireTest, FrameDecoderRejectsNonZeroReserved) {
+// v1 reserved the flag bytes as must-be-zero; that contract still holds
+// for v1 frames.
+TEST(NetWireTest, FrameDecoderRejectsNonZeroReservedInV1) {
   std::string bytes = EncodeFrame(MsgType::kHealthRequest, "");
+  bytes[4] = 1;  // downgrade to v1, where the flag bytes are reserved
   bytes[6] = 1;
   FrameDecoder decoder;
   decoder.Feed(bytes);
   Frame frame;
   Status error;
   EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Poll::kError);
+  EXPECT_EQ(error.code(), StatusCode::kInvalidArgument);
+}
+
+// Unknown v2 flag bits are tolerated (ignored), so minor protocol
+// extensions do not break older servers.
+TEST(NetWireTest, FrameDecoderToleratesUnknownV2Flags) {
+  std::string bytes = EncodeFrame(MsgType::kHealthRequest, "hi");
+  bytes[7] = static_cast<char>(0x80);  // top flag bit: undefined today
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  Frame frame;
+  Status error;
+  ASSERT_EQ(decoder.Next(&frame, &error), FrameDecoder::Poll::kFrame);
+  EXPECT_EQ(frame.payload, "hi");
+  EXPECT_FALSE(frame.has_trace);
+}
+
+// The trace-context extension with a zero trace id decodes as untraced
+// (zero means "no context" everywhere).
+TEST(NetWireTest, FrameDecoderDowngradesZeroTraceId) {
+  std::string bytes =
+      EncodeFrame(MsgType::kHealthRequest, "x", WireTraceContext{1, 2, true});
+  // Zero out the trace id bytes inside the extension.
+  for (size_t i = kFrameHeaderBytes; i < kFrameHeaderBytes + 8; ++i) {
+    bytes[i] = 0;
+  }
+  FrameDecoder decoder;
+  decoder.Feed(bytes);
+  Frame frame;
+  Status error;
+  ASSERT_EQ(decoder.Next(&frame, &error), FrameDecoder::Poll::kFrame);
+  EXPECT_FALSE(frame.has_trace);
+  EXPECT_EQ(frame.payload, "x");
+}
+
+// A traced frame delivered one byte at a time must decode identically —
+// the decoder has to wait for the extension, not just the header.
+TEST(NetWireTest, FrameDecoderHandlesTornTracedFrame) {
+  const WireTraceContext trace{77, 88, false};
+  const std::string bytes =
+      EncodeFrame(MsgType::kServeRequest, "torn", trace);
+  FrameDecoder decoder;
+  Frame frame;
+  Status error;
+  for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+    decoder.Feed(&bytes[i], 1);
+    EXPECT_EQ(decoder.Next(&frame, &error), FrameDecoder::Poll::kNeedMore)
+        << "at byte " << i;
+  }
+  decoder.Feed(&bytes[bytes.size() - 1], 1);
+  ASSERT_EQ(decoder.Next(&frame, &error), FrameDecoder::Poll::kFrame);
+  EXPECT_TRUE(frame.has_trace);
+  EXPECT_EQ(frame.trace_id, 77u);
+  EXPECT_EQ(frame.parent_span_id, 88u);
+  EXPECT_FALSE(frame.trace_sampled);
+  EXPECT_EQ(frame.payload, "torn");
 }
 
 TEST(NetWireTest, FrameDecoderRejectsOversizedLength) {

@@ -1,0 +1,147 @@
+// TailTraceRing tests: slowest-N retention order, anomaly capture,
+// sliding-window eviction, the disabled fast path, and the /trace JSON
+// export shape.
+
+#include "obs/tail_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/json.h"
+
+namespace pasa {
+namespace obs {
+namespace {
+
+TailTrace Make(uint64_t trace_id, double seconds, const std::string& outcome,
+               uint64_t wall_micros) {
+  TailTrace t;
+  t.trace_id = trace_id;
+  t.rid = static_cast<int64_t>(trace_id);
+  t.outcome = outcome;
+  t.total_seconds = seconds;
+  t.completed_wall_micros = wall_micros;
+  return t;
+}
+
+class TailTraceRingTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    TailTraceRing::Global().Disable();
+    TailTraceRing::Global().Reset();
+  }
+};
+
+TEST_F(TailTraceRingTest, DisabledDropsEverything) {
+  TailTraceRing& ring = TailTraceRing::Global();
+  ASSERT_FALSE(ring.enabled());
+  ring.Offer(Make(1, 1.0, "served", 1000));
+  EXPECT_EQ(ring.slowest_size(), 0u);
+}
+
+TEST_F(TailTraceRingTest, KeepsSlowestSorted) {
+  TailTraceRing& ring = TailTraceRing::Global();
+  TailTraceRing::Options options;
+  options.slowest_capacity = 3;
+  options.window_seconds = 1e6;
+  ring.Enable(options);
+  const uint64_t base = 1;
+  ring.Offer(Make(1, 0.010, "served", base));
+  ring.Offer(Make(2, 0.050, "served", base));
+  ring.Offer(Make(3, 0.001, "served", base));
+  ring.Offer(Make(4, 0.020, "served", base));
+  ring.Offer(Make(5, 0.002, "served", base));  // too fast: evicted
+  EXPECT_EQ(ring.slowest_size(), 3u);
+
+  Result<json::Value> doc = json::Parse(ring.ExportJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const json::Value* slowest = doc->Find("slowest");
+  ASSERT_NE(slowest, nullptr);
+  ASSERT_EQ(slowest->array().size(), 3u);
+  // Slowest first: 50ms, 20ms, 10ms.
+  EXPECT_EQ(slowest->array()[0].Find("trace_id")->str(),
+            TraceIdHex(2));
+  EXPECT_EQ(slowest->array()[1].Find("trace_id")->str(),
+            TraceIdHex(4));
+  EXPECT_EQ(slowest->array()[2].Find("trace_id")->str(),
+            TraceIdHex(1));
+}
+
+TEST_F(TailTraceRingTest, AnomaliesAlwaysKeptNewestFirst) {
+  TailTraceRing& ring = TailTraceRing::Global();
+  TailTraceRing::Options options;
+  options.slowest_capacity = 1;
+  options.anomaly_capacity = 2;
+  options.window_seconds = 1e6;
+  ring.Enable(options);
+  ring.Offer(Make(1, 0.0001, "failed", 1));
+  ring.Offer(Make(2, 0.0001, "degraded", 2));
+  ring.Offer(Make(3, 0.0001, "rejected", 3));
+  EXPECT_EQ(ring.anomaly_size(), 2u);  // capacity bound, oldest dropped
+
+  Result<json::Value> doc = json::Parse(ring.ExportJson());
+  ASSERT_TRUE(doc.ok());
+  const json::Value* anomalies = doc->Find("anomalies");
+  ASSERT_NE(anomalies, nullptr);
+  ASSERT_EQ(anomalies->array().size(), 2u);
+  EXPECT_EQ(anomalies->array()[0].Find("outcome")->str(), "rejected");
+  EXPECT_EQ(anomalies->array()[1].Find("outcome")->str(), "degraded");
+}
+
+TEST_F(TailTraceRingTest, WindowEvictsOldSlowest) {
+  TailTraceRing& ring = TailTraceRing::Global();
+  TailTraceRing::Options options;
+  options.slowest_capacity = 8;
+  options.window_seconds = 1.0;  // 1e6 micros
+  ring.Enable(options);
+  ring.Offer(Make(1, 0.5, "served", 1000));
+  EXPECT_EQ(ring.slowest_size(), 1u);
+  // 2 seconds later the first entry has aged out of the window, so even a
+  // much faster request replaces it.
+  ring.Offer(Make(2, 0.001, "served", 2 * 1000 * 1000 + 1000));
+  Result<json::Value> doc = json::Parse(ring.ExportJson());
+  ASSERT_TRUE(doc.ok());
+  const json::Value* slowest = doc->Find("slowest");
+  ASSERT_EQ(slowest->array().size(), 1u);
+  EXPECT_EQ(slowest->array()[0].Find("trace_id")->str(), TraceIdHex(2));
+}
+
+TEST_F(TailTraceRingTest, ExportCarriesSpans) {
+  TailTraceRing& ring = TailTraceRing::Global();
+  ring.Enable();
+  TailTrace t = Make(0xabc, 0.010, "served", 1);
+  t.spans.push_back(CollectedSpan{10, 0, "net/dispatch", 0.0, 10000.0});
+  t.spans.push_back(
+      CollectedSpan{11, 10, "net/dispatch/csp", 100.0, 9000.0});
+  ring.Offer(std::move(t));
+
+  Result<json::Value> doc = json::Parse(ring.ExportJson());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const json::Value* slowest = doc->Find("slowest");
+  ASSERT_EQ(slowest->array().size(), 1u);
+  const json::Value& trace = slowest->array()[0];
+  EXPECT_EQ(trace.Find("trace_id")->str(), TraceIdHex(0xabc));
+  const json::Value* spans = trace.Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->array().size(), 2u);
+  EXPECT_EQ(spans->array()[0].Find("path")->str(), "net/dispatch");
+  EXPECT_EQ(spans->array()[1].Find("parent_span_id")->str(), TraceIdHex(10));
+  EXPECT_DOUBLE_EQ(spans->array()[1].Find("duration_micros")->number(),
+                   9000.0);
+}
+
+TEST_F(TailTraceRingTest, OfferStampsCompletionTime) {
+  TailTraceRing& ring = TailTraceRing::Global();
+  ring.Enable();
+  ring.Offer(Make(1, 0.001, "served", 0));  // 0 = "stamp for me"
+  Result<json::Value> doc = json::Parse(ring.ExportJson());
+  ASSERT_TRUE(doc.ok());
+  const json::Value* slowest = doc->Find("slowest");
+  ASSERT_EQ(slowest->array().size(), 1u);
+  EXPECT_GT(slowest->array()[0].Find("completed_wall_micros")->number(), 0.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace pasa

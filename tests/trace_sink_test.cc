@@ -12,9 +12,11 @@
 #include <thread>
 #include <vector>
 
+#include "obs/export.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/trace_context.h"
 
 namespace pasa {
 namespace obs {
@@ -236,6 +238,87 @@ TEST_F(TraceSinkTest, ExportIsValidChromeTraceJson) {
   EXPECT_TRUE(saw_end);
   EXPECT_TRUE(saw_instant);
   EXPECT_TRUE(saw_counter);
+}
+
+// Spans opened under a distributed trace context stamp their identity onto
+// the exported events and emit flow halves: the locally originated root
+// starts the arrow ("s"), the first span under a remotely adopted context
+// finishes it ("f").
+TEST_F(TraceSinkTest, ExportsTraceIdentityAndFlowEvents) {
+  TraceEventSink& sink = TraceEventSink::Global();
+  sink.Start(64);
+
+  TraceContext local;
+  local.trace_id = 0x1234;
+  {
+    ScopedTraceContext scope(local);
+    ScopedSpan root("loadgen/request", ScopedSpan::kRoot);
+  }
+  TraceContext remote;
+  remote.trace_id = 0x5678;
+  remote.span_id = 0x42;  // the wire-carried parent
+  remote.remote = true;
+  {
+    ScopedTraceContext scope(remote);
+    ScopedSpan adopted("net/dispatch", ScopedSpan::kRoot);
+  }
+  sink.Stop();
+
+  Result<json::Value> doc = json::Parse(sink.ExportChromeTrace());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_GT(doc->Find("wallClockBaseMicros")->number(), 0.0);
+  bool saw_flow_start = false, saw_flow_finish = false;
+  bool saw_local_args = false, saw_remote_args = false;
+  for (const json::Value& event : doc->Find("traceEvents")->array()) {
+    const std::string ph = event.Find("ph")->str();
+    if (ph == "s") {
+      EXPECT_EQ(event.Find("id")->str(), TraceIdHex(0x1234));
+      EXPECT_EQ(event.Find("name")->str(), "request");
+      saw_flow_start = true;
+    } else if (ph == "f") {
+      EXPECT_EQ(event.Find("id")->str(), TraceIdHex(0x5678));
+      EXPECT_EQ(event.Find("bp")->str(), "e");
+      saw_flow_finish = true;
+    } else if (ph == "B") {
+      const json::Value* args = event.Find("args");
+      ASSERT_NE(args, nullptr);
+      if (args->Find("trace_id")->str() == TraceIdHex(0x1234)) {
+        EXPECT_EQ(args->Find("parent_span_id")->str(), TraceIdHex(0));
+        saw_local_args = true;
+      } else if (args->Find("trace_id")->str() == TraceIdHex(0x5678)) {
+        EXPECT_EQ(args->Find("parent_span_id")->str(), TraceIdHex(0x42));
+        saw_remote_args = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_flow_start);
+  EXPECT_TRUE(saw_flow_finish);
+  EXPECT_TRUE(saw_local_args);
+  EXPECT_TRUE(saw_remote_args);
+}
+
+// The sink's drop counter surfaces as a counter metric in every snapshot,
+// so a Prometheus scrape can alert on trace loss.
+TEST_F(TraceSinkTest, DroppedEventsExportedAsMetric) {
+  TraceEventSink& sink = TraceEventSink::Global();
+  sink.Start(4);
+  for (int i = 0; i < 12; ++i) {
+    sink.Record(TraceEvent::Type::kInstant, "overflow");
+  }
+  ASSERT_EQ(sink.dropped(), 8u);
+
+  const MetricsSnapshot snapshot = FullSnapshot();
+  const auto it = snapshot.counters.find("obs/trace_dropped_events");
+  ASSERT_NE(it, snapshot.counters.end());
+  EXPECT_EQ(it->second, 8u);
+  const std::string prom = ExportPrometheus(snapshot);
+  EXPECT_NE(prom.find("pasa_obs_trace_dropped_events 8"), std::string::npos)
+      << prom;
+  sink.Stop();
+  // Even after Stop the nonzero drop count stays visible.
+  const MetricsSnapshot after = FullSnapshot();
+  ASSERT_NE(after.counters.find("obs/trace_dropped_events"),
+            after.counters.end());
 }
 
 TEST_F(TraceSinkTest, WriteChromeTraceFileCreatesParentDirectories) {

@@ -5,9 +5,13 @@
 # (disarmed obs / fault / provenance / profiler instrumentation must stay
 # near-free), and a smoke pasa_benchstat run that proves the perf-regression
 # gate works end to end (writes BENCH_smoke.json and self-compares it, which
-# must pass). The net leg additionally smoke-tests the HTTP admin plane:
+# must pass, then compares loosely against the committed bench/baseline
+# snapshots). The net leg additionally smoke-tests the HTTP admin plane:
 # /metrics is format-checked and cross-checked against loadgen's client-side
-# count, and /profile must name the Bulk_dp spans sampled at startup.
+# count, and /profile must name the Bulk_dp spans sampled at startup. A
+# final traced leg runs loadgen and the server with tracing armed on both
+# sides and asserts one trace id end to end: /trace, the client latency
+# log, the /metrics exemplars, and the trace-merge'd Perfetto timeline.
 #
 # Usage: tools/ci.sh [build-dir-prefix]
 #
@@ -58,6 +62,7 @@ if [[ "${PASA_CI_SKIP_TSAN:-0}" != "1" ]]; then
         -DPASA_SANITIZE=thread
   cmake --build "${prefix}-tsan" -j "${jobs}" \
         --target chaos_test parallel_test trace_sink_test \
+                 trace_context_test tail_trace_test \
                  provenance_test window_test slo_test \
                  net_wire_test net_server_test profile_test
   # The threaded suites: jurisdiction workers + fault injector (chaos),
@@ -66,7 +71,7 @@ if [[ "${PASA_CI_SKIP_TSAN:-0}" != "1" ]]; then
   # the network front end (event loop vs client threads), and the
   # span-sampling profiler (sampler thread vs instrumented threads).
   ctest --test-dir "${prefix}-tsan" --output-on-failure -j "${jobs}" \
-        -R 'Chaos|Parallel|TraceSink|Provenance|Window|Slo|NetWire|NetServer|Profiler'
+        -R 'Chaos|Parallel|TraceSink|TraceContext|TailTrace|Provenance|Window|Slo|NetWire|NetServer|Profiler'
 else
   step "tsan build skipped (PASA_CI_SKIP_TSAN=1)"
 fi
@@ -78,7 +83,8 @@ if [[ "${PASA_CI_SKIP_RELEASE:-0}" != "1" ]]; then
   # provenance/window/SLO stack, and the span-sampling profiler hook
   # respectively).
   for gate in bench_obs_overhead bench_fault_overhead \
-              bench_provenance_overhead bench_profile_overhead; do
+              bench_provenance_overhead bench_profile_overhead \
+              bench_trace_context_overhead; do
     PASA_BENCH_SCALE="${overhead_scale}" "${prefix}-release/bench/${gate}"
   done
 
@@ -92,6 +98,13 @@ if [[ "${PASA_CI_SKIP_RELEASE:-0}" != "1" ]]; then
   "${prefix}-release/tools/pasa_benchstat" compare \
       --baseline "${prefix}-release/BENCH_smoke.json" \
       --candidate "${prefix}-release/BENCH_smoke.json"
+  # And against the committed baseline: hosts differ, so the threshold is
+  # deliberately loose (100% + 3 sigma) — this catches order-of-magnitude
+  # regressions, not percent-level drift.
+  "${prefix}-release/tools/pasa_benchstat" compare \
+      --baseline bench/baseline/BENCH_smoke.json \
+      --candidate "${prefix}-release/BENCH_smoke.json" \
+      --threshold 1.0 --noise-sigma 3.0
 
   step "net throughput benchstat (BENCH_net.json) + admin-plane smoke"
   # Real sockets on loopback: pasa_loadgen drives `pasa_cli serve --listen`
@@ -136,10 +149,55 @@ if [[ "${PASA_CI_SKIP_RELEASE:-0}" != "1" ]]; then
   "${prefix}-release/tools/pasa_benchstat" compare \
       --baseline "${prefix}-release/BENCH_net.json" \
       --candidate "${prefix}-release/BENCH_net.json"
+  "${prefix}-release/tools/pasa_benchstat" compare \
+      --baseline bench/baseline/BENCH_net.json \
+      --candidate "${prefix}-release/BENCH_net.json" \
+      --threshold 1.0 --noise-sigma 3.0
   # The in-process variant of the same measurement (no separate processes),
   # for quick local iteration; also exercises the harness itself.
   PASA_BENCH_SCALE="${overhead_scale}" \
       "${prefix}-release/bench/bench_net_throughput"
+
+  step "traced net leg: wire trace context, /trace, trace-merge, exemplars"
+  # A dedicated small run with tracing armed on both sides of the socket:
+  # loadgen originates a trace context per request and carries it in the
+  # wire v2 frame; the server adopts it, feeds the tail ring, stamps
+  # exemplars, and writes its own Chrome trace. The leg asserts one trace
+  # id observed end to end: in the server's /trace report, in loadgen's
+  # per-request latency log, in the exemplar-annotated /metrics scrape,
+  # and in the merged two-process Perfetto timeline.
+  trace_port=$((net_port + 2))
+  trace_admin=$((admin_port + 2))
+  trace_dir="${prefix}-release/tools"
+  "${prefix}-release/tools/pasa_cli" serve --in "${net_locs}" --k 50 \
+      --listen "${trace_port}" --listen-duration 120 \
+      --admin-port "${trace_admin}" --exemplars 1 \
+      --trace-out "${trace_dir}/ci_server_trace.json" &
+  trace_pid=$!
+  "${prefix}-release/tools/pasa_loadgen" --port "${trace_port}" \
+      --in "${net_locs}" --k 50 --connections 2 --requests 500 \
+      --wait-ready-seconds 30 \
+      --trace-out "${trace_dir}/ci_client_trace.json" \
+      --latency-out "${trace_dir}/ci_latency.csv"
+  # The slowest request's trace id, as kept by the server's tail ring.
+  slow_id=$("${prefix}-release/tools/pasa_cli" scrape \
+      --port "${trace_admin}" --path /trace \
+      | sed -n 's/.*"trace_id": "\([0-9a-f]\{16\}\)".*/\1/p' | head -n 1)
+  test -n "${slow_id}"
+  # The client logged the same id when it originated the request...
+  grep -q "${slow_id}" "${trace_dir}/ci_latency.csv"
+  # ...and the Prometheus scrape carries exemplars and stays conformant.
+  "${prefix}-release/tools/pasa_cli" scrape --port "${trace_admin}" \
+      --path /metrics --check 1 | grep -q '# {trace_id='
+  "${prefix}-release/tools/pasa_loadgen" --port "${trace_port}" \
+      --in "${net_locs}" --k 50 --connections 1 --requests 10 \
+      --shutdown 1
+  wait "${trace_pid}"
+  "${prefix}-release/tools/pasa_cli" trace-merge \
+      --client "${trace_dir}/ci_client_trace.json" \
+      --server "${trace_dir}/ci_server_trace.json" \
+      --out "${trace_dir}/ci_merged_trace.json"
+  grep -q "${slow_id}" "${trace_dir}/ci_merged_trace.json"
 fi
 
 step "ci passed"

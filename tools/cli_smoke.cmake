@@ -204,6 +204,32 @@ run_or_die(2 ${CLI} anonymize --in ${LOC} --k 20 --out ${OPT}
 run_or_die(2 ${CLI} anonymize --in ${LOC} --k 20 --out ${OPT}
            --audit-mode stream)
 
+# trace-merge stitches two Chrome trace files into one two-process
+# timeline with pasa-client/pasa-server process names. Missing flags are
+# usage errors; an unreadable input is a runtime failure.
+set(TRACE2 ${WORK_DIR}/cli_smoke_out/trace2.json)
+set(MERGED ${WORK_DIR}/cli_smoke_out/merged.json)
+run_or_die(0 ${CLI} anonymize --in ${LOC} --k 20 --out ${OPT}
+           --trace-out ${TRACE2})
+run_or_die(0 ${CLI} trace-merge --client ${TRACE} --server ${TRACE2}
+           --out ${MERGED})
+if(NOT EXISTS ${MERGED})
+  message(FATAL_ERROR "trace-merge did not write ${MERGED}")
+endif()
+file(READ ${MERGED} merged_json)
+require_fragment(merged_json "pasa-client" "merged trace")
+require_fragment(merged_json "pasa-server" "merged trace")
+require_fragment(merged_json "\"traceEvents\"" "merged trace")
+run_or_die(2 ${CLI} trace-merge)
+run_or_die(2 ${CLI} trace-merge --client ${TRACE} --out ${MERGED})
+run_or_die(1 ${CLI} trace-merge --client ${WORK_DIR}/no_such_trace.json
+           --server ${TRACE2} --out ${MERGED})
+
+# slowest needs a server: missing --port is a usage error, an unreachable
+# port a runtime failure.
+run_or_die(2 ${CLI} slowest)
+run_or_die(1 ${CLI} slowest --port 1)
+
 # Bad --listen invocations are usage errors: out-of-range port, unknown
 # backend, nonsensical pending bound.
 run_or_die(2 ${CLI} serve --in ${LOC} --k 20 --listen 99999999)
@@ -223,4 +249,4 @@ run_or_die(2 ${CLI} anonymize --in ${LOC})
 run_or_die(1 ${CLI} anonymize --in /no/such.csv --k 5 --out ${OPT})
 
 file(REMOVE ${LOC} ${OPT} ${CASPER} ${METRICS} ${TRACE} ${PLAN} ${BAD_PLAN}
-     ${AUDIT} ${SLO} ${BAD_SLO} ${STREAM_AUDIT})
+     ${AUDIT} ${SLO} ${BAD_SLO} ${STREAM_AUDIT} ${TRACE2} ${MERGED})

@@ -13,6 +13,25 @@
 //   pasa_cli scrape    --port P [--path /metrics] [--check 1]
 //   pasa_cli explain   --audit audit.jsonl [--rid N] [--limit N]
 //                      [--only served|degraded|failed|rejected|violations]
+//   pasa_cli trace-merge --client client.json --server server.json
+//                      --out merged.json
+//   pasa_cli slowest   --port P [--limit N]
+//
+// trace-merge stitches a loadgen --trace-out file and a server --trace-out
+// file into one Perfetto-loadable timeline: server events move to pid 2,
+// timestamps are aligned via each file's wallClockBaseMicros anchor, and
+// the shared trace ids' flow events draw client->server arrows.
+// slowest fetches GET /trace from a serving admin plane and pretty-prints
+// the tail-trace ring: span trees of the slowest and anomalous requests.
+//
+// serve --listen also accepts:
+//   --exemplars 1             emit OpenMetrics exemplars (the trace id of
+//                             each latency bucket's slowest request) on
+//                             /metrics
+//   --tail-slowest N          tail-trace ring: keep the N slowest requests
+//                             per sliding window (default 8; 0 disables
+//                             tail tracing)
+//   --tail-window SECONDS     the sliding window (default 60)
 //
 // Every subcommand additionally accepts:
 //   --metrics-out FILE.json   observability snapshot (per-phase bulk_dp
@@ -56,8 +75,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <map>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "attack/auditor.h"
 #include "common/rng.h"
@@ -73,6 +96,8 @@
 #include "lbs/provider.h"
 #include "net/server.h"
 #include "obs/export.h"
+#include "obs/json.h"
+#include "obs/trace_context.h"
 #include "net/http.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
@@ -114,11 +139,14 @@ int Usage() {
       "[--seed S] [--watch N]\n"
       "                     [--listen PORT] [--listen-duration SECONDS]\n"
       "                     [--max-pending N] [--net-backend epoll|poll]\n"
-      "                     [--admin-port P]\n"
+      "                     [--admin-port P] [--exemplars 1]\n"
+      "                     [--tail-slowest N] [--tail-window SECONDS]\n"
       "  pasa_cli scrape    --port P [--path /metrics] [--check 1]\n"
       "  pasa_cli explain   --audit F.jsonl [--rid N] [--limit N]\n"
       "                     [--only served|degraded|failed|rejected|"
       "violations]\n"
+      "  pasa_cli trace-merge --client F.json --server F2.json --out F3.json\n"
+      "  pasa_cli slowest   --port P [--limit N]\n"
       "every subcommand also accepts:\n"
       "  --metrics-out FILE.json  observability snapshot\n"
       "  --trace-out FILE.json    Chrome trace_event timeline "
@@ -443,6 +471,11 @@ int RunListen(CspServer* csp, const Flags& flags, int k) {
   if (flags.Has("admin-port")) {
     options.admin_port = static_cast<int>(flags.GetInt("admin-port", -1));
   }
+  options.exemplars = flags.GetInt("exemplars", 0) != 0;
+  const int64_t tail_slowest = flags.GetInt("tail-slowest", 8);
+  options.tail_traces = tail_slowest > 0;
+  options.tail_slowest = static_cast<size_t>(std::max<int64_t>(1, tail_slowest));
+  options.tail_window_seconds = flags.GetDouble("tail-window", 60.0);
   const double duration = flags.GetDouble("listen-duration", 30.0);
   Result<std::unique_ptr<net::NetServer>> server =
       net::NetServer::Start(csp, options);
@@ -451,7 +484,7 @@ int RunListen(CspServer* csp, const Flags& flags, int k) {
               unsigned{(*server)->port()}, duration);
   if ((*server)->admin_port() != 0) {
     std::printf("admin plane on http://127.0.0.1:%u "
-                "(/metrics /healthz /slo /vars /profile)\n",
+                "(/metrics /healthz /slo /vars /trace /profile)\n",
                 unsigned{(*server)->admin_port()});
   }
   std::fflush(stdout);
@@ -638,6 +671,197 @@ int RunScrape(const Flags& flags) {
   return 0;
 }
 
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+// Stitches a client-side and a server-side Chrome trace into one timeline.
+// Both files carry a "wallClockBaseMicros" anchor (wall-clock micros at
+// their ts == 0), so rebasing every server timestamp by the anchor delta
+// puts both processes on the client's clock. Server events (and their flow
+// halves) move to pid 2 so Perfetto draws them as a second process; the
+// flow events already share ids (the trace ids), which is what draws the
+// client->server arrows.
+int RunTraceMerge(const Flags& flags) {
+  if (!flags.Has("client") || !flags.Has("server") || !flags.Has("out")) {
+    return Usage();
+  }
+  struct Side {
+    const char* role;
+    double pid;
+    obs::json::Value doc;
+    double base_micros = 0.0;
+  };
+  Side sides[2] = {{"client", 1.0, {}, 0.0}, {"server", 2.0, {}, 0.0}};
+  for (Side& side : sides) {
+    Result<std::string> text = ReadWholeFile(flags.GetString(side.role));
+    if (!text.ok()) return Fail(text.status());
+    Result<obs::json::Value> doc = obs::json::Parse(*text);
+    if (!doc.ok()) {
+      return Fail(Status::InvalidArgument(
+          std::string(side.role) + " trace: " + doc.status().ToString()));
+    }
+    const obs::json::Value* events = doc->Find("traceEvents");
+    if (events == nullptr || !events->is_array()) {
+      return Fail(Status::InvalidArgument(
+          std::string(side.role) +
+          " trace has no traceEvents array (not a Chrome trace?)"));
+    }
+    const obs::json::Value* base = doc->Find("wallClockBaseMicros");
+    if (base == nullptr || !base->is_number()) {
+      return Fail(Status::InvalidArgument(
+          std::string(side.role) +
+          " trace has no wallClockBaseMicros anchor (written by an older "
+          "build?)"));
+    }
+    side.base_micros = base->number();
+    side.doc = std::move(*doc);
+  }
+  // Merged timeline uses the client's clock: client events keep their ts,
+  // server events shift by the wall-clock delta between the two anchors.
+  const double delta_micros = sides[1].base_micros - sides[0].base_micros;
+  std::vector<obs::json::Value> merged;
+  for (Side& side : sides) {
+    const bool is_server = side.pid == 2.0;
+    // Process-name metadata so Perfetto labels the two tracks.
+    merged.push_back(obs::json::Value::MakeObject({
+        {"ph", obs::json::Value::MakeString("M")},
+        {"pid", obs::json::Value::MakeNumber(side.pid)},
+        {"name", obs::json::Value::MakeString("process_name")},
+        {"args", obs::json::Value::MakeObject(
+                     {{"name", obs::json::Value::MakeString(
+                           is_server ? "pasa-server" : "pasa-client")}})},
+    }));
+    for (const obs::json::Value& event :
+         side.doc.Find("traceEvents")->array()) {
+      if (!event.is_object()) continue;
+      std::map<std::string, obs::json::Value> fields = event.object();
+      fields["pid"] = obs::json::Value::MakeNumber(side.pid);
+      if (is_server) {
+        const auto ts = fields.find("ts");
+        if (ts != fields.end() && ts->second.is_number()) {
+          ts->second =
+              obs::json::Value::MakeNumber(ts->second.number() + delta_micros);
+        }
+      }
+      merged.push_back(obs::json::Value::MakeObject(std::move(fields)));
+    }
+  }
+  const obs::json::Value out = obs::json::Value::MakeObject({
+      {"displayTimeUnit", obs::json::Value::MakeString("ms")},
+      {"wallClockBaseMicros",
+       obs::json::Value::MakeNumber(sides[0].base_micros)},
+      {"traceEvents", obs::json::Value::MakeArray(std::move(merged))},
+  });
+  const Status s =
+      obs::WriteTextFile(flags.GetString("out"), obs::json::Serialize(out));
+  if (!s.ok()) return Fail(s);
+  std::printf("merged %s + %s -> %s (server clock shifted %+.0f us)\n",
+              flags.GetString("client").c_str(),
+              flags.GetString("server").c_str(),
+              flags.GetString("out").c_str(), delta_micros);
+  return 0;
+}
+
+// Pretty-prints one tail trace's span tree, children indented under their
+// parents (a span whose parent is not in the set — e.g. the client-side
+// remote parent — prints at the root).
+void PrintSpanTree(const obs::json::Value& spans) {
+  std::map<std::string, std::vector<const obs::json::Value*>> children;
+  std::vector<const obs::json::Value*> roots;
+  auto field = [](const obs::json::Value* span, const char* key) {
+    const obs::json::Value* v = span->Find(key);
+    return v == nullptr ? std::string() : v->str();
+  };
+  std::map<std::string, bool> present;
+  for (const obs::json::Value& span : spans.array()) {
+    present[field(&span, "span_id")] = true;
+  }
+  for (const obs::json::Value& span : spans.array()) {
+    const std::string parent = field(&span, "parent_span_id");
+    if (present.count(parent) != 0 &&
+        parent != "0000000000000000") {
+      children[parent].push_back(&span);
+    } else {
+      roots.push_back(&span);
+    }
+  }
+  struct Printer {
+    std::map<std::string, std::vector<const obs::json::Value*>>* children;
+    void Print(const obs::json::Value* span, int depth) {
+      const obs::json::Value* path = span->Find("path");
+      const obs::json::Value* duration = span->Find("duration_micros");
+      std::printf("    %*s%-32s %10.1f us\n", depth * 2, "",
+                  path == nullptr ? "?" : path->str().c_str(),
+                  duration == nullptr ? 0.0 : duration->number());
+      const obs::json::Value* id = span->Find("span_id");
+      if (id == nullptr) return;
+      const auto it = children->find(id->str());
+      if (it == children->end()) return;
+      for (const obs::json::Value* child : it->second) {
+        Print(child, depth + 1);
+      }
+    }
+  } printer{&children};
+  for (const obs::json::Value* root : roots) printer.Print(root, 0);
+}
+
+void PrintTailTraces(const char* heading, const obs::json::Value& traces,
+                     size_t limit) {
+  std::printf("%s (%zu):\n", heading,
+              std::min(limit, traces.array().size()));
+  size_t shown = 0;
+  for (const obs::json::Value& trace : traces.array()) {
+    if (shown++ >= limit) break;
+    const obs::json::Value* id = trace.Find("trace_id");
+    const obs::json::Value* rid = trace.Find("rid");
+    const obs::json::Value* outcome = trace.Find("outcome");
+    const obs::json::Value* total = trace.Find("total_seconds");
+    std::printf("  trace %s rid %lld %s, total %.1f us\n",
+                id == nullptr ? "?" : id->str().c_str(),
+                rid == nullptr ? 0LL
+                               : static_cast<long long>(rid->number()),
+                outcome == nullptr ? "?" : outcome->str().c_str(),
+                (total == nullptr ? 0.0 : total->number()) * 1e6);
+    const obs::json::Value* spans = trace.Find("spans");
+    if (spans != nullptr) PrintSpanTree(*spans);
+  }
+}
+
+// Fetches GET /trace from a serving admin plane and renders the tail-trace
+// ring: the window's slowest requests and the recent anomalies, each with
+// its full span tree.
+int RunSlowest(const Flags& flags) {
+  const int64_t port = flags.GetInt("port", 0);
+  if (port <= 0 || port > 65535) return Usage();
+  const size_t limit = static_cast<size_t>(
+      std::max<int64_t>(1, flags.GetInt("limit", 8)));
+  Result<net::HttpResponse> response =
+      net::HttpGet(static_cast<uint16_t>(port), "/trace",
+                   flags.GetDouble("timeout", 5.0));
+  if (!response.ok()) return Fail(response.status());
+  if (response->status != 200) {
+    obs::LogError("cli", "GET /trace -> HTTP %d", response->status);
+    return 1;
+  }
+  Result<obs::json::Value> doc = obs::json::Parse(response->body);
+  if (!doc.ok()) return Fail(doc.status());
+  const obs::json::Value* window = doc->Find("window_seconds");
+  std::printf("tail traces over a %.0f s window\n",
+              window == nullptr ? 0.0 : window->number());
+  const obs::json::Value* slowest = doc->Find("slowest");
+  const obs::json::Value* anomalies = doc->Find("anomalies");
+  if (slowest != nullptr) PrintTailTraces("slowest", *slowest, limit);
+  if (anomalies != nullptr && !anomalies->array().empty()) {
+    PrintTailTraces("anomalies (newest first)", *anomalies, limit);
+  }
+  return 0;
+}
+
 int RunStats(const Flags& flags) {
   if (!flags.Has("in")) return Usage();
   const int k = static_cast<int>(flags.GetInt("k", 50));
@@ -777,6 +1001,10 @@ int main(int argc, char** argv) {
     rc = RunScrape(flags);
   } else if (command == "explain") {
     rc = RunExplain(flags);
+  } else if (command == "trace-merge") {
+    rc = RunTraceMerge(flags);
+  } else if (command == "slowest") {
+    rc = RunSlowest(flags);
   } else {
     return Usage();
   }

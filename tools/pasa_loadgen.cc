@@ -12,6 +12,13 @@
 //                [--name NAME]              snapshot name (default "net")
 //                [--admin-port P]           cross-check the run against the
 //                                           server's /metrics endpoint
+//                [--trace-out FILE.json]    client-side Chrome trace_event
+//                                           timeline (merge with the server's
+//                                           via `pasa_cli trace-merge`)
+//                [--latency-out FILE.csv]   per-request log: seq, originated
+//                                           trace id, latency, outcome — for
+//                                           offline joins against the
+//                                           server's audit JSONL
 //
 // Closed loop: each connection issues its next request as soon as the
 // previous response arrives — measures sustainable throughput. Open loop:
@@ -22,6 +29,11 @@
 // Every response is verified: the cloak must contain the sender's true
 // location and group_size must be >= k — the load test doubles as an
 // end-to-end k-anonymity check. Exit code 1 on any verification failure.
+//
+// Every request originates a wire v2 trace context (a fresh trace id with
+// the client request span as parent), so the server's spans land in the
+// same trace and the merged Perfetto timeline draws a flow arrow from the
+// client span to the server's dispatch span.
 //
 // With --admin-port the end of the run scrapes GET /metrics from the
 // server's admin plane and asserts that the server-side dispatched-request
@@ -48,6 +60,9 @@
 #include "net/http.h"
 #include "net/wire.h"
 #include "obs/benchstat.h"
+#include "obs/trace.h"
+#include "obs/trace_context.h"
+#include "obs/trace_sink.h"
 #include "tools/cli_flags.h"
 
 namespace {
@@ -55,8 +70,17 @@ namespace {
 using namespace pasa;
 using tools::Flags;
 
+/// One line of the --latency-out log.
+struct LatencyRow {
+  uint64_t seq = 0;       ///< request index across the whole run
+  uint64_t trace_id = 0;  ///< originated wire trace id
+  double latency = 0.0;   ///< seconds
+  const char* outcome = "ok";
+};
+
 struct WorkerResult {
   std::vector<double> latencies;  ///< seconds per request
+  std::vector<LatencyRow> rows;   ///< per-request log (every request)
   uint64_t sent = 0;
   uint64_t ok = 0;
   uint64_t rejected = 0;     ///< typed Error frames (e.g. admission)
@@ -75,38 +99,65 @@ struct Shared {
   double connect_timeout = 10.0;
 };
 
-// Issues one serve request for row `row` and verifies the response.
+// Issues one serve request for row `row` and verifies the response. Each
+// request originates its own trace context; the client request span covers
+// send -> receive and the server adopts the context off the wire.
 void OneRequest(net::NetClient& client, const Shared& shared, size_t row,
                 WorkerResult* result, double scheduled_offset,
                 const WallTimer& epoch) {
   const auto& entry = shared.db->row(row % shared.db->size());
   const ServiceRequest sr{entry.user, entry.location, {{"poi", "rest"}}};
   ++result->sent;
+
+  obs::TraceContext ctx;
+  ctx.trace_id = obs::NewTraceId();
+  ctx.sampled = true;
+  obs::ScopedTraceContext trace_scope(ctx);
+  obs::ScopedSpan request_span("loadgen/request", obs::ScopedSpan::kRoot);
+  const net::WireTraceContext wire{ctx.trace_id,
+                                   obs::CurrentTraceContext().span_id,
+                                   /*sampled=*/true};
+
+  LatencyRow log_row;
+  log_row.seq = row;
+  log_row.trace_id = ctx.trace_id;
+  struct RowAppender {  // every exit path below logs exactly one row
+    WorkerResult* result;
+    LatencyRow* row;
+    ~RowAppender() { result->rows.push_back(*row); }
+  } appender{result, &log_row};
+
   const double start = scheduled_offset >= 0.0 ? scheduled_offset
                                                : epoch.ElapsedSeconds();
   if (Status s = client.SendFrame(net::MsgType::kServeRequest,
-                                  net::EncodeServiceRequest(sr));
+                                  net::EncodeServiceRequest(sr), wire);
       !s.ok()) {
     ++result->transport_failed;
+    log_row.outcome = "transport_failed";
     return;
   }
   Result<net::Frame> frame = client.ReadFrame(10.0);
   const double latency = epoch.ElapsedSeconds() - start;
+  log_row.latency = latency;
   if (!frame.ok()) {
     ++result->transport_failed;
+    log_row.outcome = "transport_failed";
     return;
   }
   if (frame->type == net::MsgType::kError) {
     ++result->rejected;
+    log_row.outcome = "rejected";
     Result<net::ErrorMsg> err = net::DecodeError(frame->payload);
     if (err.ok() && err->retry_after_micros > 0) {
       ++result->rejected_admission;
+      log_row.outcome = "rejected_admission";
     }
     return;
   }
   Result<net::ServeResponseMsg> msg = net::DecodeServeResponse(frame->payload);
   if (!msg.ok() || frame->type != net::MsgType::kServeResponse) {
     ++result->verify_failed;
+    log_row.outcome = "verify_failed";
     return;
   }
   // The end-to-end anonymity check: the answer must come from a cloak that
@@ -117,6 +168,7 @@ void OneRequest(net::NetClient& client, const Shared& shared, size_t row,
       msg->group_size >= static_cast<uint64_t>(shared.k);
   if (!masked || !anonymous || msg->rid <= 0) {
     ++result->verify_failed;
+    log_row.outcome = "verify_failed";
     return;
   }
   ++result->ok;
@@ -178,7 +230,8 @@ int Usage() {
                "  [--mode closed|open] [--connections C] [--requests N]\n"
                "  [--duration-seconds S] [--rate R] [--wait-ready-seconds S]\n"
                "  [--shutdown 1] [--benchstat-out F] [--name NAME]\n"
-               "  [--admin-port P2]\n");
+               "  [--admin-port P2] [--trace-out F.json] [--latency-out F.csv]"
+               "\n");
   return 2;
 }
 
@@ -292,21 +345,34 @@ int main(int argc, char** argv) {
   shared.k = static_cast<int>(flags.GetInt("k", 50));
   shared.connect_timeout = flags.GetDouble("wait-ready-seconds", 10.0);
 
+  const bool tracing = flags.Has("trace-out");
+  if (tracing) {
+    obs::TraceEventSink::Global().SetCurrentThreadName("loadgen-main");
+    obs::TraceEventSink::Global().Start();
+  }
+
   std::vector<WorkerResult> results(connections);
   std::vector<std::thread> workers;
   workers.reserve(connections);
   WallTimer wall;
   for (size_t w = 0; w < connections; ++w) {
-    if (mode == "closed") {
-      const uint64_t share = requests / connections +
-                             (w < requests % connections ? 1 : 0);
-      workers.emplace_back(ClosedLoopWorker, std::cref(shared), w,
-                           connections, share, &results[w]);
-    } else {
-      workers.emplace_back(OpenLoopWorker, std::cref(shared), w, connections,
-                           rate / static_cast<double>(connections), duration,
-                           &results[w]);
-    }
+    WorkerResult* result = &results[w];
+    const uint64_t share =
+        requests / connections + (w < requests % connections ? 1 : 0);
+    const double rate_per_conn = rate / static_cast<double>(connections);
+    workers.emplace_back([&shared, &mode, tracing, w, connections, share,
+                          rate_per_conn, duration, result] {
+      if (tracing) {
+        obs::TraceEventSink::Global().SetCurrentThreadName(
+            "loadgen-conn-" + std::to_string(w));
+      }
+      if (mode == "closed") {
+        ClosedLoopWorker(shared, w, connections, share, result);
+      } else {
+        OpenLoopWorker(shared, w, connections, rate_per_conn, duration,
+                       result);
+      }
+    });
   }
   for (std::thread& worker : workers) worker.join();
   const double elapsed = wall.ElapsedSeconds();
@@ -345,6 +411,38 @@ int main(int argc, char** argv) {
   std::printf("throughput %.0f req/s; latency mean %.1f us, p50 %.1f us, "
               "p95 %.1f us, p99 %.1f us\n",
               throughput, mean * 1e6, p50 * 1e6, p95 * 1e6, p99 * 1e6);
+
+  if (tracing) {
+    obs::TraceEventSink& sink = obs::TraceEventSink::Global();
+    sink.Stop();
+    const Status s = sink.WriteChromeTraceFile(flags.GetString("trace-out"));
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote client trace to %s\n",
+                flags.GetString("trace-out").c_str());
+  }
+
+  if (flags.Has("latency-out")) {
+    const std::string path = flags.GetString("latency-out");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "seq,trace_id,latency_seconds,outcome\n");
+    for (const WorkerResult& r : results) {
+      for (const LatencyRow& row : r.rows) {
+        std::fprintf(f, "%llu,%s,%.9f,%s\n",
+                     static_cast<unsigned long long>(row.seq),
+                     obs::TraceIdHex(row.trace_id).c_str(), row.latency,
+                     row.outcome);
+      }
+    }
+    std::fclose(f);
+    std::printf("wrote per-request latency log to %s\n", path.c_str());
+  }
 
   int cross_check_rc = 0;
   if (flags.Has("admin-port")) {
