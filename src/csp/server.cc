@@ -46,6 +46,22 @@ CspServer::CspServer(CspOptions options, MapExtent extent,
   }
 }
 
+CspServer::CspServer(const CspServer& other)
+    : options_(other.options_),
+      served_counter_(other.served_counter_),
+      degraded_counter_(other.degraded_counter_),
+      failed_counter_(other.failed_counter_),
+      rejected_counter_(other.rejected_counter_),
+      extent_(other.extent_),
+      snapshot_(other.snapshot_),
+      engine_(std::make_unique<IncrementalAnonymizer>(*other.engine_)),
+      policy_(other.policy_),
+      frontend_(std::make_unique<CachingLbsFrontend>(*other.frontend_)),
+      row_of_user_(other.row_of_user_),
+      group_size_of_node_(other.group_size_of_node_),
+      next_rid_(other.next_rid_),
+      stats_(other.stats_) {}
+
 Result<CspServer> CspServer::Start(LocationDatabase initial_snapshot,
                                    const MapExtent& extent, PoiDatabase pois,
                                    const CspOptions& options) {

@@ -75,6 +75,16 @@ class CspServer {
                                  const MapExtent& extent, PoiDatabase pois,
                                  const CspOptions& options);
 
+  CspServer(CspServer&&) = default;
+
+  /// Deep copy: an independent server with identical snapshot, policy,
+  /// engine, cache and resilience state. The state-space explorer (pasa::sim)
+  /// uses this to branch a live server at each decision point instead of
+  /// replaying the whole action prefix. Both copies report into the same
+  /// process-wide metric counters. Single-threaded use only.
+  CspServer(const CspServer& other);
+  CspServer& operator=(const CspServer&) = delete;
+
   const CspOptions& options() const { return options_; }
   const LocationDatabase& snapshot() const { return snapshot_; }
   Cost policy_cost() const { return policy_.cost; }
@@ -145,6 +155,9 @@ class CspServer {
   }
   /// Resilience-layer state of the LBS hop (retries, breaker, deadlines).
   const ResilientLbsClient& lbs_client() const { return frontend_->client(); }
+  /// The cache + resilience front half itself (read-only): cache contents
+  /// and breaker bookkeeping feed the explorer's canonical state digest.
+  const CachingLbsFrontend& frontend() const { return *frontend_; }
 
  private:
   /// How one request through ServeRequest went, for the windowed telemetry

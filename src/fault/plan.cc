@@ -1,5 +1,6 @@
 #include "fault/plan.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -25,7 +26,13 @@ bool IsKnownPoint(std::string_view name) {
   return false;
 }
 
-// Reads an optional non-negative integer member into `*out`.
+// Largest integer a JSON double represents exactly; counts above it would
+// silently lose precision (and casting arbitrary doubles to uint64_t is UB
+// once they exceed the target range), so ReadCount rejects them instead.
+constexpr double kMaxExactCount = 9007199254740992.0;  // 2^53
+
+// Reads an optional non-negative integer member into `*out`. Negative,
+// fractional and overflowing (> 2^53) values are typed parse errors.
 Status ReadCount(const obs::json::Value& entry, const std::string& key,
                  uint64_t* out) {
   const obs::json::Value* v = entry.Find(key);
@@ -33,6 +40,14 @@ Status ReadCount(const obs::json::Value& entry, const std::string& key,
   if (!v->is_number() || v->number() < 0.0) {
     return Status::InvalidArgument("fault plan: \"" + key +
                                    "\" must be a non-negative number");
+  }
+  if (v->number() != std::floor(v->number())) {
+    return Status::InvalidArgument("fault plan: \"" + key +
+                                   "\" must be an integer");
+  }
+  if (v->number() > kMaxExactCount) {
+    return Status::InvalidArgument("fault plan: \"" + key +
+                                   "\" overflows (must be <= 2^53)");
   }
   *out = static_cast<uint64_t>(v->number());
   return Status::Ok();
@@ -54,6 +69,11 @@ Result<FaultPlan> FaultPlan::FromJson(std::string_view text) {
     if (!seed->is_number() || seed->number() < 0.0) {
       return Status::InvalidArgument(
           "fault plan: \"seed\" must be a non-negative number");
+    }
+    if (seed->number() != std::floor(seed->number()) ||
+        seed->number() > kMaxExactCount) {
+      return Status::InvalidArgument(
+          "fault plan: \"seed\" must be an integer <= 2^53");
     }
     plan.default_seed = static_cast<uint64_t>(seed->number());
   }

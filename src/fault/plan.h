@@ -58,8 +58,9 @@ struct FaultPointConfig {
 ///     ]
 ///   }
 ///
-/// Unknown point names, probabilities outside [0, 1], negative schedule
-/// fields and malformed JSON are all InvalidArgument.
+/// Unknown point names, points configured twice, probabilities outside
+/// [0, 1], negative/fractional/overflowing (> 2^53) schedule fields and
+/// malformed JSON are all InvalidArgument.
 struct FaultPlan {
   uint64_t default_seed = 2010;
   std::vector<FaultPointConfig> points;

@@ -7,6 +7,7 @@
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "geo/rect.h"
 #include "model/anonymized_request.h"
@@ -108,6 +109,17 @@ class AnswerCache {
 
   size_t size() const { return cache_.size(); }
   const Stats& stats() const { return stats_; }
+
+  /// The cached (cloak, params) keys in sorted order. The backing map is
+  /// unordered, so callers that fold cache contents into a canonical state
+  /// digest (the explorer's visited-set hashing) need this stable view.
+  std::vector<std::string> SortedKeys() const {
+    std::vector<std::string> keys;
+    keys.reserve(cache_.size());
+    for (const auto& [key, entry] : cache_) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
 
  private:
   struct Entry {

@@ -30,6 +30,15 @@ class LbsProvider : public LbsBackend {
         requests_seen_(other.requests_seen_.load(std::memory_order_relaxed)) {
   }
 
+  /// Deep copy (the atomic counter needs an explicit load). Only meaningful
+  /// while no other thread is evaluating `other` — the single-threaded
+  /// explorer clones quiescent servers.
+  LbsProvider(const LbsProvider& other)
+      : pois_(other.pois_),
+        answers_per_request_(other.answers_per_request_),
+        requests_seen_(other.requests_seen_.load(std::memory_order_relaxed)) {
+  }
+
   /// Evaluates the request: the nearest POIs of the requested category
   /// ("poi" parameter) to the cloak region.
   std::vector<PointOfInterest> Answer(const AnonymizedRequest& ar) const;
@@ -65,6 +74,14 @@ class CachingLbsFrontend {
       : provider_(std::make_unique<LbsProvider>(std::move(provider))),
         client_(provider_.get(), resilience) {}
 
+  /// Deep copy for state-space exploration: the cloned client is rebound to
+  /// the cloned provider, so the copy is a fully independent serving stack
+  /// that replays identically from the copied resilience/cache state.
+  CachingLbsFrontend(const CachingLbsFrontend& other)
+      : provider_(std::make_unique<LbsProvider>(*other.provider_)),
+        client_(other.client_, provider_.get()),
+        cache_(other.cache_) {}
+
   /// Serves `ar`, consulting the cache first. On a miss the fetch goes
   /// through the resilient client; if the provider stays unreachable the
   /// answer degrades to the best overlapping cached answer (flagged
@@ -78,6 +95,10 @@ class CachingLbsFrontend {
 
   const LbsProvider& provider() const { return *provider_; }
   const ResilientLbsClient& client() const { return client_; }
+  /// The answer cache itself (read-only), for canonical state digests.
+  const AnswerCache<std::vector<PointOfInterest>>& cache() const {
+    return cache_;
+  }
   const AnswerCache<std::vector<PointOfInterest>>::Stats& cache_stats()
       const {
     return cache_.stats();

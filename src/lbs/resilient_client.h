@@ -61,12 +61,31 @@ class ResilientLbsClient {
   /// `backend` must outlive the client.
   ResilientLbsClient(LbsBackend* backend, const ResilienceOptions& options);
 
+  /// Clone-with-rebind: copies `other`'s full resilience state (breaker,
+  /// cooldown, jitter stream position, stats) but talks to `backend`. Used
+  /// when the owning frontend is deep-copied (the state-space explorer
+  /// branches a live server) and the clone must point at the cloned backend.
+  ResilientLbsClient(const ResilientLbsClient& other, LbsBackend* backend)
+      : backend_(backend),
+        options_(other.options_),
+        jitter_(other.jitter_),
+        breaker_state_(other.breaker_state_),
+        consecutive_failures_(other.consecutive_failures_),
+        cooldown_remaining_(other.cooldown_remaining_),
+        stats_(other.stats_) {}
+
   /// Fetches `ar` with retries/deadline/breaker applied. On failure the
   /// status is kUnavailable (provider down or breaker open) or
   /// kDeadlineExceeded (budget consumed).
   Result<std::vector<PointOfInterest>> Fetch(const AnonymizedRequest& ar);
 
   BreakerState breaker_state() const { return breaker_state_; }
+  /// Breaker bookkeeping beyond the coarse state, exposed so deterministic
+  /// replay/exploration can include the full resilience state in a digest:
+  /// two clients agreeing on (state, consecutive_failures, cooldown) behave
+  /// identically on the same future inputs.
+  int consecutive_failures() const { return consecutive_failures_; }
+  uint64_t cooldown_remaining() const { return cooldown_remaining_; }
   const Stats& stats() const { return stats_; }
   const ResilienceOptions& options() const { return options_; }
 

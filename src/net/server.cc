@@ -234,6 +234,10 @@ Result<std::unique_ptr<NetServer>> NetServer::Start(
   if (csp == nullptr) {
     return Status::InvalidArgument("NetServer requires a CspServer");
   }
+  if (options.drain_deadline_seconds < 0.0) {
+    return Status::InvalidArgument(
+        "drain_deadline_seconds must be non-negative");
+  }
   auto server = std::unique_ptr<NetServer>(new NetServer(csp, options));
 
   Result<int> listen_fd =
@@ -330,6 +334,8 @@ NetServer::Stats NetServer::stats() const {
   s.frames_rejected = frames_rejected_.load();
   s.requests_served = requests_served_.load();
   s.admission_rejected = admission_rejected_.load();
+  s.drain_rejected = drain_rejected_.load();
+  s.drain_expired = drain_expired_.load();
   s.faults_injected = faults_injected_.load();
   s.bytes_read = bytes_read_.load();
   s.bytes_written = bytes_written_.load();
@@ -346,9 +352,21 @@ void NetServer::Loop() {
   while (true) {
     if (stop_requested_.load(std::memory_order_relaxed)) stopping_ = true;
     if (stopping_) {
-      // Drain: exit once every queued response has been flushed (torn
-      // writes resume below), so a shutdown ack actually reaches the
-      // client before the loop dies.
+      // Graceful drain: already-admitted requests keep dispatching until
+      // the drain deadline, after which whatever is still queued gets a
+      // typed kUnavailable instead of silently vanishing with the loop.
+      if (!drain_started_.has_value()) {
+        drain_started_ = std::chrono::steady_clock::now();
+      }
+      if (!pending_.empty() &&
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        *drain_started_)
+                  .count() >= options_.drain_deadline_seconds) {
+        FailPendingUnavailable();
+      }
+      // Exit once every queued response has been flushed (torn writes
+      // resume below), so a shutdown ack actually reaches the client
+      // before the loop dies.
       bool outstanding = !pending_.empty();
       for (auto& [fd, conn] : conns_) {
         if (conn.out_offset < conn.outbuf.size()) outstanding = true;
@@ -593,6 +611,19 @@ void NetServer::DrainDecoder(Conn* conn) {
       case MsgType::kServeRequest:
       case MsgType::kAnonymizeRequest:
       case MsgType::kSnapshotAdvance: {
+        if (stopping_) {
+          // Mid-drain arrivals must not extend the drain: typed reject,
+          // same retry hint as admission control.
+          static obs::Counter& drain_rejected =
+              obs::MetricsRegistry::Global().GetCounter("net/drain_rejected");
+          ++drain_rejected_;
+          drain_rejected.Increment();
+          QueueError(conn,
+                     Status::Unavailable("server is draining for shutdown"),
+                     options_.retry_after_micros);
+          FlushConn(conn);
+          break;
+        }
         if (pending_.size() >= options_.max_pending) {
           // Admission control: a typed, retryable reject instead of an
           // unbounded queue.
@@ -791,6 +822,26 @@ void NetServer::DispatchBatch() {
     Pending pending = std::move(pending_.front());
     pending_.pop_front();
     Dispatch(pending);
+  }
+}
+
+void NetServer::FailPendingUnavailable() {
+  static obs::Counter& expired =
+      obs::MetricsRegistry::Global().GetCounter("net/drain_expired");
+  obs::LogWarn("net", "drain deadline expired with %zu request(s) queued",
+               pending_.size());
+  while (!pending_.empty()) {
+    Pending pending = std::move(pending_.front());
+    pending_.pop_front();
+    ++drain_expired_;
+    expired.Increment();
+    Conn* conn = FindConn(pending.conn_id);
+    if (conn == nullptr) continue;  // client went away while queued
+    QueueError(
+        conn,
+        Status::Unavailable("server shut down before the request was served"),
+        options_.retry_after_micros);
+    FlushConn(conn);
   }
 }
 

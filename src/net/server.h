@@ -9,6 +9,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -42,6 +43,12 @@ struct NetServerOptions {
   bool use_poll = false;
   /// Retry-after hint carried by admission-control rejections.
   uint64_t retry_after_micros = 1000;
+  /// Graceful-drain budget on shutdown: the server stops accepting, keeps
+  /// dispatching the already-admitted pending queue for at most this long,
+  /// then answers whatever is still queued with a typed kUnavailable.
+  /// Request frames decoded while draining are rejected the same way
+  /// instead of extending the drain. 0 fails the whole queue immediately.
+  double drain_deadline_seconds = 1.0;
   /// Always-on tail-trace capture: arms the global obs::TailTraceRing so
   /// every dispatched request is traced (adopting the client's wire context
   /// when present, originating one otherwise) and its complete span tree
@@ -127,6 +134,8 @@ class NetServer {
     uint64_t frames_rejected = 0;      ///< garbage/oversized/unknown frames
     uint64_t requests_served = 0;      ///< responses written (incl. errors)
     uint64_t admission_rejected = 0;   ///< kUnavailable, queue full
+    uint64_t drain_rejected = 0;       ///< kUnavailable, arrived mid-drain
+    uint64_t drain_expired = 0;        ///< kUnavailable, drain deadline hit
     uint64_t faults_injected = 0;      ///< net/* fault fires
     uint64_t bytes_read = 0;
     uint64_t bytes_written = 0;
@@ -196,6 +205,9 @@ class NetServer {
   /// Routes one admitted frame through CspServer and encodes the response.
   void Dispatch(const Pending& pending);
   void DispatchBatch();
+  /// Drain deadline expired: answers every still-queued request with a
+  /// typed kUnavailable so no client hangs on a dying server.
+  void FailPendingUnavailable();
   /// Appends an encoded response frame to the connection's outbuf.
   void QueueResponse(Conn* conn, MsgType type, const std::string& payload);
   void QueueError(Conn* conn, const Status& status, uint64_t retry_after);
@@ -217,6 +229,9 @@ class NetServer {
   std::deque<Pending> pending_;           ///< loop thread only
   uint64_t next_conn_id_ = 1;
   bool stopping_ = false;  ///< drain outbufs, then exit (loop thread only)
+  /// First tick that saw stopping_; anchors drain_deadline_seconds (loop
+  /// thread only).
+  std::optional<std::chrono::steady_clock::time_point> drain_started_;
 
   std::thread loop_;
   std::atomic<bool> stop_requested_{false};
@@ -232,6 +247,8 @@ class NetServer {
   std::atomic<uint64_t> frames_rejected_{0};
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> admission_rejected_{0};
+  std::atomic<uint64_t> drain_rejected_{0};
+  std::atomic<uint64_t> drain_expired_{0};
   std::atomic<uint64_t> faults_injected_{0};
   std::atomic<uint64_t> bytes_read_{0};
   std::atomic<uint64_t> bytes_written_{0};

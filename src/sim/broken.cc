@@ -1,0 +1,42 @@
+#include "sim/broken.h"
+
+namespace pasa {
+namespace sim {
+
+Result<LbsAnswer> BrokenRepairSystem::Serve(CspServer& csp,
+                                            const ServiceRequest& sr,
+                                            CspServer::ServeReceipt* receipt) {
+  Result<LbsAnswer> answer = csp.HandleRequest(sr, receipt);
+  if (answer.ok() && receipt != nullptr &&
+      csp.stats().incremental_updates > 0) {
+    receipt->group_size = 1;  // the planted bug: stale post-repair bookkeeping
+  }
+  return answer;
+}
+
+Result<SnapshotReport> BrokenQuarantineSystem::Advance(
+    CspServer& csp, const std::vector<UserMove>& moves) {
+  Result<SnapshotReport> report = csp.AdvanceSnapshot(moves);
+  if (report.ok() && report->moves_quarantined > 0) {
+    // The planted bug: claim the quarantined moves were applied.
+    report->moves_applied += report->moves_quarantined;
+    report->moves_quarantined = 0;
+  }
+  return report;
+}
+
+Result<SimSystem*> SystemForName(const std::string& name) {
+  static BrokenRepairSystem broken_repair;
+  static BrokenQuarantineSystem broken_quarantine;
+  if (name.empty() || name == "none") return static_cast<SimSystem*>(nullptr);
+  if (name == "repair") return static_cast<SimSystem*>(&broken_repair);
+  if (name == "quarantine") {
+    return static_cast<SimSystem*>(&broken_quarantine);
+  }
+  return Status::InvalidArgument(
+      "unknown broken double \"" + name + "\" (known: none, repair, "
+      "quarantine)");
+}
+
+}  // namespace sim
+}  // namespace pasa

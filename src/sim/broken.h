@@ -1,0 +1,45 @@
+#ifndef PASA_SIM_BROKEN_H_
+#define PASA_SIM_BROKEN_H_
+
+#include "common/status.h"
+#include "sim/model.h"
+
+namespace pasa {
+namespace sim {
+
+/// Deliberately broken systems-under-check: each plants one realistic bug
+/// the invariant catalog must catch, proving the explorer finds real
+/// violations and shrinks them to replayable counterexamples (they back the
+/// committed golden counterexample and `pasa_cli explore --broken`).
+/// Both are stateless, as SimSystem requires — they key off server state.
+
+/// A repair path that "forgets" to refresh the anonymity bookkeeping: once
+/// the server has performed an incremental repair, served requests are
+/// backed by a stale singleton group (group_size 1), breaking per-request
+/// k-anonymity. The policy table itself stays sound — only the exhaustive
+/// per-serve check sees it, which is exactly what sampling-based chaos runs
+/// tend to miss.
+class BrokenRepairSystem : public SimSystem {
+ public:
+  Result<LbsAnswer> Serve(CspServer& csp, const ServiceRequest& sr,
+                          CspServer::ServeReceipt* receipt) override;
+};
+
+/// A quarantine that lies in its report: quarantined moves are counted as
+/// applied, so the snapshot silently diverges from what the advance claims
+/// happened — the "quarantined moves never partially applied" invariant
+/// catches the mismatch between reported and observable position changes.
+class BrokenQuarantineSystem : public SimSystem {
+ public:
+  Result<SnapshotReport> Advance(CspServer& csp,
+                                 const std::vector<UserMove>& moves) override;
+};
+
+/// Resolves "" / "none" / "repair" / "quarantine" to a process-lifetime
+/// system instance (nullptr for the real system); InvalidArgument otherwise.
+Result<SimSystem*> SystemForName(const std::string& name);
+
+}  // namespace sim
+}  // namespace pasa
+
+#endif  // PASA_SIM_BROKEN_H_

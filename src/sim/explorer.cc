@@ -1,0 +1,186 @@
+#include "sim/explorer.h"
+
+#include <deque>
+#include <unordered_set>
+#include <utility>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+namespace pasa {
+namespace sim {
+namespace {
+
+struct ProgressCounters {
+  obs::Counter& visited;
+  obs::Counter& pruned;
+  obs::Counter& transitions;
+  obs::Counter& violations;
+
+  static ProgressCounters Get() {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    return ProgressCounters{
+        registry.GetCounter(std::string(kStatesVisitedCounter)),
+        registry.GetCounter(std::string(kStatesPrunedCounter)),
+        registry.GetCounter(std::string(kTransitionsCounter)),
+        registry.GetCounter(std::string(kViolationsCounter))};
+  }
+};
+
+// Replays `actions` on a fresh model. Returns the model after the last
+// action; `violation` (may be null) receives the first invariant break and
+// stops the replay there.
+Result<SimModel> Replay(const ExplorerOptions& options,
+                        const std::vector<SimAction>& actions,
+                        std::optional<Violation>* violation) {
+  Result<SimModel> model = SimModel::Create(options.model, options.system);
+  if (!model.ok()) return model.status();
+  if (violation != nullptr) {
+    *violation = CheckInvariants(*model, options.invariant_mask);
+    if (violation->has_value()) return model;
+  }
+  for (const SimAction& action : actions) {
+    Status s = model->Step(action);
+    if (!s.ok()) return s;
+    if (violation != nullptr) {
+      *violation = CheckInvariants(*model, options.invariant_mask);
+      if (violation->has_value()) return model;
+    }
+  }
+  return model;
+}
+
+}  // namespace
+
+Result<std::optional<Violation>> ReplayTrace(
+    const ExplorerOptions& options, const std::vector<SimAction>& actions) {
+  std::optional<Violation> violation;
+  Result<SimModel> model = Replay(options, actions, &violation);
+  if (!model.ok()) return model.status();
+  return violation;
+}
+
+Result<std::vector<SimAction>> ShrinkTrace(const ExplorerOptions& options,
+                                           const std::vector<SimAction>& trace,
+                                           const Violation& violation) {
+  // Classic ddmin over the action sequence. A candidate reproduces when
+  // replaying it violates the *same* invariant (details may differ — the
+  // minimal trace usually reaches the bug along a shorter path).
+  const auto reproduces =
+      [&](const std::vector<SimAction>& candidate) -> Result<bool> {
+    Result<std::optional<Violation>> replay =
+        ReplayTrace(options, candidate);
+    if (!replay.ok()) return replay.status();
+    return replay->has_value() && (*replay)->invariant == violation.invariant;
+  };
+
+  std::vector<SimAction> current = trace;
+  size_t chunk = std::max<size_t>(1, current.size() / 2);
+  while (chunk >= 1 && !current.empty()) {
+    bool removed_any = false;
+    for (size_t start = 0; start < current.size();) {
+      std::vector<SimAction> candidate;
+      candidate.reserve(current.size());
+      const size_t end = std::min(start + chunk, current.size());
+      candidate.insert(candidate.end(), current.begin(),
+                       current.begin() + start);
+      candidate.insert(candidate.end(), current.begin() + end, current.end());
+      Result<bool> still = reproduces(candidate);
+      if (!still.ok()) return still.status();
+      if (*still) {
+        current = std::move(candidate);
+        removed_any = true;
+        // Retry the same offset: the tail shifted into it.
+      } else {
+        start = end;
+      }
+    }
+    if (chunk == 1) {
+      if (!removed_any) break;  // pointwise fixpoint: 1-minimal
+    } else if (!removed_any) {
+      chunk = std::max<size_t>(1, chunk / 2);
+    }
+  }
+  return current;
+}
+
+Result<ExploreResult> Explore(const ExplorerOptions& options) {
+  ProgressCounters counters = ProgressCounters::Get();
+  ExploreResult result;
+
+  Result<SimModel> initial = SimModel::Create(options.model, options.system);
+  if (!initial.ok()) return initial.status();
+
+  const auto finish_violation =
+      [&](std::vector<SimAction> trace,
+          const Violation& violation) -> Result<ExploreResult> {
+    counters.violations.Increment();
+    result.violation = violation;
+    result.trace = std::move(trace);
+    Result<std::vector<SimAction>> shrunk =
+        ShrinkTrace(options, result.trace, violation);
+    if (!shrunk.ok()) return shrunk.status();
+    result.shrunk_trace = std::move(*shrunk);
+    obs::LogWarn("sim", "invariant %s violated after %zu actions (%zu after "
+                 "shrinking)", violation.invariant.c_str(),
+                 result.trace.size(), result.shrunk_trace.size());
+    return result;
+  };
+
+  if (auto violation = CheckInvariants(*initial, options.invariant_mask)) {
+    return finish_violation({}, *violation);
+  }
+
+  std::unordered_set<uint64_t> visited;
+  visited.insert(initial->Digest());
+  result.stats.states_visited = 1;
+  counters.visited.Increment();
+
+  // BFS over action sequences; each frontier entry is re-materialized by
+  // replaying its actions, and its successors are produced by cloning the
+  // replayed model once per enabled action.
+  std::deque<std::vector<SimAction>> frontier;
+  frontier.push_back({});
+  bool truncated = false;
+  while (!frontier.empty()) {
+    const std::vector<SimAction> prefix = std::move(frontier.front());
+    frontier.pop_front();
+    Result<SimModel> at = Replay(options, prefix, nullptr);
+    if (!at.ok()) return at.status();
+    const int depth = static_cast<int>(prefix.size());
+    result.stats.depth_reached = std::max(result.stats.depth_reached, depth);
+    if (depth >= options.max_depth) continue;
+    for (const SimAction& action : at->EnabledActions()) {
+      SimModel next = *at;  // branch the live server
+      Status s = next.Step(action);
+      if (!s.ok()) return s;
+      ++result.stats.transitions;
+      counters.transitions.Increment();
+      if (auto violation = CheckInvariants(next, options.invariant_mask)) {
+        std::vector<SimAction> trace = prefix;
+        trace.push_back(action);
+        return finish_violation(std::move(trace), *violation);
+      }
+      const uint64_t digest = next.Digest();
+      if (!visited.insert(digest).second) {
+        ++result.stats.states_pruned;
+        counters.pruned.Increment();
+        continue;
+      }
+      ++result.stats.states_visited;
+      counters.visited.Increment();
+      if (result.stats.states_visited >= options.max_states) {
+        truncated = true;
+        continue;  // keep counting violations/prunes, stop enqueueing
+      }
+      std::vector<SimAction> extended = prefix;
+      extended.push_back(action);
+      frontier.push_back(std::move(extended));
+    }
+  }
+  result.stats.exhausted = !truncated;
+  return result;
+}
+
+}  // namespace sim
+}  // namespace pasa

@@ -1,0 +1,71 @@
+#ifndef PASA_SIM_EXPLORER_H_
+#define PASA_SIM_EXPLORER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/invariants.h"
+#include "sim/model.h"
+
+namespace pasa {
+namespace sim {
+
+/// Budgeted breadth-first exploration of a bounded SimModel instance.
+struct ExplorerOptions {
+  SimOptions model;
+  uint32_t invariant_mask = kAllInvariants;
+  /// Stop enqueueing once this many distinct states have been visited. The
+  /// run still reports whether the frontier was exhausted within the budget.
+  uint64_t max_states = 20'000;
+  /// Longest action sequence explored (BFS layer bound).
+  int max_depth = 5;
+  /// System under check; nullptr = the real CspServer stack.
+  SimSystem* system = nullptr;
+};
+
+struct ExploreStats {
+  uint64_t states_visited = 0;  ///< distinct canonical states reached
+  uint64_t states_pruned = 0;   ///< transitions into already-visited states
+  uint64_t transitions = 0;     ///< actions applied (incl. pruned targets)
+  int depth_reached = 0;
+  /// True when every state within max_depth was expanded before the state
+  /// budget ran out — the bounded instance is exhaustively covered.
+  bool exhausted = false;
+};
+
+struct ExploreResult {
+  ExploreStats stats;
+  /// First invariant violation found, with the action sequence that reaches
+  /// it from the initial state and its delta-debugged minimal form.
+  std::optional<Violation> violation;
+  std::vector<SimAction> trace;
+  std::vector<SimAction> shrunk_trace;
+};
+
+/// Explores breadth-first with canonical-state pruning (SimModel::Digest)
+/// until the frontier is exhausted, the depth bound is reached, the state
+/// budget runs out, or an invariant breaks. On a violation the offending
+/// trace is shrunk before returning. Progress is exported through the
+/// sim/* obs counters.
+Result<ExploreResult> Explore(const ExplorerOptions& options);
+
+/// Replays `actions` from the initial state, checking invariants after
+/// every step. Returns the first violation, or nullopt for a clean run.
+Result<std::optional<Violation>> ReplayTrace(
+    const ExplorerOptions& options, const std::vector<SimAction>& actions);
+
+/// Delta-debugging (ddmin) over the action sequence: the shortest
+/// subsequence of `trace` that still violates the same invariant. Steps on
+/// actions made invalid by the deletions are no-ops, so every candidate
+/// subsequence is a well-formed run.
+Result<std::vector<SimAction>> ShrinkTrace(const ExplorerOptions& options,
+                                           const std::vector<SimAction>& trace,
+                                           const Violation& violation);
+
+}  // namespace sim
+}  // namespace pasa
+
+#endif  // PASA_SIM_EXPLORER_H_

@@ -1,0 +1,182 @@
+#ifndef PASA_SIM_MODEL_H_
+#define PASA_SIM_MODEL_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "csp/server.h"
+#include "fault/plan.h"
+#include "lbs/poi.h"
+#include "pasa/incremental.h"
+
+namespace pasa {
+namespace sim {
+
+/// Bounds of one explorable instance. Everything downstream — initial user
+/// layout, POIs, every candidate move batch — is a pure function of these
+/// options and the action history, so two models with equal options and
+/// equal action sequences are bit-for-bit identical.
+struct SimOptions {
+  int users = 8;         ///< |D|; the explorer is meant for <= 8
+  int k = 3;             ///< anonymity degree (must be <= users)
+  int max_advances = 2;  ///< snapshot advances available to the schedule
+  /// Candidate move batches per advance. Batch 0 moves few users (the
+  /// incremental-repair path), the last batch moves most of them (the
+  /// rebuild path); batches in between interpolate.
+  int move_batches = 2;
+  uint64_t seed = 2010;  ///< derives layout, POIs and move destinations
+  int log2_side = 6;     ///< map is a 2^log2_side square
+  size_t pois = 12;
+  size_t answers_per_request = 2;
+  /// Fault points the explorer may fire (subset of fault::KnownFaultPoints;
+  /// empty = the six original serving-path points). net/* points are not
+  /// consulted by the modeled stack and are rejected by SimModel::Create.
+  std::vector<std::string> fault_points;
+};
+
+/// One transition of the model. All scheduling freedom of the real system —
+/// which user speaks next, which batch of moves the MPC feed delivers,
+/// which fault fires, when the cache expires, when staleness is served — is
+/// reified as an explicit action chosen by the explorer.
+struct SimAction {
+  enum class Kind {
+    kRequest,      ///< deliver a service request from user `arg`
+    kServeStale,   ///< request from user `arg` with the provider forced down
+    kAdvance,      ///< advance the snapshot with move batch `arg`
+    kFireFault,    ///< arm catalog point `point` to fire at its next use
+    kExpireCache,  ///< expire the answer cache (daily flush)
+  };
+  Kind kind = Kind::kRequest;
+  int arg = 0;
+  std::string point;  ///< kFireFault only
+
+  friend bool operator==(const SimAction& a, const SimAction& b) = default;
+
+  /// Compact round-trippable spelling: "request:3", "stale:1", "advance:0",
+  /// "fault:lbs/error", "expire".
+  std::string ToString() const;
+  static Result<SimAction> Parse(std::string_view text);
+};
+
+/// What the last Step observed, for the invariant catalog: the request or
+/// advance that ran, its inputs as submitted (pre-fault), and the outcome.
+struct StepRecord {
+  SimAction action;
+  // Request-shaped actions.
+  bool served = false;       ///< a request action ran and returned ok
+  bool serve_failed = false; ///< a request action ran and returned an error
+  CspServer::ServeReceipt receipt;
+  UserId sender = 0;
+  Point sender_location;
+  std::vector<PointOfInterest> answer_pois;
+  bool answer_degraded = false;
+  // Advance-shaped actions.
+  bool advanced = false;              ///< AdvanceSnapshot ran and returned ok
+  bool advance_skipped = false;       ///< jurisdiction fault ate the batch
+  SnapshotReport report;
+  std::vector<UserMove> submitted;    ///< the batch as generated (pre-fault)
+  std::vector<Point> positions_before;
+};
+
+/// The system under check. The default implementation forwards to the real
+/// CspServer; deliberately broken doubles (sim/broken.h) override one hop to
+/// prove the explorer and its invariants actually catch bugs. Doubles must
+/// be stateless — models are cloned freely during exploration and only the
+/// CspServer travels with the clone.
+class SimSystem {
+ public:
+  virtual ~SimSystem() = default;
+
+  virtual Result<LbsAnswer> Serve(CspServer& csp, const ServiceRequest& sr,
+                                  CspServer::ServeReceipt* receipt) {
+    return csp.HandleRequest(sr, receipt);
+  }
+  virtual Result<SnapshotReport> Advance(CspServer& csp,
+                                         const std::vector<UserMove>& moves) {
+    return csp.AdvanceSnapshot(moves);
+  }
+};
+
+/// A real CspServer (policy engine, quarantine, answer cache, resilient LBS
+/// client) behind a deterministic step interface. No wall clock and no
+/// threads are involved anywhere in the modeled stack: retries, backoff,
+/// deadlines and the circuit breaker already run on simulated micros and
+/// request counts, and fault firing is forced per step by the explorer
+/// rather than drawn from probability streams. Copyable — the explorer
+/// branches a model at every decision point.
+class SimModel {
+ public:
+  /// Builds the initial state: seeded user layout and POIs, initial policy.
+  /// `system` must outlive the model (and every copy); nullptr = the real
+  /// system.
+  static Result<SimModel> Create(const SimOptions& options,
+                                 SimSystem* system = nullptr);
+
+  const SimOptions& options() const { return options_; }
+  const CspServer& csp() const { return csp_; }
+  int advances_done() const { return advances_done_; }
+  const std::set<std::string>& pending_faults() const {
+    return pending_faults_;
+  }
+  const StepRecord& last_step() const { return last_step_; }
+  /// What the provider would answer right now, for cache-consistency checks.
+  const PoiDatabase& reference_pois() const { return reference_pois_; }
+  MapExtent extent() const { return MapExtent{0, 0, options_.log2_side}; }
+
+  /// Actions enabled in the current state, in a deterministic order.
+  std::vector<SimAction> EnabledActions() const;
+
+  /// Applies `action`. Disabled actions are a no-op success (the trace
+  /// shrinker deletes actions blindly and replays the rest). Expected
+  /// serving-path failures (provider down, rejected request) are recorded in
+  /// last_step(), not returned; a non-ok Status means the model itself broke.
+  Status Step(const SimAction& action);
+
+  /// Canonical digest of the behaviorally relevant state: snapshot
+  /// positions, policy cloaks + cost, cached answer keys, breaker
+  /// bookkeeping, pending faults and the advance count. FNV-1a over
+  /// DigestText(). Monotone telemetry (stats, request ids) is deliberately
+  /// excluded so equivalent states merge in the visited set.
+  uint64_t Digest() const;
+  std::string DigestText() const;
+
+ private:
+  SimModel(SimOptions options, CspServer csp, SimSystem* system,
+           PoiDatabase reference_pois);
+
+  /// The move batch for (advance index = advances_done_, `batch`), derived
+  /// from the seed and the current snapshot. Destinations never equal the
+  /// origin, so "did this move apply" is observable from positions.
+  std::vector<UserMove> GenerateBatch(int batch) const;
+
+  /// Arms the global injector with every pending fault forced (probability
+  /// 1), runs `body`, then retires the points that actually fired.
+  template <typename Body>
+  Status WithPendingFaults(const std::vector<fault::FaultPointConfig>& extra,
+                           Body&& body);
+
+  SimOptions options_;
+  CspServer csp_;
+  SimSystem* system_;  ///< not owned; shared by all copies
+  /// Reference POI database for the cache-consistency invariant: what the
+  /// provider would answer right now, independent of the serving stack.
+  PoiDatabase reference_pois_;
+  std::set<std::string> pending_faults_;
+  int advances_done_ = 0;
+  StepRecord last_step_;
+};
+
+/// Names every SimModel uses for progress counters under obs:
+/// sim/states_visited, sim/states_pruned, sim/transitions, sim/violations.
+inline constexpr std::string_view kStatesVisitedCounter = "sim/states_visited";
+inline constexpr std::string_view kStatesPrunedCounter = "sim/states_pruned";
+inline constexpr std::string_view kTransitionsCounter = "sim/transitions";
+inline constexpr std::string_view kViolationsCounter = "sim/violations";
+
+}  // namespace sim
+}  // namespace pasa
+
+#endif  // PASA_SIM_MODEL_H_

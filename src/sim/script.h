@@ -1,0 +1,54 @@
+#ifndef PASA_SIM_SCRIPT_H_
+#define PASA_SIM_SCRIPT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "fault/plan.h"
+#include "sim/model.h"
+
+namespace pasa {
+namespace sim {
+
+/// A replayable counterexample (or regression scenario): the bounded
+/// instance, which system double to check, the action script, and the
+/// invariant the run is expected to violate ("" = expected clean). The
+/// explorer emits one for every shrunk violation; `pasa_cli explore
+/// --replay` re-runs it deterministically.
+///
+/// JSON shape (see docs/robustness.md):
+///   {
+///     "model": {"users": 8, "k": 3, "advances": 2, "batches": 2,
+///               "seed": 2010, "log2_side": 6},
+///     "broken": "repair",
+///     "expect": "kanon",
+///     "fault_plan": {"seed": 2010, "points": [...]},
+///     "actions": ["fault:snapshot/repair_fail", "advance:0", "request:0"]
+///   }
+///
+/// `fault_plan` is derived from the fault actions in the script (each fired
+/// point, forced, with its total fire count) — it is a valid FaultPlan for
+/// driving the same schedule through `pasa_cli --fault-plan`, and is
+/// validated on load, but replay itself arms faults per step exactly as the
+/// explorer did.
+struct CounterexampleScript {
+  SimOptions model;
+  std::string broken;             ///< "", "repair" or "quarantine"
+  std::string expect_invariant;   ///< "" = expect a clean replay
+  std::vector<SimAction> actions;
+
+  /// The aggregate forced fault schedule the action script implies.
+  fault::FaultPlan DerivedFaultPlan() const;
+
+  std::string ToJson() const;
+  static Result<CounterexampleScript> FromJson(std::string_view text);
+  static Result<CounterexampleScript> FromJsonFile(const std::string& path);
+  Status WriteFile(const std::string& path) const;
+};
+
+}  // namespace sim
+}  // namespace pasa
+
+#endif  // PASA_SIM_SCRIPT_H_

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -23,6 +24,28 @@
 
 namespace pasa {
 namespace {
+
+// How many seeds each chaos sweep runs. Defaults to 3 so the suite stays
+// fast locally; CI legs widen the sweep with PASA_CHAOS_SEEDS (see
+// tools/ci.sh — the TSan leg runs 8).
+size_t ChaosSeedCount() {
+  const char* env = std::getenv("PASA_CHAOS_SEEDS");
+  if (env == nullptr || *env == '\0') return 3;
+  const long parsed = std::atol(env);
+  if (parsed < 1) return 1;
+  if (parsed > 64) return 64;
+  return static_cast<size_t>(parsed);
+}
+
+// The sweep itself: base, 2*base, 3*base, ... so the historical default
+// seeds (101, 202, 303) are a prefix of every wider sweep.
+std::vector<uint64_t> SweepSeeds(uint64_t base) {
+  std::vector<uint64_t> seeds;
+  const size_t count = ChaosSeedCount();
+  seeds.reserve(count);
+  for (size_t i = 0; i < count; ++i) seeds.push_back(base * (i + 1));
+  return seeds;
+}
 
 BayAreaOptions ChaosBay() {
   BayAreaOptions options;
@@ -159,7 +182,7 @@ TEST(ChaosTest, ServingPathSurvivesAndReplaysDeterministically) {
   size_t total_quarantined = 0;
   size_t total_repair_fallbacks = 0;
   size_t total_degraded_or_failed = 0;
-  for (const uint64_t seed : {101u, 202u, 303u}) {
+  for (const uint64_t seed : SweepSeeds(101)) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     const ChaosOutcome first = ChaosRun(seed, /*snapshots=*/5,
                                         /*requests_per_epoch=*/150);
@@ -333,7 +356,7 @@ TEST(ChaosTest, ParallelRunnerContainsJurisdictionFailures) {
   const BayAreaGenerator gen(ChaosBay());
   const LocationDatabase db = gen.Generate(1500);
   size_t total_failures = 0;
-  for (const uint64_t seed : {11u, 22u, 33u}) {
+  for (const uint64_t seed : SweepSeeds(11)) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     const ParallelRunReport first =
         ParallelChaosRun(seed, /*use_threads=*/false, db, gen.extent());

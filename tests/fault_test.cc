@@ -67,6 +67,31 @@ TEST(FaultPlanTest, RejectsMalformedPlans) {
   EXPECT_FALSE(FaultPlan::FromJson(
                    R"({"points": [{"point": "lbs/error", "after": -1}]})")
                    .ok());
+  // Fractional schedule fields would silently truncate; reject them typed.
+  const Status fractional =
+      FaultPlan::FromJson(
+          R"({"points": [{"point": "lbs/error", "max_fires": 1.5}]})")
+          .status();
+  EXPECT_EQ(fractional.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(fractional.message().find("integer"), std::string::npos);
+  // Counts beyond 2^53 are not exactly representable in JSON doubles and
+  // the cast to uint64_t would be UB; reject them typed instead.
+  const Status overflow =
+      FaultPlan::FromJson(
+          R"({"points": [{"point": "lbs/error", "after": 1e30}]})")
+          .status();
+  EXPECT_EQ(overflow.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(overflow.message().find("overflows"), std::string::npos);
+  EXPECT_FALSE(FaultPlan::FromJson(
+                   R"({"points": [{"point": "lbs/error", "every": 0.25}]})")
+                   .ok());
+  // The plan seed gets the same treatment.
+  EXPECT_FALSE(FaultPlan::FromJson(
+                   R"({"seed": 1.5, "points": [{"point": "lbs/error"}]})")
+                   .ok());
+  EXPECT_FALSE(FaultPlan::FromJson(
+                   R"({"seed": 1e30, "points": [{"point": "lbs/error"}]})")
+                   .ok());
 }
 
 TEST(FaultPlanTest, MissingFileIsNotFound) {

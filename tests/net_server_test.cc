@@ -10,6 +10,7 @@
 #include <sys/socket.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -332,6 +333,109 @@ TEST(NetServerTest, ShutdownFrameStopsTheServer) {
   ASSERT_TRUE(ack.ok());
   EXPECT_EQ(ack->type, MsgType::kShutdownResponse);
   EXPECT_TRUE(fx.server->WaitForShutdown(10.0));
+  fx.server->Stop();
+}
+
+// Graceful drain, happy path: requests already admitted when the shutdown
+// frame lands keep dispatching within the drain deadline, and their
+// responses reach the client before the loop exits — shutdown loses no
+// admitted work.
+TEST(NetServerTest, ShutdownDrainsAdmittedRequests) {
+  NetServerOptions net_options;
+  net_options.max_batch = 1;  // dispatch slowly so the drain does real work
+  net_options.drain_deadline_seconds = 10.0;
+  Fixture fx(/*k=*/10, net_options);
+  Result<NetClient> pipeline = NetClient::Connect(fx.server->port());
+  ASSERT_TRUE(pipeline.ok());
+  const auto& row = fx.db.row(0);
+  const std::string payload =
+      EncodeServiceRequest({row.user, row.location, {{"poi", "rest"}}});
+  const int kBurst = 16;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(pipeline->SendFrame(MsgType::kServeRequest, payload).ok());
+  }
+  // Wait until the whole burst is decoded (admitted or already served), so
+  // the shutdown below cannot race ahead of it.
+  while (fx.server->stats().frames_decoded < static_cast<uint64_t>(kBurst)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Result<NetClient> stopper = NetClient::Connect(fx.server->port());
+  ASSERT_TRUE(stopper.ok());
+  Result<Frame> ack = stopper->Call(MsgType::kShutdownRequest, "");
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->type, MsgType::kShutdownResponse);
+  // Every admitted request still gets its real response.
+  for (int i = 0; i < kBurst; ++i) {
+    Result<Frame> frame = pipeline->ReadFrame(10.0);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->type, MsgType::kServeResponse);
+  }
+  EXPECT_TRUE(fx.server->WaitForShutdown(10.0));
+  EXPECT_EQ(fx.server->stats().drain_expired, 0u);
+  fx.server->Stop();
+}
+
+// Drain bounds: with dispatch disabled the queue can never empty, so the
+// drain deadline must fail every stuck request with a typed kUnavailable —
+// and a request arriving mid-drain is rejected the same way instead of
+// extending the drain. Nobody hangs on a dying server.
+TEST(NetServerTest, DrainDeadlineFailsStuckAndMidDrainRequestsTyped) {
+  NetServerOptions net_options;
+  net_options.max_batch = 0;  // nothing ever dispatches: the queue is stuck
+  net_options.drain_deadline_seconds = 0.5;
+  net_options.retry_after_micros = 2500;
+  Fixture fx(/*k=*/10, net_options);
+  Result<NetClient> pipeline = NetClient::Connect(fx.server->port());
+  ASSERT_TRUE(pipeline.ok());
+  Result<NetClient> latecomer = NetClient::Connect(fx.server->port());
+  ASSERT_TRUE(latecomer.ok());
+  const auto& row = fx.db.row(0);
+  const std::string payload =
+      EncodeServiceRequest({row.user, row.location, {{"poi", "rest"}}});
+  const int kBurst = 8;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(pipeline->SendFrame(MsgType::kServeRequest, payload).ok());
+  }
+  while (fx.server->stats().frames_decoded < static_cast<uint64_t>(kBurst)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Result<NetClient> stopper = NetClient::Connect(fx.server->port());
+  ASSERT_TRUE(stopper.ok());
+  Result<Frame> ack = stopper->Call(MsgType::kShutdownRequest, "");
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(ack->type, MsgType::kShutdownResponse);
+  // stopping is set before the ack goes out, so this frame is decoded
+  // mid-drain and must be rejected typed rather than queued.
+  ASSERT_TRUE(latecomer->SendFrame(MsgType::kServeRequest, payload).ok());
+  Result<Frame> turned_away = latecomer->ReadFrame(10.0);
+  ASSERT_TRUE(turned_away.ok()) << turned_away.status().ToString();
+  ASSERT_EQ(turned_away->type, MsgType::kError);
+  Result<ErrorMsg> turned_away_msg = DecodeError(turned_away->payload);
+  ASSERT_TRUE(turned_away_msg.ok());
+  EXPECT_EQ(turned_away_msg->code, StatusCode::kUnavailable);
+  // At the deadline, every stuck request is answered kUnavailable with the
+  // retry hint — not silently dropped with the loop.
+  for (int i = 0; i < kBurst; ++i) {
+    Result<Frame> frame = pipeline->ReadFrame(10.0);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    ASSERT_EQ(frame->type, MsgType::kError);
+    Result<ErrorMsg> msg = DecodeError(frame->payload);
+    ASSERT_TRUE(msg.ok());
+    EXPECT_EQ(msg->code, StatusCode::kUnavailable);
+    EXPECT_EQ(msg->retry_after_micros, 2500u);
+  }
+  EXPECT_TRUE(fx.server->WaitForShutdown(10.0));
+  const NetServer::Stats stats = fx.server->stats();
+  EXPECT_EQ(stats.drain_expired, static_cast<uint64_t>(kBurst));
+  EXPECT_GE(stats.drain_rejected, 1u);
+  fx.server->Stop();
+}
+
+TEST(NetServerTest, NegativeDrainDeadlineIsRejected) {
+  Fixture fx;
+  NetServerOptions bad;
+  bad.drain_deadline_seconds = -1.0;
+  EXPECT_FALSE(NetServer::Start(fx.csp.get(), bad).ok());
   fx.server->Stop();
 }
 

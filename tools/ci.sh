@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 CI driver: release build + full ctest, an AddressSanitizer
-# build + full ctest, a ThreadSanitizer build running the concurrency
-# suites (chaos + parallel + the obs v3 primitives), the overhead gates
+# build + full ctest (both followed by a bounded state-space-explorer leg
+# that must cover its instance exhaustively with zero invariant violations
+# and reproduce the committed golden counterexample), a ThreadSanitizer
+# build running the concurrency suites with a widened chaos seed sweep
+# (PASA_CHAOS_SEEDS=8), the overhead gates
 # (disarmed obs / fault / provenance / profiler instrumentation must stay
 # near-free), and a smoke pasa_benchstat run that proves the perf-regression
 # gate works end to end (writes BENCH_smoke.json and self-compares it, which
@@ -37,11 +40,33 @@ overhead_scale="${PASA_CI_OVERHEAD_SCALE:-0.02}"
 
 step() { printf '\n== %s ==\n' "$*"; }
 
+# Bounded state-space-explorer smoke (docs/robustness.md): the instance
+# (8 users, 2 advances, all six fault points) must be covered exhaustively
+# with zero invariant violations, and the committed golden counterexample
+# (broken repair double) must reproduce its k-anonymity violation (exit 4).
+explore_leg() {
+  local cli="$1/tools/pasa_cli"
+  local out visited rc
+  out=$("${cli}" explore --users 8 --k 3 --advances 2 --depth 3 \
+        --budget 20000 --log-level error)
+  printf '%s\n' "${out}"
+  grep -q 'exhausted=yes' <<<"${out}"
+  grep -q 'no violation' <<<"${out}"
+  visited=$(sed -n 's/.*states_visited=\([0-9]*\).*/\1/p' <<<"${out}")
+  test "${visited}" -ge 300
+  rc=0
+  "${cli}" explore --replay tools/testdata/explore_broken_repair.json \
+      --log-level error >/dev/null || rc=$?
+  test "${rc}" -eq 4
+}
+
 if [[ "${PASA_CI_SKIP_RELEASE:-0}" != "1" ]]; then
   step "release build + tests (${prefix}-release)"
   cmake -B "${prefix}-release" -S . -DCMAKE_BUILD_TYPE=Release
   cmake --build "${prefix}-release" -j "${jobs}"
   ctest --test-dir "${prefix}-release" --output-on-failure -j "${jobs}"
+  step "state-space explorer leg (release)"
+  explore_leg "${prefix}-release"
 else
   step "release build skipped (PASA_CI_SKIP_RELEASE=1)"
 fi
@@ -52,6 +77,8 @@ if [[ "${PASA_CI_SKIP_ASAN:-0}" != "1" ]]; then
         -DPASA_SANITIZE=address
   cmake --build "${prefix}-asan" -j "${jobs}"
   ctest --test-dir "${prefix}-asan" --output-on-failure -j "${jobs}"
+  step "state-space explorer leg (asan)"
+  explore_leg "${prefix}-asan"
 else
   step "asan build skipped (PASA_CI_SKIP_ASAN=1)"
 fi
@@ -70,6 +97,9 @@ if [[ "${PASA_CI_SKIP_TSAN:-0}" != "1" ]]; then
   # lock-light obs v3 primitives (provenance ring, windows, SLO tracker),
   # the network front end (event loop vs client threads), and the
   # span-sampling profiler (sampler thread vs instrumented threads).
+  # The chaos suite widens its seed sweep here (8 seeds instead of the
+  # local default 3) — TSan is where extra schedules pay off.
+  PASA_CHAOS_SEEDS=8 \
   ctest --test-dir "${prefix}-tsan" --output-on-failure -j "${jobs}" \
         -R 'Chaos|Parallel|TraceSink|TraceContext|TailTrace|Provenance|Window|Slo|NetWire|NetServer|Profiler'
 else

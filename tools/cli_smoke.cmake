@@ -112,6 +112,17 @@ run_or_die(2 ${CLI} serve --in ${LOC} --k 20 --fault-plan ${BAD_PLAN})
 run_or_die(2 ${CLI} serve --in ${LOC} --k 20 --fault-seed 7)
 run_or_die(2 ${CLI} serve --k 20)
 
+# Fractional and overflowing schedule counts are typed parse errors, not
+# silently truncated casts.
+set(FRAC_PLAN ${WORK_DIR}/cli_smoke_frac_plan.json)
+file(WRITE ${FRAC_PLAN}
+     "{\"points\": [{\"point\": \"lbs/error\", \"max_fires\": 1.5}]}\n")
+run_or_die(2 ${CLI} serve --in ${LOC} --k 20 --fault-plan ${FRAC_PLAN})
+set(HUGE_PLAN ${WORK_DIR}/cli_smoke_huge_plan.json)
+file(WRITE ${HUGE_PLAN}
+     "{\"points\": [{\"point\": \"lbs/error\", \"after\": 1e30}]}\n")
+run_or_die(2 ${CLI} serve --in ${LOC} --k 20 --fault-plan ${HUGE_PLAN})
+
 # The provenance audit trail: --audit-out writes one JSONL record per
 # sampled request (into a fresh subdirectory), `explain` reconstructs the
 # cloak decisions from it, and no accepted request may ever be a
@@ -237,6 +248,40 @@ run_or_die(2 ${CLI} serve --in ${LOC} --k 20 --listen 18080
            --net-backend sideways)
 run_or_die(2 ${CLI} serve --in ${LOC} --k 20 --listen 18080 --max-pending 0)
 
+# The state-space explorer: a small bounded instance is covered
+# exhaustively with zero violations (exit 0); the committed golden
+# counterexample — a shrunk trace against the broken-repair double — must
+# reproduce its k-anonymity violation deterministically (exit 4); and a
+# live run against the broken double must find, shrink, and write a
+# counterexample script that itself replays to the same violation.
+run_capture(0 explore_out ${CLI} explore --users 6 --k 2 --advances 1
+            --depth 2 --budget 5000 --log-level error)
+require_fragment(explore_out "exhausted=yes" "explore output")
+require_fragment(explore_out "no violation" "explore output")
+
+run_capture(4 replay_out ${CLI} explore
+            --replay ${SRC_DIR}/testdata/explore_broken_repair.json
+            --log-level error)
+require_fragment(replay_out "violation: invariant=kanon"
+                 "explore --replay output")
+
+set(CE ${WORK_DIR}/cli_smoke_out/counterexample.json)
+run_capture(4 broken_explore_out ${CLI} explore --broken repair --depth 4
+            --out ${CE} --log-level error)
+require_fragment(broken_explore_out "violation: invariant=kanon"
+                 "explore --broken output")
+require_fragment(broken_explore_out "shrunk (" "explore --broken output")
+if(NOT EXISTS ${CE})
+  message(FATAL_ERROR "explore --out did not write ${CE}")
+endif()
+run_or_die(4 ${CLI} explore --replay ${CE} --log-level error)
+
+# Unknown invariants or doubles are usage errors; a missing replay script
+# is a runtime failure.
+run_or_die(2 ${CLI} explore --invariants sideways)
+run_or_die(2 ${CLI} explore --broken sideways)
+run_or_die(1 ${CLI} explore --replay ${WORK_DIR}/no_such_ce.json)
+
 # ...while the Casper baseline is expected to be flagged (exit code 3:
 # k-inside policies are not policy-aware k-anonymous in general).
 run_or_die(0 ${CLI} anonymize --in ${LOC} --k 20 --out ${CASPER}
@@ -249,4 +294,5 @@ run_or_die(2 ${CLI} anonymize --in ${LOC})
 run_or_die(1 ${CLI} anonymize --in /no/such.csv --k 5 --out ${OPT})
 
 file(REMOVE ${LOC} ${OPT} ${CASPER} ${METRICS} ${TRACE} ${PLAN} ${BAD_PLAN}
-     ${AUDIT} ${SLO} ${BAD_SLO} ${STREAM_AUDIT} ${TRACE2} ${MERGED})
+     ${FRAC_PLAN} ${HUGE_PLAN} ${CE} ${AUDIT} ${SLO} ${BAD_SLO}
+     ${STREAM_AUDIT} ${TRACE2} ${MERGED})

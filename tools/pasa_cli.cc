@@ -16,6 +16,20 @@
 //   pasa_cli trace-merge --client client.json --server server.json
 //                      --out merged.json
 //   pasa_cli slowest   --port P [--limit N]
+//   pasa_cli explore   [--users N] [--k K] [--advances N] [--batches N]
+//                      [--seed S] [--depth D] [--budget STATES]
+//                      [--invariants all|kanon,cache,quarantine,repair]
+//                      [--broken none|repair|quarantine] [--out F.json]
+//                      [--replay F.json]
+//
+// explore runs the deterministic state-space explorer (src/sim): breadth-
+// first over every interleaving of requests, snapshot advances, fault
+// firings, cache expiries, and stale serves on a bounded instance, checking
+// the invariant catalog at every state. Exit 0 when the bounded instance is
+// covered cleanly, 4 when a violation is found (the shrunk counterexample
+// goes to --out as a replayable script). --replay re-runs a committed
+// counterexample script and exits 4 iff the expected invariant violation
+// reproduces. See docs/robustness.md.
 //
 // trace-merge stitches a loadgen --trace-out file and a server --trace-out
 // file into one Perfetto-loadable timeline: server events move to pid 2,
@@ -111,6 +125,11 @@
 #include "policies/casper.h"
 #include "policies/k_inside_binary.h"
 #include "policies/k_inside_quad.h"
+#include "sim/broken.h"
+#include "sim/explorer.h"
+#include "sim/invariants.h"
+#include "sim/model.h"
+#include "sim/script.h"
 #include "workload/bay_area.h"
 #include "workload/movement.h"
 #include "workload/requests.h"
@@ -147,6 +166,11 @@ int Usage() {
       "violations]\n"
       "  pasa_cli trace-merge --client F.json --server F2.json --out F3.json\n"
       "  pasa_cli slowest   --port P [--limit N]\n"
+      "  pasa_cli explore   [--users N] [--k K] [--advances N] [--batches N]\n"
+      "                     [--seed S] [--depth D] [--budget STATES]\n"
+      "                     [--invariants all|kanon,cache,quarantine,repair]\n"
+      "                     [--broken none|repair|quarantine] [--out F.json]\n"
+      "                     [--replay F.json]\n"
       "every subcommand also accepts:\n"
       "  --metrics-out FILE.json  observability snapshot\n"
       "  --trace-out FILE.json    Chrome trace_event timeline "
@@ -890,6 +914,131 @@ int RunStats(const Flags& flags) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// explore: the deterministic state-space explorer (src/sim).
+
+std::string JoinActions(const std::vector<sim::SimAction>& actions) {
+  std::string out;
+  for (const sim::SimAction& action : actions) {
+    if (!out.empty()) out += " ";
+    out += action.ToString();
+  }
+  return out;
+}
+
+// Re-runs a committed counterexample script. Exit 4 iff the violation the
+// script expects reproduces, 0 for an expected-clean script that replays
+// clean, 1 when the outcome diverges from the expectation.
+int ReplayCounterexample(const Flags& flags, uint32_t invariant_mask) {
+  Result<sim::CounterexampleScript> script =
+      sim::CounterexampleScript::FromJsonFile(flags.GetString("replay"));
+  if (!script.ok()) return Fail(script.status());
+  const std::string broken =
+      flags.Has("broken") ? flags.GetString("broken") : script->broken;
+  Result<sim::SimSystem*> system = sim::SystemForName(broken);
+  if (!system.ok()) return Fail(system.status());
+  sim::ExplorerOptions options;
+  options.model = script->model;
+  options.invariant_mask = invariant_mask;
+  options.system = *system;
+  std::printf("replaying %zu action(s), broken=%s, expect=%s\n  %s\n",
+              script->actions.size(), broken.empty() ? "none" : broken.c_str(),
+              script->expect_invariant.empty()
+                  ? "clean"
+                  : script->expect_invariant.c_str(),
+              JoinActions(script->actions).c_str());
+  Result<std::optional<sim::Violation>> outcome =
+      sim::ReplayTrace(options, script->actions);
+  if (!outcome.ok()) return Fail(outcome.status());
+  if (outcome->has_value()) {
+    std::printf("violation: invariant=%s detail=%s\n",
+                (*outcome)->invariant.c_str(), (*outcome)->detail.c_str());
+  } else {
+    std::printf("replay clean: no invariant violated\n");
+  }
+  const std::string got = outcome->has_value() ? (*outcome)->invariant : "";
+  if (got != script->expect_invariant) {
+    std::fprintf(stderr,
+                 "error: counterexample did not reproduce (expected \"%s\", "
+                 "got \"%s\")\n",
+                 script->expect_invariant.c_str(), got.c_str());
+    return 1;
+  }
+  return outcome->has_value() ? 4 : 0;
+}
+
+int RunExplore(const Flags& flags) {
+  Result<uint32_t> mask =
+      sim::ParseInvariantMask(flags.GetString("invariants", "all"));
+  if (!mask.ok()) {
+    std::fprintf(stderr, "error: %s\n", mask.status().ToString().c_str());
+    return Usage();
+  }
+  if (flags.Has("replay")) return ReplayCounterexample(flags, *mask);
+
+  sim::ExplorerOptions options;
+  options.model.users = static_cast<int>(flags.GetInt("users", 8));
+  options.model.k = static_cast<int>(flags.GetInt("k", 3));
+  options.model.max_advances = static_cast<int>(flags.GetInt("advances", 2));
+  options.model.move_batches = static_cast<int>(flags.GetInt("batches", 2));
+  options.model.seed = static_cast<uint64_t>(flags.GetInt("seed", 2010));
+  options.model.log2_side = static_cast<int>(
+      flags.GetInt("map-log2-side", options.model.log2_side));
+  options.invariant_mask = *mask;
+  options.max_depth = static_cast<int>(flags.GetInt("depth", 3));
+  options.max_states = static_cast<uint64_t>(flags.GetInt("budget", 20'000));
+  const std::string broken = flags.GetString("broken", "none");
+  Result<sim::SimSystem*> system = sim::SystemForName(broken);
+  if (!system.ok()) {
+    std::fprintf(stderr, "error: %s\n", system.status().ToString().c_str());
+    return Usage();
+  }
+  options.system = *system;
+
+  std::printf(
+      "explore: users=%d k=%d advances=%d batches=%d seed=%llu depth=%d "
+      "budget=%llu broken=%s\n",
+      options.model.users, options.model.k, options.model.max_advances,
+      options.model.move_batches,
+      static_cast<unsigned long long>(options.model.seed), options.max_depth,
+      static_cast<unsigned long long>(options.max_states), broken.c_str());
+  Result<sim::ExploreResult> result = sim::Explore(options);
+  if (!result.ok()) return Fail(result.status());
+  std::printf(
+      "explore: states_visited=%llu states_pruned=%llu transitions=%llu "
+      "depth_reached=%d exhausted=%s\n",
+      static_cast<unsigned long long>(result->stats.states_visited),
+      static_cast<unsigned long long>(result->stats.states_pruned),
+      static_cast<unsigned long long>(result->stats.transitions),
+      result->stats.depth_reached, result->stats.exhausted ? "yes" : "no");
+  if (!result->violation.has_value()) {
+    std::printf(result->stats.exhausted
+                    ? "no violation: bounded instance exhaustively covered\n"
+                    : "no violation within the state budget (coverage "
+                      "incomplete)\n");
+    return 0;
+  }
+  std::printf("violation: invariant=%s detail=%s\n",
+              result->violation->invariant.c_str(),
+              result->violation->detail.c_str());
+  std::printf("trace (%zu actions): %s\n", result->trace.size(),
+              JoinActions(result->trace).c_str());
+  std::printf("shrunk (%zu actions): %s\n", result->shrunk_trace.size(),
+              JoinActions(result->shrunk_trace).c_str());
+  if (flags.Has("out")) {
+    sim::CounterexampleScript script;
+    script.model = options.model;
+    script.broken = broken == "none" ? "" : broken;
+    script.expect_invariant = result->violation->invariant;
+    script.actions = result->shrunk_trace;
+    const Status s = script.WriteFile(flags.GetString("out"));
+    if (!s.ok()) return Fail(s);
+    std::printf("wrote counterexample script to %s\n",
+                flags.GetString("out").c_str());
+  }
+  return 4;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1005,6 +1154,8 @@ int main(int argc, char** argv) {
     rc = RunTraceMerge(flags);
   } else if (command == "slowest") {
     rc = RunSlowest(flags);
+  } else if (command == "explore") {
+    rc = RunExplore(flags);
   } else {
     return Usage();
   }
