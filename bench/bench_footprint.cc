@@ -1,0 +1,143 @@
+// Memory footprint sweep: builds the full serving stack (snapshot, policy
+// tree, configuration matrix, extracted policy, user index, POI grid,
+// answer cache) at |D| = 10^4, 10^5 and 10^6 users and snapshots the
+// per-subsystem byte accounting into BENCH_footprint.json, the capacity
+// counterpart of the latency snapshots: benchstat compares a fresh run
+// against bench/baseline/BENCH_footprint.json and flags any bytes-per-user
+// regression, so a change that silently doubles a structure's footprint
+// fails CI the same way a 2x slowdown would.
+//
+// Measurement keys are absolute (not PASA_BENCH_SCALE-scaled) so snapshots
+// stay comparable across hosts; memory is deterministic per seed. Set
+// PASA_FOOTPRINT_MAX=<users> to cap the sweep on constrained hosts —
+// benchstat only compares keys both snapshots share, so a capped candidate
+// still gates the sizes it ran.
+//
+// Usage: bench_footprint [--out PATH]   (default BENCH_footprint.json)
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "csp/server.h"
+#include "obs/benchstat.h"
+#include "obs/mem.h"
+#include "workload/bay_area.h"
+
+namespace {
+
+using namespace pasa;
+
+constexpr size_t kSweep[] = {10'000, 100'000, 1'000'000};
+
+std::string KeyPrefix(size_t users) {
+  return "footprint/d" + std::to_string(users) + "/";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_footprint.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+  size_t max_users = kSweep[sizeof(kSweep) / sizeof(kSweep[0]) - 1];
+  if (const char* env = std::getenv("PASA_FOOTPRINT_MAX")) {
+    max_users = static_cast<size_t>(std::strtoull(env, nullptr, 10));
+  }
+
+  bench_util::PrintHeader(
+      "pasa memory footprint sweep: bytes per user vs |D|");
+
+  obs::MemoryAccountant& accountant = obs::MemoryAccountant::Global();
+  accountant.Enable();
+
+  std::map<std::string, double> run;
+  TablePrinter table({"|D|", "total MiB", "bytes/user", "policy tree MiB",
+                      "snapshot MiB"});
+  for (size_t users : kSweep) {
+    if (users > max_users) {
+      std::printf("(|D|=%zu skipped: PASA_FOOTPRINT_MAX=%zu)\n", users,
+                  max_users);
+      continue;
+    }
+    BayAreaOptions bay;
+    bay.log2_map_side = 17;
+    bay.seed = 3;
+    const BayAreaGenerator generator(bay);
+    const LocationDatabase db = generator.Generate(users);
+
+    Rng rng(9);
+    std::vector<PointOfInterest> pois;
+    for (size_t i = 0; i < 2048; ++i) {
+      pois.push_back(PointOfInterest{
+          static_cast<int64_t>(i),
+          Point{static_cast<Coord>(rng.NextBounded(generator.extent().side())),
+                static_cast<Coord>(rng.NextBounded(generator.extent().side()))},
+          "poi"});
+    }
+    CspOptions options;
+    options.k = 50;
+    Result<CspServer> csp = CspServer::Start(db, generator.extent(),
+                                             PoiDatabase(std::move(pois)),
+                                             options);
+    if (!csp.ok()) {
+      std::fprintf(stderr, "CSP start failed at |D|=%zu: %s\n", users,
+                   csp.status().ToString().c_str());
+      return 1;
+    }
+
+    accountant.Reset();
+    csp->ReportMemory(accountant);
+    obs::ReportObsMemory(accountant);
+
+    const std::map<std::string, uint64_t> snapshot = accountant.Snapshot();
+    const uint64_t total = accountant.TotalBytes();
+    const double bytes_per_user = static_cast<double>(total) / users;
+    const std::string prefix = KeyPrefix(users);
+    run[prefix + "total_bytes"] = static_cast<double>(total);
+    run[prefix + "bytes_per_user"] = bytes_per_user;
+    for (const auto& [name, bytes] : snapshot) {
+      run[prefix + name] = static_cast<double>(bytes);
+    }
+    const double mib = 1024.0 * 1024.0;
+    table.AddRow({std::to_string(users),
+                  TablePrinter::Cell(total / mib, 1),
+                  TablePrinter::Cell(bytes_per_user, 1),
+                  TablePrinter::Cell(
+                      snapshot.count("csp/policy_tree")
+                          ? snapshot.at("csp/policy_tree") / mib
+                          : 0.0,
+                      1),
+                  TablePrinter::Cell(snapshot.count("csp/snapshot")
+                                         ? snapshot.at("csp/snapshot") / mib
+                                         : 0.0,
+                                     1)});
+  }
+  accountant.Disable();
+  table.Print();
+
+  // Memory is deterministic per seed, so one run is the whole population:
+  // stddev 0 makes the benchstat noise gate a pure threshold gate.
+  const obs::benchstat::Snapshot snapshot =
+      obs::benchstat::Aggregate("footprint", {run});
+  const Status written = obs::benchstat::WriteSnapshotFile(snapshot, out_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "snapshot write failed: %s\n",
+                 written.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nwrote %zu measurements to %s\n",
+              snapshot.measurements.size(), out_path.c_str());
+  return run.empty() ? 1 : 0;
+}

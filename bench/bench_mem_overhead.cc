@@ -1,0 +1,214 @@
+// Memory-accounting overhead microbenchmark: proves the pasa::obs memory
+// accountant (obs/mem.h) keeps the production serving path near-free.
+//
+// The accountant is pull-model by design — subsystems report ApproxBytes()
+// when a scrape (GET /memory, /metrics) or the periodic net refresh asks,
+// never per request — so the only hot-path residue is the disarmed hook:
+// one relaxed load (`if (obs::MemoryAccounting())`). Part 1 times the full
+// CSP request path in three configurations:
+//   (a) uninstrumented: obs kill switch off, accountant disabled
+//   (b) production:     obs on, accountant disabled, hook checked per request
+//   (c) armed:          obs on, accountant enabled; the hook fires a
+//                       snapshot-style counter refresh every 64 requests
+//                       (the NetServer loop cadence) and a full
+//                       CspServer::ReportMemory every 4096 requests (the
+//                       scrape cadence)
+// Both (b) and (c) are gated within 5% of (a).
+//
+// Part 2 reports the per-operation cost of the primitives: the disarmed
+// hook, MemCounter::Add/Set, ScopedAllocTracker::Update, and a deque
+// push/pop through AccountingAllocator against the std::allocator baseline.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "csp/server.h"
+#include "obs/mem.h"
+#include "obs/metrics.h"
+#include "workload/bay_area.h"
+#include "workload/requests.h"
+
+namespace {
+
+using namespace pasa;
+
+double Median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+// Serves the same request stream `reps` times, returning the median
+// wall-clock of one pass. The cache is flushed per pass so every pass does
+// identical work. When `hook` is true the loop body carries the disarmed
+// accounting hook exactly as the serving stack does: a relaxed load, and —
+// only when the accountant is armed — the periodic refreshes.
+double TimeServing(CspServer& csp, const std::vector<ServiceRequest>& stream,
+                   int reps, bool hook) {
+  obs::MemoryAccountant& accountant = obs::MemoryAccountant::Global();
+  std::vector<double> seconds;
+  seconds.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    csp.FlushAnswerCache();
+    uint64_t ticks = 0;
+    WallTimer timer;
+    for (const ServiceRequest& sr : stream) {
+      if (!csp.HandleRequest(sr).ok()) return -1.0;
+      if (hook) {
+        ++ticks;
+        if (obs::MemoryAccounting()) {
+          if (ticks % 64 == 0) {
+            // NetServer::RefreshMemoryStats-shaped work: snapshot-style
+            // Set on a couple of counters.
+            accountant.GetCounter("net/conn_buffers").Set(ticks);
+            accountant.GetCounter("net/pending_payloads").Set(ticks / 2);
+          }
+          if (ticks % 4096 == 0) csp.ReportMemory(accountant);
+        }
+      }
+    }
+    seconds.push_back(timer.ElapsedSeconds());
+  }
+  return Median(std::move(seconds));
+}
+
+}  // namespace
+
+int main() {
+  using bench_util::Scaled;
+
+  bench_util::PrintHeader(
+      "pasa::obs memory accounting overhead: CSP request path");
+  BayAreaOptions bay;
+  bay.log2_map_side = 15;
+  bay.num_intersections = 2000;
+  bay.users_per_intersection = 10;
+  bay.seed = 3;
+  const BayAreaGenerator generator(bay);
+  const LocationDatabase db = generator.Generate(Scaled(50'000));
+  const int reps = 5;
+
+  Rng rng(9);
+  std::vector<PointOfInterest> pois;
+  for (size_t i = 0; i < 2048; ++i) {
+    pois.push_back(PointOfInterest{
+        static_cast<int64_t>(i),
+        Point{static_cast<Coord>(rng.NextBounded(generator.extent().side())),
+              static_cast<Coord>(rng.NextBounded(generator.extent().side()))},
+        "poi"});
+  }
+  CspOptions options;
+  options.k = 50;
+  Result<CspServer> csp = CspServer::Start(db, generator.extent(),
+                                           PoiDatabase(std::move(pois)),
+                                           options);
+  if (!csp.ok()) {
+    std::fprintf(stderr, "CSP start failed: %s\n",
+                 csp.status().ToString().c_str());
+    return 1;
+  }
+  RequestGenerator requests(13);
+  const std::vector<ServiceRequest> stream =
+      requests.Draw(csp->snapshot(), Scaled(100'000));
+
+  obs::MemoryAccountant& accountant = obs::MemoryAccountant::Global();
+  accountant.Disable();
+  accountant.Reset();
+
+  // Warm-up pass (page in the policy, stabilize the allocator).
+  (void)TimeServing(*csp, stream, 1, /*hook=*/false);
+
+  obs::Configure(obs::ObsOptions{.enabled = false});
+  const double uninstrumented_seconds =
+      TimeServing(*csp, stream, reps, /*hook=*/false);
+  obs::Configure(obs::ObsOptions{.enabled = true});
+  const double disarmed_seconds =
+      TimeServing(*csp, stream, reps, /*hook=*/true);
+  accountant.Enable();
+  const double armed_seconds = TimeServing(*csp, stream, reps, /*hook=*/true);
+  const uint64_t accounted_bytes = accountant.TotalBytes();
+  accountant.Disable();
+  if (uninstrumented_seconds < 0.0 || disarmed_seconds < 0.0 ||
+      armed_seconds < 0.0) {
+    std::fprintf(stderr, "serving pass failed\n");
+    return 1;
+  }
+  const double disarmed_percent =
+      (disarmed_seconds - uninstrumented_seconds) / uninstrumented_seconds *
+      100.0;
+  const double armed_percent =
+      (armed_seconds - uninstrumented_seconds) / uninstrumented_seconds *
+      100.0;
+
+  TablePrinter table({"mode", "median of " + std::to_string(reps) +
+                                  " passes (s)"});
+  table.AddRow({"obs off, accountant off (uninstrumented)",
+                TablePrinter::Cell(uninstrumented_seconds, 4)});
+  table.AddRow({"obs on, accountant disarmed (production)",
+                TablePrinter::Cell(disarmed_seconds, 4)});
+  table.AddRow({"accountant armed (periodic refresh)",
+                TablePrinter::Cell(armed_seconds, 4)});
+  table.Print();
+  std::printf(
+      "\ndisarmed-vs-uninstrumented overhead: %+.2f%% (gated <= 5%%)\n"
+      "armed-vs-uninstrumented overhead:    %+.2f%% (gated <= 5%%, "
+      "accounted %llu bytes)\n"
+      "The accountant is pull-model: armed cost is a 1/64-cadence counter\n"
+      "refresh plus a 1/4096-cadence full ReportMemory, never per-request\n"
+      "work, so even armed accounting must stay within the 5%% bound.\n",
+      disarmed_percent, armed_percent,
+      static_cast<unsigned long long>(accounted_bytes));
+
+  bench_util::PrintHeader("Per-operation cost of the accounting primitives");
+  constexpr int kOps = 2'000'000;
+  auto time_ops = [](auto&& body) {
+    WallTimer timer;
+    for (int i = 0; i < kOps; ++i) body();
+    return timer.ElapsedSeconds() * 1e9 / kOps;
+  };
+  obs::MemCounter& counter = accountant.GetCounter("bench/scratch");
+  const double hook_ns = time_ops([] {
+    if (obs::MemoryAccounting()) std::abort();
+  });
+  const double add_ns = time_ops([&] { counter.Add(1); });
+  const double set_ns =
+      time_ops([&] { counter.Set(static_cast<uint64_t>(1)); });
+  const double tracker_ns = time_ops([&] {
+    obs::ScopedAllocTracker tracker(&counter);
+    tracker.Update(64);
+  });
+  std::deque<int> plain_deque;
+  const double plain_deque_ns = time_ops([&] {
+    plain_deque.push_back(1);
+    plain_deque.pop_front();
+  });
+  std::deque<int, obs::AccountingAllocator<int>> accounted_deque{
+      obs::AccountingAllocator<int>(&counter)};
+  const double accounted_deque_ns = time_ops([&] {
+    accounted_deque.push_back(1);
+    accounted_deque.pop_front();
+  });
+  counter.Reset();
+  TablePrinter ops_table({"operation", "ns/op"});
+  ops_table.AddRow({"disarmed hook (relaxed load)",
+                    TablePrinter::Cell(hook_ns, 1)});
+  ops_table.AddRow({"MemCounter::Add", TablePrinter::Cell(add_ns, 1)});
+  ops_table.AddRow({"MemCounter::Set", TablePrinter::Cell(set_ns, 1)});
+  ops_table.AddRow({"ScopedAllocTracker update+release",
+                    TablePrinter::Cell(tracker_ns, 1)});
+  ops_table.AddRow({"std::deque push+pop (std::allocator)",
+                    TablePrinter::Cell(plain_deque_ns, 1)});
+  ops_table.AddRow({"std::deque push+pop (AccountingAllocator)",
+                    TablePrinter::Cell(accounted_deque_ns, 1)});
+  ops_table.Print();
+
+  bench_util::WriteMetricsSnapshot("mem_overhead");
+  // Exit code encodes the acceptance bound so CI can gate on it; 5% leaves
+  // slack for scheduler noise on shared hosts.
+  return (disarmed_percent <= 5.0 && armed_percent <= 5.0) ? 0 : 1;
+}

@@ -415,4 +415,24 @@ Result<SnapshotReport> CspServer::AdvanceSnapshot(
   return report;
 }
 
+void CspServer::ReportMemory(obs::MemoryAccountant& accountant) const {
+  accountant.GetCounter("csp/snapshot").Set(snapshot_.ApproxBytes());
+  accountant.GetCounter("csp/policy_tree")
+      .Set(engine_->tree().ApproxBytes());
+  accountant.GetCounter("csp/config_matrix")
+      .Set(engine_->matrix().ApproxBytes());
+  accountant.GetCounter("csp/policy").Set(policy_.ApproxBytes());
+  uint64_t index_bytes =
+      static_cast<uint64_t>(row_of_user_.bucket_count()) * sizeof(void*) +
+      static_cast<uint64_t>(row_of_user_.size()) *
+          (sizeof(std::pair<const UserId, size_t>) + sizeof(void*)) +
+      static_cast<uint64_t>(group_size_of_node_.capacity()) *
+          sizeof(uint32_t);
+  accountant.GetCounter("csp/user_index").Set(index_bytes);
+  accountant.GetCounter("lbs/answer_cache")
+      .Set(frontend_->cache().ApproxBytes());
+  accountant.GetCounter("lbs/poi_index")
+      .Set(frontend_->provider().ApproxBytes());
+}
+
 }  // namespace pasa

@@ -9,6 +9,7 @@
 #include "lbs/provider.h"
 #include "model/anonymized_request.h"
 #include "model/service_request.h"
+#include "obs/mem.h"
 #include "obs/metrics.h"
 #include "obs/provenance.h"
 #include "pasa/incremental.h"
@@ -158,6 +159,13 @@ class CspServer {
   /// The cache + resilience front half itself (read-only): cache contents
   /// and breaker bookkeeping feed the explorer's canonical state digest.
   const CachingLbsFrontend& frontend() const { return *frontend_; }
+
+  /// Refreshes the accountant's csp/* and lbs/* subsystem counters from the
+  /// server's long-lived structures: snapshot rows, policy tree, DP
+  /// configuration matrix, extracted policy, user index, answer cache and
+  /// POI index. Pull-model — called at scrape time (GET /memory, /metrics)
+  /// and by `pasa_cli memstats`, never on the serving hot path.
+  void ReportMemory(obs::MemoryAccountant& accountant) const;
 
  private:
   /// How one request through ServeRequest went, for the windowed telemetry

@@ -122,6 +122,20 @@ class BinaryTree {
   };
   ShapeStats ComputeShapeStats() const;
 
+  /// Approximate heap bytes held by the arena, per-leaf row lists and the
+  /// row-location shadow (memory accounting, obs/mem.h).
+  uint64_t ApproxBytes() const {
+    uint64_t bytes =
+        static_cast<uint64_t>(nodes_.capacity()) * sizeof(Node) +
+        static_cast<uint64_t>(leaf_rows_.capacity()) *
+            sizeof(std::vector<uint32_t>) +
+        static_cast<uint64_t>(row_locations_.capacity()) * sizeof(Point);
+    for (const std::vector<uint32_t>& rows : leaf_rows_) {
+      bytes += static_cast<uint64_t>(rows.capacity()) * sizeof(uint32_t);
+    }
+    return bytes;
+  }
+
  private:
   BinaryTree(MapExtent extent, TreeOptions options)
       : extent_(extent), options_(options) {}

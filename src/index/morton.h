@@ -93,6 +93,14 @@ class MortonIndex {
   /// Morton key for a point in this extent (exposed for tests).
   uint64_t KeyForPoint(const Point& p) const;
 
+  /// Approximate heap bytes of the two key arrays (memory accounting,
+  /// obs/mem.h).
+  uint64_t ApproxBytes() const {
+    return (static_cast<uint64_t>(sorted_keys_.capacity()) +
+            static_cast<uint64_t>(keys_by_row_.capacity())) *
+           sizeof(uint64_t);
+  }
+
  private:
   MortonIndex(MapExtent extent, std::vector<uint64_t> sorted_keys,
               std::vector<uint64_t> keys_by_row)

@@ -52,6 +52,19 @@ class QuadTree {
 
   int Height() const;
 
+  /// Approximate heap bytes held by the arena and per-leaf row lists
+  /// (memory accounting, obs/mem.h).
+  uint64_t ApproxBytes() const {
+    uint64_t bytes =
+        static_cast<uint64_t>(nodes_.capacity()) * sizeof(Node) +
+        static_cast<uint64_t>(leaf_rows_.capacity()) *
+            sizeof(std::vector<uint32_t>);
+    for (const std::vector<uint32_t>& rows : leaf_rows_) {
+      bytes += static_cast<uint64_t>(rows.capacity()) * sizeof(uint32_t);
+    }
+    return bytes;
+  }
+
  private:
   QuadTree(MapExtent extent, TreeOptions options)
       : extent_(extent), options_(options) {}

@@ -11,6 +11,7 @@
 
 #include "geo/rect.h"
 #include "model/anonymized_request.h"
+#include "obs/mem.h"
 
 namespace pasa {
 
@@ -109,6 +110,29 @@ class AnswerCache {
 
   size_t size() const { return cache_.size(); }
   const Stats& stats() const { return stats_; }
+
+  /// Approximate heap bytes held by the cache: hash buckets, per-entry node
+  /// + key/params heap, and — when Answer is a container exposing
+  /// capacity() — the answer payload itself (memory accounting, obs/mem.h).
+  uint64_t ApproxBytes() const {
+    uint64_t bytes =
+        static_cast<uint64_t>(cache_.bucket_count()) * sizeof(void*);
+    for (const auto& [key, entry] : cache_) {
+      // Node overhead: the pair plus the chaining pointer libstdc++ keeps
+      // per node (approximation, intentionally allocator-agnostic).
+      bytes += sizeof(std::pair<const std::string, Entry>) + sizeof(void*);
+      bytes += obs::StringApproxBytes(key);
+      bytes += obs::StringApproxBytes(entry.params);
+      if constexpr (requires(const Answer& a) {
+                      a.capacity();
+                      typename Answer::value_type;
+                    }) {
+        bytes += static_cast<uint64_t>(entry.answer.capacity()) *
+                 sizeof(typename Answer::value_type);
+      }
+    }
+    return bytes;
+  }
 
   /// The cached (cloak, params) keys in sorted order. The backing map is
   /// unordered, so callers that fold cache contents into a canonical state

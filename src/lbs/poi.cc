@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/mem.h"
+
 namespace pasa {
 
 PoiDatabase::PoiDatabase(std::vector<PointOfInterest> pois, Coord cell_size)
@@ -105,6 +107,21 @@ std::vector<PointOfInterest> PoiDatabase::NearestToCloak(
     result.push_back(pois_[found[i].second]);
   }
   return result;
+}
+
+uint64_t PoiDatabase::ApproxBytes() const {
+  uint64_t bytes =
+      static_cast<uint64_t>(pois_.capacity()) * sizeof(PointOfInterest);
+  for (const PointOfInterest& poi : pois_) {
+    bytes += obs::StringApproxBytes(poi.category);
+  }
+  bytes += static_cast<uint64_t>(grid_.bucket_count()) * sizeof(void*);
+  for (const auto& [key, cell] : grid_) {
+    bytes += sizeof(std::pair<const uint64_t, std::vector<size_t>>) +
+             sizeof(void*) +
+             static_cast<uint64_t>(cell.capacity()) * sizeof(size_t);
+  }
+  return bytes;
 }
 
 }  // namespace pasa

@@ -47,6 +47,10 @@ class PoiDatabase {
   /// Squared distance from `p` to the half-open rectangle `r` (0 inside).
   static int64_t SquaredDistanceToRect(const Point& p, const Rect& r);
 
+  /// Approximate heap bytes held by the POI store and its grid index
+  /// (memory accounting, obs/mem.h).
+  uint64_t ApproxBytes() const;
+
  private:
   struct CellKey {
     int64_t cx = 0;

@@ -56,6 +56,9 @@ class LbsProvider : public LbsBackend {
     return requests_seen_.load(std::memory_order_relaxed);
   }
 
+  /// Approximate heap bytes of the POI index (memory accounting, obs/mem.h).
+  uint64_t ApproxBytes() const { return pois_.ApproxBytes(); }
+
  private:
   PoiDatabase pois_;
   size_t answers_per_request_;

@@ -62,6 +62,12 @@ class CloakingTable {
                                   const ServiceRequest& sr,
                                   RequestId rid) const;
 
+  /// Approximate heap bytes held by the table (memory accounting,
+  /// obs/mem.h).
+  uint64_t ApproxBytes() const {
+    return static_cast<uint64_t>(cloaks_.capacity()) * sizeof(Rect);
+  }
+
  private:
   std::vector<Rect> cloaks_;
 };

@@ -60,6 +60,12 @@ class LocationDatabase {
   /// modules maintain these counts incrementally instead.
   size_t CountInside(const Rect& region) const;
 
+  /// Approximate heap bytes held by the snapshot (memory accounting,
+  /// obs/mem.h).
+  uint64_t ApproxBytes() const {
+    return static_cast<uint64_t>(rows_.capacity()) * sizeof(UserLocation);
+  }
+
  private:
   std::vector<UserLocation> rows_;
 };

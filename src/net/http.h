@@ -67,6 +67,12 @@ class HttpParser {
   /// non-1.x versions. 0 while no error occurred.
   int http_status() const { return http_status_; }
 
+  /// Approximate heap bytes of the parse buffer (memory accounting,
+  /// obs/mem.h).
+  uint64_t ApproxBytes() const {
+    return buffer_.capacity() <= 15 ? 0 : buffer_.capacity() + 1;
+  }
+
  private:
   HttpParserLimits limits_;
   std::string buffer_;

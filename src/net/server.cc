@@ -23,6 +23,7 @@
 #include "fault/injector.h"
 #include "obs/export.h"
 #include "obs/log.h"
+#include "obs/mem.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/provenance.h"
@@ -227,7 +228,11 @@ class NetServer::PollPoller : public Poller {
 // Lifecycle.
 
 NetServer::NetServer(CspServer* csp, const NetServerOptions& options)
-    : csp_(csp), options_(options) {}
+    : csp_(csp),
+      options_(options),
+      pending_(obs::AccountingAllocator<Pending>(
+          &obs::MemoryAccountant::Global().GetCounter("net/pending_queue"))) {
+}
 
 Result<std::unique_ptr<NetServer>> NetServer::Start(
     CspServer* csp, const NetServerOptions& options) {
@@ -283,6 +288,16 @@ Result<std::unique_ptr<NetServer>> NetServer::Start(
        .kind = obs::SloObjective::Kind::kLatency,
        .target = 0.99,
        .latency_threshold_seconds = 0.010});
+  obs::SloTracker::Global().EnsureObjective(
+      {.name = kSloNetLoopSaturation,
+       .kind = obs::SloObjective::Kind::kLatency,
+       .target = 0.99,
+       .latency_threshold_seconds = 0.025});
+
+  // Capacity accounting rides along with the serving stack: the per-scrape
+  // refresh (GET /memory, /metrics) and the pending-queue allocator both
+  // charge into the process-wide accountant.
+  obs::MemoryAccountant::Global().Enable();
 
   if (options.tail_traces) {
     obs::TailTraceRing::Options ring;
@@ -291,6 +306,7 @@ Result<std::unique_ptr<NetServer>> NetServer::Start(
     obs::TailTraceRing::Global().Enable(ring);
   }
 
+  server->started_at_ = std::chrono::steady_clock::now();
   server->loop_ = std::thread(&NetServer::Loop, server.get());
   obs::LogInfo("net", "listening on 127.0.0.1:%u (%s backend)",
                unsigned{server->port_},
@@ -390,6 +406,12 @@ void NetServer::Loop() {
       break;
     }
 
+    // Loop-saturation telemetry: time the busy part of the tick (everything
+    // between poller returns), but only for ticks that had actual work —
+    // idle 50ms parks must not drown the histogram in zeros.
+    WallTimer tick_timer;
+    const bool worked = !events.empty() || !pending_.empty() || torn_pending;
+
     for (const PollEvent& event : events) {
       if (event.fd == listen_fd_) {
         if (event.readable && !stopping_) HandleListener();
@@ -435,6 +457,17 @@ void NetServer::Loop() {
     }
 
     DispatchBatch();
+
+    if (worked) {
+      ++loop_ticks_;
+      RecordLoopTick(tick_timer.ElapsedSeconds());
+      // Periodic pull-model refresh so /metrics gauges stay current even
+      // when nobody scrapes GET /memory. Every 64 worked ticks keeps the
+      // cost (one pass over conns_) off the per-request path.
+      if (loop_ticks_ % 64 == 0 && obs::MemoryAccounting()) {
+        RefreshMemoryStats();
+      }
+    }
   }
 
   // Close everything on the way out.
@@ -450,6 +483,58 @@ void NetServer::Loop() {
     loop_exited_ = true;
   }
   shutdown_cv_.notify_all();
+}
+
+void NetServer::RecordLoopTick(double busy_seconds) {
+  static obs::Histogram& lag =
+      obs::MetricsRegistry::Global().GetHistogram("net/loop_lag_seconds");
+  static obs::Gauge& depth =
+      obs::MetricsRegistry::Global().GetGauge("net/queue_depth");
+  lag.Observe(busy_seconds);
+  depth.Set(static_cast<double>(pending_.size()));
+
+  const bool windows_on = obs::WindowRegistry::Global().enabled();
+  const bool slos_on = obs::SloTracker::Global().enabled();
+  if (!windows_on && !slos_on) return;
+  // Dispatch advances the SimClock per request; the tick record reads the
+  // same timeline so windowed loop lag and serve latency stay comparable.
+  const uint64_t now = obs::SimClock::Global().now();
+  if (windows_on) {
+    static obs::SlidingWindowHistogram& lag_window =
+        obs::WindowRegistry::Global().GetHistogram(
+            "net/window/loop_lag_seconds");
+    lag_window.Observe(busy_seconds, now);
+    static obs::SlidingWindowHistogram& depth_window =
+        obs::WindowRegistry::Global().GetHistogram(
+            "net/window/queue_depth",
+            {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096});
+    depth_window.Observe(static_cast<double>(pending_.size()), now);
+  }
+  if (slos_on) {
+    obs::SloTracker::Global().RecordLatency(kSloNetLoopSaturation,
+                                            busy_seconds, now);
+  }
+}
+
+void NetServer::RefreshMemoryStats() {
+  static obs::MemCounter& conn_buffers =
+      obs::MemoryAccountant::Global().GetCounter("net/conn_buffers");
+  static obs::MemCounter& pending_payloads =
+      obs::MemoryAccountant::Global().GetCounter("net/pending_payloads");
+  uint64_t buffer_bytes = 0;
+  for (const auto& [fd, conn] : conns_) {
+    buffer_bytes += conn.decoder.ApproxBytes();
+    buffer_bytes += obs::StringApproxBytes(conn.outbuf);
+    if (conn.http != nullptr) buffer_bytes += conn.http->ApproxBytes();
+  }
+  conn_buffers.Set(buffer_bytes);
+  // The deque's node storage is allocator-charged (net/pending_queue);
+  // the frames' payload strings are heap the allocator cannot see.
+  uint64_t payload_bytes = 0;
+  for (const Pending& pending : pending_) {
+    payload_bytes += obs::StringApproxBytes(pending.frame.payload);
+  }
+  pending_payloads.Set(payload_bytes);
 }
 
 void NetServer::HandleListener() {
@@ -769,14 +854,42 @@ void NetServer::HandleAdminRequest(Conn* conn, const HttpRequest& request) {
     body = "only GET and HEAD are served here\n";
   } else if (request.path == "/metrics") {
     // The Prometheus scrape target; version 0.0.4 is the text format tag.
+    // Scrape-time pull refresh: re-report every subsystem's bytes and
+    // publish the pasa_mem_bytes gauges so the scrape sees current numbers.
+    if (obs::MemoryAccounting()) {
+      RefreshMemoryStats();
+      csp_->ReportMemory(obs::MemoryAccountant::Global());
+      obs::ReportObsMemory(obs::MemoryAccountant::Global());
+      obs::MemoryAccountant::Global().PublishGauges(
+          obs::MetricsRegistry::Global());
+    }
     content_type = "text/plain; version=0.0.4; charset=utf-8";
     body = obs::ExportPrometheus(obs::FullSnapshot(), options_.exemplars);
   } else if (request.path == "/healthz") {
-    char line[160];
+    // Body stays "ok "-prefixed (probes grep for it); the fields behind it
+    // carry the drain state, uptime and connection split.
+    const double uptime =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started_at_)
+            .count();
+    char line[224];
     std::snprintf(line, sizeof(line),
-                  "ok queue=%zu/%zu connections=%zu\n", pending_.size(),
-                  options_.max_pending, conns_.size());
+                  "ok state=%s uptime_seconds=%.3f queue=%zu/%zu "
+                  "connections=%zu admin_connections=%llu\n",
+                  stopping_ ? "draining" : "serving", uptime, pending_.size(),
+                  options_.max_pending, conns_.size(),
+                  static_cast<unsigned long long>(admin_connections_.load()));
     body = line;
+  } else if (request.path == "/memory") {
+    // Per-subsystem memory accounting, refreshed at scrape time from every
+    // long-lived structure (pull model: nothing on the serving hot path).
+    content_type = "application/json";
+    obs::MemoryAccountant& accountant = obs::MemoryAccountant::Global();
+    RefreshMemoryStats();
+    csp_->ReportMemory(accountant);
+    obs::ReportObsMemory(accountant);
+    accountant.PublishGauges(obs::MetricsRegistry::Global());
+    body = accountant.ExportJson(csp_->snapshot().size());
   } else if (request.path == "/vars") {
     content_type = "application/json";
     body = obs::ExportJson(obs::FullSnapshot());
@@ -804,7 +917,7 @@ void NetServer::HandleAdminRequest(Conn* conn, const HttpRequest& request) {
   } else {
     status = 404;
     body = "unknown admin path: try /metrics /healthz /slo /vars /trace "
-           "/profile\n";
+           "/profile /memory\n";
   }
 
   conn->outbuf += EncodeHttpResponse(status, content_type, body,
@@ -857,6 +970,15 @@ void NetServer::Dispatch(const Pending& pending) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     pending.enqueued)
           .count();
+  static obs::Histogram& queue_wait =
+      obs::MetricsRegistry::Global().GetHistogram("net/queue_wait_seconds");
+  queue_wait.Observe(queue_seconds);
+  if (obs::WindowRegistry::Global().enabled()) {
+    static obs::SlidingWindowHistogram& queue_window =
+        obs::WindowRegistry::Global().GetHistogram(
+            "net/window/queue_wait_seconds");
+    queue_window.Observe(queue_seconds, obs::SimClock::Global().now());
+  }
 
   // Distributed tracing: adopt the frame's wire context when the client
   // sent one, otherwise originate a trace locally while a trace consumer

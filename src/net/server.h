@@ -25,6 +25,11 @@ namespace net {
 /// serve + encode, the latency a remote client actually experiences).
 inline constexpr char kSloNetServeLatency[] = "net/serve_latency";
 
+/// Well-known objective name for event-loop saturation: the busy time of
+/// each worked loop iteration, tracked as a latency objective so burn-rate
+/// alerting fires when the single-threaded loop stops keeping up.
+inline constexpr char kSloNetLoopSaturation[] = "net/loop_saturation";
+
 /// Tuning for the network front end.
 struct NetServerOptions {
   /// TCP port to listen on; 0 picks a free port (read it back via port()).
@@ -187,6 +192,16 @@ class NetServer {
   NetServer(CspServer* csp, const NetServerOptions& options);
 
   void Loop();
+  /// Loop-saturation telemetry for one worked tick (events or dispatches):
+  /// records the tick's busy seconds and the post-tick queue depth into the
+  /// net/loop_lag_seconds histogram, the sliding windows and the
+  /// net/loop_saturation SLO.
+  void RecordLoopTick(double busy_seconds);
+  /// Refreshes the accountant's net/* counters (connection buffers and
+  /// pending payload bytes) from live state. Cheap (one pass over conns_),
+  /// so it runs both at scrape time and periodically from the loop while
+  /// accounting is armed.
+  void RefreshMemoryStats();
   void HandleListener();
   /// Accepts admin-plane connections: never rejected for max_connections
   /// (the operator plane must stay reachable under overload).
@@ -226,8 +241,13 @@ class NetServer {
   std::unique_ptr<Poller> poller_;
   std::map<int, Conn> conns_;             ///< by fd; loop thread only
   std::map<uint64_t, int> fd_of_conn_;    ///< conn id -> fd; loop thread only
-  std::deque<Pending> pending_;           ///< loop thread only
+  /// Loop thread only. The accounting allocator self-charges the queue's
+  /// node storage to the net/pending_queue subsystem counter.
+  std::deque<Pending, obs::AccountingAllocator<Pending>> pending_;
   uint64_t next_conn_id_ = 1;
+  uint64_t loop_ticks_ = 0;  ///< worked ticks; loop thread only
+  /// When the loop was spawned; /healthz uptime.
+  std::chrono::steady_clock::time_point started_at_;
   bool stopping_ = false;  ///< drain outbufs, then exit (loop thread only)
   /// First tick that saw stopping_; anchors drain_deadline_seconds (loop
   /// thread only).

@@ -257,6 +257,13 @@ class FrameDecoder {
   /// Bytes buffered but not yet consumed by a complete frame.
   size_t buffered_bytes() const { return buffer_.size() - consumed_; }
 
+  /// Approximate heap bytes of the receive buffer — capacity, not size,
+  /// because the allocation is what the process pays for (memory
+  /// accounting, obs/mem.h).
+  uint64_t ApproxBytes() const {
+    return buffer_.capacity() <= 15 ? 0 : buffer_.capacity() + 1;
+  }
+
  private:
   std::string buffer_;
   size_t consumed_ = 0;  ///< prefix of buffer_ already handed out as frames

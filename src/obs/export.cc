@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "common/table.h"
+#include "obs/provenance.h"
+#include "obs/tail_trace.h"
 #include "obs/trace_context.h"
 #include "obs/trace_sink.h"
 
@@ -701,6 +703,17 @@ void Augment(MetricsSnapshot* snapshot) {
   const TraceEventSink& sink = TraceEventSink::Global();
   if (sink.active() || sink.dropped() > 0) {
     snapshot->counters["obs/trace_dropped_events"] = sink.dropped();
+  }
+  // Same treatment for the other bounded rings: overwrites and drops are
+  // silent at the ring, so surface them wherever metrics are exported.
+  const ProvenanceRing& provenance = ProvenanceRing::Global();
+  if (provenance.enabled() || provenance.overwritten() > 0) {
+    snapshot->counters["obs/provenance_overwritten"] =
+        provenance.overwritten();
+  }
+  const TailTraceRing& tail = TailTraceRing::Global();
+  if (tail.enabled() || tail.anomalies_dropped() > 0) {
+    snapshot->counters["obs/tail_trace_dropped"] = tail.anomalies_dropped();
   }
 }
 

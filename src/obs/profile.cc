@@ -9,6 +9,7 @@
 #include <set>
 #include <utility>
 
+#include "obs/mem.h"
 #include "obs/metrics.h"
 
 namespace pasa {
@@ -205,6 +206,18 @@ void Profiler::SnapshotLocked(std::vector<Sample>* out) const {
 size_t Profiler::retained() const {
   std::lock_guard<std::mutex> lock(mu_);
   return ring_.size();
+}
+
+uint64_t Profiler::ApproxBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t bytes =
+      static_cast<uint64_t>(ring_.capacity()) * sizeof(Sample) +
+      static_cast<uint64_t>(slots_.capacity()) * sizeof(slots_[0]);
+  for (const Sample& sample : ring_) {
+    bytes += StringApproxBytes(sample.path);
+  }
+  bytes += static_cast<uint64_t>(slots_.size()) * sizeof(Slot);
+  return bytes;
 }
 
 void Profiler::Reset() {

@@ -91,6 +91,10 @@ class Profiler {
   /// Samples currently retained in the ring.
   size_t retained() const;
 
+  /// Approximate heap bytes held by the sample ring and thread slots
+  /// (memory accounting, obs/mem.h).
+  uint64_t ApproxBytes() const;
+
   /// Drops every retained sample (registrations survive).
   void Reset();
 

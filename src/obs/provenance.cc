@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "obs/export.h"
+#include "obs/mem.h"
 #include "obs/trace_context.h"
 
 namespace pasa {
@@ -344,6 +345,22 @@ uint64_t ProvenanceRing::total_appended() const {
 uint64_t ProvenanceRing::overwritten() const {
   std::lock_guard<std::mutex> lock(mu_);
   return appended_ > ring_.size() ? appended_ - ring_.size() : 0;
+}
+
+uint64_t ProvenanceRing::ApproxBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t bytes =
+      static_cast<uint64_t>(ring_.capacity()) * sizeof(ProvenanceRecord);
+  for (const ProvenanceRecord& r : ring_) {
+    bytes += obs::StringApproxBytes(r.status) +
+             obs::StringApproxBytes(r.tree_path);
+    bytes += static_cast<uint64_t>(r.fault_fires.capacity()) *
+             sizeof(std::pair<std::string, uint32_t>);
+    for (const auto& [point, fires] : r.fault_fires) {
+      bytes += obs::StringApproxBytes(point);
+    }
+  }
+  return bytes;
 }
 
 std::vector<ProvenanceRecord> ProvenanceRing::Records() const {

@@ -175,6 +175,10 @@ class ProvenanceRing {
   /// The retained records, oldest first.
   std::vector<ProvenanceRecord> Records() const;
 
+  /// Approximate heap bytes held by the ring: the record array plus every
+  /// retained record's string payloads (memory accounting, obs/mem.h).
+  uint64_t ApproxBytes() const;
+
   /// Writes the retained records as JSONL (creating parent directories).
   Status WriteJsonlFile(const std::string& path) const;
 

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "obs/export.h"
+#include "obs/mem.h"
 
 namespace pasa {
 namespace obs {
@@ -83,6 +84,7 @@ void TailTraceRing::Offer(TailTrace trace) {
     anomalies_.push_back(trace);
     while (anomalies_.size() > options_.anomaly_capacity) {
       anomalies_.pop_front();
+      anomalies_dropped_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   if (slowest_.size() < options_.slowest_capacity ||
@@ -128,10 +130,35 @@ size_t TailTraceRing::anomaly_size() const {
   return anomalies_.size();
 }
 
+namespace {
+
+uint64_t TraceApproxBytes(const TailTrace& trace) {
+  uint64_t bytes = obs::StringApproxBytes(trace.outcome);
+  bytes += static_cast<uint64_t>(trace.spans.capacity()) *
+           sizeof(CollectedSpan);
+  for (const CollectedSpan& span : trace.spans) {
+    bytes += obs::StringApproxBytes(span.path);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+uint64_t TailTraceRing::ApproxBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t bytes =
+      static_cast<uint64_t>(slowest_.capacity()) * sizeof(TailTrace) +
+      static_cast<uint64_t>(anomalies_.size()) * sizeof(TailTrace);
+  for (const TailTrace& trace : slowest_) bytes += TraceApproxBytes(trace);
+  for (const TailTrace& trace : anomalies_) bytes += TraceApproxBytes(trace);
+  return bytes;
+}
+
 void TailTraceRing::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   slowest_.clear();
   anomalies_.clear();
+  anomalies_dropped_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace obs

@@ -65,12 +65,26 @@ class TailTraceRing {
 
   size_t slowest_size() const;
   size_t anomaly_size() const;
+
+  /// Anomalous traces overwritten because the bounded anomaly ring was
+  /// full — the tail-trace sibling of obs/trace_dropped_events, exported
+  /// as the obs/tail_trace_dropped counter so silent ring saturation is
+  /// visible on /metrics.
+  uint64_t anomalies_dropped() const {
+    return anomalies_dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Approximate heap bytes held by the retained traces (span trees
+  /// included) — memory accounting, obs/mem.h.
+  uint64_t ApproxBytes() const;
+
   void Reset();
 
  private:
   void EvictExpiredLocked(uint64_t now_micros);
 
   std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> anomalies_dropped_{0};
   mutable std::mutex mu_;
   Options options_;
   std::vector<TailTrace> slowest_;   ///< sorted, slowest first

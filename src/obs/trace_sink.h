@@ -95,6 +95,13 @@ class TraceEventSink {
   size_t size() const;
   size_t capacity() const { return slots_.size(); }
 
+  /// Approximate bytes held by the ring's slot array (memory accounting,
+  /// obs/mem.h). Event-name heap spill is not counted: the slots may be
+  /// written concurrently, and span paths are short enough to stay inline.
+  uint64_t ApproxBytes() const {
+    return static_cast<uint64_t>(slots_.size()) * sizeof(Slot);
+  }
+
   /// Labels the calling thread's track in the exported trace (e.g.
   /// "pasa-worker-3"). Safe to call whether or not tracing is active;
   /// names persist across Start/Stop so long-lived pools register once.

@@ -72,6 +72,16 @@ struct DpMatrix {
   /// Minimum cost of a complete (C(root) = 0) configuration, i.e. the cost
   /// of the optimal policy-aware sender k-anonymous policy.
   Result<Cost> OptimalCost(const BinaryTree& tree) const;
+
+  /// Approximate heap bytes of the matrix — the row array plus every dense
+  /// row's entry storage (memory accounting, obs/mem.h).
+  uint64_t ApproxBytes() const {
+    uint64_t bytes = static_cast<uint64_t>(rows.capacity()) * sizeof(DpRow);
+    for (const DpRow& row : rows) {
+      bytes += static_cast<uint64_t>(row.dense.capacity()) * sizeof(DpEntry);
+    }
+    return bytes;
+  }
 };
 
 /// The optimized Bulk_dp of Section V on the binary semi-quadrant tree:

@@ -25,6 +25,11 @@ struct Configuration {
   std::vector<uint32_t> passed_up;
 
   uint32_t C(int32_t node) const { return passed_up[node]; }
+
+  /// Approximate heap bytes (memory accounting, obs/mem.h).
+  uint64_t ApproxBytes() const {
+    return static_cast<uint64_t>(passed_up.capacity()) * sizeof(uint32_t);
+  }
 };
 
 /// True if `config` satisfies the k-summation property (Definition 9) on the

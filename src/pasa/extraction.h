@@ -21,6 +21,13 @@ struct ExtractedPolicy {
   Configuration config;
   std::vector<int32_t> assignment;  ///< cloaking tree node per snapshot row
   Cost cost = 0;
+
+  /// Approximate heap bytes across all three members (memory accounting,
+  /// obs/mem.h).
+  uint64_t ApproxBytes() const {
+    return table.ApproxBytes() + config.ApproxBytes() +
+           static_cast<uint64_t>(assignment.capacity()) * sizeof(int32_t);
+  }
 };
 
 /// Walks the matrix top-down picking minimum-cost entries (the paper's

@@ -6,6 +6,7 @@
 #include "attack/auditor.h"
 #include "csp/server.h"
 #include "fault/injector.h"
+#include "obs/mem.h"
 #include "obs/metrics.h"
 #include "workload/bay_area.h"
 #include "workload/movement.h"
@@ -283,6 +284,36 @@ TEST(CspServerTest, CorruptedMoveFeedEndsInQuarantineNotCrash) {
   EXPECT_EQ(report->moves_applied, moves.size() - moves.size() / 3);
   EXPECT_TRUE(csp->policy().IsMasking(csp->snapshot()));
   EXPECT_TRUE(AuditPolicyAware(csp->policy()).Anonymous(options.k));
+}
+
+TEST(CspServerTest, ReportMemoryCoversEveryServingStructure) {
+  const BayAreaGenerator gen(SmallBay());
+  LocationDatabase db = gen.Generate(800);
+  CspOptions options;
+  options.k = 10;
+  Result<CspServer> csp = CspServer::Start(db, gen.extent(),
+                                           SomePois(gen.extent(), 500),
+                                           options);
+  ASSERT_TRUE(csp.ok()) << csp.status().ToString();
+  // Serve a little traffic so the answer cache holds entries.
+  RequestGenerator requests(3);
+  for (const ServiceRequest& sr : requests.Draw(db, 50)) {
+    ASSERT_TRUE(csp->HandleRequest(sr).ok());
+  }
+
+  obs::MemoryAccountant accountant;
+  csp->ReportMemory(accountant);
+  const std::map<std::string, uint64_t> snapshot = accountant.Snapshot();
+  // Every long-lived serving structure reports a non-zero footprint.
+  for (const char* subsystem :
+       {"csp/snapshot", "csp/policy_tree", "csp/config_matrix", "csp/policy",
+        "csp/user_index", "lbs/answer_cache", "lbs/poi_index"}) {
+    ASSERT_TRUE(snapshot.count(subsystem)) << subsystem;
+    EXPECT_GT(snapshot.at(subsystem), 0u) << subsystem;
+  }
+  // The dominant structures scale with |D|: the snapshot alone stores 800
+  // rows, so the total must exceed the raw row storage.
+  EXPECT_GE(accountant.TotalBytes(), 800u * sizeof(UserLocation));
 }
 
 TEST(CspServerTest, StartFailsBelowK) {

@@ -560,6 +560,107 @@ TEST(NetServerAdminTest, HealthzSloAndVarsAnswer) {
   fx.server->Stop();
 }
 
+TEST(NetServerAdminTest, HealthzReportsStateUptimeAndConnections) {
+  Fixture fx(/*k=*/10, WithAdminPlane());
+  const uint16_t admin = fx.server->admin_port();
+
+  Result<HttpResponse> health = HttpGet(admin, "/healthz");
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->status, 200);
+  // The liveness contract stays "ok ..." (ci.sh greps ^ok), now followed
+  // by machine-readable drain state, uptime and connection gauges.
+  EXPECT_EQ(health->body.rfind("ok ", 0), 0u) << health->body;
+  EXPECT_NE(health->body.find("state=serving"), std::string::npos)
+      << health->body;
+  EXPECT_NE(health->body.find("uptime_seconds="), std::string::npos)
+      << health->body;
+  EXPECT_NE(health->body.find("queue="), std::string::npos) << health->body;
+  EXPECT_NE(health->body.find("connections="), std::string::npos)
+      << health->body;
+  fx.server->Stop();
+}
+
+TEST(NetServerAdminTest, MemoryEndpointReportsSubsystemFootprints) {
+  Fixture fx(/*k=*/10, WithAdminPlane());
+  const uint16_t admin = fx.server->admin_port();
+
+  // Serve traffic first so the answer cache and buffers hold bytes.
+  std::atomic<int> failures{0};
+  ServeAndVerify(fx.server->port(), fx.db, 10, 0, 25, &failures);
+  ASSERT_EQ(failures.load(), 0);
+
+  Result<HttpResponse> response = HttpGet(admin, "/memory");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  ASSERT_EQ(response->status, 200);
+  EXPECT_EQ(response->headers.at("content-type"), "application/json");
+  const Result<obs::json::Value> doc = obs::json::Parse(response->body);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const obs::json::Value* total = doc->Find("total_bytes");
+  ASSERT_NE(total, nullptr);
+  EXPECT_GT(total->number(), 0.0);
+  ASSERT_NE(doc->Find("users"), nullptr);
+  ASSERT_NE(doc->Find("bytes_per_user"), nullptr);
+  const obs::json::Value* subsystems = doc->Find("subsystems");
+  ASSERT_NE(subsystems, nullptr);
+  ASSERT_TRUE(subsystems->is_object());
+  // The accounting convention spans the whole serving stack: at least the
+  // CSP structures, the LBS cache/index, the obs rings and the net plane.
+  EXPECT_GE(subsystems->object().size(), 8u);
+  for (const char* name :
+       {"csp/snapshot", "csp/policy_tree", "csp/config_matrix", "csp/policy",
+        "csp/user_index", "lbs/answer_cache", "lbs/poi_index",
+        "net/conn_buffers", "net/pending_queue"}) {
+    EXPECT_NE(subsystems->Find(name), nullptr) << name;
+  }
+  // The dominant resident structures must report non-zero footprints.
+  for (const char* name : {"csp/snapshot", "csp/policy_tree",
+                           "lbs/poi_index"}) {
+    const obs::json::Value* entry = subsystems->Find(name);
+    ASSERT_NE(entry, nullptr) << name;
+    EXPECT_GT(entry->number(), 0.0) << name;
+  }
+
+  // The same accounting reaches Prometheus as a labeled gauge family.
+  Result<HttpResponse> metrics = HttpGet(admin, "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_EQ(metrics->status, 200);
+  EXPECT_NE(metrics->body.find("pasa_mem_bytes{subsystem=\"csp/snapshot\"}"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("pasa_mem_total_bytes"), std::string::npos);
+  const Status format = obs::CheckPrometheusText(metrics->body);
+  EXPECT_TRUE(format.ok()) << format.ToString();
+  fx.server->Stop();
+}
+
+TEST(NetServerAdminTest, LoopSaturationMetricsVisibleAfterTraffic) {
+  Fixture fx(/*k=*/10, WithAdminPlane());
+  const uint16_t admin = fx.server->admin_port();
+
+  std::atomic<int> failures{0};
+  ServeAndVerify(fx.server->port(), fx.db, 10, 0, 25, &failures);
+  ASSERT_EQ(failures.load(), 0);
+
+  Result<HttpResponse> metrics = HttpGet(admin, "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_EQ(metrics->status, 200);
+  // Event-loop saturation telemetry: per-tick busy time, queue depth at
+  // tick end, and per-request queue wait.
+  EXPECT_NE(metrics->body.find("pasa_net_loop_lag_seconds_count"),
+            std::string::npos);
+  EXPECT_NE(metrics->body.find("pasa_net_queue_depth"), std::string::npos);
+  EXPECT_NE(metrics->body.find("pasa_net_queue_wait_seconds_count"),
+            std::string::npos);
+
+  // The loop-lag histogram saw at least one worked tick (the requests
+  // above), and every observation is a sane sub-second busy time.
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global()
+                                            .Snapshot();
+  const auto it = snapshot.histograms.find("net/loop_lag_seconds");
+  ASSERT_NE(it, snapshot.histograms.end());
+  EXPECT_GT(it->second.count, 0u);
+  fx.server->Stop();
+}
+
 TEST(NetServerAdminTest, ProfileEndpointReportsArmedStateAndStacks) {
   Fixture fx(/*k=*/10, WithAdminPlane());
   const uint16_t admin = fx.server->admin_port();

@@ -4,11 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cmath>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "obs/export.h"
+#include "obs/mem.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -336,6 +339,82 @@ TEST_F(ObsTest, CheckPrometheusTextRejectsMalformedExposition) {
                                    "b 1\n"
                                    "a 2\n")
                    .ok());
+}
+
+// Replicates the exporter's name mangling: "pasa_" + path with every
+// non-[a-zA-Z0-9_] byte replaced by '_'; a LabeledName key keeps its
+// "{k=\"v\"}" suffix verbatim.
+std::string PromSampleOf(const std::string& key) {
+  const size_t brace = key.find('{');
+  const std::string path =
+      brace == std::string::npos ? key : key.substr(0, brace);
+  std::string out = "pasa_";
+  for (const char c : path) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) || c == '_') ? c
+                                                                     : '_';
+  }
+  if (brace != std::string::npos) out += key.substr(brace);
+  return out;
+}
+
+// Lines of `text` starting with `sample` immediately followed by a space
+// (the exposition's name/value separator), i.e. whole-name matches only.
+size_t CountSampleLines(const std::string& text, const std::string& sample) {
+  size_t n = 0;
+  size_t pos = 0;
+  while ((pos = text.find(sample, pos)) != std::string::npos) {
+    const bool line_start = pos == 0 || text[pos - 1] == '\n';
+    const size_t end = pos + sample.size();
+    if (line_start && end < text.size() && text[end] == ' ') ++n;
+    pos = end;
+  }
+  return n;
+}
+
+// Exporter completeness: every metric registered in the snapshot — plain
+// counters and gauges, LabeledName families (including the accountant's
+// pasa_mem_bytes{subsystem="..."} gauges) and histograms — appears in the
+// exposition exactly once, and the whole text passes the format checker
+// (which additionally enforces one TYPE header per family and contiguous
+// families). A metric silently dropped or double-emitted by the exporter
+// fails here before any dashboard notices.
+TEST_F(ObsTest, PrometheusExporterEmitsEveryRegisteredMetricExactlyOnce) {
+  auto& registry = MetricsRegistry::Global();
+  registry.GetCounter("obs_test/complete/count").Increment(3);
+  registry
+      .GetCounter(LabeledName("obs_test/complete/labeled", {{"shard", "a"}}))
+      .Increment();
+  registry
+      .GetCounter(LabeledName("obs_test/complete/labeled", {{"shard", "b"}}))
+      .Increment(2);
+  registry.GetGauge("obs_test/complete/gauge").Set(1.5);
+  registry.GetHistogram("obs_test/complete/hist", {0.1, 1.0}).Observe(0.5);
+  MemoryAccountant::Global().GetCounter("obs_test/mem_subsystem").Set(64);
+  MemoryAccountant::Global().PublishGauges(registry);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_GE(snapshot.counters.size() + snapshot.gauges.size(), 5u);
+  const std::string text = ExportPrometheus(snapshot);
+  const Status format = CheckPrometheusText(text);
+  ASSERT_TRUE(format.ok()) << format.ToString();
+
+  for (const auto& [key, value] : snapshot.counters) {
+    EXPECT_EQ(CountSampleLines(text, PromSampleOf(key)), 1u) << key;
+  }
+  for (const auto& [key, value] : snapshot.gauges) {
+    EXPECT_EQ(CountSampleLines(text, PromSampleOf(key)), 1u) << key;
+  }
+  for (const auto& [key, data] : snapshot.histograms) {
+    EXPECT_EQ(CountSampleLines(text, PromSampleOf(key) + "_sum"), 1u) << key;
+    EXPECT_EQ(CountSampleLines(text, PromSampleOf(key) + "_count"), 1u)
+        << key;
+    // One bucket line per bound plus +Inf.
+    EXPECT_EQ(
+        CountSampleLines(text, PromSampleOf(key) + "_bucket{le=\"+Inf\"}"),
+        1u)
+        << key;
+  }
+  MemoryAccountant::Global().Reset();
 }
 
 }  // namespace

@@ -114,9 +114,25 @@ if [[ "${PASA_CI_SKIP_RELEASE:-0}" != "1" ]]; then
   # respectively).
   for gate in bench_obs_overhead bench_fault_overhead \
               bench_provenance_overhead bench_profile_overhead \
-              bench_trace_context_overhead; do
+              bench_trace_context_overhead bench_mem_overhead; do
     PASA_BENCH_SCALE="${overhead_scale}" "${prefix}-release/bench/${gate}"
   done
+
+  step "memory footprint benchstat (BENCH_footprint.json)"
+  # Capacity regression gate: the sweep re-measures bytes-per-user at each
+  # |D| and benchstat flags growth beyond 25% against the committed
+  # baseline. Memory is deterministic per seed (stddev 0), so the noise
+  # gate is a pure threshold; the allowance absorbs allocator/libstdc++
+  # bucket-geometry drift across hosts, not real footprint regressions.
+  # PASA_FOOTPRINT_MAX caps the sweep on constrained hosts — compare only
+  # examines the keys both snapshots share.
+  PASA_FOOTPRINT_MAX="${PASA_CI_FOOTPRINT_MAX:-1000000}" \
+      "${prefix}-release/bench/bench_footprint" \
+      --out "${prefix}-release/BENCH_footprint.json"
+  "${prefix}-release/tools/pasa_benchstat" compare \
+      --baseline bench/baseline/BENCH_footprint.json \
+      --candidate "${prefix}-release/BENCH_footprint.json" \
+      --threshold 0.25 --noise-sigma 0
 
   step "benchstat smoke run (scale ${scale})"
   "${prefix}-release/tools/pasa_benchstat" run \
@@ -167,8 +183,23 @@ if [[ "${PASA_CI_SKIP_RELEASE:-0}" != "1" ]]; then
       --path /metrics --check 1 > /dev/null
   "${prefix}-release/tools/pasa_cli" scrape --port "${admin_port}" \
       --path /healthz | grep -q '^ok'
+  # /healthz now carries drain state and uptime alongside the ok contract.
+  "${prefix}-release/tools/pasa_cli" scrape --port "${admin_port}" \
+      --path /healthz | grep -q 'state=serving'
   "${prefix}-release/tools/pasa_cli" scrape --port "${admin_port}" \
       --path /profile | grep -q 'bulk_dp'
+  # Memory accounting over live traffic: GET /memory reports the serving
+  # structures, and the event-loop saturation histogram shows worked ticks.
+  mem_doc="$("${prefix}-release/tools/pasa_cli" scrape \
+      --port "${admin_port}" --path /memory)"
+  for subsystem in csp/snapshot csp/policy_tree lbs/answer_cache \
+                   net/conn_buffers; do
+    grep -q "\"${subsystem}\"" <<< "${mem_doc}"
+  done
+  "${prefix}-release/tools/pasa_cli" scrape --port "${admin_port}" \
+      --path /metrics | grep -q 'pasa_net_loop_lag_seconds_count'
+  "${prefix}-release/tools/pasa_cli" memstats --port "${admin_port}" \
+      | grep -q 'csp/policy_tree'
   # A final small run shuts the server down cleanly. No --admin-port here:
   # the cross-check compares a single run's client count against the
   # server's cumulative counter, which by now also holds the main run.

@@ -76,7 +76,7 @@
 //                             97 when not given
 // serve with --listen additionally accepts --admin-port P: a second
 // loopback listener serving live HTTP telemetry (GET /metrics, /healthz,
-// /slo, /vars, /profile?seconds=N) on the same event loop; 0 picks a free
+// /slo, /vars, /memory, /profile?seconds=N) on the same event loop; 0 picks a free
 // port. `pasa_cli scrape --port P` fetches one admin target and --check 1
 // validates /metrics against the Prometheus text format.
 // serve always arms the windowed telemetry and SLO burn-rate tracker;
@@ -161,6 +161,7 @@ int Usage() {
       "                     [--admin-port P] [--exemplars 1]\n"
       "                     [--tail-slowest N] [--tail-window SECONDS]\n"
       "  pasa_cli scrape    --port P [--path /metrics] [--check 1]\n"
+      "  pasa_cli memstats  --port P | --in F [--k K] [--seed S]\n"
       "  pasa_cli explain   --audit F.jsonl [--rid N] [--limit N]\n"
       "                     [--only served|degraded|failed|rejected|"
       "violations]\n"
@@ -508,7 +509,7 @@ int RunListen(CspServer* csp, const Flags& flags, int k) {
               unsigned{(*server)->port()}, duration);
   if ((*server)->admin_port() != 0) {
     std::printf("admin plane on http://127.0.0.1:%u "
-                "(/metrics /healthz /slo /vars /trace /profile)\n",
+                "(/metrics /healthz /slo /vars /memory /trace /profile)\n",
                 unsigned{(*server)->admin_port()});
   }
   std::fflush(stdout);
@@ -692,6 +693,108 @@ int RunScrape(const Flags& flags) {
     std::fprintf(stderr, "prometheus text format: ok (%zu bytes)\n",
                  response->body.size());
   }
+  return 0;
+}
+
+// Per-subsystem memory accounting: scraped live from a serving process's
+// GET /memory (--port), or computed offline by building the full serving
+// stack from a snapshot CSV (--in) and reporting every long-lived
+// structure's ApproxBytes into the accountant.
+int RunMemstats(const Flags& flags) {
+  if (flags.Has("port")) {
+    const int64_t port = flags.GetInt("port", 0);
+    if (port <= 0 || port > 65535) return Usage();
+    Result<net::HttpResponse> response =
+        net::HttpGet(static_cast<uint16_t>(port), "/memory",
+                     flags.GetDouble("timeout", 5.0));
+    if (!response.ok()) return Fail(response.status());
+    if (response->status != 200) {
+      obs::LogError("cli", "GET /memory -> HTTP %d", response->status);
+      return 1;
+    }
+    Result<obs::json::Value> doc = obs::json::Parse(response->body);
+    if (!doc.ok()) return Fail(doc.status());
+    const obs::json::Value* subsystems = doc->Find("subsystems");
+    if (subsystems == nullptr || !subsystems->is_object()) {
+      return Fail(Status::InvalidArgument(
+          "GET /memory returned no subsystems object"));
+    }
+    // Re-render the document server-side numbers as the same table the
+    // offline path prints, sorted by bytes descending.
+    std::vector<std::pair<std::string, uint64_t>> rows;
+    uint64_t total = 0;
+    for (const auto& [name, bytes] : subsystems->object()) {
+      const uint64_t b = static_cast<uint64_t>(bytes.number());
+      rows.emplace_back(name, b);
+      total += b;
+    }
+    std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    TablePrinter table({"subsystem", "bytes", "MiB", "share"});
+    for (const auto& [name, bytes] : rows) {
+      char mib[32], share[32];
+      std::snprintf(mib, sizeof(mib), "%.2f",
+                    static_cast<double>(bytes) / (1024.0 * 1024.0));
+      std::snprintf(share, sizeof(share), "%.1f%%",
+                    total == 0 ? 0.0
+                               : 100.0 * static_cast<double>(bytes) /
+                                     static_cast<double>(total));
+      table.AddRow({name, TablePrinter::Cell(static_cast<int64_t>(bytes)),
+                    mib, share});
+    }
+    table.Print();
+    const obs::json::Value* users = doc->Find("users");
+    const obs::json::Value* per_user = doc->Find("bytes_per_user");
+    std::printf("total: %llu bytes", static_cast<unsigned long long>(total));
+    if (users != nullptr && users->number() > 0) {
+      std::printf(" over %llu users (%.1f bytes/user)",
+                  static_cast<unsigned long long>(users->number()),
+                  per_user != nullptr ? per_user->number() : 0.0);
+    }
+    std::printf("\n");
+    return 0;
+  }
+
+  if (!flags.Has("in")) return Usage();
+  const int k = static_cast<int>(flags.GetInt("k", 50));
+  Result<LocationDatabase> db = LoadLocationDatabaseCsv(flags.GetString("in"));
+  if (!db.ok()) return Fail(db.status());
+  const size_t users = db->size();
+  Result<MapExtent> extent = MapExtent::Covering(db->BoundingBox());
+  if (!extent.ok()) return Fail(extent.status());
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 2010)));
+  std::vector<PointOfInterest> pois;
+  constexpr size_t kNumPois = 512;
+  const std::vector<std::string> categories = {"rest", "gas", "hospital"};
+  pois.reserve(kNumPois);
+  for (size_t i = 0; i < kNumPois; ++i) {
+    pois.push_back(PointOfInterest{
+        static_cast<int64_t>(i),
+        Point{static_cast<Coord>(rng.NextBounded(extent->side())),
+              static_cast<Coord>(rng.NextBounded(extent->side()))},
+        categories[rng.NextBounded(categories.size())]});
+  }
+  CspOptions options;
+  options.k = k;
+  Result<CspServer> csp = CspServer::Start(std::move(*db), *extent,
+                                           PoiDatabase(std::move(pois)),
+                                           options);
+  if (!csp.ok()) return Fail(csp.status());
+
+  obs::MemoryAccountant& accountant = obs::MemoryAccountant::Global();
+  accountant.Enable();
+  csp->ReportMemory(accountant);
+  obs::ReportObsMemory(accountant);
+  std::printf("%s", accountant.SummaryTable().c_str());
+  const uint64_t total = accountant.TotalBytes();
+  std::printf("total: %llu bytes over %zu users (%.1f bytes/user, k=%d)\n",
+              static_cast<unsigned long long>(total), users,
+              users == 0 ? 0.0
+                         : static_cast<double>(total) /
+                               static_cast<double>(users),
+              k);
   return 0;
 }
 
@@ -1148,6 +1251,8 @@ int main(int argc, char** argv) {
     rc = RunServe(flags);
   } else if (command == "scrape") {
     rc = RunScrape(flags);
+  } else if (command == "memstats") {
+    rc = RunMemstats(flags);
   } else if (command == "explain") {
     rc = RunExplain(flags);
   } else if (command == "trace-merge") {
